@@ -1,0 +1,18 @@
+//! E10 (host-time view): optimistic-logging runs under failure injection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e10_recovery::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_recovery");
+    g.sample_size(10);
+    for pct in [0u64, 30] {
+        g.bench_with_input(BenchmarkId::new("both_protocols", pct), &pct, |b, &pct| {
+            b.iter(|| measure(pct as f64 / 100.0, 15, 3));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E11 (host-time view): simulator cost of the optimistic Jacobi solver
+//! at tight vs loose tolerance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e11_numeric::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_numeric");
+    g.sample_size(10);
+    for tol_millis in [0u64, 50] {
+        g.bench_with_input(
+            BenchmarkId::new("jacobi_4x8", tol_millis),
+            &tol_millis,
+            |b, &tm| {
+                b.iter(|| measure(tm as f64 / 1000.0, 2, 3));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E12 (host-time view): distributed TMS runs at low and high
+//! contradiction density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e12_tms::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_tms");
+    g.sample_size(10);
+    for nogoods in [0usize, 4] {
+        g.bench_with_input(BenchmarkId::new("two_reasoners", nogoods), &nogoods, |b, &n| {
+            b.iter(|| measure(n, 13));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

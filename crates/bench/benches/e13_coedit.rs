@@ -1,0 +1,18 @@
+//! E13 (host-time view): co-editing sessions at low and high concurrency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e13_coedit::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_coedit");
+    g.sample_size(10);
+    for editors in [2usize, 6] {
+        g.bench_with_input(BenchmarkId::new("session", editors), &editors, |b, &n| {
+            b.iter(|| measure(n, 23));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

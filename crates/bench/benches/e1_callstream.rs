@@ -1,0 +1,32 @@
+//! E1 (host-time view): cost of simulating Figure 1 vs Figure 2.
+//!
+//! The `tables` binary reports *virtual* times (the paper's result); this
+//! bench reports how much host CPU the simulator itself spends per run —
+//! the reproduction's own overhead, useful for sizing larger experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e1_callstream::{run_optimistic, run_pessimistic};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_page_printer");
+    g.sample_size(20);
+    for rtt in [10u64, 30] {
+        g.bench_with_input(BenchmarkId::new("figure1_pessimistic", rtt), &rtt, |b, &rtt| {
+            b.iter(|| run_pessimistic(rtt, 10));
+        });
+        g.bench_with_input(BenchmarkId::new("figure2_optimistic", rtt), &rtt, |b, &rtt| {
+            b.iter(|| run_optimistic(rtt, 10));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("figure2_with_rollback", rtt),
+            &rtt,
+            |b, &rtt| {
+                b.iter(|| run_optimistic(rtt, 70));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E2 (host-time view): simulator cost of dependent-call chains,
+//! optimistic vs pessimistic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e2_chain::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_chain");
+    g.sample_size(10);
+    for k in [2u64, 8] {
+        g.bench_with_input(BenchmarkId::new("both_disciplines", k), &k, |b, &k| {
+            b.iter(|| measure(k, 30));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E4 (host-time view): simulator cost as prediction accuracy falls and
+//! rollback work grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e4_accuracy::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_accuracy");
+    g.sample_size(10);
+    for acc in [100u64, 50, 0] {
+        g.bench_with_input(BenchmarkId::new("chain_k4", acc), &acc, |b, &acc| {
+            b.iter(|| measure(acc as f64 / 100.0, 4, 10, 1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

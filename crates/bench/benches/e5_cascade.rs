@@ -1,0 +1,22 @@
+//! E5 (host-time view): cost of a full rollback cascade vs chain length.
+//!
+//! Complements the `tables` output (which reports cascade *reach* in
+//! intervals and virtual time) with the host cost of dependency tracking
+//! plus journal-replay recovery across the whole chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e5_cascade::run_chain;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_cascade");
+    g.sample_size(10);
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("deny_chain", n), &n, |b, &n| {
+            b.iter(|| run_chain(n));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E6 (host-time view): simulating PHOLD on HOPE Time Warp vs the
+//! sequential baseline, as LP count scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_sim::{Topology, VirtualDuration};
+use hope_timewarp::phold::{run_phold, run_sequential};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_phold");
+    g.sample_size(10);
+    let service = VirtualDuration::from_micros(500);
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("timewarp", n), &n, |b, &n| {
+            b.iter(|| run_phold(n, Topology::local(), service, 10, 80, 5));
+        });
+        g.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| run_sequential(n, service, 10, 80, 5));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E7 (host-time view): replication runs, uncontended vs contended.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_bench::experiments::e7_replication::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_replication");
+    g.sample_size(10);
+    for keys in [64usize, 2] {
+        g.bench_with_input(
+            BenchmarkId::new("three_clients", keys),
+            &keys,
+            |b, &keys| {
+                b.iter(|| measure(3, keys, 4, 9));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E8 (host-time view): raw semantics-engine primitive costs.
+//!
+//! §7 proposes optimizing "both the HOPE dependency tracking algorithms,
+//! and the checkpoint and rollback mechanism". These microbenchmarks give
+//! the baseline: cost of a guess/affirm cycle, of a deny cascading over N
+//! dependent intervals, and of a whole random abstract-machine program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_core::machine::Machine;
+use hope_core::program::Program;
+use hope_core::{Checkpoint, Engine};
+
+fn guess_affirm_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_engine");
+    g.bench_function("guess_affirm_cycle", |b| {
+        let mut engine = Engine::new();
+        engine.set_invariant_checking(false);
+        let p = engine.register_process();
+        let q = engine.register_process();
+        b.iter(|| {
+            let x = engine.aid_init(p);
+            let (_, _) = engine.guess(p, &[x], Checkpoint(0)).unwrap();
+            engine.affirm(q, x).unwrap()
+        });
+    });
+
+    g.bench_function("guess_deny_rollback_cycle", |b| {
+        let mut engine = Engine::new();
+        engine.set_invariant_checking(false);
+        let p = engine.register_process();
+        let q = engine.register_process();
+        b.iter(|| {
+            let x = engine.aid_init(p);
+            let (_, _) = engine.guess(p, &[x], Checkpoint(0)).unwrap();
+            engine.deny(q, x).unwrap()
+        });
+    });
+
+    for depth in [4usize, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("deny_cascade_depth", depth),
+            &depth,
+            |b, &depth| {
+                b.iter_batched(
+                    || {
+                        let mut engine = Engine::new();
+                        engine.set_invariant_checking(false);
+                        let p = engine.register_process();
+                        let x = engine.aid_init(p);
+                        // Build a chain of nested intervals all dependent
+                        // on x.
+                        engine.guess(p, &[x], Checkpoint(0)).unwrap();
+                        for i in 1..depth {
+                            let y = engine.aid_init(p);
+                            engine.guess(p, &[y], Checkpoint(i as u64)).unwrap();
+                        }
+                        let judge = engine.register_process();
+                        (engine, judge, x)
+                    },
+                    |(mut engine, judge, x)| engine.deny(judge, x).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+
+    g.bench_function("random_machine_program_4x40", |b| {
+        b.iter_batched(
+            || Machine::new(Program::generate(11, 4, 40, 6)),
+            |mut m| m.run_seeded(50_000, 3),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, guess_affirm_cycle);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Print the experiment tables.
+//!
+//! ```text
+//! cargo run -p hope-bench --release --bin tables            # all
+//! cargo run -p hope-bench --release --bin tables -- e1 e6   # selected
+//! ```
+
+use hope_bench::{table_for, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !EXPERIMENT_IDS.contains(id) {
+            eprintln!("unknown experiment {id:?}; known: {EXPERIMENT_IDS:?}");
+            std::process::exit(2);
+        }
+    }
+    println!("# HOPE reproduction — experiment tables\n");
+    for id in ids {
+        let table = table_for(id);
+        println!("{table}");
+    }
+}

@@ -1,0 +1,99 @@
+//! **E11 — optimistic numerical computation (§7 future work, ref \[7\])**:
+//! domain-decomposed Jacobi iteration with speculative halo exchange.
+//!
+//! Sweeps the halo-prediction tolerance: at `0` the optimistic solver
+//! reproduces the synchronous solution exactly (every misprediction is
+//! rolled back and repaired), paying rollbacks while the solution is
+//! still moving; loosening the tolerance converts rollbacks into bounded
+//! numerical error and latency wins.
+
+use hope_numeric::{reference_sums, run, Problem};
+use hope_sim::{LatencyModel, Topology, VirtualDuration};
+
+use crate::table::{fmt_ms, Table};
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// Halo-prediction tolerance.
+    pub tolerance: f64,
+    /// Synchronous solver completion (virtual ms).
+    pub sync_ms: f64,
+    /// Optimistic solver completion (virtual ms).
+    pub optimistic_ms: f64,
+    /// Rollbacks in the optimistic run.
+    pub rollbacks: u64,
+    /// Max |committed − reference| over chunk sums.
+    pub max_error: f64,
+}
+
+fn topo(link_ms: u64) -> Topology {
+    Topology::uniform(LatencyModel::Fixed(VirtualDuration::from_millis(link_ms)))
+}
+
+/// Measure one tolerance point.
+pub fn measure(tolerance: f64, link_ms: u64, seed: u64) -> E11Row {
+    let problem = Problem {
+        tolerance,
+        ..Problem::default()
+    };
+    let sync = run(&problem, topo(link_ms), seed, false);
+    let opt = run(&problem, topo(link_ms), seed, true);
+    assert!(opt.report.errors().is_empty(), "{}", opt.report);
+    let reference = reference_sums(&problem);
+    let max_error = opt
+        .sums
+        .iter()
+        .zip(&reference)
+        .map(|(got, want)| (got.expect("chunk committed") - want).abs())
+        .fold(0.0f64, f64::max);
+    E11Row {
+        tolerance,
+        sync_ms: sync.report.end_time().as_millis_f64(),
+        optimistic_ms: opt.report.end_time().as_millis_f64(),
+        rollbacks: opt.report.stats().rollback_events,
+        max_error,
+    }
+}
+
+/// The default E11 table: tolerance sweep on 5 ms links.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E11: optimistic Jacobi halo exchange vs synchronous (4 chunks × 8 cells, 20 iters, 5ms links)",
+        &["tolerance", "synchronous", "optimistic", "rollbacks", "max error"],
+    );
+    for tol in [0.0, 0.001, 0.01, 0.05, 0.25] {
+        let r = measure(tol, 5, 11);
+        t.push(vec![
+            format!("{:.3}", r.tolerance),
+            fmt_ms(r.sync_ms),
+            fmt_ms(r.optimistic_ms),
+            r.rollbacks.to_string(),
+            format!("{:.2e}", r.max_error),
+        ]);
+    }
+    t.note("tolerance 0 reproduces the synchronous solution exactly; loosening trades rollbacks for bounded error");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_tolerance_is_exact() {
+        let r = measure(0.0, 2, 3);
+        // Up to the 12-decimal text round-trip of the committed output.
+        assert!(r.max_error < 1e-9, "{r:?}");
+        assert!(r.rollbacks > 0, "{r:?}");
+    }
+
+    #[test]
+    fn loose_tolerance_reduces_rollbacks_and_time() {
+        let tight = measure(0.0, 5, 3);
+        let loose = measure(0.25, 5, 3);
+        assert!(loose.rollbacks < tight.rollbacks, "{tight:?} vs {loose:?}");
+        assert!(loose.optimistic_ms <= tight.optimistic_ms, "{tight:?} vs {loose:?}");
+        assert!(loose.optimistic_ms < loose.sync_ms, "{loose:?}");
+    }
+}

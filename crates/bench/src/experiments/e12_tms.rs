@@ -1,0 +1,97 @@
+//! **E12 — distributed truth maintenance (§7 future work, ref \[12\])**:
+//! belief-revision cost vs contradiction density.
+//!
+//! Reasoners assume atoms from pools with an increasing number of nogood
+//! pairs; each violation costs one judged `deny` plus a system-wide
+//! retraction cascade. The table shows revisions and retraction traffic
+//! growing with the contradiction density while the committed world stays
+//! consistent.
+
+use hope_sim::{LatencyModel, Topology, VirtualDuration};
+use hope_tms::{run_tms, KnowledgeBase};
+
+use crate::table::Table;
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct E12Row {
+    /// Number of nogood pairs among the assumed atoms.
+    pub nogoods: usize,
+    /// Assumptions that survived.
+    pub live: usize,
+    /// Rollback events (judge + reasoners).
+    pub rollbacks: u64,
+    /// Ghost (retracted-in-flight) messages dropped.
+    pub ghosts: u64,
+    /// Virtual completion time (ms).
+    pub end_ms: f64,
+}
+
+/// Build a world where two reasoners assume 2·`pairs_per_reasoner` atoms
+/// and `nogoods` of the cross-reasoner pairs conflict.
+pub fn measure(nogoods: usize, seed: u64) -> E12Row {
+    let per = 4usize; // assumptions per reasoner
+    // Reasoner 0 assumes 1..=4, reasoner 1 assumes 11..=14; nogood pairs
+    // couple (1,11), (2,12), … up to the requested density.
+    let a0: Vec<u32> = (1..=per as u32).collect();
+    let a1: Vec<u32> = (11..=10 + per as u32).collect();
+    let pairs: Vec<Vec<u32>> = (0..nogoods.min(per))
+        .map(|i| vec![a0[i], a1[i]])
+        .collect();
+    let pair_refs: Vec<&[u32]> = pairs.iter().map(Vec::as_slice).collect();
+    let kb = KnowledgeBase::new(&[], &pair_refs);
+    let topo = Topology::uniform(LatencyModel::Fixed(VirtualDuration::from_millis(1)));
+    let out = run_tms(&kb, &[a0, a1], topo, seed);
+    assert!(out.report.errors().is_empty(), "{}", out.report);
+    // The committed world must be consistent regardless of density.
+    assert!(kb.violated(&kb.close(&out.live)).is_none());
+    E12Row {
+        nogoods: nogoods.min(per),
+        live: out.live.len(),
+        rollbacks: out.report.stats().rollback_events,
+        ghosts: out.report.stats().ghosts_dropped,
+        end_ms: out.report.end_time().as_millis_f64(),
+    }
+}
+
+/// The default E12 table: 0–4 conflicting pairs between two reasoners.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E12: distributed TMS — belief revision vs contradiction density (2 reasoners × 4 assumptions)",
+        &["nogood pairs", "surviving", "rollbacks", "ghosts", "completion"],
+    );
+    for nogoods in [0usize, 1, 2, 3, 4] {
+        let r = measure(nogoods, 13);
+        t.push(vec![
+            r.nogoods.to_string(),
+            r.live.to_string(),
+            r.rollbacks.to_string(),
+            r.ghosts.to_string(),
+            format!("{:.1}ms", r.end_ms),
+        ]);
+    }
+    t.note("each revision is one judged deny; HOPE's cascade retracts the consequences everywhere");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_conflicts_no_revisions() {
+        let r = measure(0, 3);
+        assert_eq!(r.rollbacks, 0, "{r:?}");
+        assert_eq!(r.live, 8, "{r:?}");
+    }
+
+    #[test]
+    fn density_drives_revisions() {
+        let low = measure(1, 3);
+        let high = measure(4, 3);
+        assert!(high.rollbacks > low.rollbacks, "{low:?} vs {high:?}");
+        assert!(high.live < low.live, "{low:?} vs {high:?}");
+        // One of each conflicting pair survives.
+        assert_eq!(high.live, 4, "{high:?}");
+    }
+}

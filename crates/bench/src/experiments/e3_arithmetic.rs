@@ -1,0 +1,98 @@
+//! **E3 — §3.1's latency arithmetic**: how many instructions a blocked RPC
+//! wastes.
+//!
+//! The paper: "the time required to send a photon from New York to Los
+//! Angeles and back again is 30 milliseconds … A 100 MIPS CPU can execute
+//! over 3 million instructions while waiting for a response from the
+//! opposite coast." This table regenerates that arithmetic across link
+//! classes and CPU speeds — the motivation every other experiment builds
+//! on.
+
+use hope_sim::{CpuModel, LatencyModel, VirtualDuration};
+
+use crate::table::Table;
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct E3Row {
+    /// One-way link latency.
+    pub one_way: VirtualDuration,
+    /// CPU speed in MIPS.
+    pub mips: u64,
+    /// Instructions executable during one blocked round trip.
+    pub wasted_instructions: u64,
+}
+
+/// Compute the wasted instructions for one link/CPU pair.
+pub fn measure(link: &LatencyModel, mips: u64) -> E3Row {
+    let cpu = CpuModel::mips(mips);
+    let one_way = link.mean();
+    E3Row {
+        one_way,
+        mips,
+        wasted_instructions: cpu.instructions_in(one_way * 2),
+    }
+}
+
+/// The default E3 table.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E3: instructions wasted per synchronous RPC (§3.1)",
+        &["link", "one-way", "cpu", "instructions / RPC"],
+    );
+    let links = [
+        ("local pipe", LatencyModel::Fixed(VirtualDuration::from_micros(5))),
+        ("LAN", LatencyModel::lan()),
+        ("metro", LatencyModel::Fixed(VirtualDuration::from_millis(1))),
+        ("coast-to-coast", LatencyModel::coast_to_coast()),
+    ];
+    for (name, link) in &links {
+        for mips in [100, 1000] {
+            let r = measure(link, mips);
+            t.push(vec![
+                name.to_string(),
+                r.one_way.to_string(),
+                format!("{} MIPS", r.mips),
+                group_digits(r.wasted_instructions),
+            ]);
+        }
+    }
+    t.note("paper: 30ms RTT × 100 MIPS ⇒ over 3 million instructions");
+    t
+}
+
+fn group_digits(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_number_reproduced() {
+        let r = measure(&LatencyModel::coast_to_coast(), 100);
+        assert_eq!(r.wasted_instructions, 3_000_000);
+    }
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(3_000_000), "3,000,000");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+    }
+
+    #[test]
+    fn table_covers_all_links() {
+        let t = table();
+        assert_eq!(t.len(), 8);
+    }
+}

@@ -1,0 +1,70 @@
+//! Client side: the optimistic call.
+//!
+//! [`stream_call`] is the Bacon/Strom-style transformation of Figure 2: the
+//! synchronous RPC of Figure 1 becomes an asynchronous send plus a `guess`,
+//! and the caller continues immediately with its predicted response. If the
+//! prediction was wrong the caller is rolled back to the guess, observes
+//! `false`, and falls back to the *actual* response the server shipped with
+//! its deny — by which time that response is usually already in the mailbox,
+//! so even the pessimistic path pays roughly one round trip.
+
+use hope_core::ProcessId;
+use hope_runtime::{Ctx, Hope, MsgKind, Value};
+
+use crate::protocol::StreamRequest;
+
+/// Issue `request` to `server` optimistically, predicting `predicted`.
+///
+/// Returns immediately (speculatively) with the prediction. The server —
+/// which must be running [`serve_verified`](crate::serve_verified) — executes
+/// the request for real and affirms or denies the underlying assumption.
+/// On deny, the caller transparently rolls back to this point and the call
+/// returns the actual response instead.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+///
+/// # Examples
+///
+/// See the crate-level example, which prints a page total and a summary in
+/// one round trip instead of two.
+pub fn stream_call(
+    ctx: &mut Ctx,
+    server: ProcessId,
+    request: impl Into<Value>,
+    predicted: impl Into<Value>,
+) -> Hope<Value> {
+    let request = request.into();
+    let predicted = predicted.into();
+    let aid = ctx.aid_init()?;
+    let payload = StreamRequest {
+        aid,
+        request,
+        predicted: predicted.clone(),
+    }
+    .to_value();
+    let call = ctx.send_request(server, payload)?;
+    if ctx.guess(aid)? {
+        // Optimistic path: proceed with the prediction; the latency of the
+        // real call is hidden behind whatever the caller does next.
+        Ok(predicted)
+    } else {
+        // Pessimistic path (after rollback): the deny shipped the actual
+        // response as a reply correlated with our request's message id.
+        let m = ctx.recv_matching(move |m| m.kind == MsgKind::Reply(call))?;
+        Ok(m.payload)
+    }
+}
+
+/// The fully pessimistic equivalent (Figure 1): a plain synchronous RPC.
+///
+/// Exists so benchmarks and tests can run the same workload both ways; the
+/// server side answers both (see [`serve_verified`](crate::serve_verified)).
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn sync_call(ctx: &mut Ctx, server: ProcessId, request: impl Into<Value>) -> Hope<Value> {
+    ctx.rpc(server, request.into())
+}

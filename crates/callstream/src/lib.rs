@@ -1,0 +1,63 @@
+//! # hope-callstream — the Call Streaming protocol (Figures 1–2)
+//!
+//! The paper motivates HOPE with RPC latency (§3.1): a synchronous caller
+//! idles for a full round trip per call, and "a 100 MIPS CPU can execute
+//! over 3 million instructions while waiting for a response from the
+//! opposite coast". **Call Streaming** is the optimistic transformation
+//! that hides the latency: the caller sends the request *and a predicted
+//! response* to a verifying server, `guess`es that the prediction is right,
+//! and continues immediately. The server executes the request for real and
+//! affirms or denies the assumption; a deny rolls the caller back to the
+//! guess, where it picks up the actual response instead. §7 reports the
+//! prototype gained up to 80% this way; the `hope-bench` crate's E1/E2/E4
+//! experiments reproduce the shape of that result.
+//!
+//! * [`stream_call`] / [`sync_call`] — the optimistic call and its
+//!   pessimistic equivalent.
+//! * [`serve_verified`] — the server loop that answers both.
+//! * [`page`] — the paper's running example (the page printer of Figures 1
+//!   and 2), including the `Order` AID and the `free_of` causality guard.
+//!
+//! ## Example
+//!
+//! ```
+//! use hope_callstream::{serve_verified, stream_call};
+//! use hope_runtime::{ProcessId, SimConfig, Simulation, Value};
+//! use hope_sim::VirtualDuration;
+//!
+//! let mut sim = Simulation::new(SimConfig::with_seed(1));
+//! let server = ProcessId(1);
+//! sim.spawn("client", move |ctx| {
+//!     // Ask for 21 doubled, predicting 42; we keep computing while the
+//!     // server verifies.
+//!     let answer = stream_call(ctx, server, Value::Int(21), Value::Int(42))?;
+//!     ctx.output(format!("answer={answer}"))?;
+//!     Ok(())
+//! });
+//! sim.spawn("server", |ctx| {
+//!     serve_verified(
+//!         ctx,
+//!         VirtualDuration::from_millis(1),
+//!         |req| Value::Int(req.expect_int() * 2),
+//!         |_| {},
+//!     )
+//! });
+//! let report = sim.run();
+//! assert_eq!(report.output_lines(), vec!["answer=42"]);
+//! assert_eq!(report.stats().rollback_events, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+pub mod page;
+mod predictor;
+mod protocol;
+mod server;
+
+pub use client::{stream_call, sync_call};
+pub use predictor::{stream_call_predicted, LastValuePredictor, MemoPredictor, Predictor};
+pub use protocol::StreamRequest;
+pub use server::{serve_verified, VerifyOutcome};

@@ -1,0 +1,90 @@
+//! Wire encoding of the Call Streaming protocol.
+//!
+//! A *streamed call* ships three things to the verifying server in one
+//! message: the assumption identifier the client is about to guess, the
+//! request itself, and the client's predicted response. The server executes
+//! the request for real and affirms the AID if the prediction matched,
+//! denying it (and shipping the actual result) otherwise.
+//!
+//! Payloads are encoded as [`Value::List`]s so they travel over the
+//! runtime's ordinary tagged messages.
+
+use hope_core::AidId;
+use hope_runtime::Value;
+
+/// A streamed-call request as decoded by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRequest {
+    /// The assumption the client guessed: "the server's answer will equal
+    /// my prediction".
+    pub aid: AidId,
+    /// The actual request payload for the server's handler.
+    pub request: Value,
+    /// The client's predicted response.
+    pub predicted: Value,
+}
+
+impl StreamRequest {
+    /// Encode for transmission.
+    pub fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::Int(self.aid.index() as i64),
+            self.request.clone(),
+            self.predicted.clone(),
+        ])
+    }
+
+    /// Decode a received payload.
+    ///
+    /// Returns `None` if the payload is not a well-formed stream request.
+    pub fn from_value(v: &Value) -> Option<StreamRequest> {
+        let items = v.as_list()?;
+        if items.len() != 3 {
+            return None;
+        }
+        let aid = AidId::from_index(u64::try_from(items[0].as_int()?).ok()?);
+        Some(StreamRequest {
+            aid,
+            request: items[1].clone(),
+            predicted: items[2].clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = StreamRequest {
+            aid: AidId::from_index(7),
+            request: Value::Str("print".into()),
+            predicted: Value::Int(42),
+        };
+        let v = r.to_value();
+        assert_eq!(StreamRequest::from_value(&v), Some(r));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(StreamRequest::from_value(&Value::Unit), None);
+        assert_eq!(StreamRequest::from_value(&Value::List(vec![])), None);
+        assert_eq!(
+            StreamRequest::from_value(&Value::List(vec![
+                Value::Str("not an aid".into()),
+                Value::Unit,
+                Value::Unit,
+            ])),
+            None
+        );
+        assert_eq!(
+            StreamRequest::from_value(&Value::List(vec![
+                Value::Int(-1), // negative index
+                Value::Unit,
+                Value::Unit,
+            ])),
+            None
+        );
+    }
+}

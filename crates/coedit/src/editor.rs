@@ -1,0 +1,155 @@
+//! The editor: compose locally, guess globally, rebase on conflict.
+//!
+//! Every edit is applied to the local replica the moment it is typed — the
+//! `guess` is "no concurrent edit was sequenced before mine". A denial
+//! rolls the editor back to the proposal, where it waits for the missed
+//! commits (already broadcast to it), rebases its op positionally past
+//! them, and re-proposes. Commitment of the final document text flows once
+//! the editor has observed every sequenced version.
+
+use std::collections::BTreeMap;
+
+use hope_runtime::{Ctx, Hope, Message, ProcessId};
+use hope_sim::VirtualDuration;
+
+use crate::ops::Op;
+use crate::protocol::CoMsg;
+
+/// Configuration for [`run_editor`].
+#[derive(Debug, Clone)]
+pub struct EditorConfig {
+    /// The sequencer process.
+    pub sequencer: ProcessId,
+    /// Edits this editor will make.
+    pub edits: u64,
+    /// Total commits the session will produce (all editors).
+    pub total_versions: u64,
+    /// Think time between edits.
+    pub edit_cost: VirtualDuration,
+    /// Bias towards insertions in `[0, 1]` (the rest are deletions).
+    pub insert_bias: f64,
+}
+
+/// Local replica state: the document plus version bookkeeping.
+#[derive(Debug, Default)]
+struct Replica {
+    doc: Vec<char>,
+    /// Versions applied locally (own speculative commits included).
+    known: u64,
+    /// Committed ops applied so far, in version order (for rebasing).
+    log: Vec<Op>,
+    /// Out-of-order broadcasts held until contiguous.
+    pending: BTreeMap<u64, Op>,
+}
+
+impl Replica {
+    fn absorb(&mut self, m: &Message) {
+        if let Some(CoMsg::Committed { version, op }) = CoMsg::from_value(&m.payload) {
+            self.pending.insert(version, op);
+        }
+        self.drain_pending();
+    }
+
+    fn drain_pending(&mut self) {
+        while let Some(op) = self.pending.remove(&(self.known + 1)) {
+            op.apply(&mut self.doc);
+            self.log.push(op);
+            self.known += 1;
+        }
+    }
+
+    fn apply_own(&mut self, op: Op) {
+        op.apply(&mut self.doc);
+        self.log.push(op);
+        self.known += 1;
+    }
+}
+
+/// Run one editor; emits `doc=<text>` after observing every version.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_editor(ctx: &mut Ctx, cfg: &EditorConfig) -> Hope<()> {
+    let mut rep = Replica::default();
+    for _ in 0..cfg.edits {
+        while let Some(m) = ctx.try_recv()? {
+            rep.absorb(&m);
+        }
+        // Compose against the current local state.
+        let r = ctx.random_u64()?;
+        let mut op = if ctx.chance(cfg.insert_bias)? || rep.doc.is_empty() {
+            let pos = (r % (rep.doc.len() as u64 + 1)) as usize;
+            let ch = char::from_u32('a' as u32 + (r % 26) as u32).expect("ascii letter");
+            Op::Insert { pos, ch }
+        } else {
+            Op::Delete {
+                pos: (r % rep.doc.len() as u64) as usize,
+            }
+        };
+        // Propose-and-guess, rebasing until the sequencer takes it.
+        loop {
+            let aid = ctx.aid_init()?;
+            ctx.send(
+                cfg.sequencer,
+                CoMsg::Propose {
+                    aid,
+                    base: rep.known,
+                    op,
+                }
+                .to_value(),
+            )?;
+            if ctx.guess(aid)? {
+                // Lock-free: keep typing as if the edit were sequenced.
+                rep.apply_own(op);
+                break;
+            }
+            // Denied: apply what we missed, rebase past it, try again.
+            let before = rep.known;
+            let rebase_from = rep.log.len();
+            while rep.known == before {
+                let m = ctx.recv()?;
+                rep.absorb(&m);
+            }
+            for committed in &rep.log[rebase_from..] {
+                op = op.rebase_past(committed);
+            }
+        }
+        ctx.compute(cfg.edit_cost)?;
+    }
+    // Observe the rest of the session so the final text is authoritative.
+    while rep.known < cfg.total_versions {
+        let m = ctx.recv()?;
+        rep.absorb(&m);
+    }
+    let text: String = rep.doc.iter().collect();
+    ctx.output(format!("doc={text}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_applies_contiguously() {
+        let mut r = Replica::default();
+        // Version 2 arrives before version 1: held, then both apply.
+        r.pending.insert(2, Op::Insert { pos: 1, ch: 'b' });
+        r.drain_pending();
+        assert_eq!(r.known, 0);
+        r.pending.insert(1, Op::Insert { pos: 0, ch: 'a' });
+        r.drain_pending();
+        assert_eq!(r.known, 2);
+        assert_eq!(r.doc, vec!['a', 'b']);
+        assert_eq!(r.log.len(), 2);
+    }
+
+    #[test]
+    fn apply_own_advances_version() {
+        let mut r = Replica::default();
+        r.apply_own(Op::Insert { pos: 0, ch: 'x' });
+        assert_eq!(r.known, 1);
+        assert_eq!(r.doc, vec!['x']);
+    }
+}

@@ -1,0 +1,38 @@
+//! # hope-coedit — co-operative editing on HOPE
+//!
+//! §7 of the paper lists "co-operative work \[5\]" — Cormack's "formalism
+//! for real-time distributed lock-free conference editing" — among the new
+//! domains for optimism. This crate builds that system:
+//!
+//! * an **editor** ([`run_editor`]) applies every keystroke to its local
+//!   replica immediately, `guess`ing that no concurrent edit was sequenced
+//!   first — *lock-free* in exactly Cormack's sense: nobody ever waits to
+//!   type;
+//! * a **sequencer** ([`run_sequencer`]) total-orders proposals, affirming
+//!   fresh ones and denying stale ones;
+//! * a denial rolls the editor back to the proposal, where the missed
+//!   commits (already broadcast) are applied, the local op is **rebased**
+//!   positionally past them ([`Op::rebase_past`]), and the edit retries —
+//!   conflict repair by rollback instead of locks;
+//! * once an editor has observed every sequenced version, its replica text
+//!   commits; [`SessionOutcome::converged`] checks all replicas equal the
+//!   authoritative document.
+//!
+//! Experiment E13 measures conflict and rebase traffic against editor
+//! count and contention.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod editor;
+mod ops;
+mod protocol;
+mod sequencer;
+
+pub use driver::{run_session, SessionOutcome};
+pub use editor::{run_editor, EditorConfig};
+pub use ops::Op;
+pub use protocol::CoMsg;
+pub use sequencer::{run_sequencer, SequencerConfig};

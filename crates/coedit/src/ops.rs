@@ -1,0 +1,171 @@
+//! Edit operations and the positional rebase used after conflicts.
+
+use hope_runtime::Value;
+
+/// One text edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert `ch` so that it ends up at index `pos`.
+    Insert {
+        /// Target index (clamped to the document length on apply).
+        pos: usize,
+        /// The character.
+        ch: char,
+    },
+    /// Delete the character at index `pos` (no-op if out of range).
+    Delete {
+        /// Target index.
+        pos: usize,
+    },
+}
+
+impl Op {
+    /// Apply to a document, clamping positions (concurrent edits can make
+    /// a position stale by at most the rebase slack; clamping keeps apply
+    /// total).
+    pub fn apply(&self, doc: &mut Vec<char>) {
+        match *self {
+            Op::Insert { pos, ch } => {
+                let p = pos.min(doc.len());
+                doc.insert(p, ch);
+            }
+            Op::Delete { pos } => {
+                if pos < doc.len() {
+                    doc.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Rebase this op's position past a concurrent `committed` op that was
+    /// sequenced first (the classical single-op positional transform).
+    pub fn rebase_past(&self, committed: &Op) -> Op {
+        let shift = |pos: usize| -> usize {
+            match *committed {
+                Op::Insert { pos: cp, .. } => {
+                    if cp <= pos {
+                        pos + 1
+                    } else {
+                        pos
+                    }
+                }
+                Op::Delete { pos: cp } => {
+                    if cp < pos {
+                        pos.saturating_sub(1)
+                    } else {
+                        pos
+                    }
+                }
+            }
+        };
+        match *self {
+            Op::Insert { pos, ch } => Op::Insert {
+                pos: shift(pos),
+                ch,
+            },
+            Op::Delete { pos } => Op::Delete { pos: shift(pos) },
+        }
+    }
+
+    /// Encode for transmission.
+    pub fn to_value(&self) -> Value {
+        match *self {
+            Op::Insert { pos, ch } => Value::List(vec![
+                Value::Str("ins".into()),
+                Value::Int(pos as i64),
+                Value::Int(ch as i64),
+            ]),
+            Op::Delete { pos } => {
+                Value::List(vec![Value::Str("del".into()), Value::Int(pos as i64)])
+            }
+        }
+    }
+
+    /// Decode a received payload; `None` for foreign messages.
+    pub fn from_value(v: &Value) -> Option<Op> {
+        let items = v.as_list()?;
+        match items.first()?.as_str()? {
+            "ins" if items.len() == 3 => Some(Op::Insert {
+                pos: usize::try_from(items[1].as_int()?).ok()?,
+                ch: char::from_u32(u32::try_from(items[2].as_int()?).ok()?)?,
+            }),
+            "del" if items.len() == 2 => Some(Op::Delete {
+                pos: usize::try_from(items[1].as_int()?).ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn apply_insert_and_delete() {
+        let mut d = doc("ac");
+        Op::Insert { pos: 1, ch: 'b' }.apply(&mut d);
+        assert_eq!(d, doc("abc"));
+        Op::Delete { pos: 0 }.apply(&mut d);
+        assert_eq!(d, doc("bc"));
+        // Out-of-range clamps / no-ops.
+        Op::Insert { pos: 99, ch: 'z' }.apply(&mut d);
+        assert_eq!(d, doc("bcz"));
+        Op::Delete { pos: 99 }.apply(&mut d);
+        assert_eq!(d, doc("bcz"));
+    }
+
+    #[test]
+    fn rebase_shifts_positions() {
+        let mine = Op::Insert { pos: 3, ch: 'x' };
+        assert_eq!(
+            mine.rebase_past(&Op::Insert { pos: 1, ch: 'a' }),
+            Op::Insert { pos: 4, ch: 'x' }
+        );
+        assert_eq!(
+            mine.rebase_past(&Op::Insert { pos: 5, ch: 'a' }),
+            Op::Insert { pos: 3, ch: 'x' }
+        );
+        assert_eq!(
+            mine.rebase_past(&Op::Delete { pos: 1 }),
+            Op::Insert { pos: 2, ch: 'x' }
+        );
+        assert_eq!(
+            mine.rebase_past(&Op::Delete { pos: 3 }),
+            Op::Insert { pos: 3, ch: 'x' }
+        );
+        let del = Op::Delete { pos: 2 };
+        assert_eq!(
+            del.rebase_past(&Op::Insert { pos: 0, ch: 'a' }),
+            Op::Delete { pos: 3 }
+        );
+        assert_eq!(del.rebase_past(&Op::Delete { pos: 0 }), Op::Delete { pos: 1 });
+    }
+
+    #[test]
+    fn rebase_preserves_intent() {
+        // "abc", I insert 'x' before 'c' (pos 2); someone inserts 'q' at 0
+        // first: my rebased op still lands before 'c'.
+        let mut d = doc("abc");
+        let concurrent = Op::Insert { pos: 0, ch: 'q' };
+        concurrent.apply(&mut d); // "qabc"
+        let mine = Op::Insert { pos: 2, ch: 'x' }.rebase_past(&concurrent);
+        mine.apply(&mut d);
+        assert_eq!(d, doc("qabxc"), "x still lands before c");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for op in [
+            Op::Insert { pos: 4, ch: 'é' },
+            Op::Delete { pos: 0 },
+        ] {
+            assert_eq!(Op::from_value(&op.to_value()), Some(op));
+        }
+        assert_eq!(Op::from_value(&Value::Unit), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Wire protocol between editors and the sequencer.
+
+use hope_core::AidId;
+use hope_runtime::Value;
+
+use crate::ops::Op;
+
+/// A co-editing protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoMsg {
+    /// An editor proposes `op` against document version `base`, under
+    /// assumption `aid` ("no conflicting edit was sequenced before mine").
+    Propose {
+        /// The optimistic assumption.
+        aid: AidId,
+        /// Version the op was composed against.
+        base: u64,
+        /// The edit.
+        op: Op,
+    },
+    /// The sequencer committed `op` as version `version` (broadcast).
+    Committed {
+        /// The resulting document version.
+        version: u64,
+        /// The committed edit.
+        op: Op,
+    },
+}
+
+impl CoMsg {
+    /// Encode for transmission.
+    pub fn to_value(&self) -> Value {
+        match self {
+            CoMsg::Propose { aid, base, op } => Value::List(vec![
+                Value::Str("prop".into()),
+                Value::Int(aid.index() as i64),
+                Value::Int(*base as i64),
+                op.to_value(),
+            ]),
+            CoMsg::Committed { version, op } => Value::List(vec![
+                Value::Str("comm".into()),
+                Value::Int(*version as i64),
+                op.to_value(),
+            ]),
+        }
+    }
+
+    /// Decode a received payload; `None` for foreign messages.
+    pub fn from_value(v: &Value) -> Option<CoMsg> {
+        let items = v.as_list()?;
+        match items.first()?.as_str()? {
+            "prop" if items.len() == 4 => Some(CoMsg::Propose {
+                aid: AidId::from_index(u64::try_from(items[1].as_int()?).ok()?),
+                base: u64::try_from(items[2].as_int()?).ok()?,
+                op: Op::from_value(&items[3])?,
+            }),
+            "comm" if items.len() == 3 => Some(CoMsg::Committed {
+                version: u64::try_from(items[1].as_int()?).ok()?,
+                op: Op::from_value(&items[2])?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let msgs = [
+            CoMsg::Propose {
+                aid: AidId::from_index(2),
+                base: 7,
+                op: Op::Insert { pos: 1, ch: 'h' },
+            },
+            CoMsg::Committed {
+                version: 8,
+                op: Op::Delete { pos: 3 },
+            },
+        ];
+        for m in msgs {
+            assert_eq!(CoMsg::from_value(&m.to_value()), Some(m));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(CoMsg::from_value(&Value::Int(1)), None);
+        assert_eq!(
+            CoMsg::from_value(&Value::List(vec![Value::Str("prop".into())])),
+            None
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The sequencer: total-orders edits and verifies freshness assumptions.
+//!
+//! Lock-free in the editing sense: no editor ever waits for permission to
+//! type. The sequencer is this application's definite verifier (editors
+//! propose *before* guessing, so with FIFO links it never becomes
+//! speculative): a proposal based on the current version commits —
+//! `affirm` — and is broadcast; a stale one is denied, rolling only the
+//! proposing editor back to rebase and retry.
+
+use hope_runtime::{Ctx, Hope, ProcessId};
+use hope_sim::VirtualDuration;
+
+use crate::protocol::CoMsg;
+
+/// Configuration for [`run_sequencer`].
+#[derive(Debug, Clone)]
+pub struct SequencerConfig {
+    /// All editor processes (committed ops are broadcast to each except
+    /// the proposer).
+    pub editors: Vec<ProcessId>,
+    /// Total number of commits to sequence before reporting and exiting
+    /// (the drivers use `editors × edits_per_editor`).
+    pub total_versions: u64,
+    /// CPU charged per handled proposal.
+    pub step_time: VirtualDuration,
+}
+
+/// Run the sequencer; emits `doc=<text>` after the last commit.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_sequencer(ctx: &mut Ctx, cfg: &SequencerConfig) -> Hope<()> {
+    let mut doc: Vec<char> = Vec::new();
+    let mut version: u64 = 0;
+    while version < cfg.total_versions {
+        let msg = ctx.recv()?;
+        let Some(CoMsg::Propose { aid, base, op }) = CoMsg::from_value(&msg.payload) else {
+            continue;
+        };
+        ctx.compute(cfg.step_time)?;
+        if base == version {
+            op.apply(&mut doc);
+            version += 1;
+            ctx.affirm(aid)?;
+            for &e in cfg.editors.iter().filter(|&&e| e != msg.from) {
+                ctx.send(e, CoMsg::Committed { version, op }.to_value())?;
+            }
+        } else {
+            // Stale base: the proposer's missed commits are already in
+            // (or on the way to) its mailbox as broadcasts — deny and let
+            // it rebase.
+            ctx.deny(aid)?;
+        }
+    }
+    let text: String = doc.iter().collect();
+    ctx.output(format!("doc={text}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_shapes() {
+        let cfg = SequencerConfig {
+            editors: vec![ProcessId(0), ProcessId(1)],
+            total_versions: 8,
+            step_time: VirtualDuration::from_micros(10),
+        };
+        assert_eq!(cfg.editors.len(), 2);
+        assert_eq!(cfg.total_versions, 8);
+    }
+}

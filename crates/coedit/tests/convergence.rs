@@ -1,0 +1,54 @@
+//! Property test: co-editing sessions converge for arbitrary shapes.
+
+use hope_coedit::run_session;
+use hope_sim::{LatencyModel, Topology, VirtualDuration};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn every_session_converges(
+        editors in 1usize..5,
+        edits in 1u64..6,
+        link_ms in 1u64..6,
+        seed in 0u64..64,
+        bias in 0.4f64..1.0,
+    ) {
+        let topo = Topology::uniform(LatencyModel::Fixed(
+            VirtualDuration::from_millis(link_ms),
+        ));
+        let out = run_session(editors, edits, topo, seed, bias);
+        prop_assert!(out.report.errors().is_empty(), "{}", out.report);
+        prop_assert!(!out.report.hit_limits(), "{}", out.report);
+        prop_assert!(
+            out.converged(),
+            "authoritative={:?} replicas={:?} (rollbacks={})",
+            out.authoritative,
+            out.replicas,
+            out.report.stats().rollback_events
+        );
+        // Insert-only sessions have a checkable length.
+        if bias >= 1.0 {
+            prop_assert_eq!(
+                out.authoritative.chars().count() as u64,
+                editors as u64 * edits
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_replay_identically(
+        editors in 1usize..4,
+        edits in 1u64..5,
+        seed in 0u64..32,
+    ) {
+        let topo = Topology::uniform(LatencyModel::Fixed(
+            VirtualDuration::from_millis(2),
+        ));
+        let a = run_session(editors, edits, topo.clone(), seed, 0.75);
+        let b = run_session(editors, edits, topo, seed, 0.75);
+        prop_assert_eq!(a.authoritative, b.authoritative);
+        prop_assert_eq!(a.replicas, b.replicas);
+    }
+}

@@ -1,0 +1,1536 @@
+//! The semantics engine: an executable transcription of §5 of the paper.
+//!
+//! The [`Engine`] owns every assumption identifier, interval and per-process
+//! interval history, and implements the five transitions of §5 —
+//! [`guess`](Engine::guess) (§5.1), [`affirm`](Engine::affirm) (§5.2),
+//! [`deny`](Engine::deny) (§5.3), [`free_of`](Engine::free_of) (§5.4) — with
+//! *finalize* (§5.5) and *rollback* (§5.6) occurring internally as cascades.
+//! Each public operation returns the ordered [`Effect`] list the transition
+//! produced; embedding runtimes act on those effects (restore checkpoints,
+//! commit output, drop ghost messages).
+//!
+//! ## Fidelity notes
+//!
+//! * **DOM membership for inherited dependencies.** Equation 4 only shows
+//!   the *guessed* AID gaining the new interval in its `DOM` set, but
+//!   Lemma 5.1 asserts `X ∈ A.IDO ⟺ A ∈ X.DOM` for *all* `X`, and the
+//!   finalize cascade (Equations 7–9) discharges dependence by walking `DOM`
+//!   sets. The engine therefore inserts the new interval into the `DOM` of
+//!   every member of its `IDO` — inherited members included — which is the
+//!   only reading under which Lemma 5.1 and Theorem 6.2 hold.
+//! * **`free_of` inspects `IDO`.** §5.4's prose says `A.DOM`; intervals have
+//!   no `DOM` set, and Theorem 6.3's proof reads `X ∈ A.IDO`. We use `IDO`.
+//! * **Rollback of a speculative affirm** is a conservative definite deny of
+//!   the affirmed AID (§5.6, footnote 2).
+//! * **One-shot AIDs.** A second `affirm`/`deny`/`free_of` on the same AID
+//!   is "a user error, and the meaning is undefined" (§5.2). Here it is a
+//!   defined error: [`Error::AidConsumed`].
+//! * **Guessing a speculatively affirmed AID resolves to its affirmer's
+//!   dependence set.** Equations 10–14 dissolve dependence on the AID
+//!   permanently; if a later guess naively re-added the AID to an `IDO`
+//!   set, Theorem 6.3's proof would break (the asserting interval could
+//!   become dependent on a freed AID again) and mutual speculative
+//!   affirms could form unresolvable cycles. Under the resolution rule
+//!   both pathologies vanish — verified mechanically in
+//!   `tests/theorems.rs`. (Mutual speculative *denies* can still
+//!   livelock; the test suite documents that as a finding.)
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::aid::{Aid, AidState, AidView};
+use crate::effect::Effect;
+use crate::error::{Error, Result};
+use crate::ids::{AidId, IntervalId, ProcessId};
+use crate::interval::{Checkpoint, Interval, IntervalStatus, IntervalView};
+use crate::tag::{ReceiveOutcome, Tag};
+
+/// Result of [`Engine::guess`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuessOutcome {
+    /// Speculation began (or, if every named AID was already affirmed and
+    /// the process was definite, an interval was created and finalized in
+    /// the same step). The guess returns `true` to the program.
+    Begun(IntervalId),
+    /// At least one named AID has been definitively denied: the guess
+    /// returns `false` immediately and definitively; no interval is created.
+    /// This is also what a re-executed guess observes after rollback.
+    AlreadyFalse(AidId),
+}
+
+impl GuessOutcome {
+    /// The boolean the `guess` primitive returns to the program.
+    pub fn value(&self) -> bool {
+        matches!(self, GuessOutcome::Begun(_))
+    }
+
+    /// The interval that was started, if any.
+    pub fn interval(&self) -> Option<IntervalId> {
+        match self {
+            GuessOutcome::Begun(a) => Some(*a),
+            GuessOutcome::AlreadyFalse(_) => None,
+        }
+    }
+}
+
+/// Counters describing an engine's activity, for benchmarks and tests.
+///
+/// All fields are cumulative since engine creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// `guess` calls that began speculation.
+    pub guesses: u64,
+    /// `guess` calls answered `AlreadyFalse`.
+    pub failed_guesses: u64,
+    /// Intervals finalized (made definite).
+    pub finalized: u64,
+    /// Intervals discarded by rollback.
+    pub rolled_back_intervals: u64,
+    /// Rollback events (history truncations; one may discard many intervals).
+    pub rollback_events: u64,
+    /// Definite affirms (including promotions of speculative affirms and the
+    /// affirm half of `free_of`).
+    pub definite_affirms: u64,
+    /// Speculative affirms recorded.
+    pub speculative_affirms: u64,
+    /// Definite denies (including promotions from `IHD` and footnote-2
+    /// conservative denies).
+    pub definite_denies: u64,
+    /// Speculative denies recorded into `IHD` sets.
+    pub speculative_denies: u64,
+    /// `free_of` calls.
+    pub free_ofs: u64,
+    /// Ghost messages detected by [`Engine::implicit_guess`].
+    pub ghosts: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Proc {
+    /// Live intervals, chronological. Rollback truncates a suffix.
+    history: Vec<IntervalId>,
+    /// Total intervals ever discarded from this process (for stats/tests).
+    discarded: u64,
+}
+
+/// Internal cascade work items.
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    Finalize(IntervalId),
+    Rollback(IntervalId),
+}
+
+/// The HOPE semantics engine. See the module-level documentation above.
+///
+/// # Examples
+///
+/// The simplest full cycle — guess, then deny, observing the rollback:
+///
+/// ```
+/// use hope_core::{Engine, Effect, GuessOutcome, Checkpoint};
+///
+/// let mut engine = Engine::new();
+/// let p = engine.register_process();
+/// let x = engine.aid_init(p);
+///
+/// let (outcome, _) = engine.guess(p, &[x], Checkpoint(0))?;
+/// assert!(outcome.value()); // guess speculatively returns true
+///
+/// let effects = engine.deny(p, x)?; // our own assumption: definite deny
+/// assert!(effects.iter().any(|e| e.is_rollback()));
+///
+/// // Re-executing the guess now observes the definite answer:
+/// let (outcome, _) = engine.guess(p, &[x], Checkpoint(0))?;
+/// assert!(!outcome.value());
+/// # Ok::<(), hope_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    aids: Vec<Aid>,
+    intervals: Vec<Interval>,
+    procs: BTreeMap<ProcessId, Proc>,
+    next_pid: u32,
+    stats: EngineStats,
+    check_invariants: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Create an empty engine. Invariant checking (Lemma 5.1 symmetry and
+    /// the Theorem 5.1 prefix-subset property after every transition) is on
+    /// in debug builds and off in release builds by default.
+    pub fn new() -> Self {
+        Engine {
+            aids: Vec::new(),
+            intervals: Vec::new(),
+            procs: BTreeMap::new(),
+            next_pid: 0,
+            stats: EngineStats::default(),
+            check_invariants: cfg!(debug_assertions),
+        }
+    }
+
+    /// Enable or disable per-transition invariant checking.
+    ///
+    /// Checking is O(total dependence edges) per transition; benchmarks turn
+    /// it off, the property-test suite turns it on.
+    pub fn set_invariant_checking(&mut self, on: bool) {
+        self.check_invariants = on;
+    }
+
+    /// Register a new process and return its id.
+    pub fn register_process(&mut self) -> ProcessId {
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Proc {
+                history: Vec::new(),
+                discarded: 0,
+            },
+        );
+        pid
+    }
+
+    /// Create a fresh assumption identifier (the paper's `aid_init`, §3).
+    ///
+    /// `creator` is recorded for traces only; *any* process may subsequently
+    /// apply primitives to the AID (§4: "Any process in the system can apply
+    /// HOPE primitives to any assumption identifier").
+    pub fn aid_init(&mut self, creator: ProcessId) -> AidId {
+        let id = AidId(self.aids.len() as u64);
+        self.aids.push(Aid::new(id, creator));
+        id
+    }
+
+    /// Number of AIDs created so far.
+    pub fn aid_count(&self) -> usize {
+        self.aids.len()
+    }
+
+    /// Number of intervals created so far (live, definite and rolled back).
+    pub fn interval_count(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Cumulative activity counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Every AID that is still undecided **and** unconsumed — i.e. still
+    /// open to a definite `affirm` or `deny`.
+    ///
+    /// This is the interface an *external definite observer* (a GVT-style
+    /// commit oracle; see the `hope-runtime` quiescence-commit facility)
+    /// uses to settle a quiesced system: by Lemma 6.3, speculative affirms
+    /// never finalize anything on their own, so some environment-level
+    /// agent must eventually issue definite decisions.
+    pub fn open_aids(&self) -> Vec<AidId> {
+        self.aids
+            .iter()
+            .filter(|a| a.state == AidState::Undecided && !a.consumed)
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Read-only view of an AID's control state.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownAid`] if the AID was not created by this engine.
+    pub fn aid(&self, x: AidId) -> Result<AidView<'_>> {
+        self.aids
+            .get(x.0 as usize)
+            .map(|inner| AidView { inner })
+            .ok_or(Error::UnknownAid(x))
+    }
+
+    /// Decision state of an AID.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownAid`] if the AID was not created by this engine.
+    pub fn aid_state(&self, x: AidId) -> Result<AidState> {
+        Ok(self.aid(x)?.state())
+    }
+
+    /// Read-only view of an interval's control variables.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownInterval`] if the id does not exist.
+    pub fn interval(&self, a: IntervalId) -> Result<IntervalView<'_>> {
+        self.intervals
+            .get(a.0 as usize)
+            .map(|inner| IntervalView { inner })
+            .ok_or(Error::UnknownInterval(a))
+    }
+
+    /// The live interval history of a process (definite prefix followed by
+    /// speculative suffix), earliest first.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownProcess`] if `pid` was never registered.
+    pub fn history(&self, pid: ProcessId) -> Result<&[IntervalId]> {
+        self.procs
+            .get(&pid)
+            .map(|p| p.history.as_slice())
+            .ok_or(Error::UnknownProcess(pid))
+    }
+
+    /// The process's current interval if it is speculative (the paper's
+    /// `S_i.I`; `None` corresponds to `S_i.I = ∅`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownProcess`] if `pid` was never registered.
+    pub fn current_interval(&self, pid: ProcessId) -> Result<Option<IntervalId>> {
+        let proc = self.procs.get(&pid).ok_or(Error::UnknownProcess(pid))?;
+        Ok(proc.history.last().copied().filter(|&a| {
+            self.intervals[a.0 as usize].status == IntervalStatus::Speculative
+        }))
+    }
+
+    /// `true` if the process is currently speculative.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownProcess`] if `pid` was never registered.
+    pub fn is_speculative(&self, pid: ProcessId) -> Result<bool> {
+        Ok(self.current_interval(pid)?.is_some())
+    }
+
+    /// The tag to attach to a message sent by `pid` right now: the set of
+    /// AIDs the sender currently depends on (§3).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownProcess`] if `pid` was never registered.
+    pub fn dependence_tag(&self, pid: ProcessId) -> Result<Tag> {
+        Ok(match self.current_interval(pid)? {
+            Some(a) => Tag::from_aids(self.intervals[a.0 as usize].ido.iter().copied()),
+            None => Tag::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // guess — §5.1, Equations 1–6
+    // ------------------------------------------------------------------
+
+    /// Execute `guess` on one or more assumption identifiers.
+    ///
+    /// The multi-AID form exists because message receipt implicitly guesses
+    /// every undecided AID in the tag at once (§3); an ordinary program
+    /// guess names a single AID.
+    ///
+    /// Creates a new interval whose `IDO` is the current interval's `IDO`
+    /// plus every named *undecided* AID (Equation 3; definitively affirmed
+    /// AIDs induce no dependence). The interval is recorded in the `DOM` of
+    /// every member of its `IDO` (Equation 4, extended per the module-level
+    /// fidelity note). `ps` is the checkpoint token handed back on rollback
+    /// (Equation 1).
+    ///
+    /// If any named AID is definitively denied the guess answers
+    /// [`GuessOutcome::AlreadyFalse`] — this is the `False` return of a
+    /// re-executed guess after rollback (Equation 24).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownProcess`] / [`Error::UnknownAid`] for foreign ids.
+    /// * [`Error::EmptyGuess`] if `aids` is empty.
+    pub fn guess(
+        &mut self,
+        pid: ProcessId,
+        aids: &[AidId],
+        ps: Checkpoint,
+    ) -> Result<(GuessOutcome, Vec<Effect>)> {
+        if aids.is_empty() {
+            return Err(Error::EmptyGuess);
+        }
+        if !self.procs.contains_key(&pid) {
+            return Err(Error::UnknownProcess(pid));
+        }
+        for &x in aids {
+            if x.0 as usize >= self.aids.len() {
+                return Err(Error::UnknownAid(x));
+            }
+        }
+        if let Some(&denied) = aids
+            .iter()
+            .find(|&&x| self.aids[x.0 as usize].state == AidState::Denied)
+        {
+            self.stats.failed_guesses += 1;
+            return Ok((GuessOutcome::AlreadyFalse(denied), Vec::new()));
+        }
+
+        let parent_ido: BTreeSet<AidId> = match self.current_interval(pid)? {
+            Some(a) => self.intervals[a.0 as usize].ido.clone(),
+            None => BTreeSet::new(),
+        };
+        // Resolve each named AID to the dependence it *means* right now:
+        // an undecided AID stands for itself, but one that was
+        // speculatively affirmed was dissolved by Equations 10–14 —
+        // depending on it means depending on its affirmer's current IDO.
+        // (Without this, a late guess would resurrect dependence on the
+        // AID and break Theorem 6.3's proof.) Affirmed AIDs contribute
+        // nothing.
+        let mut guessed: BTreeSet<AidId> = BTreeSet::new();
+        for &x in aids {
+            let aid = &self.aids[x.0 as usize];
+            if aid.state != AidState::Undecided {
+                continue;
+            }
+            match aid.spec_affirmed_by {
+                Some(a) => {
+                    debug_assert!(
+                        aid.dom.is_empty(),
+                        "a speculatively affirmed AID has no direct dependents"
+                    );
+                    guessed.extend(self.intervals[a.0 as usize].ido.iter().copied());
+                }
+                None => {
+                    guessed.insert(x);
+                }
+            }
+        }
+        let mut ido = parent_ido;
+        ido.extend(guessed.iter().copied());
+
+        let id = IntervalId(self.intervals.len() as u64);
+        let proc = self.procs.get_mut(&pid).expect("validated above");
+        let seq = proc.history.len();
+        proc.history.push(id);
+        self.intervals.push(Interval {
+            id,
+            pid,
+            ps,
+            ido: ido.clone(),
+            ihd: BTreeSet::new(),
+            iha: BTreeSet::new(),
+            guessed,
+            status: IntervalStatus::Speculative,
+            seq,
+        });
+        for &x in &ido {
+            self.aids[x.0 as usize].dom.insert(id);
+        }
+
+        let mut effects = vec![Effect::IntervalStarted {
+            interval: id,
+            process: pid,
+        }];
+        self.stats.guesses += 1;
+
+        if ido.is_empty() {
+            // Every named AID was already affirmed and the process was
+            // definite: the interval is definite from birth.
+            let mut wl = VecDeque::new();
+            self.do_finalize(id, &mut effects, &mut wl);
+            self.drain(&mut wl, &mut effects);
+        }
+        self.post_check();
+        Ok((GuessOutcome::Begun(id), effects))
+    }
+
+    /// Interpret an inbound message tag: ghost-filter, then implicitly guess
+    /// every undecided AID in the tag (§3, §7).
+    ///
+    /// Returns [`ReceiveOutcome::Ghost`] — and creates no dependence — if any
+    /// tag AID is definitively denied; the runtime must drop the message.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownProcess`] / [`Error::UnknownAid`] for foreign ids.
+    pub fn implicit_guess(
+        &mut self,
+        pid: ProcessId,
+        tag: &Tag,
+        ps: Checkpoint,
+    ) -> Result<(ReceiveOutcome, Vec<Effect>)> {
+        if !self.procs.contains_key(&pid) {
+            return Err(Error::UnknownProcess(pid));
+        }
+        for x in tag.iter() {
+            if x.0 as usize >= self.aids.len() {
+                return Err(Error::UnknownAid(x));
+            }
+        }
+        if let Some(denied) = tag
+            .iter()
+            .find(|&x| self.aids[x.0 as usize].state == AidState::Denied)
+        {
+            self.stats.ghosts += 1;
+            return Ok((ReceiveOutcome::Ghost(denied), Vec::new()));
+        }
+        let undecided: Vec<AidId> = tag
+            .iter()
+            .filter(|&x| self.aids[x.0 as usize].state == AidState::Undecided)
+            .collect();
+        if undecided.is_empty() {
+            return Ok((ReceiveOutcome::Clean, Vec::new()));
+        }
+        let (outcome, effects) = self.guess(pid, &undecided, ps)?;
+        match outcome {
+            GuessOutcome::Begun(a) => Ok((ReceiveOutcome::Speculative(a), effects)),
+            // Unreachable: we filtered denied AIDs above and guess cannot
+            // observe new denials in between.
+            GuessOutcome::AlreadyFalse(x) => Ok((ReceiveOutcome::Ghost(x), effects)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // affirm — §5.2, Equations 7–14
+    // ------------------------------------------------------------------
+
+    /// Execute `affirm(x)` from process `pid`.
+    ///
+    /// *Definite affirm* (process not speculative, Equations 7–9): `x`
+    /// becomes [`AidState::Affirmed`]; every dependent interval drops `x`
+    /// from its `IDO` and finalizes if that empties it.
+    ///
+    /// *Speculative affirm* (process speculative, Equations 10–14):
+    /// dependence on `x` is replaced by dependence on the affirming
+    /// interval's `IDO`; the affirm is promoted to definite when the
+    /// affirmer finalizes, and conservatively converted to a deny if the
+    /// affirmer rolls back (footnote 2).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownProcess`] / [`Error::UnknownAid`] for foreign ids.
+    /// * [`Error::AidConsumed`] if `x` already received an
+    ///   `affirm`/`deny`/`free_of` (§5.2's one-shot rule).
+    pub fn affirm(&mut self, pid: ProcessId, x: AidId) -> Result<Vec<Effect>> {
+        self.consume(pid, x)?;
+        let mut effects = Vec::new();
+        let mut wl = VecDeque::new();
+        self.affirm_inner(pid, x, &mut effects, &mut wl);
+        self.drain(&mut wl, &mut effects);
+        self.post_check();
+        Ok(effects)
+    }
+
+    /// Execute `deny(x)` from process `pid`.
+    ///
+    /// *Definite deny* (Equation 15 — process not speculative, **or** the
+    /// current interval itself depends on `x`): `x` becomes
+    /// [`AidState::Denied`] and every interval in `x.DOM` is rolled back
+    /// (cascading per Theorem 5.1). A current interval that depends on `x`
+    /// rolls back *itself* — the self-deny the paper allows because the deny
+    /// "cannot be undone by another process".
+    ///
+    /// *Speculative deny* (Equation 16): recorded in the current interval's
+    /// `IHD`; applied definitively when that interval finalizes (§5.5), or
+    /// silently discarded if it rolls back (§5.6).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::affirm`].
+    pub fn deny(&mut self, pid: ProcessId, x: AidId) -> Result<Vec<Effect>> {
+        self.consume(pid, x)?;
+        let mut effects = Vec::new();
+        let mut wl = VecDeque::new();
+        self.deny_inner(pid, x, &mut effects, &mut wl);
+        self.drain(&mut wl, &mut effects);
+        self.post_check();
+        Ok(effects)
+    }
+
+    /// Execute `free_of(x)` from process `pid` (§5.4, Equations 17–19).
+    ///
+    /// Asserts that the current computation is not, and never will be,
+    /// dependent on `x`:
+    ///
+    /// * process definite → definite affirm of `x` (Equation 17);
+    /// * process speculative, `x ∉ IDO` → speculative affirm (Equation 18);
+    /// * process speculative, `x ∈ IDO` → the ordering constraint was
+    ///   violated: deny `x` (Equation 19), rolling back the asserting
+    ///   interval among others (Theorem 6.3).
+    ///
+    /// Like `affirm` and `deny`, `free_of` consumes its argument.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::affirm`].
+    pub fn free_of(&mut self, pid: ProcessId, x: AidId) -> Result<Vec<Effect>> {
+        self.consume(pid, x)?;
+        self.stats.free_ofs += 1;
+        let mut effects = Vec::new();
+        let mut wl = VecDeque::new();
+        let depends = match self.current_interval(pid)? {
+            None => None,
+            Some(a) => Some(self.intervals[a.0 as usize].ido.contains(&x)),
+        };
+        match depends {
+            // Eq. 17 (definite) and Eq. 18 (speculative): affirm.
+            None | Some(false) => self.affirm_inner(pid, x, &mut effects, &mut wl),
+            // Eq. 19: constraint violated — deny (definite: x ∈ A.IDO).
+            Some(true) => self.deny_inner(pid, x, &mut effects, &mut wl),
+        }
+        self.drain(&mut wl, &mut effects);
+        self.post_check();
+        Ok(effects)
+    }
+
+    /// Drive the paper's *finalize* (§5.5) directly.
+    ///
+    /// Not part of the user programming model — "finalize is not a part of
+    /// the user's programming model, and is just used here as a shorthand
+    /// notation" (§5.2) — and the engine finalizes automatically the
+    /// moment an interval's `IDO` empties, so calling this on a live
+    /// speculative interval always fails the Equation 20 precondition.
+    /// Exposed for semantics-level tooling and tests; finalizing an
+    /// already-definite interval is an idempotent no-op.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownInterval`] for foreign ids.
+    /// * [`Error::FinalizePrecondition`] if the interval is speculative
+    ///   (its `IDO` is non-empty) or was rolled back.
+    pub fn finalize(&mut self, a: IntervalId) -> Result<Vec<Effect>> {
+        let itv = self
+            .intervals
+            .get(a.0 as usize)
+            .ok_or(Error::UnknownInterval(a))?;
+        match itv.status {
+            IntervalStatus::Definite => Ok(Vec::new()),
+            IntervalStatus::RolledBack => Err(Error::FinalizePrecondition(a)),
+            IntervalStatus::Speculative => {
+                if itv.ido.is_empty() {
+                    // Unreachable through the public API (the engine would
+                    // already have finalized), but honour it if an
+                    // embedder constructs the state some other way.
+                    let mut effects = Vec::new();
+                    let mut wl = VecDeque::new();
+                    self.do_finalize(a, &mut effects, &mut wl);
+                    self.drain(&mut wl, &mut effects);
+                    self.post_check();
+                    Ok(effects)
+                } else {
+                    Err(Error::FinalizePrecondition(a))
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    /// Validate ids and enforce the one-shot rule, marking `x` consumed.
+    fn consume(&mut self, pid: ProcessId, x: AidId) -> Result<()> {
+        if !self.procs.contains_key(&pid) {
+            return Err(Error::UnknownProcess(pid));
+        }
+        let aid = self
+            .aids
+            .get_mut(x.0 as usize)
+            .ok_or(Error::UnknownAid(x))?;
+        if aid.consumed {
+            return Err(Error::AidConsumed(x));
+        }
+        aid.consumed = true;
+        Ok(())
+    }
+
+    /// Affirm dispatch, assuming `x` is already consumed.
+    fn affirm_inner(
+        &mut self,
+        pid: ProcessId,
+        x: AidId,
+        effects: &mut Vec<Effect>,
+        wl: &mut VecDeque<Task>,
+    ) {
+        match self.current_interval(pid).expect("validated") {
+            None => {
+                // Definite affirm (Equations 7–9).
+                effects.push(Effect::AidAffirmed { aid: x });
+                self.definite_affirm_aid(x, effects, wl);
+            }
+            Some(a) => {
+                // Speculative affirm (Equations 10–14).
+                self.stats.speculative_affirms += 1;
+                let a_idx = a.0 as usize;
+                let a_ido: Vec<AidId> = self.intervals[a_idx]
+                    .ido
+                    .iter()
+                    .copied()
+                    .filter(|&y| y != x)
+                    .collect();
+                let x_dom: Vec<IntervalId> =
+                    std::mem::take(&mut self.aids[x.0 as usize].dom)
+                        .into_iter()
+                        .collect();
+                // Eq. 10: every AID the affirmer depends on inherits x's
+                // dependents.
+                for &y in &a_ido {
+                    self.aids[y.0 as usize].dom.extend(x_dom.iter().copied());
+                }
+                // Eqs. 11–14: dependents swap x for the affirmer's IDO.
+                for &b in &x_dom {
+                    let b_idx = b.0 as usize;
+                    self.intervals[b_idx].ido.remove(&x);
+                    self.intervals[b_idx].ido.extend(a_ido.iter().copied());
+                    if self.intervals[b_idx].ido.is_empty() {
+                        wl.push_back(Task::Finalize(b));
+                    }
+                }
+                self.aids[x.0 as usize].spec_affirmed_by = Some(a);
+                self.intervals[a_idx].iha.insert(x);
+                effects.push(Effect::SpeculativelyAffirmed { aid: x, by: a });
+            }
+        }
+    }
+
+    /// Deny dispatch, assuming `x` is already consumed.
+    fn deny_inner(
+        &mut self,
+        pid: ProcessId,
+        x: AidId,
+        effects: &mut Vec<Effect>,
+        wl: &mut VecDeque<Task>,
+    ) {
+        let cur = self.current_interval(pid).expect("validated");
+        let definite = match cur {
+            None => true,
+            Some(a) => self.intervals[a.0 as usize].ido.contains(&x),
+        };
+        if definite {
+            // Eq. 15.
+            effects.push(Effect::AidDenied { aid: x });
+            self.definite_deny_aid(x, effects, wl);
+        } else {
+            // Eq. 16.
+            let a = cur.expect("speculative deny requires a current interval");
+            self.stats.speculative_denies += 1;
+            self.intervals[a.0 as usize].ihd.insert(x);
+            self.aids[x.0 as usize].spec_denied_by = Some(a);
+            effects.push(Effect::SpeculativelyDenied { aid: x, by: a });
+        }
+    }
+
+    /// Make `x` definitively affirmed and discharge its dependents
+    /// (Equations 7–9). Queues finalizations.
+    fn definite_affirm_aid(
+        &mut self,
+        x: AidId,
+        _effects: &mut Vec<Effect>,
+        wl: &mut VecDeque<Task>,
+    ) {
+        self.stats.definite_affirms += 1;
+        let aid = &mut self.aids[x.0 as usize];
+        aid.state = AidState::Affirmed;
+        aid.spec_affirmed_by = None;
+        aid.consumed = true;
+        let dom: Vec<IntervalId> = std::mem::take(&mut aid.dom).into_iter().collect();
+        for b in dom {
+            let b_idx = b.0 as usize;
+            self.intervals[b_idx].ido.remove(&x);
+            if self.intervals[b_idx].ido.is_empty() {
+                wl.push_back(Task::Finalize(b));
+            }
+        }
+    }
+
+    /// Make `x` definitively denied and queue rollback of its dependents
+    /// (Equation 15's universal rollback).
+    fn definite_deny_aid(
+        &mut self,
+        x: AidId,
+        _effects: &mut Vec<Effect>,
+        wl: &mut VecDeque<Task>,
+    ) {
+        self.stats.definite_denies += 1;
+        let aid = &mut self.aids[x.0 as usize];
+        aid.state = AidState::Denied;
+        aid.spec_affirmed_by = None;
+        aid.spec_denied_by = None;
+        aid.consumed = true;
+        let dom: Vec<IntervalId> = std::mem::take(&mut aid.dom).into_iter().collect();
+        for b in dom {
+            wl.push_back(Task::Rollback(b));
+        }
+    }
+
+    /// Process queued finalizations and rollbacks until quiescent.
+    fn drain(&mut self, wl: &mut VecDeque<Task>, effects: &mut Vec<Effect>) {
+        while let Some(task) = wl.pop_front() {
+            match task {
+                Task::Finalize(a) => self.do_finalize(a, effects, wl),
+                Task::Rollback(a) => self.do_rollback(a, effects, wl),
+            }
+        }
+    }
+
+    /// Finalize interval `a` (§5.5). Precondition: `a.IDO = ∅` (Equation
+    /// 20) — guaranteed by callers; intervals that lost the race to a
+    /// rollback are skipped.
+    fn do_finalize(&mut self, a: IntervalId, effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
+        let idx = a.0 as usize;
+        if self.intervals[idx].status != IntervalStatus::Speculative {
+            return;
+        }
+        debug_assert!(
+            self.intervals[idx].ido.is_empty(),
+            "finalize precondition (Eq. 20) violated for {a}"
+        );
+        self.intervals[idx].status = IntervalStatus::Definite;
+        self.stats.finalized += 1;
+        effects.push(Effect::Finalized {
+            interval: a,
+            process: self.intervals[idx].pid,
+        });
+        // Speculative affirms issued in `a` become definite (Lemma 6.1):
+        // promote the AIDs so later guessers observe `Affirmed`.
+        let iha: Vec<AidId> = self.intervals[idx].iha.iter().copied().collect();
+        for x in iha {
+            if self.aids[x.0 as usize].state == AidState::Undecided {
+                effects.push(Effect::AidAffirmed { aid: x });
+                self.definite_affirm_aid(x, effects, wl);
+            }
+        }
+        // Speculative denies issued in `a` become definite (Equation 22).
+        let ihd: Vec<AidId> = self.intervals[idx].ihd.iter().copied().collect();
+        for x in ihd {
+            if self.aids[x.0 as usize].state == AidState::Undecided {
+                effects.push(Effect::AidDenied { aid: x });
+                self.definite_deny_aid(x, effects, wl);
+            }
+        }
+    }
+
+    /// Roll back interval `a` (§5.6): truncate its process's history from
+    /// `a` onward (Theorem 5.1) and undo speculative primitives.
+    fn do_rollback(&mut self, a: IntervalId, effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
+        let idx = a.0 as usize;
+        match self.intervals[idx].status {
+            IntervalStatus::RolledBack => return,
+            IntervalStatus::Definite => {
+                debug_assert!(false, "Theorem 5.2 violated: rollback of definite {a}");
+                return;
+            }
+            IntervalStatus::Speculative => {}
+        }
+        let pid = self.intervals[idx].pid;
+        let proc = self.procs.get_mut(&pid).expect("interval has valid pid");
+        let pos = match proc.history.iter().position(|&i| i == a) {
+            Some(p) => p,
+            None => return, // already truncated by an earlier event
+        };
+        let discarded = proc.history.split_off(pos);
+        proc.discarded += discarded.len() as u64;
+        self.stats.rolled_back_intervals += discarded.len() as u64;
+        self.stats.rollback_events += 1;
+        let checkpoint = self.intervals[idx].ps;
+
+        // Unwind latest-first, as an implementation would.
+        for &c in discarded.iter().rev() {
+            let c_idx = c.0 as usize;
+            debug_assert_ne!(
+                self.intervals[c_idx].status,
+                IntervalStatus::Definite,
+                "definite interval {c} in a rolled-back suffix"
+            );
+            self.intervals[c_idx].status = IntervalStatus::RolledBack;
+            // Withdraw from every DOM set (keeps Lemma 5.1 symmetric).
+            let ido: Vec<AidId> = self.intervals[c_idx].ido.iter().copied().collect();
+            for x in ido {
+                self.aids[x.0 as usize].dom.remove(&c);
+            }
+            // Speculative affirms become conservative definite denies
+            // (§5.6, footnote 2).
+            let iha: Vec<AidId> = self.intervals[c_idx].iha.iter().copied().collect();
+            for x in iha {
+                self.aids[x.0 as usize].spec_affirmed_by = None;
+                if self.aids[x.0 as usize].state == AidState::Undecided {
+                    effects.push(Effect::AidDenied { aid: x });
+                    self.definite_deny_aid(x, effects, wl);
+                }
+            }
+            // Speculative denies die with the interval (§5.6: "they die
+            // with the interval inside the IHD set"). The deny never took
+            // effect, so the AID is released for the re-execution to decide
+            // again — the one-shot rule counts only surviving primitives.
+            let ihd: Vec<AidId> = self.intervals[c_idx].ihd.iter().copied().collect();
+            for x in ihd {
+                if self.aids[x.0 as usize].spec_denied_by == Some(c) {
+                    self.aids[x.0 as usize].spec_denied_by = None;
+                    if self.aids[x.0 as usize].state == AidState::Undecided {
+                        self.aids[x.0 as usize].consumed = false;
+                    }
+                }
+            }
+        }
+        effects.push(Effect::RolledBack {
+            process: pid,
+            intervals: discarded,
+            checkpoint,
+        });
+    }
+
+    fn post_check(&self) {
+        if self.check_invariants {
+            if let Err(msg) = self.verify_invariants() {
+                panic!("engine invariant violated: {msg}");
+            }
+        }
+    }
+
+    /// Verify the structural invariants the paper's theorems rest on:
+    ///
+    /// 1. **Lemma 5.1 symmetry**: `X ∈ A.IDO ⟺ A ∈ X.DOM` for live
+    ///    speculative intervals.
+    /// 2. **Prefix-subset** (Theorem 5.1's induction invariant): within one
+    ///    process history, an earlier interval's `IDO` is a subset of every
+    ///    later interval's `IDO`.
+    /// 3. **Status coherence**: speculative ⟺ non-empty `IDO` for live
+    ///    intervals; `DOM` sets only contain speculative intervals; definite
+    ///    intervals precede speculative ones in each history.
+    ///
+    /// Returns a human-readable description of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// `Err(description)` if any invariant is violated (which would be an
+    /// engine bug, not caller misuse).
+    pub fn verify_invariants(&self) -> std::result::Result<(), String> {
+        // 1 + 3: interval-side checks.
+        for itv in &self.intervals {
+            match itv.status {
+                IntervalStatus::Speculative => {
+                    if itv.ido.is_empty() {
+                        return Err(format!("{} speculative with empty IDO", itv.id));
+                    }
+                    for x in &itv.ido {
+                        if !self.aids[x.0 as usize].dom.contains(&itv.id) {
+                            return Err(format!(
+                                "Lemma 5.1: {} ∈ {}.IDO but {} ∉ {}.DOM",
+                                x, itv.id, itv.id, x
+                            ));
+                        }
+                    }
+                }
+                IntervalStatus::Definite | IntervalStatus::RolledBack => {
+                    for aid in &self.aids {
+                        if aid.dom.contains(&itv.id) {
+                            return Err(format!(
+                                "{} is {:?} but present in {}.DOM",
+                                itv.id, itv.status, aid.id
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // 1: AID-side symmetry.
+        for aid in &self.aids {
+            for a in &aid.dom {
+                let itv = &self.intervals[a.0 as usize];
+                if !itv.ido.contains(&aid.id) {
+                    return Err(format!(
+                        "Lemma 5.1: {} ∈ {}.DOM but {} ∉ {}.IDO",
+                        a, aid.id, aid.id, a
+                    ));
+                }
+                if itv.status != IntervalStatus::Speculative {
+                    return Err(format!("{} in {}.DOM is not speculative", a, aid.id));
+                }
+            }
+            if aid.state == AidState::Denied && !aid.dom.is_empty() {
+                return Err(format!("denied {} has non-empty DOM", aid.id));
+            }
+            if aid.state == AidState::Affirmed && !aid.dom.is_empty() {
+                return Err(format!("affirmed {} has non-empty DOM", aid.id));
+            }
+            if aid.spec_affirmed_by.is_some() && !aid.dom.is_empty() {
+                return Err(format!(
+                    "speculatively affirmed {} has direct dependents (Eq. 10–14 \
+                     dissolve dependence permanently)",
+                    aid.id
+                ));
+            }
+        }
+        // 2 + 3: per-process history checks.
+        for (pid, proc) in &self.procs {
+            let mut seen_speculative = false;
+            let mut prev: Option<&Interval> = None;
+            for &a in &proc.history {
+                let itv = &self.intervals[a.0 as usize];
+                if itv.status == IntervalStatus::RolledBack {
+                    return Err(format!("rolled-back {} still in {}'s history", a, pid));
+                }
+                if itv.status == IntervalStatus::Speculative {
+                    seen_speculative = true;
+                } else if seen_speculative {
+                    return Err(format!(
+                        "definite {} follows a speculative interval in {}'s history",
+                        a, pid
+                    ));
+                }
+                if let Some(p) = prev {
+                    if !p.ido.is_subset(&itv.ido) {
+                        return Err(format!(
+                            "prefix-subset: {}.IDO ⊄ {}.IDO in {}'s history",
+                            p.id, itv.id, pid
+                        ));
+                    }
+                }
+                prev = Some(itv);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with(n_procs: usize) -> (Engine, Vec<ProcessId>) {
+        let mut e = Engine::new();
+        e.set_invariant_checking(true);
+        let pids = (0..n_procs).map(|_| e.register_process()).collect();
+        (e, pids)
+    }
+
+    #[test]
+    fn guess_creates_speculative_interval() {
+        let (mut e, p) = engine_with(1);
+        let x = e.aid_init(p[0]);
+        let (out, fx) = e.guess(p[0], &[x], Checkpoint(1)).unwrap();
+        let a = out.interval().unwrap();
+        assert!(out.value());
+        assert_eq!(fx.len(), 1);
+        assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::Speculative);
+        assert!(e.interval(a).unwrap().ido().contains(&x));
+        assert!(e.aid(x).unwrap().dom().contains(&a));
+        assert_eq!(e.current_interval(p[0]).unwrap(), Some(a));
+        assert!(e.is_speculative(p[0]).unwrap());
+    }
+
+    #[test]
+    fn guess_requires_aids() {
+        let (mut e, p) = engine_with(1);
+        assert_eq!(e.guess(p[0], &[], Checkpoint(0)), Err(Error::EmptyGuess));
+    }
+
+    #[test]
+    fn guess_on_denied_aid_is_already_false() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.deny(p[1], x).unwrap(); // definite deny from a definite process
+        let (out, fx) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        assert_eq!(out, GuessOutcome::AlreadyFalse(x));
+        assert!(!out.value());
+        assert!(fx.is_empty());
+        assert!(!e.is_speculative(p[0]).unwrap());
+    }
+
+    #[test]
+    fn guess_on_affirmed_aid_finalizes_immediately() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.affirm(p[1], x).unwrap();
+        let (out, fx) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let a = out.interval().unwrap();
+        assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::Definite);
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::Finalized { interval, .. } if *interval == a)));
+        assert!(!e.is_speculative(p[0]).unwrap());
+    }
+
+    #[test]
+    fn nested_guess_inherits_parent_ido() {
+        let (mut e, p) = engine_with(1);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        let (a, _) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let (b, _) = e.guess(p[0], &[y], Checkpoint(1)).unwrap();
+        let b = b.interval().unwrap();
+        let ido = e.interval(b).unwrap().ido().clone();
+        assert!(ido.contains(&x) && ido.contains(&y));
+        // Inherited dependency is recorded in DOM too (module fidelity note).
+        assert!(e.aid(x).unwrap().dom().contains(&b));
+        let _ = a;
+    }
+
+    #[test]
+    fn definite_affirm_finalizes_dependents() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let (out, _) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let a = out.interval().unwrap();
+        let fx = e.affirm(p[1], x).unwrap();
+        assert!(fx.contains(&Effect::AidAffirmed { aid: x }));
+        assert!(fx.iter().any(
+            |f| matches!(f, Effect::Finalized { interval, .. } if *interval == a)
+        ));
+        assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::Definite);
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
+        assert!(!e.is_speculative(p[0]).unwrap());
+    }
+
+    #[test]
+    fn definite_deny_rolls_back_dependents() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let (out, _) = e.guess(p[0], &[x], Checkpoint(7)).unwrap();
+        let a = out.interval().unwrap();
+        let fx = e.deny(p[1], x).unwrap();
+        assert!(fx.contains(&Effect::AidDenied { aid: x }));
+        let rb = fx.iter().find(|f| f.is_rollback()).unwrap();
+        match rb {
+            Effect::RolledBack {
+                process,
+                intervals,
+                checkpoint,
+            } => {
+                assert_eq!(*process, p[0]);
+                assert_eq!(intervals, &vec![a]);
+                assert_eq!(*checkpoint, Checkpoint(7));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::RolledBack);
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Denied);
+        assert!(e.history(p[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn self_deny_rolls_back_own_interval() {
+        // Eq. 15's second disjunct: X ∈ A.IDO makes the deny definite even
+        // though the denier is speculative.
+        let (mut e, p) = engine_with(1);
+        let x = e.aid_init(p[0]);
+        let (out, _) = e.guess(p[0], &[x], Checkpoint(3)).unwrap();
+        let a = out.interval().unwrap();
+        let fx = e.deny(p[0], x).unwrap();
+        assert!(fx.contains(&Effect::AidDenied { aid: x }));
+        assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::RolledBack);
+    }
+
+    #[test]
+    fn speculative_deny_applies_on_finalize() {
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]); // guessed by p1
+        let y = e.aid_init(p[0]); // guessed by p2 (the denier's own dependence)
+        let (ox, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+        let ax = ox.interval().unwrap();
+        e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+        // p2 (speculative on y, not on x) denies x: speculative deny.
+        let fx = e.deny(p[2], x).unwrap();
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::SpeculativelyDenied { aid, .. } if *aid == x)));
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Undecided);
+        assert_eq!(
+            e.interval(ax).unwrap().status(),
+            IntervalStatus::Speculative
+        );
+        // Affirm y definitively: p2's interval finalizes, the deny becomes
+        // definite, and p1's interval rolls back (Equation 22).
+        let fx = e.affirm(p[0], y).unwrap();
+        assert!(fx.contains(&Effect::AidDenied { aid: x }));
+        assert_eq!(e.interval(ax).unwrap().status(), IntervalStatus::RolledBack);
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Denied);
+    }
+
+    #[test]
+    fn speculative_deny_dies_on_rollback() {
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        let (ox, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+        let ax = ox.interval().unwrap();
+        e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+        e.deny(p[2], x).unwrap(); // speculative deny of x, pending on y
+        // Deny y: p2 rolls back; its speculative deny of x must die with it.
+        e.deny(p[0], y).unwrap();
+        // x was never definitively denied: the IHD entry died with p2's
+        // interval. x is released (the deny never happened), its state
+        // remains Undecided and ax survives.
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Undecided);
+        assert!(!e.aid(x).unwrap().is_consumed());
+        assert_eq!(
+            e.interval(ax).unwrap().status(),
+            IntervalStatus::Speculative
+        );
+    }
+
+    #[test]
+    fn speculative_deny_state_after_denier_rollback() {
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+        e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+        e.deny(p[2], x).unwrap();
+        e.deny(p[0], y).unwrap();
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Undecided);
+    }
+
+    #[test]
+    fn speculative_affirm_transfers_dependence() {
+        // B depends on X; A (speculative on Y) affirms X.
+        // Eq. 12: B.IDO = (B.IDO ∪ A.IDO) \ {X} = {Y}.
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        let (ob, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+        let b = ob.interval().unwrap();
+        let (oa, _) = e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+        let a = oa.interval().unwrap();
+        let fx = e.affirm(p[2], x).unwrap();
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::SpeculativelyAffirmed { aid, by } if *aid == x && *by == a)));
+        let b_ido = e.interval(b).unwrap().ido().clone();
+        assert!(!b_ido.contains(&x));
+        assert!(b_ido.contains(&y));
+        assert!(e.aid(y).unwrap().dom().contains(&b));
+        assert!(e.aid(x).unwrap().dom().is_empty());
+        assert_eq!(e.aid(x).unwrap().speculatively_affirmed_by(), Some(a));
+    }
+
+    #[test]
+    fn speculative_affirm_then_affirmer_definite_promotes_aid() {
+        // Lemma 6.1: spec affirm + affirmer finalized ≡ definite affirm.
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        let (ob, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+        let b = ob.interval().unwrap();
+        e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+        e.affirm(p[2], x).unwrap();
+        let fx = e.affirm(p[0], y).unwrap();
+        // Both the affirmer's interval and B finalize; x becomes Affirmed.
+        assert_eq!(e.interval(b).unwrap().status(), IntervalStatus::Definite);
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
+        assert!(fx.iter().any(|f| matches!(f, Effect::AidAffirmed { aid } if *aid == x)));
+    }
+
+    #[test]
+    fn speculative_affirm_then_affirmer_rollback_denies_aid() {
+        // §5.6 footnote 2: rollback of a speculative affirm ≡ deny.
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        let (ob, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+        let b = ob.interval().unwrap();
+        e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+        e.affirm(p[2], x).unwrap();
+        let fx = e.deny(p[0], y).unwrap();
+        // Denying y rolls back the affirmer AND (via the transferred
+        // dependence) B; x is conservatively denied.
+        assert_eq!(e.interval(b).unwrap().status(), IntervalStatus::RolledBack);
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Denied);
+        assert!(fx.iter().any(|f| matches!(f, Effect::AidDenied { aid } if *aid == x)));
+    }
+
+    #[test]
+    fn self_affirm_finalizes_sole_dependent() {
+        // §5.2 "self affirm": A depends only on X and affirms X.
+        let (mut e, p) = engine_with(1);
+        let x = e.aid_init(p[0]);
+        let (oa, _) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let a = oa.interval().unwrap();
+        let fx = e.affirm(p[0], x).unwrap();
+        assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::Definite);
+        assert!(fx.iter().any(
+            |f| matches!(f, Effect::Finalized { interval, .. } if *interval == a)
+        ));
+        assert!(!e.is_speculative(p[0]).unwrap());
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
+    }
+
+    #[test]
+    fn one_shot_rule() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.affirm(p[0], x).unwrap();
+        assert_eq!(e.affirm(p[1], x), Err(Error::AidConsumed(x)));
+        assert_eq!(e.deny(p[1], x), Err(Error::AidConsumed(x)));
+        assert_eq!(e.free_of(p[1], x), Err(Error::AidConsumed(x)));
+        let y = e.aid_init(p[0]);
+        e.deny(p[0], y).unwrap();
+        assert_eq!(e.affirm(p[1], y), Err(Error::AidConsumed(y)));
+        let z = e.aid_init(p[0]);
+        e.free_of(p[0], z).unwrap();
+        assert_eq!(e.deny(p[1], z), Err(Error::AidConsumed(z)));
+    }
+
+    #[test]
+    fn free_of_definite_affirms() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let (oa, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+        let fx = e.free_of(p[0], x).unwrap();
+        assert!(fx.contains(&Effect::AidAffirmed { aid: x }));
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
+        assert_eq!(
+            e.interval(oa.interval().unwrap()).unwrap().status(),
+            IntervalStatus::Definite
+        );
+    }
+
+    #[test]
+    fn free_of_speculative_affirms_when_independent() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        e.guess(p[1], &[y], Checkpoint(0)).unwrap();
+        // p1 depends on y but not x: free_of(x) is a speculative affirm.
+        let fx = e.free_of(p[1], x).unwrap();
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::SpeculativelyAffirmed { aid, .. } if *aid == x)));
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Undecided);
+    }
+
+    #[test]
+    fn free_of_denies_when_dependent() {
+        // Theorem 6.3's violated-constraint case.
+        let (mut e, p) = engine_with(1);
+        let x = e.aid_init(p[0]);
+        let (oa, _) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let fx = e.free_of(p[0], x).unwrap();
+        assert!(fx.contains(&Effect::AidDenied { aid: x }));
+        assert_eq!(
+            e.interval(oa.interval().unwrap()).unwrap().status(),
+            IntervalStatus::RolledBack
+        );
+    }
+
+    #[test]
+    fn rollback_truncates_suffix() {
+        // Theorem 5.1: rolling back A discards every later interval.
+        let (mut e, p) = engine_with(1);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        let z = e.aid_init(p[0]);
+        let (oa, _) = e.guess(p[0], &[x], Checkpoint(10)).unwrap();
+        let (ob, _) = e.guess(p[0], &[y], Checkpoint(20)).unwrap();
+        let (oc, _) = e.guess(p[0], &[z], Checkpoint(30)).unwrap();
+        let (a, b, c) = (
+            oa.interval().unwrap(),
+            ob.interval().unwrap(),
+            oc.interval().unwrap(),
+        );
+        let fx = e.deny(p[0], x).unwrap(); // definite (x ∈ current IDO)
+        let rb = fx.iter().find(|f| f.is_rollback()).unwrap();
+        match rb {
+            Effect::RolledBack {
+                intervals,
+                checkpoint,
+                ..
+            } => {
+                assert_eq!(intervals, &vec![a, b, c]);
+                assert_eq!(*checkpoint, Checkpoint(10));
+            }
+            _ => unreachable!(),
+        }
+        for i in [a, b, c] {
+            assert_eq!(e.interval(i).unwrap().status(), IntervalStatus::RolledBack);
+        }
+        // y and z remain undecided: they were guessed, not denied.
+        assert_eq!(e.aid_state(y).unwrap(), AidState::Undecided);
+        assert_eq!(e.aid_state(z).unwrap(), AidState::Undecided);
+    }
+
+    #[test]
+    fn middle_deny_truncates_from_first_dependent() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        let (oa, _) = e.guess(p[0], &[x], Checkpoint(1)).unwrap();
+        let (ob, _) = e.guess(p[0], &[y], Checkpoint(2)).unwrap();
+        // Deny y from outside: only B (and later) rolls back, A survives.
+        e.deny(p[1], y).unwrap();
+        assert_eq!(
+            e.interval(oa.interval().unwrap()).unwrap().status(),
+            IntervalStatus::Speculative
+        );
+        assert_eq!(
+            e.interval(ob.interval().unwrap()).unwrap().status(),
+            IntervalStatus::RolledBack
+        );
+        assert_eq!(e.history(p[0]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn tags_and_implicit_guess() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let tag = e.dependence_tag(p[0]).unwrap();
+        assert!(tag.contains(x));
+        let (out, fx) = e.implicit_guess(p[1], &tag, Checkpoint(5)).unwrap();
+        let b = match out {
+            ReceiveOutcome::Speculative(b) => b,
+            other => panic!("expected speculative receive, got {other:?}"),
+        };
+        assert!(!fx.is_empty());
+        assert!(e.interval(b).unwrap().ido().contains(&x));
+        // Deny x: both processes roll back.
+        let fx = e.deny(p[0], x).unwrap();
+        let rolled: Vec<ProcessId> = fx
+            .iter()
+            .filter_map(|f| match f {
+                Effect::RolledBack { process, .. } => Some(*process),
+                _ => None,
+            })
+            .collect();
+        assert!(rolled.contains(&p[0]) && rolled.contains(&p[1]));
+    }
+
+    #[test]
+    fn ghost_messages_are_filtered() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let tag = e.dependence_tag(p[0]).unwrap();
+        e.deny(p[1], x).unwrap();
+        let (out, fx) = e.implicit_guess(p[1], &tag, Checkpoint(0)).unwrap();
+        assert_eq!(out, ReceiveOutcome::Ghost(x));
+        assert!(fx.is_empty());
+        assert!(!out.deliverable());
+        assert_eq!(e.stats().ghosts, 1);
+    }
+
+    #[test]
+    fn clean_receive_from_definite_sender() {
+        let (mut e, p) = engine_with(2);
+        let tag = e.dependence_tag(p[0]).unwrap();
+        assert!(tag.is_empty());
+        let (out, fx) = e.implicit_guess(p[1], &tag, Checkpoint(0)).unwrap();
+        assert_eq!(out, ReceiveOutcome::Clean, "{fx:?}");
+    }
+
+    #[test]
+    fn affirmed_tag_member_creates_no_dependence() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let tag = e.dependence_tag(p[0]).unwrap();
+        e.affirm(p[1], x).unwrap();
+        let (out, _) = e.implicit_guess(p[1], &tag, Checkpoint(0)).unwrap();
+        assert_eq!(out, ReceiveOutcome::Clean);
+    }
+
+    #[test]
+    fn transitive_rollback_across_three_processes() {
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let tag0 = e.dependence_tag(p[0]).unwrap();
+        e.implicit_guess(p[1], &tag0, Checkpoint(0)).unwrap();
+        let tag1 = e.dependence_tag(p[1]).unwrap();
+        e.implicit_guess(p[2], &tag1, Checkpoint(0)).unwrap();
+        let fx = e.deny(p[0], x).unwrap();
+        let rolled: BTreeSet<ProcessId> = fx
+            .iter()
+            .filter_map(|f| match f {
+                Effect::RolledBack { process, .. } => Some(*process),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rolled.len(), 3);
+    }
+
+    #[test]
+    fn resume_point_guess_reexecutes_false() {
+        // After rollback, re-executing the guess of the earliest discarded
+        // interval must observe AlreadyFalse (the runtime relies on this).
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        e.deny(p[1], x).unwrap();
+        let (out, _) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        assert_eq!(out, GuessOutcome::AlreadyFalse(x));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        e.guess(p[0], &[y], Checkpoint(0)).unwrap();
+        e.affirm(p[1], x).unwrap();
+        e.deny(p[1], y).unwrap();
+        let s = e.stats();
+        assert_eq!(s.guesses, 2);
+        assert_eq!(s.definite_affirms, 1);
+        assert_eq!(s.definite_denies, 1);
+        assert_eq!(s.rollback_events, 1);
+        assert_eq!(s.rolled_back_intervals, 1);
+        // Affirming x empties the first interval's IDO, finalizing it.
+        assert_eq!(s.finalized, 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let (mut e, p) = engine_with(1);
+        let x = e.aid_init(p[0]);
+        let ghost_pid = ProcessId(99);
+        let ghost_aid = AidId(99);
+        assert_eq!(
+            e.guess(ghost_pid, &[x], Checkpoint(0)),
+            Err(Error::UnknownProcess(ghost_pid))
+        );
+        assert_eq!(
+            e.guess(p[0], &[ghost_aid], Checkpoint(0)),
+            Err(Error::UnknownAid(ghost_aid))
+        );
+        assert_eq!(e.affirm(ghost_pid, x), Err(Error::UnknownProcess(ghost_pid)));
+        assert_eq!(e.affirm(p[0], ghost_aid), Err(Error::UnknownAid(ghost_aid)));
+        assert!(e.aid(ghost_aid).is_err());
+        assert!(e.interval(IntervalId(42)).is_err());
+        assert!(e.history(ghost_pid).is_err());
+    }
+
+    #[test]
+    fn manual_finalize_respects_equation_20() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let (oa, _) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let a = oa.interval().unwrap();
+        // Speculative with a non-empty IDO: the precondition fails.
+        assert_eq!(e.finalize(a), Err(Error::FinalizePrecondition(a)));
+        // Once affirmed, the interval is definite; finalize is a no-op.
+        e.affirm(p[1], x).unwrap();
+        assert_eq!(e.finalize(a), Ok(Vec::new()));
+        // Rolled-back intervals can never be finalized.
+        let y = e.aid_init(p[0]);
+        let (ob, _) = e.guess(p[0], &[y], Checkpoint(1)).unwrap();
+        let b = ob.interval().unwrap();
+        e.deny(p[1], y).unwrap();
+        assert_eq!(e.finalize(b), Err(Error::FinalizePrecondition(b)));
+        assert_eq!(
+            e.finalize(IntervalId(404)),
+            Err(Error::UnknownInterval(IntervalId(404)))
+        );
+    }
+
+    #[test]
+    fn invariants_hold_after_every_scenario() {
+        let (mut e, p) = engine_with(3);
+        let x = e.aid_init(p[0]);
+        let y = e.aid_init(p[1]);
+        let z = e.aid_init(p[2]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        e.guess(p[1], &[y], Checkpoint(0)).unwrap();
+        e.guess(p[2], &[z], Checkpoint(0)).unwrap();
+        e.affirm(p[1], x).unwrap(); // speculative
+        e.deny(p[2], y).unwrap(); // speculative
+        e.affirm(p[0], z).unwrap(); // speculative (p0 still spec on... x was
+                                    // spec-affirmed; p0's interval IDO now {y})
+        assert!(e.verify_invariants().is_ok());
+    }
+}

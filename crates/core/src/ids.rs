@@ -1,0 +1,143 @@
+//! Identifier newtypes for the three kinds of entities the HOPE semantics
+//! talk about: processes, assumption identifiers (AIDs), and intervals.
+//!
+//! The paper (§4) ranges over processes `P, Q, …`, assumption identifiers
+//! `X, Y, Z` and intervals `A, B, C`. We mirror that notation in the
+//! [`Display`](std::fmt::Display) impls (`P0`, `X3`, `A17`) so traces read
+//! like the paper.
+
+use std::fmt;
+
+/// Identifier of a HOPE process (the paper's `P`, `Q`, …).
+///
+/// A process is a communicating sequential entity; the engine tracks one
+/// history of intervals per process. Process ids are assigned by the caller
+/// (the runtime assigns them densely at spawn time).
+///
+/// # Examples
+///
+/// ```
+/// use hope_core::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Identifier of an optimistic assumption (the paper's *assumption
+/// identifier*, `X`, `Y`, `Z`; the `AID` data type of §3).
+///
+/// An AID is a first-class reference to an optimistic assumption. Dependence
+/// (`guess`), confirmation (`affirm`), refutation (`deny`) and ordering
+/// constraints (`free_of`) are all expressed against an AID. AIDs are created
+/// by [`Engine::aid_init`](crate::Engine::aid_init) (the paper's
+/// `aid_init()`).
+///
+/// # Examples
+///
+/// ```
+/// use hope_core::{Engine, ProcessId};
+/// let mut engine = Engine::new();
+/// let p = engine.register_process();
+/// let x = engine.aid_init(p);
+/// assert_eq!(x.to_string(), "X0");
+/// # let _ = p;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AidId(pub(crate) u64);
+
+impl AidId {
+    /// Raw numeric value of this AID, unique within one [`Engine`].
+    ///
+    /// Useful for serializing tags onto simulated wire formats.
+    ///
+    /// [`Engine`]: crate::Engine
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an `AidId` from a raw value previously obtained via
+    /// [`AidId::index`]. The caller must ensure the value originated from the
+    /// same engine; the engine validates ids on use and returns
+    /// [`Error::UnknownAid`](crate::Error::UnknownAid) otherwise.
+    pub fn from_index(v: u64) -> Self {
+        AidId(v)
+    }
+}
+
+impl fmt::Display for AidId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// Identifier of an interval (the paper's `A`, `B`, `C`; Definition 4.4).
+///
+/// An interval is the smallest granularity of rollback: the subsequence of a
+/// process's history between two guess points. Intervals are created
+/// implicitly by [`Engine::guess`](crate::Engine::guess).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntervalId(pub(crate) u64);
+
+impl IntervalId {
+    /// Raw numeric value of this interval id, unique within one engine.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an `IntervalId` from a raw value previously obtained via
+    /// [`IntervalId::index`] (or an index below
+    /// [`Engine::interval_count`](crate::Engine::interval_count)). The
+    /// engine validates ids on use.
+    pub fn from_index(v: u64) -> Self {
+        IntervalId(v)
+    }
+}
+
+impl fmt::Display for IntervalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ProcessId(0).to_string(), "P0");
+        assert_eq!(AidId(7).to_string(), "X7");
+        assert_eq!(IntervalId(12).to_string(), "A12");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(AidId(1) < AidId(2));
+        assert!(IntervalId(1) < IntervalId(2));
+        assert!(ProcessId(1) < ProcessId(2));
+    }
+
+    #[test]
+    fn aid_roundtrips_through_raw_index() {
+        let x = AidId(42);
+        assert_eq!(AidId::from_index(x.index()), x);
+    }
+
+    #[test]
+    fn process_id_from_u32() {
+        assert_eq!(ProcessId::from(9), ProcessId(9));
+    }
+}

@@ -1,0 +1,160 @@
+//! Intervals: the unit of rollback (Definitions 4.3–4.4).
+//!
+//! An interval is a subsequence of a process's execution history between two
+//! guess points. Each interval `A` carries the control-variable tuple of
+//! Definition 4.4:
+//!
+//! * `A.PS` — *Previous State*: the checkpoint taken when the interval's
+//!   guess executed. The engine stores an opaque token the runtime supplies
+//!   (a journal position, a snapshot index, …); the engine never interprets
+//!   it.
+//! * `A.IDO` — *I Depend On*: the assumption identifiers the interval
+//!   depends on.
+//! * `A.IHD` — *I Have Denied*: speculative denies pending finalization
+//!   (Equation 16).
+//! * `A.PID` — the owning process (a "naming convenience" per §5.1).
+//!
+//! We additionally record `A.IHA` (*I Have Affirmed*): the AIDs this
+//! interval speculatively affirmed. The paper's Equations 10–14 rewire
+//! dependence eagerly, so `IHA` is not needed for dependency tracking — it
+//! exists so the engine can (a) promote the AID to definitively
+//! [`Affirmed`](crate::AidState::Affirmed) when the interval finalizes
+//! (Lemma 6.1's conclusion) and (b) conservatively deny it when the interval
+//! rolls back (§5.6, footnote 2).
+
+use std::collections::BTreeSet;
+
+use crate::ids::{AidId, IntervalId, ProcessId};
+
+/// Lifecycle status of an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntervalStatus {
+    /// Still dependent on undecided assumptions; may be rolled back.
+    Speculative,
+    /// Finalized (§5.5): a permanent part of its process's history. Per
+    /// Theorem 5.2 a definite interval can never be rolled back.
+    Definite,
+    /// Discarded by rollback (§5.6): truncated from its process's history.
+    RolledBack,
+}
+
+/// Opaque checkpoint token — the paper's `A.PS` (*Previous State*).
+///
+/// The engine records whatever the runtime passes to
+/// [`Engine::guess`](crate::Engine::guess) and hands it back in the
+/// [`Effect::RolledBack`](crate::Effect::RolledBack) effect so the runtime
+/// can restore the process. The deterministic runtime stores a journal
+/// position; tests store sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Checkpoint(pub u64);
+
+impl std::fmt::Display for Checkpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ps@{}", self.0)
+    }
+}
+
+/// Internal record for one interval.
+#[derive(Debug, Clone)]
+pub(crate) struct Interval {
+    pub(crate) id: IntervalId,
+    /// `A.PID`.
+    pub(crate) pid: ProcessId,
+    /// `A.PS`.
+    pub(crate) ps: Checkpoint,
+    /// `A.IDO`.
+    pub(crate) ido: BTreeSet<AidId>,
+    /// `A.IHD`.
+    pub(crate) ihd: BTreeSet<AidId>,
+    /// `A.IHA` (see module docs).
+    pub(crate) iha: BTreeSet<AidId>,
+    /// The AIDs named in the guess that opened this interval (before
+    /// inheriting the parent's `IDO`). Used by runtimes to re-issue the
+    /// guess after rollback and by the resume-point invariant tests.
+    pub(crate) guessed: BTreeSet<AidId>,
+    pub(crate) status: IntervalStatus,
+    /// Position in the owning process's (live) history at creation time.
+    pub(crate) seq: usize,
+}
+
+/// Read-only view of one interval's control variables.
+///
+/// Obtained from [`Engine::interval`](crate::Engine::interval).
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalView<'a> {
+    pub(crate) inner: &'a Interval,
+}
+
+impl<'a> IntervalView<'a> {
+    /// The interval this view describes.
+    pub fn id(&self) -> IntervalId {
+        self.inner.id
+    }
+
+    /// `A.PID`: the owning process.
+    pub fn process(&self) -> ProcessId {
+        self.inner.pid
+    }
+
+    /// `A.PS`: the checkpoint token recorded at the guess point.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.inner.ps
+    }
+
+    /// `A.IDO`: assumption identifiers this interval depends on.
+    pub fn ido(&self) -> &'a BTreeSet<AidId> {
+        &self.inner.ido
+    }
+
+    /// `A.IHD`: speculative denies pending this interval's finalization.
+    pub fn ihd(&self) -> &'a BTreeSet<AidId> {
+        &self.inner.ihd
+    }
+
+    /// `A.IHA`: speculative affirms issued within this interval.
+    pub fn iha(&self) -> &'a BTreeSet<AidId> {
+        &self.inner.iha
+    }
+
+    /// The AIDs named by the guess that opened this interval.
+    pub fn guessed(&self) -> &'a BTreeSet<AidId> {
+        &self.inner.guessed
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> IntervalStatus {
+        self.inner.status
+    }
+
+    /// Position of this interval within its process's history at creation.
+    pub fn seq(&self) -> usize {
+        self.inner.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_display() {
+        assert_eq!(Checkpoint(9).to_string(), "ps@9");
+    }
+
+    #[test]
+    fn interval_fields_construct() {
+        let i = Interval {
+            id: IntervalId(0),
+            pid: ProcessId(0),
+            ps: Checkpoint(0),
+            ido: BTreeSet::new(),
+            ihd: BTreeSet::new(),
+            iha: BTreeSet::new(),
+            guessed: BTreeSet::new(),
+            status: IntervalStatus::Speculative,
+            seq: 0,
+        };
+        assert_eq!(i.status, IntervalStatus::Speculative);
+        assert_eq!(i.seq, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! A tiny statement language for driving the [abstract
+//! machine](crate::machine).
+//!
+//! The paper models a distributed program as "a collection of communicating
+//! sequential processes … a generator of execution sequences" (§4). A
+//! [`Program`] here is exactly that: one statement list per process, each
+//! statement being a HOPE primitive, an internal computation event, or a
+//! message send/receive. Programs are deliberately *unstructured* (no
+//! branches): the semantics of the primitives do not depend on control flow,
+//! and straight-line programs make exhaustive and randomized theorem
+//! checking tractable.
+//!
+//! The module also provides a deterministic random-program generator
+//! ([`Program::generate`]) used by the property-test suite and the engine
+//! benchmarks. It is seeded and self-contained (a SplitMix64 generator) so
+//! `hope-core` needs no RNG dependency.
+
+use std::fmt;
+
+/// Index of an assumption identifier within a [`Program`]'s pre-declared
+/// AID table (the machine creates `aid_count` AIDs up front).
+pub type AidVar = usize;
+
+/// Index of a process within a [`Program`].
+pub type ProcIdx = usize;
+
+/// One statement of the machine's subject language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stmt {
+    /// `guess(x)`: begin speculating on AID `x` (§5.1).
+    Guess(AidVar),
+    /// `affirm(x)` (§5.2). Skipped (recorded, not executed) if `x` was
+    /// already consumed.
+    Affirm(AidVar),
+    /// `deny(x)` (§5.3). Skipped if `x` was already consumed.
+    Deny(AidVar),
+    /// `free_of(x)` (§5.4). Skipped if `x` was already consumed.
+    FreeOf(AidVar),
+    /// An internal event that changes only local state.
+    Compute,
+    /// Send a message (tagged with the sender's dependence set) to process
+    /// `to`.
+    Send {
+        /// Destination process.
+        to: ProcIdx,
+    },
+    /// Receive the next deliverable message, implicitly guessing every
+    /// undecided AID in its tag. Blocks (the scheduler skips the process)
+    /// while the mailbox holds no deliverable message.
+    Recv,
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Guess(x) => write!(f, "guess(x{x})"),
+            Stmt::Affirm(x) => write!(f, "affirm(x{x})"),
+            Stmt::Deny(x) => write!(f, "deny(x{x})"),
+            Stmt::FreeOf(x) => write!(f, "free_of(x{x})"),
+            Stmt::Compute => write!(f, "compute"),
+            Stmt::Send { to } => write!(f, "send(P{to})"),
+            Stmt::Recv => write!(f, "recv"),
+        }
+    }
+}
+
+/// A straight-line distributed HOPE program: `code[p]` is the statement
+/// list of process `p`, and `aid_count` AIDs are pre-declared.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Per-process statement lists.
+    pub code: Vec<Vec<Stmt>>,
+    /// Number of pre-declared assumption identifiers.
+    pub aid_count: usize,
+}
+
+impl Program {
+    /// Build a program from explicit per-process statement lists.
+    ///
+    /// `aid_count` is inferred as one past the largest AID variable
+    /// mentioned (zero if none).
+    pub fn new(code: Vec<Vec<Stmt>>) -> Self {
+        let aid_count = code
+            .iter()
+            .flatten()
+            .filter_map(|s| match s {
+                Stmt::Guess(x) | Stmt::Affirm(x) | Stmt::Deny(x) | Stmt::FreeOf(x) => Some(*x + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Program { code, aid_count }
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Total statement count across processes.
+    pub fn len(&self) -> usize {
+        self.code.iter().map(Vec::len).sum()
+    }
+
+    /// `true` if no process has any statements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generate a random program with `procs` processes of `len` statements
+    /// each over `aids` assumption identifiers, deterministically from
+    /// `seed`.
+    ///
+    /// The statement mix favours guesses and sends so that generated runs
+    /// exercise deep speculation and cross-process dependence; `Recv` is
+    /// emitted in proportion to sends so programs rarely deadlock (and the
+    /// machine's step budget bounds them regardless).
+    pub fn generate(seed: u64, procs: usize, len: usize, aids: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut code = Vec::with_capacity(procs);
+        for p in 0..procs {
+            let mut stmts = Vec::with_capacity(len);
+            for _ in 0..len {
+                let x = (rng.next() % aids.max(1) as u64) as usize;
+                let stmt = match rng.next() % 100 {
+                    0..=24 => Stmt::Guess(x),
+                    25..=39 => Stmt::Affirm(x),
+                    40..=49 => Stmt::Deny(x),
+                    50..=56 => Stmt::FreeOf(x),
+                    57..=69 => Stmt::Compute,
+                    70..=84 if procs > 1 => {
+                        let mut to = (rng.next() % procs as u64) as usize;
+                        if to == p {
+                            to = (to + 1) % procs;
+                        }
+                        Stmt::Send { to }
+                    }
+                    _ => Stmt::Recv,
+                };
+                stmts.push(stmt);
+            }
+            code.push(stmts);
+        }
+        Program { code, aid_count: aids }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (p, stmts) in self.code.iter().enumerate() {
+            writeln!(f, "process P{p}:")?;
+            for (i, s) in stmts.iter().enumerate() {
+                writeln!(f, "  {i:3}: {s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64: tiny, high-quality, dependency-free seeded generator.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_infers_aid_count() {
+        let p = Program::new(vec![vec![Stmt::Guess(3), Stmt::Compute], vec![Stmt::Affirm(1)]]);
+        assert_eq!(p.aid_count, 4);
+        assert_eq!(p.process_count(), 2);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::new(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.aid_count, 0);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = Program::generate(42, 3, 20, 4);
+        let b = Program::generate(42, 3, 20, 4);
+        assert_eq!(a, b);
+        let c = Program::generate(43, 3, 20, 4);
+        assert_ne!(a, c);
+        assert_eq!(a.process_count(), 3);
+        assert_eq!(a.len(), 60);
+    }
+
+    #[test]
+    fn generate_never_sends_to_self() {
+        let p = Program::generate(7, 4, 200, 3);
+        for (idx, stmts) in p.code.iter().enumerate() {
+            for s in stmts {
+                if let Stmt::Send { to } = s {
+                    assert_ne!(*to, idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_each_statement() {
+        let p = Program::new(vec![vec![
+            Stmt::Guess(0),
+            Stmt::Affirm(0),
+            Stmt::Deny(1),
+            Stmt::FreeOf(2),
+            Stmt::Compute,
+            Stmt::Send { to: 1 },
+            Stmt::Recv,
+        ]]);
+        let s = p.to_string();
+        for needle in [
+            "guess(x0)",
+            "affirm(x0)",
+            "deny(x1)",
+            "free_of(x2)",
+            "compute",
+            "send(P1)",
+            "recv",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn splitmix_differs_across_calls() {
+        let mut r = SplitMix64::new(1);
+        let a = r.next();
+        let b = r.next();
+        assert_ne!(a, b);
+    }
+}

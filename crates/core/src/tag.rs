@@ -1,0 +1,178 @@
+//! Dependency tags carried by inter-process messages.
+//!
+//! §3 / §7: "When a speculative process sends a message, the message is
+//! *tagged* with the set of AIDs that the sender currently depends on. When
+//! the message is received, the receiver implicitly applies a guess
+//! primitive to each of the AIDs in the message's tag."
+//!
+//! A [`Tag`] is that set. Tags are plain data: they can be attached to any
+//! message representation a runtime uses. The engine interprets tags via
+//! [`Engine::implicit_guess`](crate::Engine::implicit_guess), which also
+//! implements *ghost filtering*: a message any of whose tag AIDs has been
+//! definitively denied originated in a rolled-back computation and must not
+//! be delivered. Ghost filtering is how HOPE subsumes Time Warp
+//! anti-messages (§2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::ids::AidId;
+
+/// The set of assumption identifiers a message's sender depended on at send
+/// time.
+///
+/// # Examples
+///
+/// ```
+/// use hope_core::{Engine, Tag};
+///
+/// let mut engine = Engine::new();
+/// let p = engine.register_process();
+/// let x = engine.aid_init(p);
+/// let (_, _) = engine.guess(p, &[x], Default::default()).unwrap();
+/// let tag = engine.dependence_tag(p).unwrap();
+/// assert!(tag.contains(x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tag {
+    aids: BTreeSet<AidId>,
+}
+
+impl Tag {
+    /// The empty tag: the sender was definite (dependent on nothing).
+    pub fn new() -> Self {
+        Tag::default()
+    }
+
+    /// Build a tag from an explicit set of AIDs.
+    pub fn from_aids<I: IntoIterator<Item = AidId>>(aids: I) -> Self {
+        Tag {
+            aids: aids.into_iter().collect(),
+        }
+    }
+
+    /// `true` if the sender was definite — receiving this message creates no
+    /// dependence.
+    pub fn is_empty(&self) -> bool {
+        self.aids.is_empty()
+    }
+
+    /// Number of assumption identifiers in the tag.
+    pub fn len(&self) -> usize {
+        self.aids.len()
+    }
+
+    /// `true` if the tag mentions `aid`.
+    pub fn contains(&self, aid: AidId) -> bool {
+        self.aids.contains(&aid)
+    }
+
+    /// Iterate over the tag's AIDs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AidId> + '_ {
+        self.aids.iter().copied()
+    }
+
+    /// Merge another tag into this one (used when a reply aggregates the
+    /// dependencies of several inbound messages).
+    pub fn union_with(&mut self, other: &Tag) {
+        self.aids.extend(other.aids.iter().copied());
+    }
+
+    /// Add a single AID to the tag.
+    pub fn insert(&mut self, aid: AidId) {
+        self.aids.insert(aid);
+    }
+
+    /// Borrow the underlying set.
+    pub fn as_set(&self) -> &BTreeSet<AidId> {
+        &self.aids
+    }
+}
+
+impl FromIterator<AidId> for Tag {
+    fn from_iter<I: IntoIterator<Item = AidId>>(iter: I) -> Self {
+        Tag::from_aids(iter)
+    }
+}
+
+impl Extend<AidId> for Tag {
+    fn extend<I: IntoIterator<Item = AidId>>(&mut self, iter: I) {
+        self.aids.extend(iter);
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, x) in self.aids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Result of interpreting an inbound message's tag
+/// ([`Engine::implicit_guess`](crate::Engine::implicit_guess)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// Every tag AID is affirmed (or the tag was empty): deliver the message;
+    /// no new dependence.
+    Clean,
+    /// The message carries undecided assumptions: a new speculative interval
+    /// was created (an implicit guess on each undecided AID). Deliver the
+    /// message; the receiver is now speculative.
+    Speculative(crate::IntervalId),
+    /// At least one tag AID was definitively denied: the message originated
+    /// in a rolled-back computation. Do **not** deliver it.
+    Ghost(AidId),
+}
+
+impl ReceiveOutcome {
+    /// `true` unless the message is a ghost.
+    pub fn deliverable(&self) -> bool {
+        !matches!(self, ReceiveOutcome::Ghost(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_display_and_set_ops() {
+        let mut t = Tag::from_aids([AidId(2), AidId(1)]);
+        assert_eq!(t.to_string(), "{X1, X2}");
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(AidId(1)));
+        assert!(!t.contains(AidId(3)));
+        t.insert(AidId(3));
+        assert!(t.contains(AidId(3)));
+        let other = Tag::from_aids([AidId(9)]);
+        t.union_with(&other);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn empty_tag() {
+        let t = Tag::new();
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut t: Tag = [AidId(5)].into_iter().collect();
+        t.extend([AidId(6), AidId(5)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ghost_is_not_deliverable() {
+        assert!(!ReceiveOutcome::Ghost(AidId(0)).deliverable());
+        assert!(ReceiveOutcome::Clean.deliverable());
+        assert!(ReceiveOutcome::Speculative(crate::IntervalId(0)).deliverable());
+    }
+}

@@ -1,0 +1,287 @@
+//! Directed engine-level scenarios: the paper's worked examples and the
+//! corner cases its prose glosses over, each encoded as an explicit
+//! transition script with exact expectations.
+
+use hope_core::{
+    AidId, AidState, Checkpoint, Effect, Engine, GuessOutcome, IntervalStatus, ProcessId,
+    ReceiveOutcome, Tag,
+};
+
+fn engine(n: usize) -> (Engine, Vec<ProcessId>) {
+    let mut e = Engine::new();
+    e.set_invariant_checking(true);
+    let pids = (0..n).map(|_| e.register_process()).collect();
+    (e, pids)
+}
+
+/// The §3.1 example at engine level: Worker, WorryWart, print server,
+/// with the Order violation (S3 overtaking S1) and its repair.
+#[test]
+fn paper_section_3_1_order_violation() {
+    let (mut e, p) = engine(3);
+    let (worker, worrywart, printer) = (p[0], p[1], p[2]);
+
+    // Worker: PartPage = aid_init(); Order = aid_init();
+    let part_page = e.aid_init(worker);
+    let order = e.aid_init(worker);
+    // send(WorryWart, PartPage, Order, total) — before any guess: clean.
+    let tag0 = e.dependence_tag(worker).unwrap();
+    assert!(tag0.is_empty());
+    let (out, _) = e.implicit_guess(worrywart, &tag0, Checkpoint(0)).unwrap();
+    assert_eq!(out, ReceiveOutcome::Clean);
+
+    // Worker: guess(PartPage); guess(Order).
+    e.guess(worker, &[part_page], Checkpoint(1)).unwrap();
+    e.guess(worker, &[order], Checkpoint(2)).unwrap();
+
+    // S3's message reaches the printer first: the printer becomes
+    // dependent on both assumptions.
+    let s3_tag = e.dependence_tag(worker).unwrap();
+    assert!(s3_tag.contains(part_page) && s3_tag.contains(order));
+    let (out, _) = e.implicit_guess(printer, &s3_tag, Checkpoint(0)).unwrap();
+    assert!(matches!(out, ReceiveOutcome::Speculative(_)));
+
+    // S1 (from the WorryWart, still definite) reaches the printer.
+    let s1_tag = e.dependence_tag(worrywart).unwrap();
+    assert!(s1_tag.is_empty());
+
+    // The printer's *reply* to S1 carries the printer's dependence —
+    // including Order — back to the WorryWart.
+    let reply_tag = e.dependence_tag(printer).unwrap();
+    assert!(reply_tag.contains(order));
+    let (out, _) = e
+        .implicit_guess(worrywart, &reply_tag, Checkpoint(1))
+        .unwrap();
+    assert!(matches!(out, ReceiveOutcome::Speculative(_)));
+
+    // free_of(Order) in the WorryWart: the constraint is violated, so the
+    // equivalent of deny(Order) executes, rolling back everything
+    // dependent on it (Worker from guess(Order), printer, WorryWart).
+    let fx = e.free_of(worrywart, order).unwrap();
+    assert!(fx.contains(&Effect::AidDenied { aid: order }));
+    let victims: Vec<ProcessId> = fx
+        .iter()
+        .filter_map(|f| match f {
+            Effect::RolledBack { process, .. } => Some(*process),
+            _ => None,
+        })
+        .collect();
+    assert!(victims.contains(&worker));
+    assert!(victims.contains(&printer));
+    assert!(victims.contains(&worrywart));
+    assert_eq!(e.aid_state(order).unwrap(), AidState::Denied);
+    // PartPage survives: the worker's first interval is still live.
+    assert_eq!(e.aid_state(part_page).unwrap(), AidState::Undecided);
+    assert_eq!(e.history(worker).unwrap().len(), 1);
+
+    // Re-execution: guess(Order) now returns False; the ordering is fixed
+    // by construction. The WorryWart then affirms PartPage.
+    let (out, _) = e.guess(worker, &[order], Checkpoint(2)).unwrap();
+    assert_eq!(out, GuessOutcome::AlreadyFalse(order));
+    let fx = e.affirm(worrywart, part_page).unwrap();
+    assert!(fx
+        .iter()
+        .any(|f| matches!(f, Effect::Finalized { .. })));
+    assert!(!e.is_speculative(worker).unwrap());
+}
+
+#[test]
+fn multi_aid_guess_mixed_states() {
+    // One guess over {affirmed, undecided}: only the undecided AID binds.
+    let (mut e, p) = engine(2);
+    let a = e.aid_init(p[0]);
+    let b = e.aid_init(p[0]);
+    e.affirm(p[1], a).unwrap();
+    let (out, _) = e.guess(p[0], &[a, b], Checkpoint(0)).unwrap();
+    let itv = out.interval().unwrap();
+    let view = e.interval(itv).unwrap();
+    assert!(!view.ido().contains(&a));
+    assert!(view.ido().contains(&b));
+
+    // One guess over {denied, undecided}: immediately false, no interval.
+    let c = e.aid_init(p[0]);
+    let d = e.aid_init(p[0]);
+    e.deny(p[1], c).unwrap();
+    let before = e.interval_count();
+    let (out, fx) = e.guess(p[1], &[d, c], Checkpoint(0)).unwrap();
+    assert_eq!(out, GuessOutcome::AlreadyFalse(c));
+    assert!(fx.is_empty());
+    assert_eq!(e.interval_count(), before);
+}
+
+#[test]
+fn implicit_guess_deduplicates_against_current_dependence() {
+    // Receiving a tag you already depend on adds no new dependence edges
+    // but does open a new interval (a fresh rollback granule).
+    let (mut e, p) = engine(2);
+    let x = e.aid_init(p[0]);
+    e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+    let tag = e.dependence_tag(p[0]).unwrap();
+    e.implicit_guess(p[1], &tag, Checkpoint(0)).unwrap();
+    // P1 sends back to P0: P0 re-receives its own dependence.
+    let back = e.dependence_tag(p[1]).unwrap();
+    assert!(back.contains(x));
+    let before = e.history(p[0]).unwrap().len();
+    let (out, _) = e.implicit_guess(p[0], &back, Checkpoint(1)).unwrap();
+    assert!(matches!(out, ReceiveOutcome::Speculative(_)));
+    assert_eq!(e.history(p[0]).unwrap().len(), before + 1);
+    // Still exactly one underlying assumption.
+    let cur = e.current_interval(p[0]).unwrap().unwrap();
+    assert_eq!(e.interval(cur).unwrap().ido().len(), 1);
+}
+
+#[test]
+fn chained_replacement_keeps_sets_exact() {
+    // B ← X; A(Y) affirms X; C guesses X afterwards (resolution rule):
+    // everyone must end with IDO = {Y}.
+    let (mut e, p) = engine(4);
+    let x = e.aid_init(p[0]);
+    let y = e.aid_init(p[0]);
+    let (ob, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+    let b = ob.interval().unwrap();
+    e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+    e.affirm(p[2], x).unwrap(); // speculative: X ↦ {Y}
+    let (oc, _) = e.guess(p[3], &[x], Checkpoint(0)).unwrap();
+    let c = oc.interval().unwrap();
+    for itv in [b, c] {
+        let view = e.interval(itv).unwrap();
+        assert_eq!(view.ido().iter().copied().collect::<Vec<_>>(), vec![y]);
+    }
+    // Definite affirm of Y settles the world.
+    let fx = e.affirm(p[0], y).unwrap();
+    let finalized = fx
+        .iter()
+        .filter(|f| matches!(f, Effect::Finalized { .. }))
+        .count();
+    assert!(finalized >= 3, "{fx:?}");
+    assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
+}
+
+#[test]
+fn deny_of_replaced_aid_reaches_transferred_dependents() {
+    let (mut e, p) = engine(3);
+    let x = e.aid_init(p[0]);
+    let y = e.aid_init(p[0]);
+    let (ob, _) = e.guess(p[1], &[x], Checkpoint(0)).unwrap();
+    let b = ob.interval().unwrap();
+    e.guess(p[2], &[y], Checkpoint(0)).unwrap();
+    e.affirm(p[2], x).unwrap(); // B now depends on Y instead
+    let fx = e.deny(p[0], y).unwrap();
+    assert_eq!(e.interval(b).unwrap().status(), IntervalStatus::RolledBack);
+    // Footnote 2: the speculative affirm's AID is conservatively denied.
+    assert_eq!(e.aid_state(x).unwrap(), AidState::Denied);
+    assert!(fx.iter().any(|f| matches!(f, Effect::AidDenied { aid } if *aid == x)));
+}
+
+#[test]
+fn tags_survive_partial_decisions() {
+    // A tag captured while depending on {X, Y}; X is affirmed before
+    // delivery: the receiver depends only on Y.
+    let (mut e, p) = engine(3);
+    let x = e.aid_init(p[0]);
+    let y = e.aid_init(p[0]);
+    e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+    e.guess(p[0], &[y], Checkpoint(1)).unwrap();
+    let tag = e.dependence_tag(p[0]).unwrap();
+    assert_eq!(tag.len(), 2);
+    e.affirm(p[1], x).unwrap();
+    let (out, _) = e.implicit_guess(p[2], &tag, Checkpoint(0)).unwrap();
+    let itv = match out {
+        ReceiveOutcome::Speculative(i) => i,
+        other => panic!("{other:?}"),
+    };
+    let view = e.interval(itv).unwrap();
+    assert!(!view.ido().contains(&x));
+    assert!(view.ido().contains(&y));
+    // And once Y is denied the same tag is a ghost.
+    e.deny(p[1], y).unwrap();
+    let (out, _) = e.implicit_guess(p[2], &tag, Checkpoint(1)).unwrap();
+    assert_eq!(out, ReceiveOutcome::Ghost(y));
+}
+
+#[test]
+fn tag_round_trips_through_raw_indices() {
+    // What the runtime does when a tag crosses a simulated wire.
+    let (mut e, p) = engine(1);
+    let x = e.aid_init(p[0]);
+    let y = e.aid_init(p[0]);
+    e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+    e.guess(p[0], &[y], Checkpoint(1)).unwrap();
+    let tag = e.dependence_tag(p[0]).unwrap();
+    let wire: Vec<u64> = tag.iter().map(AidId::index).collect();
+    let back: Tag = wire.into_iter().map(AidId::from_index).collect();
+    assert_eq!(tag, back);
+}
+
+#[test]
+fn interval_views_expose_control_variables() {
+    let (mut e, p) = engine(2);
+    let x = e.aid_init(p[0]);
+    let y = e.aid_init(p[0]);
+    let (oa, _) = e.guess(p[0], &[x], Checkpoint(7)).unwrap();
+    let a = oa.interval().unwrap();
+    e.deny(p[0], y).unwrap(); // speculative: lands in A.IHD
+    e.affirm(p[0], x).unwrap(); // self-affirm: lands in A.IHA... and
+                                // finalizes A (sole dependence), which then
+                                // applies the IHD deny of y definitively.
+    let view = e.interval(a).unwrap();
+    assert_eq!(view.process(), p[0]);
+    assert_eq!(view.checkpoint(), Checkpoint(7));
+    assert_eq!(view.seq(), 0);
+    assert_eq!(view.status(), IntervalStatus::Definite);
+    assert!(view.ihd().contains(&y));
+    assert!(view.iha().contains(&x));
+    assert!(view.guessed().contains(&x));
+    assert_eq!(e.aid_state(y).unwrap(), AidState::Denied);
+    assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
+
+    // AID views likewise.
+    let xv = e.aid(x).unwrap();
+    assert_eq!(xv.id(), x);
+    assert_eq!(xv.creator(), p[0]);
+    assert!(xv.is_consumed());
+    assert!(xv.dom().is_empty());
+    assert!(xv.speculatively_affirmed_by().is_none());
+    assert!(xv.speculatively_denied_by().is_none());
+}
+
+#[test]
+fn open_aids_tracks_decidability() {
+    let (mut e, p) = engine(2);
+    let x = e.aid_init(p[0]);
+    let y = e.aid_init(p[0]);
+    let z = e.aid_init(p[0]);
+    assert_eq!(e.open_aids(), vec![x, y, z]);
+    e.affirm(p[1], x).unwrap();
+    assert_eq!(e.open_aids(), vec![y, z]);
+    e.guess(p[0], &[y], Checkpoint(0)).unwrap();
+    assert_eq!(e.open_aids(), vec![y, z], "guessing does not consume");
+    e.deny(p[0], z).unwrap(); // speculative deny: consumed
+    assert_eq!(e.open_aids(), vec![y]);
+}
+
+#[test]
+fn self_send_tag_is_not_a_ghost_source() {
+    // A process receiving its own speculative tag must not be treated as a
+    // ghost, and the rollback point is the receive.
+    let (mut e, p) = engine(1);
+    let x = e.aid_init(p[0]);
+    e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+    let tag = e.dependence_tag(p[0]).unwrap();
+    let (out, _) = e.implicit_guess(p[0], &tag, Checkpoint(1)).unwrap();
+    assert!(matches!(out, ReceiveOutcome::Speculative(_)));
+    let fx = e.deny(p[0], x).unwrap();
+    let rb = fx
+        .iter()
+        .find_map(|f| match f {
+            Effect::RolledBack {
+                intervals,
+                checkpoint,
+                ..
+            } => Some((intervals.len(), *checkpoint)),
+            _ => None,
+        })
+        .unwrap();
+    // Both intervals discarded, resume at the *first* guess.
+    assert_eq!(rb, (2, Checkpoint(0)));
+}

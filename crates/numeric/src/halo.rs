@@ -1,0 +1,108 @@
+//! Wire encoding for halo (boundary) exchange messages.
+//!
+//! Floating-point values travel as IEEE-754 bit patterns inside the
+//! runtime's integer payloads, so exchanges are exact (no text round-trip
+//! error) and deterministic.
+
+use hope_runtime::Value;
+
+/// Which side of a chunk a boundary value belongs to, from the *sender's*
+/// perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Side {
+    /// The sender's leftmost cell (its left neighbour's right halo).
+    Left,
+    /// The sender's rightmost cell (its right neighbour's left halo).
+    Right,
+}
+
+impl Side {
+    fn code(self) -> i64 {
+        match self {
+            Side::Left => 0,
+            Side::Right => 1,
+        }
+    }
+
+    fn from_code(v: i64) -> Option<Side> {
+        match v {
+            0 => Some(Side::Left),
+            1 => Some(Side::Right),
+            _ => None,
+        }
+    }
+}
+
+/// One halo message: "my `side` edge after iteration `iter` is `value`".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Halo {
+    /// Iteration the value belongs to.
+    pub iter: u64,
+    /// Which of the sender's edges.
+    pub side: Side,
+    /// The boundary value.
+    pub value: f64,
+}
+
+impl Halo {
+    /// Encode for transmission.
+    pub fn to_value(&self) -> Value {
+        Value::List(vec![
+            Value::Str("halo".into()),
+            Value::Int(self.iter as i64),
+            Value::Int(self.side.code()),
+            Value::Int(self.value.to_bits() as i64),
+        ])
+    }
+
+    /// Decode a received payload; `None` for foreign messages.
+    pub fn from_value(v: &Value) -> Option<Halo> {
+        let items = v.as_list()?;
+        if items.len() != 4 || items[0].as_str()? != "halo" {
+            return None;
+        }
+        Some(Halo {
+            iter: u64::try_from(items[1].as_int()?).ok()?,
+            side: Side::from_code(items[2].as_int()?)?,
+            value: f64::from_bits(items[3].as_int()? as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_bits() {
+        for v in [0.0, -1.5, std::f64::consts::PI, 1e-300, f64::MAX] {
+            let h = Halo {
+                iter: 7,
+                side: Side::Right,
+                value: v,
+            };
+            let decoded = Halo::from_value(&h.to_value()).unwrap();
+            assert_eq!(decoded.iter, 7);
+            assert_eq!(decoded.side, Side::Right);
+            assert_eq!(decoded.value.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(Halo::from_value(&Value::Unit), None);
+        assert_eq!(
+            Halo::from_value(&Value::List(vec![Value::Str("halo".into())])),
+            None
+        );
+        assert_eq!(
+            Halo::from_value(&Value::List(vec![
+                Value::Str("halo".into()),
+                Value::Int(0),
+                Value::Int(9), // bad side code
+                Value::Int(0),
+            ])),
+            None
+        );
+    }
+}

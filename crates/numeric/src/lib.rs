@@ -1,0 +1,39 @@
+//! # hope-numeric — optimistic numerical computation on HOPE
+//!
+//! §7 of the paper promises to "extend the application of optimism beyond
+//! its traditional domains … into new areas such as … numerical
+//! computation \[7\]" (Cowan's *Optimistic Programming in PVM*). This crate
+//! is that extension: a domain-decomposed Jacobi solver for the 1-D heat
+//! equation in which the per-iteration halo exchange — the classic
+//! latency wall of distributed stencil codes — is performed
+//! *optimistically*:
+//!
+//! * a missing neighbour edge is **predicted** (its last known value) and
+//!   the prediction `guess`ed;
+//! * the true edge, when it arrives, is compared against the prediction:
+//!   within [`Problem::tolerance`] ⇒ `affirm`, beyond it ⇒ `deny`, rolling
+//!   the chunk back to the mispredicted iteration (where the true value
+//!   now awaits in the mailbox);
+//! * with `tolerance = 0` the committed solution is bit-equal to the
+//!   synchronous solver's; with `tolerance > 0` it is a bounded-error
+//!   asynchronous iteration that buys latency with accuracy.
+//!
+//! The global commit argument is the interesting part: every prediction
+//! AID is eventually affirmed or denied by its own chunk, and because a
+//! speculative affirm replaces dependence on the AID with the affirmer's
+//! *remaining* dependence (Equations 10–14), once every AID in the system
+//! is decided, every `IDO` set is empty and all speculation collapses to
+//! definite — the per-chunk results commit. See `tests/` and experiment
+//! E11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod halo;
+mod solver;
+mod worker;
+
+pub use halo::{Halo, Side};
+pub use solver::{reference, reference_sums, run, JacobiOutcome, Problem};
+pub use worker::{jacobi_step, run_chunk_optimistic, run_chunk_sync, ChunkConfig};

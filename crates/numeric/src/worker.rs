@@ -1,0 +1,374 @@
+//! The chunk solver: Jacobi iteration with optimistic halo exchange.
+//!
+//! The 1-D heat equation `u_new[i] = (u[i−1] + u[i+1]) / 2` is domain-
+//! decomposed across processes; each iteration needs the neighbouring
+//! chunks' edge values (*halos*). Synchronously that is two blocking
+//! receives per iteration — pure latency. Optimistically, a missing halo
+//! is **predicted** (its last known value), the prediction is `guess`ed,
+//! and the iteration proceeds; when the true halo arrives the process
+//! verifies its own guess: within `tolerance` ⇒ `affirm`, otherwise
+//! `deny` — which rolls the computation back to the mispredicted
+//! iteration and re-runs it with the actual value (by then sitting in the
+//! mailbox).
+//!
+//! With `tolerance = 0` the optimistic solver provably computes the
+//! *identical* solution to the synchronous one (every misprediction is
+//! repaired); with `tolerance > 0` it is a bounded-error asynchronous
+//! iteration that trades accuracy for latency — exactly the trade ref \[7\]
+//! ("Optimistic Programming in PVM") explored on real numerical codes.
+
+use std::collections::BTreeMap;
+
+use hope_core::AidId;
+use hope_runtime::{Ctx, Hope, Message, ProcessId};
+use hope_sim::VirtualDuration;
+
+use crate::halo::{Halo, Side};
+
+/// Configuration of one chunk process.
+#[derive(Debug, Clone)]
+pub struct ChunkConfig {
+    /// This chunk's index (0-based, left to right).
+    pub index: usize,
+    /// Number of interior cells this chunk owns.
+    pub chunk_size: usize,
+    /// Jacobi iterations to run.
+    pub iterations: u64,
+    /// Maximum |actual − predicted| for a halo guess to be affirmed.
+    pub tolerance: f64,
+    /// Virtual CPU time per iteration.
+    pub compute_per_iter: VirtualDuration,
+    /// Left neighbour (None at the global left edge).
+    pub left: Option<ProcessId>,
+    /// Right neighbour (None at the global right edge).
+    pub right: Option<ProcessId>,
+    /// Dirichlet boundary value at the global left edge.
+    pub left_boundary: f64,
+    /// Dirichlet boundary value at the global right edge.
+    pub right_boundary: f64,
+}
+
+/// Which neighbour a halo concerns, from this chunk's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Nb {
+    Left,
+    Right,
+}
+
+#[derive(Debug)]
+struct Pending {
+    aid: AidId,
+    iter: u64,
+    nb: Nb,
+    predicted: f64,
+}
+
+/// State for tracking received halos and outstanding predictions.
+#[derive(Debug, Default)]
+struct HaloState {
+    left: BTreeMap<u64, f64>,
+    right: BTreeMap<u64, f64>,
+    pending: Vec<Pending>,
+}
+
+impl HaloState {
+    fn record(&mut self, cfg: &ChunkConfig, m: &Message) -> bool {
+        let Some(h) = Halo::from_value(&m.payload) else {
+            return false;
+        };
+        // A halo from my left neighbour is its Right edge, and vice versa.
+        match (Some(m.from) == cfg.left, Some(m.from) == cfg.right, h.side) {
+            (true, _, Side::Right) => {
+                self.left.insert(h.iter, h.value);
+                true
+            }
+            (_, true, Side::Left) => {
+                self.right.insert(h.iter, h.value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn actual(&self, nb: Nb, iter: u64) -> Option<f64> {
+        match nb {
+            Nb::Left => self.left.get(&iter).copied(),
+            Nb::Right => self.right.get(&iter).copied(),
+        }
+    }
+
+    /// Latest known value at or before `iter` (the prediction source).
+    fn latest(&self, nb: Nb, iter: u64) -> Option<f64> {
+        let map = match nb {
+            Nb::Left => &self.left,
+            Nb::Right => &self.right,
+        };
+        map.range(..=iter).next_back().map(|(_, v)| *v)
+    }
+}
+
+/// Verify any outstanding predictions whose true halos have arrived.
+/// A failed verification denies (and therefore unwinds via `?`).
+fn verify_pending(ctx: &mut Ctx, cfg: &ChunkConfig, st: &mut HaloState) -> Hope<()> {
+    let mut i = 0;
+    while i < st.pending.len() {
+        let p = &st.pending[i];
+        match st.actual(p.nb, p.iter) {
+            Some(actual) => {
+                if (actual - p.predicted).abs() <= cfg.tolerance {
+                    let aid = p.aid;
+                    st.pending.remove(i);
+                    ctx.affirm(aid)?;
+                } else {
+                    // Definite self-deny: we depend on this guess.
+                    let aid = p.aid;
+                    ctx.deny(aid)?;
+                    unreachable!("self-deny unwinds");
+                }
+            }
+            None => i += 1,
+        }
+    }
+    Ok(())
+}
+
+fn drain_halos(ctx: &mut Ctx, cfg: &ChunkConfig, st: &mut HaloState) -> Hope<()> {
+    while let Some(m) = ctx.try_recv()? {
+        st.record(cfg, &m);
+    }
+    verify_pending(ctx, cfg, st)
+}
+
+/// Obtain the halo value for `nb` at `iter`, predicting if necessary.
+fn halo_or_predict(
+    ctx: &mut Ctx,
+    cfg: &ChunkConfig,
+    st: &mut HaloState,
+    nb: Nb,
+    iter: u64,
+) -> Hope<f64> {
+    if let Some(v) = st.actual(nb, iter) {
+        return Ok(v);
+    }
+    let predicted = st.latest(nb, iter).unwrap_or(0.0);
+    let aid = ctx.aid_init()?;
+    if ctx.guess(aid)? {
+        st.pending.push(Pending {
+            aid,
+            iter,
+            nb,
+            predicted,
+        });
+        Ok(predicted)
+    } else {
+        // Rolled back here: the actual value (or the knowledge that the
+        // prediction chain moved) is in the mailbox — drain and retry.
+        drain_halos(ctx, cfg, st)?;
+        match st.actual(nb, iter) {
+            Some(v) => Ok(v),
+            None => {
+                // Still missing (e.g. the halo was ghosted with its
+                // sender's rollback): block until it arrives for real.
+                loop {
+                    let m = ctx.recv()?;
+                    st.record(cfg, &m);
+                    verify_pending(ctx, cfg, st)?;
+                    if let Some(v) = st.actual(nb, iter) {
+                        return Ok(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run one chunk **optimistically**; emits `chunk <i> sum=<Σ>` when done.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_chunk_optimistic(ctx: &mut Ctx, cfg: &ChunkConfig) -> Hope<()> {
+    let mut u = vec![0.0f64; cfg.chunk_size];
+    let mut st = HaloState::default();
+    // Iteration 0 state is globally known (all zeros): seed the halo maps.
+    st.left.insert(0, 0.0);
+    st.right.insert(0, 0.0);
+
+    for k in 1..=cfg.iterations {
+        drain_halos(ctx, cfg, &mut st)?;
+        let lh = match cfg.left {
+            None => cfg.left_boundary,
+            Some(_) => halo_or_predict(ctx, cfg, &mut st, Nb::Left, k - 1)?,
+        };
+        let rh = match cfg.right {
+            None => cfg.right_boundary,
+            Some(_) => halo_or_predict(ctx, cfg, &mut st, Nb::Right, k - 1)?,
+        };
+        u = jacobi_step(&u, lh, rh);
+        ctx.compute(cfg.compute_per_iter)?;
+        if let Some(l) = cfg.left {
+            ctx.send(
+                l,
+                Halo {
+                    iter: k,
+                    side: Side::Left,
+                    value: u[0],
+                }
+                .to_value(),
+            )?;
+        }
+        if let Some(r) = cfg.right {
+            ctx.send(
+                r,
+                Halo {
+                    iter: k,
+                    side: Side::Right,
+                    value: u[cfg.chunk_size - 1],
+                }
+                .to_value(),
+            )?;
+        }
+    }
+
+    // Settle the tail: every outstanding prediction must be verified so
+    // the speculation collapses and the output below can commit.
+    while !st.pending.is_empty() {
+        let m = ctx.recv()?;
+        st.record(cfg, &m);
+        verify_pending(ctx, cfg, &mut st)?;
+    }
+
+    let sum: f64 = u.iter().sum();
+    ctx.output(format!("chunk {} sum={:.12}", cfg.index, sum))?;
+    Ok(())
+}
+
+/// Run one chunk **synchronously** (the baseline): block for both halos
+/// every iteration.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_chunk_sync(ctx: &mut Ctx, cfg: &ChunkConfig) -> Hope<()> {
+    let mut u = vec![0.0f64; cfg.chunk_size];
+    let mut st = HaloState::default();
+    st.left.insert(0, 0.0);
+    st.right.insert(0, 0.0);
+
+    for k in 1..=cfg.iterations {
+        // Send my (k−1)-edges first so neighbours can make progress.
+        if k > 1 {
+            if let Some(l) = cfg.left {
+                ctx.send(
+                    l,
+                    Halo {
+                        iter: k - 1,
+                        side: Side::Left,
+                        value: u[0],
+                    }
+                    .to_value(),
+                )?;
+            }
+            if let Some(r) = cfg.right {
+                ctx.send(
+                    r,
+                    Halo {
+                        iter: k - 1,
+                        side: Side::Right,
+                        value: u[cfg.chunk_size - 1],
+                    }
+                    .to_value(),
+                )?;
+            }
+        }
+        let lh = match cfg.left {
+            None => cfg.left_boundary,
+            Some(_) => loop {
+                if let Some(v) = st.actual(Nb::Left, k - 1) {
+                    break v;
+                }
+                let m = ctx.recv()?;
+                st.record(cfg, &m);
+            },
+        };
+        let rh = match cfg.right {
+            None => cfg.right_boundary,
+            Some(_) => loop {
+                if let Some(v) = st.actual(Nb::Right, k - 1) {
+                    break v;
+                }
+                let m = ctx.recv()?;
+                st.record(cfg, &m);
+            },
+        };
+        u = jacobi_step(&u, lh, rh);
+        ctx.compute(cfg.compute_per_iter)?;
+    }
+
+    let sum: f64 = u.iter().sum();
+    ctx.output(format!("chunk {} sum={:.12}", cfg.index, sum))?;
+    Ok(())
+}
+
+/// One Jacobi relaxation step over a chunk with explicit halo values.
+pub fn jacobi_step(u: &[f64], left_halo: f64, right_halo: f64) -> Vec<f64> {
+    let n = u.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let l = if i == 0 { left_halo } else { u[i - 1] };
+        let r = if i + 1 == n { right_halo } else { u[i + 1] };
+        out[i] = 0.5 * (l + r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_step_averages_neighbours() {
+        let u = vec![0.0, 0.0, 0.0];
+        let next = jacobi_step(&u, 1.0, 0.0);
+        assert_eq!(next, vec![0.5, 0.0, 0.0]);
+        let next2 = jacobi_step(&next, 1.0, 0.0);
+        assert_eq!(next2, vec![0.5, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn halo_state_records_only_neighbour_edges() {
+        let cfg = ChunkConfig {
+            index: 1,
+            chunk_size: 2,
+            iterations: 1,
+            tolerance: 0.0,
+            compute_per_iter: VirtualDuration::ZERO,
+            left: Some(ProcessId(0)),
+            right: Some(ProcessId(2)),
+            left_boundary: 1.0,
+            right_boundary: 0.0,
+        };
+        let mut st = HaloState::default();
+        let mk = |from: u32, side: Side| {
+            Message::synthetic(
+                ProcessId(from),
+                ProcessId(1),
+                hope_runtime::MsgKind::Plain,
+                Halo {
+                    iter: 3,
+                    side,
+                    value: 0.25,
+                }
+                .to_value(),
+            )
+        };
+        assert!(st.record(&cfg, &mk(0, Side::Right))); // left nb's right edge
+        assert!(st.record(&cfg, &mk(2, Side::Left))); // right nb's left edge
+        assert!(!st.record(&cfg, &mk(0, Side::Left))); // wrong edge
+        assert!(!st.record(&cfg, &mk(9, Side::Left))); // stranger
+        assert_eq!(st.actual(Nb::Left, 3), Some(0.25));
+        assert_eq!(st.actual(Nb::Right, 3), Some(0.25));
+        assert_eq!(st.latest(Nb::Left, 10), Some(0.25));
+        assert_eq!(st.latest(Nb::Left, 2), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: across random problem shapes, the optimistic solver
+//! with zero tolerance reproduces the synchronous solution, and loose
+//! tolerances stay within the analytic error bound.
+
+use hope_numeric::{reference_sums, run, Problem};
+use hope_sim::{LatencyModel, Topology, VirtualDuration};
+use proptest::prelude::*;
+
+fn problem() -> impl Strategy<Value = Problem> {
+    (2usize..5, 2usize..7, 4u64..14).prop_map(|(n_chunks, chunk_size, iterations)| Problem {
+        n_chunks,
+        chunk_size,
+        iterations,
+        tolerance: 0.0,
+        compute_per_iter: VirtualDuration::from_micros(100),
+        left_boundary: 1.0,
+        right_boundary: 0.0,
+    })
+}
+
+fn topo(ms: u64) -> Topology {
+    Topology::uniform(LatencyModel::Fixed(VirtualDuration::from_millis(ms)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn zero_tolerance_matches_sync_exactly(p in problem(), link in 1u64..5, seed in 0u64..16) {
+        let sync = run(&p, topo(link), seed, false);
+        let opt = run(&p, topo(link), seed, true);
+        prop_assert!(opt.report.errors().is_empty(), "{}", opt.report);
+        for (i, (a, b)) in opt.sums.iter().zip(&sync.sums).enumerate() {
+            let (a, b) = (a.expect("opt committed"), b.expect("sync committed"));
+            prop_assert!((a - b).abs() < 1e-9, "chunk {i}: {a} vs {b}");
+        }
+        // And both match the single-machine reference.
+        let reference = reference_sums(&p);
+        for (i, s) in sync.sums.iter().enumerate() {
+            prop_assert!((s.unwrap() - reference[i]).abs() < 1e-9, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn loose_tolerance_error_is_bounded(p in problem(), seed in 0u64..8) {
+        let loose = Problem { tolerance: 0.02, ..p.clone() };
+        let out = run(&loose, topo(3), seed, true);
+        prop_assert!(out.report.errors().is_empty(), "{}", out.report);
+        let reference = reference_sums(&p);
+        // Each mispredicted halo injects ≤ tolerance of error per cell per
+        // iteration; the per-chunk sum deviation is bounded accordingly.
+        let bound = loose.tolerance * loose.iterations as f64 * loose.chunk_size as f64;
+        for (i, s) in out.sums.iter().enumerate() {
+            let got = s.expect("chunk committed");
+            prop_assert!(
+                (got - reference[i]).abs() <= bound,
+                "chunk {i}: {got} vs {} (bound {bound})",
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn optimistic_runs_are_deterministic(p in problem(), seed in 0u64..8) {
+        let a = run(&p, topo(2), seed, true);
+        let b = run(&p, topo(2), seed, true);
+        prop_assert_eq!(&a.sums, &b.sums);
+        prop_assert_eq!(
+            a.report.stats().rollback_events,
+            b.report.stats().rollback_events
+        );
+        prop_assert_eq!(a.report.end_time(), b.report.end_time());
+    }
+}

@@ -1,0 +1,239 @@
+//! The fault-tolerant application: optimistic vs synchronous logging.
+//!
+//! The application performs a sequence of steps, each of which must be
+//! recorded on stable storage before its output may escape (the classical
+//! *output commit* problem). Two disciplines:
+//!
+//! * [`run_app_optimistic`] logs asynchronously and `guess`es the entry
+//!   will persist, releasing output under the assumption; the runtime's
+//!   output-commit buffering holds the line until the store's affirm
+//!   arrives, and a lost entry (denied assumption) rolls the application
+//!   back to re-log and re-execute — recovery, for free, by HOPE.
+//! * [`run_app_sync`] waits for each flush acknowledgment — the
+//!   pessimistic baseline whose latency the optimistic version hides.
+
+use hope_core::ProcessId;
+use hope_runtime::{Ctx, Hope};
+use hope_sim::VirtualDuration;
+
+use crate::stable::log_entry;
+
+/// Run `steps` application steps with optimistic logging.
+///
+/// Each step: create the stability assumption, send the log entry
+/// (send-then-guess keeps the store definite), guess, emit the step's
+/// output under the assumption, and compute for `step_cost`. A denied
+/// entry re-executes the step's logging until it sticks.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_app_optimistic(
+    ctx: &mut Ctx,
+    store: ProcessId,
+    steps: u64,
+    step_cost: VirtualDuration,
+) -> Hope<()> {
+    for seq in 0..steps {
+        loop {
+            let aid = ctx.aid_init()?;
+            ctx.send(store, log_entry(aid, seq))?;
+            if ctx.guess(aid)? {
+                break; // proceed under "the entry will persist"
+            }
+            // The entry was lost in a crash: re-log (recovery).
+        }
+        ctx.output(format!("step {seq} committed"))?;
+        ctx.compute(step_cost)?;
+    }
+    Ok(())
+}
+
+/// Run `steps` application steps with synchronous logging: each step waits
+/// for the flush acknowledgment (retrying on crash) before emitting output.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_app_sync(
+    ctx: &mut Ctx,
+    store: ProcessId,
+    steps: u64,
+    step_cost: VirtualDuration,
+) -> Hope<()> {
+    for seq in 0..steps {
+        loop {
+            let aid = ctx.aid_init()?; // carried for wire-format symmetry
+            let ack = ctx.rpc(store, log_entry(aid, seq))?;
+            if ack.as_bool() == Some(true) {
+                break;
+            }
+        }
+        ctx.output(format!("step {seq} committed"))?;
+        ctx.compute(step_cost)?;
+    }
+    Ok(())
+}
+
+/// Run `steps` application steps with **batched** optimistic logging
+/// (group commit): one stability assumption covers `batch` consecutive
+/// entries, sent together. Fewer assumptions and messages than
+/// [`run_app_optimistic`], but a lost batch re-executes `batch` steps.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn run_app_batched(
+    ctx: &mut Ctx,
+    store: ProcessId,
+    steps: u64,
+    step_cost: VirtualDuration,
+    batch: u64,
+) -> Hope<()> {
+    assert!(batch > 0, "batch size must be positive");
+    let mut seq = 0;
+    while seq < steps {
+        let n = batch.min(steps - seq);
+        loop {
+            let aid = ctx.aid_init()?;
+            // One assumption guards the whole batch; the store treats the
+            // group as a unit (one flush, one affirm-or-deny).
+            ctx.send(store, log_entry(aid, seq))?;
+            if ctx.guess(aid)? {
+                break;
+            }
+            // The batch was lost: re-log it whole.
+        }
+        for i in 0..n {
+            ctx.output(format!("step {} committed", seq + i))?;
+            ctx.compute(step_cost)?;
+        }
+        seq += n;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stable::run_stable_store;
+    use hope_runtime::{SimConfig, Simulation};
+    use hope_sim::{LatencyModel, Topology, VirtualTime};
+
+    fn ms(v: u64) -> VirtualDuration {
+        VirtualDuration::from_millis(v)
+    }
+
+    fn run(optimistic: bool, crash_rate: f64, steps: u64) -> (hope_runtime::RunReport, VirtualTime) {
+        let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
+        let mut sim = Simulation::new(SimConfig::with_seed(11).topology(topo));
+        let store = ProcessId(1);
+        let app = sim.spawn("app", move |ctx| {
+            if optimistic {
+                run_app_optimistic(ctx, store, steps, VirtualDuration::from_micros(200))
+            } else {
+                run_app_sync(ctx, store, steps, VirtualDuration::from_micros(200))
+            }
+        });
+        sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5), crash_rate));
+        let report = sim.run();
+        let t = report.finish_time(app).expect("app finishes");
+        (report, t)
+    }
+
+    #[test]
+    fn both_protocols_commit_all_steps() {
+        for optimistic in [true, false] {
+            let (report, _) = run(optimistic, 0.0, 10);
+            assert_eq!(report.outputs().len(), 10, "optimistic={optimistic}");
+            for (i, line) in report.output_lines().iter().enumerate() {
+                assert_eq!(*line, format!("step {i} committed"));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_logging_commits_everything_and_messages_less() {
+        let run = |batch: u64| {
+            let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
+            let mut sim = Simulation::new(SimConfig::with_seed(11).topology(topo));
+            let store = ProcessId(1);
+            sim.spawn("app", move |ctx| {
+                run_app_batched(ctx, store, 12, VirtualDuration::from_micros(200), batch)
+            });
+            sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5), 0.0));
+            sim.run()
+        };
+        let per_entry = run(1);
+        let grouped = run(4);
+        assert_eq!(per_entry.outputs().len(), 12);
+        assert_eq!(grouped.outputs().len(), 12);
+        assert!(
+            grouped.stats().messages_sent < per_entry.stats().messages_sent,
+            "group commit must send fewer log messages: {} vs {}",
+            grouped.stats().messages_sent,
+            per_entry.stats().messages_sent
+        );
+        for (i, line) in grouped.output_lines().iter().enumerate() {
+            assert_eq!(*line, format!("step {i} committed"));
+        }
+    }
+
+    #[test]
+    fn batched_logging_survives_crashes() {
+        let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
+        let mut sim = Simulation::new(SimConfig::with_seed(13).topology(topo));
+        let store = ProcessId(1);
+        sim.spawn("app", move |ctx| {
+            run_app_batched(ctx, store, 12, VirtualDuration::from_micros(200), 3)
+        });
+        sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5), 0.35));
+        let report = sim.run();
+        assert_eq!(report.outputs().len(), 12, "{report}");
+        assert!(report.stats().rollback_events > 0, "{report}");
+        for (i, line) in report.output_lines().iter().enumerate() {
+            assert_eq!(*line, format!("step {i} committed"));
+        }
+    }
+
+    #[test]
+    fn optimistic_logging_hides_flush_latency() {
+        let (opt_report, opt) = run(true, 0.0, 20);
+        let (_, sync) = run(false, 0.0, 20);
+        assert!(
+            opt < sync,
+            "optimistic {opt} !< synchronous {sync}"
+        );
+        assert_eq!(opt_report.stats().rollback_events, 0);
+    }
+
+    #[test]
+    fn crashes_roll_back_and_recover() {
+        let (report, _) = run(true, 0.3, 15);
+        assert_eq!(
+            report.outputs().len(),
+            15,
+            "all steps eventually commit despite crashes: {report}"
+        );
+        assert!(
+            report.stats().rollback_events > 0,
+            "some entries must have been lost: {report}"
+        );
+        // No speculative output escaped: committed lines are exactly the
+        // 15 step lines in order.
+        for (i, line) in report.output_lines().iter().enumerate() {
+            assert_eq!(*line, format!("step {i} committed"));
+        }
+    }
+
+    #[test]
+    fn sync_baseline_also_survives_crashes() {
+        let (report, _) = run(false, 0.3, 15);
+        assert_eq!(report.outputs().len(), 15, "{report}");
+        assert_eq!(report.stats().rollback_events, 0, "no speculation used");
+    }
+}

@@ -1,0 +1,28 @@
+//! # hope-recovery — optimistic recovery, the paper's canonical example
+//!
+//! Optimistic recovery protocols (Strom & Yemini \[24\], discussed in §2 of
+//! the paper) let distributed components checkpoint asynchronously by
+//! "optimistically assum\[ing\] that the sender of a message will checkpoint
+//! its state to stable storage before failure at that node occurs". HOPE
+//! subsumes them "because HOPE allows any optimistic assumption to be
+//! made, rather than the single non-failure assumption" — this crate is
+//! that subsumption, executed:
+//!
+//! * [`run_stable_store`] flushes log entries, affirming each entry's
+//!   stability assumption (or denying it on a simulated crash);
+//! * [`run_app_optimistic`] releases output under the assumption,
+//!   recovering automatically — via HOPE rollback — when an entry is lost;
+//! * [`run_app_sync`] is the synchronous write-ahead baseline for
+//!   experiment E10;
+//! * [`run_app_batched`] is the group-commit variant: one assumption per
+//!   batch of entries — fewer messages, coarser rollback.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod app;
+mod stable;
+
+pub use app::{run_app_batched, run_app_optimistic, run_app_sync};
+pub use stable::{decode_log_entry, log_entry, run_stable_store};

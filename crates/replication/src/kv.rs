@@ -1,0 +1,111 @@
+//! A versioned key-value store, shared by the primary and replica caches.
+
+use std::collections::BTreeMap;
+
+use hope_runtime::Value;
+
+/// A key-value store where every key carries a monotonically increasing
+/// version number, used for optimistic-concurrency certification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionedStore {
+    entries: BTreeMap<String, (Value, u64)>,
+}
+
+impl VersionedStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        VersionedStore::default()
+    }
+
+    /// The value and version of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<(&Value, u64)> {
+        self.entries.get(key).map(|(v, ver)| (v, *ver))
+    }
+
+    /// The version of `key`; absent keys are version 0.
+    pub fn version(&self, key: &str) -> u64 {
+        self.entries.get(key).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Unconditionally install `value` for `key` at `version`.
+    pub fn install(&mut self, key: &str, value: Value, version: u64) {
+        self.entries.insert(key.to_string(), (value, version));
+    }
+
+    /// Certify-and-apply: if the caller's `expected` version matches the
+    /// current one, install the value with a bumped version and return
+    /// `Ok(new_version)`; otherwise return the current `(value, version)`
+    /// so the caller can repair its cache.
+    ///
+    /// # Errors
+    ///
+    /// `Err((current_value, current_version))` on a version conflict.
+    #[allow(clippy::result_large_err)]
+    pub fn certify(
+        &mut self,
+        key: &str,
+        value: Value,
+        expected: u64,
+    ) -> Result<u64, (Value, u64)> {
+        let current = self.version(key);
+        if current == expected {
+            let new = current + 1;
+            self.entries.insert(key.to_string(), (value, new));
+            Ok(new)
+        } else {
+            let (v, ver) = self.entries.get(key).cloned().unwrap_or((Value::Unit, 0));
+            Err((v, ver))
+        }
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_version_defaults() {
+        let s = VersionedStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.get("x"), None);
+        assert_eq!(s.version("x"), 0);
+    }
+
+    #[test]
+    fn certify_applies_on_match() {
+        let mut s = VersionedStore::new();
+        assert_eq!(s.certify("x", Value::Int(1), 0), Ok(1));
+        assert_eq!(s.get("x"), Some((&Value::Int(1), 1)));
+        assert_eq!(s.certify("x", Value::Int(2), 1), Ok(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn certify_rejects_on_conflict() {
+        let mut s = VersionedStore::new();
+        s.certify("x", Value::Int(1), 0).unwrap();
+        let err = s.certify("x", Value::Int(9), 0).unwrap_err();
+        assert_eq!(err, (Value::Int(1), 1));
+        // Store unchanged by the failed certification.
+        assert_eq!(s.get("x"), Some((&Value::Int(1), 1)));
+    }
+
+    #[test]
+    fn install_overwrites() {
+        let mut s = VersionedStore::new();
+        s.install("k", Value::Int(5), 7);
+        assert_eq!(s.get("k"), Some((&Value::Int(5), 7)));
+        s.install("k", Value::Int(6), 8);
+        assert_eq!(s.version("k"), 8);
+    }
+}

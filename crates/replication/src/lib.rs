@@ -1,0 +1,35 @@
+//! # hope-replication — optimistic replication on HOPE
+//!
+//! §7 of the paper names optimistic concurrency control of replicated data
+//! as the next application of HOPE: "A local cached replica of a piece of
+//! data can greatly reduce the latency of access to that data, and
+//! optimistically assuming consistency can reduce the latency of updating
+//! replicated data." This crate builds that system:
+//!
+//! * a **primary** ([`run_primary`]) certifies version-checked updates,
+//!   affirming or denying each update's assumption identifier and
+//!   broadcasting committed values to the other replicas;
+//! * a **replica** ([`Replica`]) serves reads from its local cache and
+//!   performs updates with the send-then-guess discipline, hiding the
+//!   certification round trip behind the client's continuing computation;
+//! * a **pessimistic baseline** ([`Replica::write_pessimistic`]) performs
+//!   the classical synchronous certify, for experiment E7.
+//!
+//! Because updates are sent *before* the guess and links are FIFO, the
+//! primary never becomes speculative: its affirms are definite, so client
+//! work commits promptly — the architectural pattern that makes HOPE
+//! applications converge (see `hope-timewarp` for the contrasting case).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod kv;
+mod messages;
+mod primary;
+mod replica;
+
+pub use kv::VersionedStore;
+pub use messages::RepMsg;
+pub use primary::{run_primary, CertifyOutcome};
+pub use replica::Replica;

@@ -1,0 +1,229 @@
+//! Wire encoding for the replication protocol.
+
+use hope_core::AidId;
+use hope_runtime::Value;
+
+/// A protocol message between replicas and the primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepMsg {
+    /// Optimistic update: "apply `value` to `key`, which I believe is at
+    /// `expected` — the assumption is identified by `aid`".
+    Update {
+        /// The assumption the client guessed.
+        aid: AidId,
+        /// Key to update.
+        key: String,
+        /// New value.
+        value: Value,
+        /// The version the client's cache held.
+        expected: u64,
+    },
+    /// Synchronous read of `key` (RPC request payload).
+    Read {
+        /// Key to read.
+        key: String,
+    },
+    /// Atomic multi-key optimistic update: every `(key, value, expected)`
+    /// entry must pass certification or none is applied; one AID covers
+    /// the whole transaction.
+    MultiUpdate {
+        /// The assumption the client guessed.
+        aid: AidId,
+        /// `(key, value, expected_version)` triples.
+        entries: Vec<(String, Value, u64)>,
+    },
+    /// Pessimistic (synchronous) update: certify and reply with the
+    /// resulting state, whether or not the certification succeeded.
+    SyncUpdate {
+        /// Key to update.
+        key: String,
+        /// New value.
+        value: Value,
+        /// The version the client's cache held.
+        expected: u64,
+    },
+    /// Reply to a read, or the repair shipped with a denial: the current
+    /// value and version of a key.
+    State {
+        /// Key described.
+        key: String,
+        /// Current value.
+        value: Value,
+        /// Current version.
+        version: u64,
+    },
+    /// Broadcast from the primary after a committed update.
+    Notice {
+        /// Key updated.
+        key: String,
+        /// New value.
+        value: Value,
+        /// New version.
+        version: u64,
+    },
+}
+
+impl RepMsg {
+    /// Encode for transmission.
+    pub fn to_value(&self) -> Value {
+        match self {
+            RepMsg::Update {
+                aid,
+                key,
+                value,
+                expected,
+            } => Value::List(vec![
+                Value::Str("upd".into()),
+                Value::Int(aid.index() as i64),
+                Value::Str(key.clone()),
+                value.clone(),
+                Value::Int(*expected as i64),
+            ]),
+            RepMsg::Read { key } => {
+                Value::List(vec![Value::Str("read".into()), Value::Str(key.clone())])
+            }
+            RepMsg::MultiUpdate { aid, entries } => {
+                let mut items = vec![
+                    Value::Str("mupd".into()),
+                    Value::Int(aid.index() as i64),
+                ];
+                for (k, v, expected) in entries {
+                    items.push(Value::Str(k.clone()));
+                    items.push(v.clone());
+                    items.push(Value::Int(*expected as i64));
+                }
+                Value::List(items)
+            }
+            RepMsg::SyncUpdate {
+                key,
+                value,
+                expected,
+            } => Value::List(vec![
+                Value::Str("supd".into()),
+                Value::Str(key.clone()),
+                value.clone(),
+                Value::Int(*expected as i64),
+            ]),
+            RepMsg::State {
+                key,
+                value,
+                version,
+            } => Value::List(vec![
+                Value::Str("state".into()),
+                Value::Str(key.clone()),
+                value.clone(),
+                Value::Int(*version as i64),
+            ]),
+            RepMsg::Notice {
+                key,
+                value,
+                version,
+            } => Value::List(vec![
+                Value::Str("notice".into()),
+                Value::Str(key.clone()),
+                value.clone(),
+                Value::Int(*version as i64),
+            ]),
+        }
+    }
+
+    /// Decode a received payload; `None` for foreign messages.
+    pub fn from_value(v: &Value) -> Option<RepMsg> {
+        let items = v.as_list()?;
+        match items.first()?.as_str()? {
+            "upd" if items.len() == 5 => Some(RepMsg::Update {
+                aid: AidId::from_index(u64::try_from(items[1].as_int()?).ok()?),
+                key: items[2].as_str()?.to_string(),
+                value: items[3].clone(),
+                expected: u64::try_from(items[4].as_int()?).ok()?,
+            }),
+            "read" if items.len() == 2 => Some(RepMsg::Read {
+                key: items[1].as_str()?.to_string(),
+            }),
+            "mupd" if items.len() >= 5 && (items.len() - 2).is_multiple_of(3) => {
+                let aid = AidId::from_index(u64::try_from(items[1].as_int()?).ok()?);
+                let mut entries = Vec::new();
+                for chunk in items[2..].chunks(3) {
+                    entries.push((
+                        chunk[0].as_str()?.to_string(),
+                        chunk[1].clone(),
+                        u64::try_from(chunk[2].as_int()?).ok()?,
+                    ));
+                }
+                Some(RepMsg::MultiUpdate { aid, entries })
+            }
+            "supd" if items.len() == 4 => Some(RepMsg::SyncUpdate {
+                key: items[1].as_str()?.to_string(),
+                value: items[2].clone(),
+                expected: u64::try_from(items[3].as_int()?).ok()?,
+            }),
+            "state" if items.len() == 4 => Some(RepMsg::State {
+                key: items[1].as_str()?.to_string(),
+                value: items[2].clone(),
+                version: u64::try_from(items[3].as_int()?).ok()?,
+            }),
+            "notice" if items.len() == 4 => Some(RepMsg::Notice {
+                key: items[1].as_str()?.to_string(),
+                value: items[2].clone(),
+                version: u64::try_from(items[3].as_int()?).ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = [
+            RepMsg::Update {
+                aid: AidId::from_index(3),
+                key: "k".into(),
+                value: Value::Int(7),
+                expected: 2,
+            },
+            RepMsg::Read { key: "k".into() },
+            RepMsg::MultiUpdate {
+                aid: AidId::from_index(5),
+                entries: vec![
+                    ("a".into(), Value::Int(1), 0),
+                    ("b".into(), Value::Int(2), 3),
+                ],
+            },
+            RepMsg::SyncUpdate {
+                key: "k".into(),
+                value: Value::Int(1),
+                expected: 0,
+            },
+            RepMsg::State {
+                key: "k".into(),
+                value: Value::Int(7),
+                version: 3,
+            },
+            RepMsg::Notice {
+                key: "k".into(),
+                value: Value::Int(8),
+                version: 4,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(RepMsg::from_value(&m.to_value()), Some(m));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(RepMsg::from_value(&Value::Unit), None);
+        assert_eq!(
+            RepMsg::from_value(&Value::List(vec![Value::Str("nope".into())])),
+            None
+        );
+        assert_eq!(
+            RepMsg::from_value(&Value::List(vec![Value::Str("upd".into())])),
+            None
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! The primary copy: certifier of optimistic updates.
+//!
+//! The primary is the *definite verifier* of this application — the
+//! analogue of Figure 2's WorryWart. Clients follow the send-then-guess
+//! discipline (the update message leaves **before** the guess, so it
+//! carries only the client's pre-existing dependencies), and pipelined
+//! updates from one client arrive in FIFO order after their predecessors
+//! were certified — so their tags are already decided and the primary
+//! never becomes speculative. Affirms and denies issued here are therefore
+//! definite, and client output commits flow promptly (contrast with the
+//! symmetric Time Warp setting in `hope-timewarp`, where no definite
+//! affirmer exists).
+
+use hope_runtime::{Ctx, Hope, MsgKind, ProcessId, Value};
+use hope_sim::VirtualDuration;
+
+use crate::kv::VersionedStore;
+use crate::messages::RepMsg;
+
+/// Counters the primary accumulates (exposed for tests and benchmarks via
+/// the observer callback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertifyOutcome {
+    /// The update's expected version matched: applied and affirmed.
+    Committed,
+    /// Version conflict: denied; repair state shipped to the updater.
+    Conflicted,
+    /// A read was served.
+    Read,
+}
+
+/// Run the primary until simulation shutdown.
+///
+/// * `replicas` — every replica process; committed updates are broadcast
+///   to all of them except the updater.
+/// * `cost` — CPU charged per handled request.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s (the loop
+/// terminates via `Shutdown`).
+pub fn run_primary(
+    ctx: &mut Ctx,
+    replicas: Vec<ProcessId>,
+    cost: VirtualDuration,
+    mut observer: impl FnMut(CertifyOutcome),
+) -> Hope<()> {
+    let mut store = VersionedStore::new();
+    loop {
+        let msg = ctx.recv()?;
+        let decoded = match RepMsg::from_value(&msg.payload) {
+            Some(d) => d,
+            None => continue,
+        };
+        ctx.compute(cost)?;
+        match decoded {
+            RepMsg::Update {
+                aid,
+                key,
+                value,
+                expected,
+            } => match store.certify(&key, value.clone(), expected) {
+                Ok(version) => {
+                    ctx.affirm(aid)?;
+                    observer(CertifyOutcome::Committed);
+                    for &r in replicas.iter().filter(|&&r| r != msg.from) {
+                        ctx.send(
+                            r,
+                            RepMsg::Notice {
+                                key: key.clone(),
+                                value: value.clone(),
+                                version,
+                            }
+                            .to_value(),
+                        )?;
+                    }
+                }
+                Err((cur_value, cur_version)) => {
+                    // Ship the repair before the deny so it is already in
+                    // flight when the client's rollback re-reads.
+                    ctx.send(
+                        msg.from,
+                        RepMsg::State {
+                            key: key.clone(),
+                            value: cur_value,
+                            version: cur_version,
+                        }
+                        .to_value(),
+                    )?;
+                    ctx.deny(aid)?;
+                    observer(CertifyOutcome::Conflicted);
+                }
+            },
+            RepMsg::MultiUpdate { aid, entries } => {
+                let all_match = entries
+                    .iter()
+                    .all(|(k, _, expected)| store.version(k) == *expected);
+                if all_match {
+                    for (k, v, expected) in &entries {
+                        store.install(k, v.clone(), expected + 1);
+                    }
+                    ctx.affirm(aid)?;
+                    observer(CertifyOutcome::Committed);
+                    for (k, v, expected) in &entries {
+                        for &r in replicas.iter().filter(|&&r| r != msg.from) {
+                            ctx.send(
+                                r,
+                                RepMsg::Notice {
+                                    key: k.clone(),
+                                    value: v.clone(),
+                                    version: expected + 1,
+                                }
+                                .to_value(),
+                            )?;
+                        }
+                    }
+                } else {
+                    // All-or-nothing: apply nothing; ship the current
+                    // state of *every* touched key so the client repairs
+                    // in one round, then deny.
+                    for (k, _, _) in &entries {
+                        let (value, version) = store
+                            .get(k)
+                            .map(|(v, ver)| (v.clone(), ver))
+                            .unwrap_or((Value::Unit, 0));
+                        ctx.send(
+                            msg.from,
+                            RepMsg::State {
+                                key: k.clone(),
+                                value,
+                                version,
+                            }
+                            .to_value(),
+                        )?;
+                    }
+                    ctx.deny(aid)?;
+                    observer(CertifyOutcome::Conflicted);
+                }
+            }
+            RepMsg::SyncUpdate {
+                key,
+                value,
+                expected,
+            } => {
+                let (out, value, version) = match store.certify(&key, value.clone(), expected) {
+                    Ok(version) => (CertifyOutcome::Committed, value, version),
+                    Err((cur_value, cur_version)) => {
+                        (CertifyOutcome::Conflicted, cur_value, cur_version)
+                    }
+                };
+                if out == CertifyOutcome::Committed {
+                    for &r in replicas.iter().filter(|&&r| r != msg.from) {
+                        ctx.send(
+                            r,
+                            RepMsg::Notice {
+                                key: key.clone(),
+                                value: value.clone(),
+                                version,
+                            }
+                            .to_value(),
+                        )?;
+                    }
+                }
+                if matches!(msg.kind, MsgKind::Request(_)) {
+                    ctx.reply(
+                        &msg,
+                        RepMsg::State {
+                            key,
+                            value,
+                            version,
+                        }
+                        .to_value(),
+                    )?;
+                }
+                observer(out);
+            }
+            RepMsg::Read { key } => {
+                let (value, version) = store
+                    .get(&key)
+                    .map(|(v, ver)| (v.clone(), ver))
+                    .unwrap_or((Value::Unit, 0));
+                if matches!(msg.kind, MsgKind::Request(_)) {
+                    ctx.reply(
+                        &msg,
+                        RepMsg::State {
+                            key,
+                            value,
+                            version,
+                        }
+                        .to_value(),
+                    )?;
+                }
+                observer(CertifyOutcome::Read);
+            }
+            RepMsg::State { .. } | RepMsg::Notice { .. } => {}
+        }
+    }
+}

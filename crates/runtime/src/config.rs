@@ -1,0 +1,143 @@
+//! Simulation configuration.
+
+use hope_sim::{Topology, VirtualDuration, VirtualTime};
+
+/// Configuration for a [`Simulation`](crate::Simulation).
+///
+/// The defaults model the paper's prototype environment loosely: a LAN
+/// topology, no artificial rollback overhead, and generous safety limits.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master random seed; every run with the same seed and program is
+    /// bit-identical.
+    pub seed: u64,
+    /// Per-link latency models.
+    pub topology: Topology,
+    /// Extra virtual time charged when a process resumes after rollback
+    /// (models checkpoint-restoration cost; the paper's prototype restores
+    /// from a state file, ours replays a journal — both cost something).
+    pub rollback_overhead: VirtualDuration,
+    /// Virtual time charged on the *sender* per message for HOPE dependency
+    /// tagging (§7 observes the prototype "never forces a user process to
+    /// wait" for tracking messages, so the default is zero; the E8 ablation
+    /// sweeps it).
+    pub tracking_overhead: VirtualDuration,
+    /// Hard stop: no event beyond this virtual time is processed.
+    pub max_virtual_time: VirtualTime,
+    /// Hard stop: maximum number of scheduler events.
+    pub max_events: u64,
+    /// Run the engine's O(intervals × AIDs) structural invariant check
+    /// after every transition. Invaluable when debugging a protocol,
+    /// ruinous for long simulations; the engine's own test suite covers
+    /// the invariants, so this defaults to off.
+    pub check_engine_invariants: bool,
+    /// Record a human-readable execution trace (primitive calls, message
+    /// deliveries, ghost drops, rollbacks, output commits), available as
+    /// [`RunReport::trace`](crate::RunReport::trace). Off by default:
+    /// tracing a long run allocates a string per event.
+    pub trace: bool,
+    /// When the simulation quiesces (no events left), have the scheduler —
+    /// which is a *definite external observer* by construction — affirm
+    /// every still-open assumption and keep running until the resulting
+    /// cascades settle.
+    ///
+    /// Rationale: by Lemma 6.3 a speculative affirm only takes effect when
+    /// its issuer finalizes, so a system in which every process stays
+    /// speculative (e.g. symmetric Time Warp) can never commit from
+    /// within; real Time Warp solves this with GVT. This flag is that
+    /// observer: at quiescence no deny can ever arrive, so surviving
+    /// assumptions are vacuously safe to affirm. Off by default — it
+    /// changes when (not whether) output commits, and programs with their
+    /// own verifiers don't need it.
+    pub commit_at_quiescence: bool,
+}
+
+impl SimConfig {
+    /// A configuration with the given seed and otherwise default values.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Replace the topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the rollback overhead.
+    pub fn rollback_overhead(mut self, d: VirtualDuration) -> Self {
+        self.rollback_overhead = d;
+        self
+    }
+
+    /// Replace the per-message tracking overhead.
+    pub fn tracking_overhead(mut self, d: VirtualDuration) -> Self {
+        self.tracking_overhead = d;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            topology: Topology::lan(),
+            rollback_overhead: VirtualDuration::ZERO,
+            tracking_overhead: VirtualDuration::ZERO,
+            max_virtual_time: VirtualTime::MAX,
+            max_events: 10_000_000,
+            check_engine_invariants: false,
+            trace: false,
+            commit_at_quiescence: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Enable execution tracing (see [`SimConfig::trace`]).
+    pub fn traced(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Enable the quiescence commit oracle (see
+    /// [`SimConfig::commit_at_quiescence`]).
+    pub fn commit_at_quiescence(mut self) -> Self {
+        self.commit_at_quiescence = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_sim::SimRng;
+
+    #[test]
+    fn defaults() {
+        let c = SimConfig::default();
+        assert_eq!(c.seed, 0);
+        assert_eq!(c.rollback_overhead, VirtualDuration::ZERO);
+        assert_eq!(c.max_virtual_time, VirtualTime::MAX);
+        assert!(c.max_events > 0);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::with_seed(9)
+            .topology(Topology::coast_to_coast())
+            .rollback_overhead(VirtualDuration::from_micros(50))
+            .tracking_overhead(VirtualDuration::from_nanos(10));
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.rollback_overhead, VirtualDuration::from_micros(50));
+        assert_eq!(c.tracking_overhead, VirtualDuration::from_nanos(10));
+        let mut rng = SimRng::new(0);
+        assert_eq!(
+            c.topology.sample(0, 1, &mut rng),
+            VirtualDuration::from_millis(15)
+        );
+    }
+}

@@ -1,0 +1,643 @@
+//! `Ctx`: the process-side API — HOPE primitives, messaging, virtual time.
+//!
+//! A process body is a closure `Fn(&mut Ctx) -> Hope<()>`. Everything the
+//! body learns about the world comes through `Ctx`, which journals each
+//! interaction so that rollback can re-execute the body deterministically
+//! (see [`journal`](crate::journal)). The obligations on a body are:
+//!
+//! 1. **Determinism given `Ctx` results** — no host clocks, no global
+//!    mutable state, no `rand` calls outside [`Ctx::random_u64`].
+//! 2. **Propagate signals** — every fallible `Ctx` call returns
+//!    [`Hope<T>`](crate::Hope); use `?` and let [`Signal`]s unwind.
+//! 3. **Externally visible work goes through [`Ctx::output`]** (or happens
+//!    after the assumptions it depends on are affirmed): the runtime
+//!    buffers speculative output and discards it on rollback, but it cannot
+//!    un-write your files.
+
+use std::sync::Arc;
+
+use crossbeam_channel::{Receiver, Sender};
+use hope_core::{AidId, Checkpoint, Error, ProcessId, ReceiveOutcome};
+use hope_sim::{VirtualDuration, VirtualTime};
+use parking_lot::Mutex;
+
+use crate::journal::Entry;
+use crate::message::{Message, MsgKind};
+use crate::scheduler::ResumeSignal;
+use crate::shared::{ProcState, Shared};
+use crate::signal::{Hope, Signal};
+use crate::value::Value;
+
+/// The handle a process body uses to interact with the simulated world.
+///
+/// See the module-level documentation above for the obligations on process bodies, and
+/// [`Simulation::spawn`](crate::Simulation::spawn) for how bodies are
+/// installed.
+#[derive(Debug)]
+pub struct Ctx {
+    shared: Arc<Mutex<Shared>>,
+    idx: usize,
+    pid: ProcessId,
+    resume_rx: Receiver<ResumeSignal>,
+    yield_tx: Sender<()>,
+    replay_len: usize,
+    cursor: usize,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        shared: Arc<Mutex<Shared>>,
+        idx: usize,
+        resume_rx: Receiver<ResumeSignal>,
+        yield_tx: Sender<()>,
+        replay_len: usize,
+    ) -> Self {
+        let pid = shared.lock().procs[idx].pid;
+        Ctx {
+            shared,
+            idx,
+            pid,
+            resume_rx,
+            yield_tx,
+            replay_len,
+            cursor: 0,
+        }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// `true` while the body is replaying its journal after a rollback.
+    ///
+    /// Useful only for diagnostics; bodies must behave identically either
+    /// way.
+    pub fn replaying(&self) -> bool {
+        self.cursor < self.replay_len
+    }
+
+    // ------------------------------------------------------------------
+    // replay machinery
+    // ------------------------------------------------------------------
+
+    fn replay_next(&mut self) -> Option<Entry> {
+        if self.cursor >= self.replay_len {
+            return None;
+        }
+        let sh = self.shared.lock();
+        let e = sh.procs[self.idx]
+            .journal
+            .get(self.cursor)
+            .expect("replay cursor within journal")
+            .clone();
+        drop(sh);
+        self.cursor += 1;
+        Some(e)
+    }
+
+    fn diverged(&self, expected: &str, got: &Entry) -> ! {
+        panic!(
+            "replay divergence in {}: body issued `{expected}` but the journal \
+             recorded `{}` at position {} — process bodies must be \
+             deterministic given Ctx results",
+            self.pid,
+            got.kind(),
+            self.cursor - 1,
+        )
+    }
+
+    fn park(&mut self, state: ProcState) -> Hope<()> {
+        {
+            let mut sh = self.shared.lock();
+            sh.procs[self.idx].state = state;
+        }
+        let _ = self.yield_tx.send(());
+        match self.resume_rx.recv() {
+            Ok(ResumeSignal::Go) => {
+                let sh = self.shared.lock();
+                if sh.procs[self.idx].rollback_pending {
+                    Err(Signal::Rollback)
+                } else {
+                    Ok(())
+                }
+            }
+            Ok(ResumeSignal::Shutdown) | Err(_) => Err(Signal::Shutdown),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // HOPE primitives
+    // ------------------------------------------------------------------
+
+    /// Create a fresh assumption identifier (the paper's `aid_init`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Signal`] only on shutdown (never blocks otherwise).
+    pub fn aid_init(&mut self) -> Hope<AidId> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::AidInit(aid) => return Ok(aid),
+                other => self.diverged("aid_init", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let aid = sh.engine.aid_init(self.pid);
+        sh.procs[self.idx].journal.push(Entry::AidInit(aid));
+        Ok(aid)
+    }
+
+    /// `guess(x)`: begin computing under the assumption identified by `x`.
+    ///
+    /// Returns `true` immediately (speculatively). If the assumption is
+    /// later denied, the process is rolled back to this point, the body is
+    /// re-executed, and this call returns `false` (§5.1, Equation 24).
+    ///
+    /// # Errors
+    ///
+    /// [`Signal::Rollback`]/[`Signal::Shutdown`] propagated from the
+    /// runtime.
+    pub fn guess(&mut self, aid: AidId) -> Hope<bool> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Guess { aid: a, value } if a == aid => return Ok(value),
+                other => self.diverged("guess", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let pos = sh.procs[self.idx].journal.len() as u64;
+        let (outcome, fx) = sh
+            .engine
+            .guess(self.pid, &[aid], Checkpoint(pos))
+            .expect("guess on engine-owned ids");
+        let value = outcome.value();
+        let pid = self.pid;
+        sh.trace(|| format!("{pid}: guess({aid}) -> {value}"));
+        sh.procs[self.idx].journal.push(Entry::Guess { aid, value });
+        let rolled = sh.apply_effects(self.idx, &fx);
+        drop(sh);
+        if rolled {
+            return Err(Signal::Rollback);
+        }
+        Ok(value)
+    }
+
+    /// `affirm(x)`: assert the assumption was correct (§5.2).
+    ///
+    /// Re-affirming an AID that was already decided (which happens
+    /// legitimately in re-executed code after a conservative deny) is a
+    /// recorded no-op rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn affirm(&mut self, aid: AidId) -> Hope<()> {
+        self.primitive(aid, Prim::Affirm)
+    }
+
+    /// `deny(x)`: assert the assumption was wrong, rolling back every
+    /// dependent computation (§5.3). If the caller itself depends on `x`,
+    /// this call returns `Err(Signal::Rollback)` — propagate it.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn deny(&mut self, aid: AidId) -> Hope<()> {
+        self.primitive(aid, Prim::Deny)
+    }
+
+    /// `free_of(x)`: assert this computation is not, and never will be,
+    /// causally dependent on `x` (§5.4). If the constraint is already
+    /// violated the runtime denies `x`, rolling this process back.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn free_of(&mut self, aid: AidId) -> Hope<()> {
+        self.primitive(aid, Prim::FreeOf)
+    }
+
+    fn primitive(&mut self, aid: AidId, prim: Prim) -> Hope<()> {
+        if let Some(e) = self.replay_next() {
+            match (&e, prim) {
+                (Entry::Affirm(a), Prim::Affirm)
+                | (Entry::Deny(a), Prim::Deny)
+                | (Entry::FreeOf(a), Prim::FreeOf)
+                    if *a == aid =>
+                {
+                    return Ok(());
+                }
+                _ => self.diverged(prim.name(), &e),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let result = match prim {
+            Prim::Affirm => sh.engine.affirm(self.pid, aid),
+            Prim::Deny => sh.engine.deny(self.pid, aid),
+            Prim::FreeOf => sh.engine.free_of(self.pid, aid),
+        };
+        let entry = match prim {
+            Prim::Affirm => Entry::Affirm(aid),
+            Prim::Deny => Entry::Deny(aid),
+            Prim::FreeOf => Entry::FreeOf(aid),
+        };
+        let pid = self.pid;
+        let skipped = matches!(result, Err(Error::AidConsumed(_)));
+        sh.trace(|| {
+            format!(
+                "{pid}: {}({aid}){}",
+                prim.name(),
+                if skipped { " [already decided: no-op]" } else { "" }
+            )
+        });
+        sh.procs[self.idx].journal.push(entry);
+        let rolled = match result {
+            Ok(fx) => sh.apply_effects(self.idx, &fx),
+            // Re-application after a conservative decision: recorded no-op.
+            Err(Error::AidConsumed(_)) => false,
+            Err(e) => panic!("engine rejected {}: {e}", prim.name()),
+        };
+        drop(sh);
+        if rolled {
+            return Err(Signal::Rollback);
+        }
+        Ok(())
+    }
+
+    /// `true` if this process currently depends on undecided assumptions.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn is_speculative(&mut self) -> Hope<bool> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Flag(v) => return Ok(v),
+                other => self.diverged("is_speculative", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let v = sh
+            .engine
+            .is_speculative(self.pid)
+            .expect("process is registered");
+        sh.procs[self.idx].journal.push(Entry::Flag(v));
+        Ok(v)
+    }
+
+    // ------------------------------------------------------------------
+    // time, randomness, output
+    // ------------------------------------------------------------------
+
+    /// Consume `d` of virtual CPU time.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn compute(&mut self, d: VirtualDuration) -> Hope<()> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Compute(_) => return Ok(()),
+                other => self.diverged("compute", &other),
+            }
+        }
+        {
+            let mut sh = self.shared.lock();
+            sh.procs[self.idx].journal.push(Entry::Compute(d));
+            let at = sh.now + d;
+            sh.schedule_wake(self.idx, at);
+        }
+        self.park(ProcState::Holding)
+    }
+
+    /// The current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn now(&mut self) -> Hope<VirtualTime> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Now(t) => return Ok(t),
+                other => self.diverged("now", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let t = sh.now;
+        sh.procs[self.idx].journal.push(Entry::Now(t));
+        Ok(t)
+    }
+
+    /// A journaled random `u64` from this process's deterministic stream.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn random_u64(&mut self) -> Hope<u64> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Rand(v) => return Ok(v),
+                other => self.diverged("rand", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let v = sh.procs[self.idx].rng.next_u64();
+        sh.procs[self.idx].journal.push(Entry::Rand(v));
+        Ok(v)
+    }
+
+    /// A journaled Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn chance(&mut self, p: f64) -> Hope<bool> {
+        let v = self.random_u64()?;
+        Ok((v as f64 / u64::MAX as f64) < p.clamp(0.0, 1.0))
+    }
+
+    /// Emit one output line, subject to output commit: buffered while this
+    /// process is speculative, released when the buffering interval
+    /// finalizes, discarded if it rolls back.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn output(&mut self, line: impl Into<String>) -> Hope<()> {
+        let line = line.into();
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Output => return Ok(()),
+                other => self.diverged("output", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        sh.output(self.idx, line);
+        sh.procs[self.idx].journal.push(Entry::Output);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // messaging
+    // ------------------------------------------------------------------
+
+    /// Send a one-way message. The runtime tags it with this process's
+    /// current dependence set (§3); the call never blocks.
+    ///
+    /// Returns the message id.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn send(&mut self, to: ProcessId, payload: impl Into<Value>) -> Hope<u64> {
+        self.send_kind(to, |_| MsgKind::Plain, payload.into())
+    }
+
+    /// Send a request *without* blocking for the reply (the asynchronous
+    /// half of an RPC). Returns the call id; collect the reply later with
+    /// [`Ctx::recv_matching`] — or never, if an optimistic protocol makes
+    /// the reply unnecessary.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn send_request(&mut self, to: ProcessId, payload: impl Into<Value>) -> Hope<u64> {
+        self.send_kind(to, MsgKind::Request, payload.into())
+    }
+
+    /// Receive the next deliverable message (blocking). Ghost messages —
+    /// whose tags contain a denied AID — are dropped silently; receiving a
+    /// message from a speculative sender implicitly guesses the tag's
+    /// undecided AIDs, making this process speculative too.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn recv(&mut self) -> Hope<Message> {
+        self.recv_where(&|_| true)
+    }
+
+    /// Receive the next deliverable message satisfying `pred`, leaving
+    /// non-matching messages queued.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn recv_matching(&mut self, pred: impl Fn(&Message) -> bool) -> Hope<Message> {
+        self.recv_where(&pred)
+    }
+
+    /// Receive the next deliverable message if one is already queued,
+    /// without blocking. Ghost messages encountered during the scan are
+    /// dropped. Returns `None` when the mailbox holds nothing deliverable.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn try_recv(&mut self) -> Hope<Option<Message>> {
+        self.try_recv_where(&|_| true)
+    }
+
+    /// Like [`Ctx::try_recv`], but only considers messages satisfying
+    /// `pred`, leaving others queued. Ghosts matching `pred` are dropped
+    /// during the scan.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn try_recv_matching(
+        &mut self,
+        pred: impl Fn(&Message) -> bool,
+    ) -> Hope<Option<Message>> {
+        self.try_recv_where(&pred)
+    }
+
+    fn try_recv_where(&mut self, pred: &dyn Fn(&Message) -> bool) -> Hope<Option<Message>> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Recv(m) => return Ok(Some(*m)),
+                Entry::Flag(false) => return Ok(None),
+                other => self.diverged("try_recv", &other),
+            }
+        }
+        loop {
+            let mut sh = self.shared.lock();
+            let first = sh.procs[self.idx]
+                .mailbox
+                .iter()
+                .find(|(_, m)| pred(m))
+                .map(|(k, _)| *k);
+            match first {
+                None => {
+                    sh.procs[self.idx].journal.push(Entry::Flag(false));
+                    return Ok(None);
+                }
+                Some(k) => {
+                    let m = sh.procs[self.idx]
+                        .mailbox
+                        .remove(&k)
+                        .expect("key just observed");
+                    let pos = sh.procs[self.idx].journal.len() as u64;
+                    let (outcome, fx) = sh
+                        .engine
+                        .implicit_guess(self.pid, &m.tag, Checkpoint(pos))
+                        .expect("receive on engine-owned ids");
+                    match outcome {
+                        ReceiveOutcome::Ghost(denied) => {
+                            sh.stats.ghosts_dropped += 1;
+                            let pid = self.pid;
+                            sh.trace(|| {
+                                format!("{pid}: ghost m{} dropped ({denied} denied)", m.id)
+                            });
+                            continue;
+                        }
+                        ReceiveOutcome::Clean | ReceiveOutcome::Speculative(_) => {
+                            sh.procs[self.idx]
+                                .journal
+                                .push(Entry::Recv(Box::new(m.clone())));
+                            let rolled = sh.apply_effects(self.idx, &fx);
+                            debug_assert!(!rolled, "a receive cannot roll back its receiver");
+                            return Ok(Some(m));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A synchronous remote procedure call: sends a request and blocks for
+    /// the matching reply, returning its payload. This is the *pessimistic*
+    /// building block that Call Streaming (the `hope-callstream` crate)
+    /// optimistically transforms away.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn rpc(&mut self, to: ProcessId, payload: impl Into<Value>) -> Hope<Value> {
+        let call = self.send_kind(to, MsgKind::Request, payload.into())?;
+        let reply = self.recv_matching(|m| m.is_reply_to(call))?;
+        Ok(reply.payload)
+    }
+
+    /// Reply to a received request.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req` is not a [`MsgKind::Request`].
+    pub fn reply(&mut self, req: &Message, payload: impl Into<Value>) -> Hope<u64> {
+        let call = req
+            .kind
+            .call_id()
+            .expect("reply target must be a request");
+        debug_assert!(matches!(req.kind, MsgKind::Request(_)));
+        self.send_kind(req.from, move |_| MsgKind::Reply(call), payload.into())
+    }
+
+    fn send_kind(
+        &mut self,
+        to: ProcessId,
+        kind_of: impl FnOnce(u64) -> MsgKind,
+        payload: Value,
+    ) -> Hope<u64> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Send { msg_id } => return Ok(msg_id),
+                other => self.diverged("send", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let id = sh.send_message_with(self.idx, to, kind_of, payload);
+        let pid = self.pid;
+        sh.trace(|| format!("{pid}: send m{id} -> {to}"));
+        sh.procs[self.idx].journal.push(Entry::Send { msg_id: id });
+        Ok(id)
+    }
+
+    fn recv_where(&mut self, pred: &dyn Fn(&Message) -> bool) -> Hope<Message> {
+        if let Some(e) = self.replay_next() {
+            match e {
+                Entry::Recv(m) => return Ok(*m),
+                other => self.diverged("recv", &other),
+            }
+        }
+        loop {
+            let mut sh = self.shared.lock();
+            let chosen = sh.procs[self.idx]
+                .mailbox
+                .iter()
+                .find(|(_, m)| pred(m))
+                .map(|(k, _)| *k);
+            match chosen {
+                Some(k) => {
+                    let m = sh.procs[self.idx]
+                        .mailbox
+                        .remove(&k)
+                        .expect("key just observed");
+                    let pos = sh.procs[self.idx].journal.len() as u64;
+                    let (outcome, fx) = sh
+                        .engine
+                        .implicit_guess(self.pid, &m.tag, Checkpoint(pos))
+                        .expect("receive on engine-owned ids");
+                    match outcome {
+                        ReceiveOutcome::Ghost(denied) => {
+                            sh.stats.ghosts_dropped += 1;
+                            let pid = self.pid;
+                            sh.trace(|| {
+                                format!("{pid}: ghost m{} dropped ({denied} denied)", m.id)
+                            });
+                            // keep scanning: the ghost is gone for good
+                            continue;
+                        }
+                        ReceiveOutcome::Clean | ReceiveOutcome::Speculative(_) => {
+                            let pid = self.pid;
+                            sh.trace(|| {
+                                format!(
+                                    "{pid}: recv m{} from {}{}",
+                                    m.id,
+                                    m.from,
+                                    if matches!(outcome, ReceiveOutcome::Speculative(_)) {
+                                        " [speculative]"
+                                    } else {
+                                        ""
+                                    }
+                                )
+                            });
+                            sh.procs[self.idx]
+                                .journal
+                                .push(Entry::Recv(Box::new(m.clone())));
+                            let rolled = sh.apply_effects(self.idx, &fx);
+                            debug_assert!(!rolled, "a receive cannot roll back its receiver");
+                            return Ok(m);
+                        }
+                    }
+                }
+                None => {
+                    drop(sh);
+                    self.park(ProcState::BlockedRecv)?;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Prim {
+    Affirm,
+    Deny,
+    FreeOf,
+}
+
+impl Prim {
+    fn name(self) -> &'static str {
+        match self {
+            Prim::Affirm => "affirm",
+            Prim::Deny => "deny",
+            Prim::FreeOf => "free_of",
+        }
+    }
+}

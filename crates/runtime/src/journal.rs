@@ -1,0 +1,136 @@
+//! Per-process journals: the checkpoint/rollback mechanism.
+//!
+//! The paper's prototype used a "simple and fairly portable" checkpoint
+//! mechanism (§7). Ours is **record/replay**: every interaction a process
+//! body has with the outside world (receives, guesses, AID creation, time
+//! and randomness reads, sends, computes, outputs) flows through
+//! [`Ctx`](crate::Ctx) and is journaled. A checkpoint (`A.PS`, Equation 1)
+//! is just a journal position. Rollback truncates the journal at the failed
+//! guess and re-executes the body from the top; journaled entries are
+//! *replayed* — returned without side effects — so the deterministic body
+//! reaches the guess point in the same state, where the re-issued guess now
+//! returns `false` (Equation 24).
+//!
+//! This places one obligation on process bodies: **determinism given `Ctx`
+//! results**. All time, randomness and communication must go through `Ctx`.
+
+use hope_core::AidId;
+use hope_sim::VirtualDuration;
+
+use crate::message::Message;
+
+/// One journaled interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Entry {
+    /// `aid_init` returned this AID.
+    AidInit(AidId),
+    /// `guess(aid)` returned `value`.
+    Guess { aid: AidId, value: bool },
+    /// `affirm(aid)` was issued (replay: skip).
+    Affirm(AidId),
+    /// `deny(aid)` was issued (replay: skip).
+    Deny(AidId),
+    /// `free_of(aid)` was issued (replay: skip).
+    FreeOf(AidId),
+    /// `compute(d)` advanced virtual time (replay: skip — the time already
+    /// passed and was not rolled back).
+    Compute(VirtualDuration),
+    /// A message was sent (replay: skip — it is already in flight or
+    /// ghost-filtered).
+    Send { msg_id: u64 },
+    /// A message was received; replay returns it verbatim.
+    Recv(Box<Message>),
+    /// `now()` read this timestamp.
+    Now(hope_sim::VirtualTime),
+    /// `random_u64()` drew this value.
+    Rand(u64),
+    /// A (possibly buffered) output line was produced (replay: skip).
+    Output,
+    /// A boolean engine query (e.g. `is_speculative`) observed this value.
+    /// Journaled because the engine's answer at replay time may differ from
+    /// the answer the body originally branched on.
+    Flag(bool),
+}
+
+impl Entry {
+    /// Short name for mismatch diagnostics.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            Entry::AidInit(_) => "aid_init",
+            Entry::Guess { .. } => "guess",
+            Entry::Affirm(_) => "affirm",
+            Entry::Deny(_) => "deny",
+            Entry::FreeOf(_) => "free_of",
+            Entry::Compute(_) => "compute",
+            Entry::Send { .. } => "send",
+            Entry::Recv(_) => "recv",
+            Entry::Now(_) => "now",
+            Entry::Rand(_) => "rand",
+            Entry::Output => "output",
+            Entry::Flag(_) => "flag",
+        }
+    }
+}
+
+/// A process's interaction journal.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Journal {
+    entries: Vec<Entry>,
+    /// Total entries ever truncated (for statistics).
+    pub(crate) truncated_entries: u64,
+}
+
+impl Journal {
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn push(&mut self, e: Entry) {
+        self.entries.push(e);
+    }
+
+    pub(crate) fn get(&self, i: usize) -> Option<&Entry> {
+        self.entries.get(i)
+    }
+
+    /// Truncate to `pos`, returning the discarded suffix (oldest first) so
+    /// the caller can re-enqueue its received messages.
+    pub(crate) fn truncate(&mut self, pos: usize) -> Vec<Entry> {
+        if pos >= self.entries.len() {
+            return Vec::new();
+        }
+        let suffix = self.entries.split_off(pos);
+        self.truncated_entries += suffix.len() as u64;
+        suffix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_truncate() {
+        let mut j = Journal::default();
+        j.push(Entry::Rand(1));
+        j.push(Entry::Rand(2));
+        j.push(Entry::Rand(3));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.get(1), Some(&Entry::Rand(2)));
+        let cut = j.truncate(1);
+        assert_eq!(cut, vec![Entry::Rand(2), Entry::Rand(3)]);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.truncated_entries, 2);
+        // Truncating beyond the end is a no-op.
+        assert!(j.truncate(5).is_empty());
+        assert_eq!(j.truncated_entries, 2);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Entry::Rand(0).kind(), "rand");
+        assert_eq!(Entry::Output.kind(), "output");
+        assert_eq!(Entry::Compute(VirtualDuration::ZERO).kind(), "compute");
+        assert_eq!(Entry::Send { msg_id: 0 }.kind(), "send");
+    }
+}

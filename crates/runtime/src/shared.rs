@@ -1,0 +1,429 @@
+//! The scheduler-shared state: engine, processes, event queue, network.
+//!
+//! Exactly one process thread runs at any moment (the scheduler enforces a
+//! strict rendezvous), so the single [`parking_lot::Mutex`] around
+//! [`Shared`] is uncontended; it exists to satisfy the borrow checker
+//! across threads, not to provide parallelism.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hope_core::{Effect, Engine, IntervalId, ProcessId};
+use hope_sim::{EventQueue, SimRng, VirtualTime};
+
+use crate::config::SimConfig;
+use crate::journal::{Entry, Journal};
+use crate::message::{Mailbox, Message, MsgKind};
+use crate::stats::{OutputLine, RunStats};
+use crate::value::Value;
+
+/// What a scheduler event does when it fires.
+#[derive(Debug, Clone)]
+pub(crate) enum EventKind {
+    /// Resume process `proc` if `epoch` is still current.
+    Wake { proc: usize, epoch: u64 },
+    /// Place a message into its destination mailbox.
+    Deliver { msg: Message },
+}
+
+/// Scheduler-visible process state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    /// Currently executing (at most one process at a time).
+    Running,
+    /// Waiting for a `Wake` (inside `compute`, or awaiting first resume).
+    Holding,
+    /// Waiting for a deliverable message.
+    BlockedRecv,
+    /// Body returned `Ok(())` (may still be rolled back and re-run).
+    Finished,
+    /// Body panicked; the process is dead.
+    Crashed,
+}
+
+#[derive(Debug)]
+pub(crate) struct ProcShared {
+    pub(crate) pid: ProcessId,
+    pub(crate) name: String,
+    pub(crate) state: ProcState,
+    pub(crate) mailbox: Mailbox,
+    pub(crate) journal: Journal,
+    /// Set when a rollback truncated the journal while the process was not
+    /// running; the process's next resume observes it and unwinds.
+    pub(crate) rollback_pending: bool,
+    /// Only the `Wake` carrying the current epoch is honoured; scheduling a
+    /// new wake invalidates older ones.
+    pub(crate) wake_epoch: u64,
+    pub(crate) rng: SimRng,
+    pub(crate) finish_time: Option<VirtualTime>,
+    pub(crate) error: Option<String>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) procs: Vec<ProcShared>,
+    pub(crate) queue: EventQueue<EventKind>,
+    pub(crate) now: VirtualTime,
+    pub(crate) config: SimConfig,
+    pub(crate) net_rng: SimRng,
+    /// Last delivery time per directed link, for FIFO clamping.
+    pub(crate) link_last: HashMap<(u32, u32), VirtualTime>,
+    pub(crate) next_msg_id: u64,
+    pub(crate) next_mail_seq: u64,
+    /// Output buffered per speculative interval (released on finalize,
+    /// discarded on rollback).
+    pub(crate) pending_output: BTreeMap<IntervalId, Vec<OutputLine>>,
+    pub(crate) outputs: Vec<OutputLine>,
+    pub(crate) stats: RunStats,
+    pub(crate) trace_log: Vec<String>,
+    /// Engine process id of the quiescence-commit oracle, once created.
+    pub(crate) oracle: Option<ProcessId>,
+}
+
+impl Shared {
+    pub(crate) fn new(config: SimConfig) -> Self {
+        let net_rng = SimRng::new(config.seed).fork(u64::MAX);
+        let mut engine = Engine::new();
+        engine.set_invariant_checking(config.check_engine_invariants);
+        Shared {
+            engine,
+            procs: Vec::new(),
+            queue: EventQueue::new(),
+            now: VirtualTime::ZERO,
+            config,
+            net_rng,
+            link_last: HashMap::new(),
+            next_msg_id: 0,
+            next_mail_seq: 0,
+            pending_output: BTreeMap::new(),
+            outputs: Vec::new(),
+            stats: RunStats::default(),
+            trace_log: Vec::new(),
+            oracle: None,
+        }
+    }
+
+    /// The quiescence commit oracle (see
+    /// [`SimConfig::commit_at_quiescence`](crate::SimConfig)): a definite
+    /// engine-level process that affirms every still-open assumption.
+    /// Returns `true` if anything was decided (the caller keeps running so
+    /// the cascades — finalizations, IHD denies, rollbacks — settle).
+    pub(crate) fn quiescence_commit(&mut self) -> bool {
+        let oracle = *self
+            .oracle
+            .get_or_insert_with(|| self.engine.register_process());
+        let open = self.engine.open_aids();
+        if open.is_empty() {
+            return false;
+        }
+        self.trace(|| format!("quiescence oracle affirms {} open assumption(s)", open.len()));
+        let mut any = false;
+        for x in open {
+            match self.engine.affirm(oracle, x) {
+                Ok(fx) => {
+                    any = true;
+                    // The oracle is never a rollback victim: it guesses
+                    // nothing. usize::MAX can match no process index.
+                    let rolled = self.apply_effects(usize::MAX, &fx);
+                    debug_assert!(!rolled);
+                }
+                // A cascade from an earlier affirm (an IHD deny) may have
+                // consumed it in the meantime.
+                Err(hope_core::Error::AidConsumed(_)) => {}
+                Err(e) => unreachable!("oracle affirm cannot fail otherwise: {e}"),
+            }
+        }
+        any
+    }
+
+    /// Append a trace line (no-op unless tracing is configured).
+    pub(crate) fn trace(&mut self, line: impl FnOnce() -> String) {
+        if self.config.trace {
+            let entry = format!("[{}] {}", self.now, line());
+            self.trace_log.push(entry);
+        }
+    }
+
+    pub(crate) fn idx_of(&self, pid: ProcessId) -> usize {
+        let idx = pid.0 as usize;
+        debug_assert!(idx < self.procs.len(), "foreign pid {pid}");
+        idx
+    }
+
+    /// Schedule a wake for `proc` at `at`, invalidating earlier wakes.
+    pub(crate) fn schedule_wake(&mut self, proc: usize, at: VirtualTime) {
+        self.procs[proc].wake_epoch += 1;
+        let epoch = self.procs[proc].wake_epoch;
+        self.queue.push(at, EventKind::Wake { proc, epoch });
+    }
+
+    /// Build and dispatch a message from `from_idx`; returns the message id.
+    /// `kind_of` receives the freshly allocated message id so RPC requests
+    /// can use it as their call id.
+    pub(crate) fn send_message_with(
+        &mut self,
+        from_idx: usize,
+        to: ProcessId,
+        kind_of: impl FnOnce(u64) -> MsgKind,
+        payload: Value,
+    ) -> u64 {
+        let from_pid = self.procs[from_idx].pid;
+        let tag = self
+            .engine
+            .dependence_tag(from_pid)
+            .expect("sender is registered");
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let kind = kind_of(id);
+        let seq = self.next_mail_seq;
+        self.next_mail_seq += 1;
+        let latency = self
+            .config
+            .topology
+            .sample(from_pid.0, to.0, &mut self.net_rng)
+            + self.config.tracking_overhead;
+        let link = (from_pid.0, to.0);
+        let mut t_d = self.now + latency;
+        if let Some(&last) = self.link_last.get(&link) {
+            if t_d < last {
+                t_d = last; // per-link FIFO: never overtake
+            }
+        }
+        self.link_last.insert(link, t_d);
+        let msg = Message {
+            id,
+            from: from_pid,
+            to,
+            kind,
+            payload,
+            tag,
+            delivered_at: t_d,
+            seq,
+        };
+        self.stats.messages_sent += 1;
+        self.queue.push(t_d, EventKind::Deliver { msg });
+        id
+    }
+
+    /// Apply engine effects produced by a primitive executed by
+    /// `self_idx`. Returns `true` if `self_idx` itself was rolled back (the
+    /// caller must unwind with [`Signal::Rollback`](crate::Signal)).
+    pub(crate) fn apply_effects(&mut self, self_idx: usize, effects: &[Effect]) -> bool {
+        let mut self_rolled_back = false;
+        for e in effects {
+            match e {
+                Effect::Finalized { interval, process } => {
+                    self.trace(|| format!("{process}: interval {interval} finalized"));
+                    if let Some(mut lines) = self.pending_output.remove(interval) {
+                        self.stats.outputs_released += lines.len() as u64;
+                        for l in &mut lines {
+                            l.committed_at = self.now;
+                        }
+                        self.trace(|| {
+                            format!("{process}: {} output line(s) committed", lines.len())
+                        });
+                        self.outputs.extend(lines);
+                    }
+                }
+                Effect::RolledBack {
+                    process,
+                    intervals,
+                    checkpoint,
+                } => {
+                    self.stats.rollback_events += 1;
+                    let victim = self.idx_of(*process);
+                    self.trace(|| {
+                        format!(
+                            "{process}: ROLLBACK of {} interval(s) to journal position {}",
+                            intervals.len(),
+                            checkpoint.0
+                        )
+                    });
+                    // Discard speculative output of the dead intervals.
+                    for a in intervals {
+                        if let Some(lines) = self.pending_output.remove(a) {
+                            self.stats.outputs_discarded += lines.len() as u64;
+                        }
+                    }
+                    // Truncate the journal at the failed guess; re-enqueue
+                    // messages that had been delivered in the discarded
+                    // suffix (ghost filtering re-examines them on the next
+                    // receive).
+                    let pos = checkpoint.0 as usize;
+                    let suffix = self.procs[victim].journal.truncate(pos);
+                    self.stats.truncated_entries += suffix.len() as u64;
+                    for entry in suffix {
+                        if let Entry::Recv(msg) = entry {
+                            self.procs[victim].mailbox.insert(msg.mail_key(), *msg);
+                        }
+                    }
+                    self.procs[victim].finish_time = None;
+                    // The pending flag is observed (and cleared) by the
+                    // victim's wrapper when the re-execution begins; for the
+                    // running process itself it also guards any further Ctx
+                    // calls should the body swallow the Rollback signal.
+                    self.procs[victim].rollback_pending = true;
+                    if victim == self_idx {
+                        self_rolled_back = true;
+                    } else {
+                        let now = self.now;
+                        self.schedule_wake(victim, now);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self_rolled_back
+    }
+
+    /// Buffer or emit one output line from `idx` (output commit).
+    pub(crate) fn output(&mut self, idx: usize, line: String) {
+        let pid = self.procs[idx].pid;
+        let out = OutputLine {
+            time: self.now,
+            committed_at: self.now, // re-stamped at release if buffered
+            process: pid,
+            line,
+        };
+        match self
+            .engine
+            .current_interval(pid)
+            .expect("process is registered")
+        {
+            Some(interval) => {
+                self.pending_output.entry(interval).or_default().push(out);
+            }
+            None => {
+                self.stats.outputs_released += 1;
+                self.outputs.push(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_core::Checkpoint;
+    use hope_sim::{Topology, VirtualDuration};
+
+    fn shared_with_procs(n: usize) -> Shared {
+        let mut s = Shared::new(SimConfig::default().topology(Topology::lan()));
+        for i in 0..n {
+            let pid = s.engine.register_process();
+            s.procs.push(ProcShared {
+                pid,
+                name: format!("p{i}"),
+                state: ProcState::Holding,
+                mailbox: Mailbox::new(),
+                journal: Journal::default(),
+                rollback_pending: false,
+                wake_epoch: 0,
+                rng: SimRng::new(i as u64),
+                finish_time: None,
+                error: None,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn send_message_applies_latency_and_fifo() {
+        let mut s = shared_with_procs(2);
+        let a = s.send_message_with(0, ProcessId(1), |_| MsgKind::Plain, Value::Int(1));
+        let b = s.send_message_with(0, ProcessId(1), |_| MsgKind::Plain, Value::Int(2));
+        assert_ne!(a, b);
+        assert_eq!(s.stats.messages_sent, 2);
+        let (t1, e1) = s.queue.pop().unwrap();
+        let (t2, _e2) = s.queue.pop().unwrap();
+        assert_eq!(t1, VirtualTime::ZERO + VirtualDuration::from_micros(100));
+        assert!(t2 >= t1, "per-link FIFO");
+        match e1 {
+            EventKind::Deliver { msg } => assert_eq!(msg.payload, Value::Int(1)),
+            _ => panic!("expected delivery"),
+        }
+    }
+
+    #[test]
+    fn schedule_wake_bumps_epoch() {
+        let mut s = shared_with_procs(1);
+        s.schedule_wake(0, VirtualTime::ZERO);
+        s.schedule_wake(0, VirtualTime::ZERO);
+        assert_eq!(s.procs[0].wake_epoch, 2);
+        assert_eq!(s.queue.len(), 2);
+    }
+
+    #[test]
+    fn output_is_immediate_when_definite() {
+        let mut s = shared_with_procs(1);
+        s.output(0, "hello".into());
+        assert_eq!(s.outputs.len(), 1);
+        assert_eq!(s.stats.outputs_released, 1);
+        assert!(s.pending_output.is_empty());
+    }
+
+    #[test]
+    fn output_is_buffered_when_speculative_then_released_on_affirm() {
+        let mut s = shared_with_procs(2);
+        let pid0 = s.procs[0].pid;
+        let x = s.engine.aid_init(pid0);
+        s.engine.guess(pid0, &[x], Checkpoint(0)).unwrap();
+        s.output(0, "spec".into());
+        assert!(s.outputs.is_empty());
+        assert_eq!(s.pending_output.len(), 1);
+        let pid1 = s.procs[1].pid;
+        let fx = s.engine.affirm(pid1, x).unwrap();
+        let rolled = s.apply_effects(1, &fx);
+        assert!(!rolled);
+        assert_eq!(s.outputs.len(), 1);
+        assert_eq!(s.stats.outputs_released, 1);
+    }
+
+    #[test]
+    fn rollback_discards_output_truncates_journal_and_requeues_recvs() {
+        let mut s = shared_with_procs(2);
+        let pid0 = s.procs[0].pid;
+        let x = s.engine.aid_init(pid0);
+        // Journal: [Rand] then guess checkpoint at pos 1, then a Recv.
+        s.procs[0].journal.push(Entry::Rand(7));
+        s.engine.guess(pid0, &[x], Checkpoint(1)).unwrap();
+        s.procs[0].journal.push(Entry::Guess { aid: x, value: true });
+        let msg = Message {
+            id: 9,
+            from: ProcessId(1),
+            to: pid0,
+            kind: MsgKind::Plain,
+            payload: Value::Unit,
+            tag: hope_core::Tag::new(),
+            delivered_at: VirtualTime::from_nanos(5),
+            seq: 3,
+        };
+        s.procs[0].journal.push(Entry::Recv(Box::new(msg)));
+        s.output(0, "spec".into());
+        let pid1 = s.procs[1].pid;
+        let fx = s.engine.deny(pid1, x).unwrap();
+        let rolled = s.apply_effects(1, &fx);
+        assert!(!rolled);
+        assert_eq!(s.procs[0].journal.len(), 1, "truncated to checkpoint");
+        assert_eq!(s.procs[0].mailbox.len(), 1, "recv re-enqueued");
+        assert!(s.procs[0].rollback_pending);
+        assert_eq!(s.stats.outputs_discarded, 1);
+        assert_eq!(s.stats.rollback_events, 1);
+        assert!(!s.queue.is_empty(), "victim wake scheduled");
+    }
+
+    #[test]
+    fn self_rollback_is_reported_to_caller() {
+        let mut s = shared_with_procs(1);
+        let pid0 = s.procs[0].pid;
+        let x = s.engine.aid_init(pid0);
+        s.engine.guess(pid0, &[x], Checkpoint(0)).unwrap();
+        let fx = s.engine.deny(pid0, x).unwrap(); // self-deny, definite
+        let rolled = s.apply_effects(0, &fx);
+        assert!(rolled);
+        assert!(
+            s.procs[0].rollback_pending,
+            "flag set so the wrapper counts the re-execution"
+        );
+    }
+}

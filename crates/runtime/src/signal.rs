@@ -1,0 +1,57 @@
+//! Control-flow signals delivered to process bodies.
+//!
+//! Rollback in this runtime is *structured*: every blocking [`Ctx`] call
+//! returns `Result<T, Signal>`, and a process body propagates the error with
+//! `?`. When a rollback reaches a process, its next (or current) `Ctx` call
+//! returns [`Signal::Rollback`]; the propagation unwinds the body, and the
+//! runtime re-executes it, replaying the journal prefix so the body
+//! deterministically reaches the failed guess — which now returns `false`.
+//!
+//! **Do not catch and swallow a [`Signal`]** inside a process body: the
+//! runtime relies on the body returning promptly once a signal is raised.
+//!
+//! [`Ctx`]: crate::Ctx
+
+use std::fmt;
+
+/// Why a process body must return immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Signal {
+    /// The process was rolled back: unwind so the runtime can re-execute
+    /// the body from its journal.
+    Rollback,
+    /// The simulation is shutting down (all events drained or limits hit).
+    Shutdown,
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signal::Rollback => write!(f, "rolled back"),
+            Signal::Shutdown => write!(f, "simulation shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for Signal {}
+
+/// Result alias for process bodies and `Ctx` operations.
+pub type Hope<T> = Result<T, Signal>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Signal::Rollback.to_string(), "rolled back");
+        assert_eq!(Signal::Shutdown.to_string(), "simulation shutdown");
+    }
+
+    #[test]
+    fn is_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Signal>();
+    }
+}

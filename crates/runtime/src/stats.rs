@@ -1,0 +1,240 @@
+//! Run reports: what a simulation did, and what it committed.
+//!
+//! Speculative output must not escape: a line printed under an optimistic
+//! assumption is buffered until its interval finalizes (output commit) and
+//! discarded if the interval rolls back. [`RunReport::outputs`] therefore
+//! contains exactly the lines a real external observer would have seen.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hope_core::{EngineStats, ProcessId};
+use hope_sim::VirtualTime;
+
+/// One committed output line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputLine {
+    /// Virtual time at which the line was produced (possibly while
+    /// speculative).
+    pub time: VirtualTime,
+    /// Virtual time at which the line *committed* — when the buffering
+    /// interval finalized (equal to `time` for lines produced while
+    /// definite). This is the honest completion metric for optimistic
+    /// programs, whose bodies often return long before their results are
+    /// certain.
+    pub committed_at: VirtualTime,
+    /// The producing process.
+    pub process: ProcessId,
+    /// The text.
+    pub line: String,
+}
+
+impl fmt::Display for OutputLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.time, self.process, self.line)
+    }
+}
+
+/// Cumulative counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RunStats {
+    /// Messages sent (including those that later became ghosts).
+    pub messages_sent: u64,
+    /// Messages placed into mailboxes.
+    pub messages_delivered: u64,
+    /// Ghost messages dropped before delivery to user code.
+    pub ghosts_dropped: u64,
+    /// Rollback events (process-history truncations).
+    pub rollback_events: u64,
+    /// Body re-executions caused by rollback.
+    pub replays: u64,
+    /// Journal entries discarded by truncations.
+    pub truncated_entries: u64,
+    /// Output lines committed.
+    pub outputs_released: u64,
+    /// Speculative output lines discarded by rollback.
+    pub outputs_discarded: u64,
+    /// Engine counters (guesses, affirms, denies, finalizations, …).
+    pub engine: EngineStats,
+}
+
+/// The result of [`Simulation::run`](crate::Simulation::run).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    pub(crate) end_time: VirtualTime,
+    pub(crate) events: u64,
+    pub(crate) hit_limits: bool,
+    pub(crate) outputs: Vec<OutputLine>,
+    pub(crate) stats: RunStats,
+    pub(crate) finish_times: BTreeMap<ProcessId, VirtualTime>,
+    pub(crate) unfinished: Vec<ProcessId>,
+    pub(crate) errors: BTreeMap<ProcessId, String>,
+    pub(crate) trace: Vec<String>,
+}
+
+impl RunReport {
+    /// Virtual time when the last event was processed.
+    pub fn end_time(&self) -> VirtualTime {
+        self.end_time
+    }
+
+    /// Number of scheduler events processed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// `true` if the run stopped at `max_events`/`max_virtual_time` rather
+    /// than quiescence.
+    pub fn hit_limits(&self) -> bool {
+        self.hit_limits
+    }
+
+    /// Committed output lines, ordered by `(time, process)`.
+    pub fn outputs(&self) -> &[OutputLine] {
+        &self.outputs
+    }
+
+    /// Just the committed text lines, in order.
+    pub fn output_lines(&self) -> Vec<&str> {
+        self.outputs.iter().map(|o| o.line.as_str()).collect()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// When `pid`'s body returned `Ok(())`, if it did.
+    pub fn finish_time(&self, pid: ProcessId) -> Option<VirtualTime> {
+        self.finish_times.get(&pid).copied()
+    }
+
+    /// Processes that never finished (blocked on `recv` at quiescence —
+    /// normal for server loops).
+    pub fn unfinished(&self) -> &[ProcessId] {
+        &self.unfinished
+    }
+
+    /// When the last output line of the whole run committed.
+    pub fn last_commit_time(&self) -> Option<VirtualTime> {
+        self.outputs.iter().map(|o| o.committed_at).max()
+    }
+
+    /// When `pid`'s last output line committed.
+    pub fn commit_time(&self, pid: ProcessId) -> Option<VirtualTime> {
+        self.outputs
+            .iter()
+            .filter(|o| o.process == pid)
+            .map(|o| o.committed_at)
+            .max()
+    }
+
+    /// The completion time of `pid`: the later of its body finishing and
+    /// its last output committing. The right number to report for
+    /// optimistic programs.
+    pub fn completion_time(&self, pid: ProcessId) -> Option<VirtualTime> {
+        match (self.finish_time(pid), self.commit_time(pid)) {
+            (Some(f), Some(c)) => Some(f.max(c)),
+            (Some(f), None) => Some(f),
+            (None, c) => c,
+        }
+    }
+
+    /// Panic messages of crashed process bodies, if any.
+    pub fn errors(&self) -> &BTreeMap<ProcessId, String> {
+        &self.errors
+    }
+
+    /// `true` if every process finished and nothing crashed or hit limits.
+    pub fn completed(&self) -> bool {
+        self.unfinished.is_empty() && self.errors.is_empty() && !self.hit_limits
+    }
+
+    /// The execution trace, if [`SimConfig::trace`](crate::SimConfig::trace)
+    /// was enabled (empty otherwise). One line per primitive call, message
+    /// movement, ghost drop, rollback and output commit, timestamped in
+    /// virtual time.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run: end={} events={} rollbacks={} replays={} ghosts={}",
+            self.end_time,
+            self.events,
+            self.stats.rollback_events,
+            self.stats.replays,
+            self.stats.ghosts_dropped
+        )?;
+        for o in &self.outputs {
+            writeln!(f, "  {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let r = RunReport {
+            end_time: VirtualTime::from_nanos(10),
+            events: 3,
+            hit_limits: false,
+            outputs: vec![OutputLine {
+                time: VirtualTime::ZERO,
+                committed_at: VirtualTime::from_nanos(4),
+                process: ProcessId(0),
+                line: "hello".into(),
+            }],
+            stats: RunStats::default(),
+            finish_times: [(ProcessId(0), VirtualTime::from_nanos(9))].into(),
+            unfinished: vec![],
+            errors: BTreeMap::new(),
+            trace: Vec::new(),
+        };
+        assert!(r.completed());
+        assert_eq!(r.output_lines(), vec!["hello"]);
+        assert_eq!(r.finish_time(ProcessId(0)), Some(VirtualTime::from_nanos(9)));
+        assert_eq!(r.finish_time(ProcessId(1)), None);
+        assert_eq!(r.last_commit_time(), Some(VirtualTime::from_nanos(4)));
+        assert_eq!(r.commit_time(ProcessId(0)), Some(VirtualTime::from_nanos(4)));
+        assert_eq!(r.commit_time(ProcessId(1)), None);
+        assert_eq!(
+            r.completion_time(ProcessId(0)),
+            Some(VirtualTime::from_nanos(9)),
+            "finish later than commit"
+        );
+        assert_eq!(r.completion_time(ProcessId(1)), None);
+        assert!(r.to_string().contains("hello"));
+    }
+
+    #[test]
+    fn unfinished_or_errors_mean_incomplete() {
+        let mut r = RunReport {
+            end_time: VirtualTime::ZERO,
+            events: 0,
+            hit_limits: false,
+            outputs: vec![],
+            stats: RunStats::default(),
+            finish_times: BTreeMap::new(),
+            unfinished: vec![ProcessId(1)],
+            errors: BTreeMap::new(),
+            trace: Vec::new(),
+        };
+        assert!(!r.completed());
+        r.unfinished.clear();
+        r.errors.insert(ProcessId(0), "boom".into());
+        assert!(!r.completed());
+        r.errors.clear();
+        r.hit_limits = true;
+        assert!(!r.completed());
+    }
+}

@@ -1,0 +1,484 @@
+//! Integration tests for the full `Ctx` API surface, including the parts
+//! the in-crate scenario tests don't reach: non-blocking receives,
+//! selective receives, journaled queries, and replay behaviour of each.
+
+use hope_core::AidId;
+use hope_runtime::{MsgKind, ProcessId, SimConfig, Simulation, Value};
+use hope_sim::{LatencyModel, Topology, VirtualDuration, VirtualTime};
+
+fn ms(v: u64) -> VirtualDuration {
+    VirtualDuration::from_millis(v)
+}
+
+#[test]
+fn try_recv_returns_none_when_empty_and_some_when_queued() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let receiver = ProcessId(0);
+    sim.spawn("receiver", |ctx| {
+        // Nothing queued yet.
+        assert!(ctx.try_recv()?.is_none());
+        // Wait long enough for the sender's message.
+        ctx.compute(ms(10))?;
+        let m = ctx.try_recv()?.expect("message queued by now");
+        assert_eq!(m.payload, Value::Int(5));
+        assert!(ctx.try_recv()?.is_none());
+        ctx.output("try_recv exercised")?;
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        ctx.send(receiver, Value::Int(5))?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+    assert_eq!(report.output_lines(), vec!["try_recv exercised"]);
+}
+
+#[test]
+fn recv_matching_leaves_non_matching_messages() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let receiver = ProcessId(0);
+    sim.spawn("receiver", |ctx| {
+        // Take the Int(2) first even though Int(1) arrives earlier.
+        let two = ctx.recv_matching(|m| m.payload == Value::Int(2))?;
+        assert_eq!(two.payload, Value::Int(2));
+        let one = ctx.recv()?;
+        assert_eq!(one.payload, Value::Int(1));
+        ctx.output("selective receive ok")?;
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        ctx.send(receiver, Value::Int(1))?;
+        ctx.compute(ms(1))?;
+        ctx.send(receiver, Value::Int(2))?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+    assert_eq!(report.output_lines(), vec!["selective receive ok"]);
+}
+
+#[test]
+fn try_recv_matching_is_selective_and_non_blocking() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let receiver = ProcessId(0);
+    sim.spawn("receiver", |ctx| {
+        ctx.compute(ms(5))?;
+        // Both queued; only the matching one is taken.
+        assert!(ctx
+            .try_recv_matching(|m| m.payload == Value::Int(9))?
+            .is_none());
+        let m = ctx
+            .try_recv_matching(|m| m.payload == Value::Int(2))?
+            .expect("two is queued");
+        assert_eq!(m.payload, Value::Int(2));
+        // Int(1) still queued.
+        assert_eq!(ctx.recv()?.payload, Value::Int(1));
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        ctx.send(receiver, Value::Int(1))?;
+        ctx.send(receiver, Value::Int(2))?;
+        Ok(())
+    });
+    assert!(sim.run().completed());
+}
+
+#[test]
+fn now_random_and_flags_replay_identically() {
+    // A process samples time/randomness/speculation state, then is rolled
+    // back; the replayed prefix must return identical values (summed into
+    // the committed output).
+    let mut sim = Simulation::new(SimConfig::with_seed(8));
+    let verifier = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        let t0: VirtualTime = ctx.now()?;
+        let r0 = ctx.random_u64()?;
+        let spec0 = ctx.is_speculative()?;
+        assert!(!spec0);
+        ctx.compute(ms(2))?;
+        let t1 = ctx.now()?;
+        assert!(t1 > t0);
+        let aid = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+        let flag = ctx.guess(aid)?;
+        let spec1 = ctx.is_speculative()?;
+        if flag {
+            assert!(spec1);
+            ctx.compute(ms(1))?;
+        }
+        // After the deny, this line re-executes with the *same* t0/r0 via
+        // replay; committing it pins the values.
+        ctx.output(format!("t0={} r0={} flag={flag}", t0.as_nanos(), r0 % 1000))?;
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(ms(1))?;
+        ctx.deny(aid)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+    assert_eq!(report.stats().replays, 1);
+    let line = report.output_lines()[0].to_string();
+    assert!(line.contains("t0=0 "), "{line}");
+    assert!(line.ends_with("flag=false"), "{line}");
+
+    // Re-run the identical world: the committed line is bit-identical,
+    // proving now()/random_u64() replay rather than re-sample.
+    let mut sim2 = Simulation::new(SimConfig::with_seed(8));
+    sim2.spawn("worker", move |ctx| {
+        let t0: VirtualTime = ctx.now()?;
+        let r0 = ctx.random_u64()?;
+        let _ = ctx.is_speculative()?;
+        ctx.compute(ms(2))?;
+        let _ = ctx.now()?;
+        let aid = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+        let flag = ctx.guess(aid)?;
+        let _ = ctx.is_speculative()?;
+        if flag {
+            ctx.compute(ms(1))?;
+        }
+        ctx.output(format!("t0={} r0={} flag={flag}", t0.as_nanos(), r0 % 1000))?;
+        Ok(())
+    });
+    sim2.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(ms(1))?;
+        ctx.deny(aid)?;
+        Ok(())
+    });
+    let report2 = sim2.run();
+    assert_eq!(report2.output_lines()[0], line);
+}
+
+#[test]
+fn chance_is_journaled_through_rollback() {
+    let mut sim = Simulation::new(SimConfig::with_seed(21));
+    let verifier = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        let draws: Vec<bool> = (0..8)
+            .map(|_| ctx.chance(0.5))
+            .collect::<Result<_, _>>()?;
+        let aid = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+        let _ = ctx.guess(aid)?;
+        // Re-draw after the guess: these journal entries are truncated by
+        // the rollback and re-drawn live, while `draws` replays.
+        let post: Vec<bool> = (0..4)
+            .map(|_| ctx.chance(0.5))
+            .collect::<Result<_, _>>()?;
+        ctx.output(format!("pre={draws:?} post={post:?}"))?;
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(ms(1))?;
+        ctx.deny(aid)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+    // One committed line; the prefix draws survived the rollback.
+    assert_eq!(report.outputs().len(), 1);
+    assert_eq!(report.stats().replays, 1);
+}
+
+#[test]
+fn rpc_roundtrips_values_and_kinds() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let server = ProcessId(1);
+    sim.spawn("client", move |ctx| {
+        let r = ctx.rpc(server, Value::Str("ping".into()))?;
+        assert_eq!(r, Value::Str("pong".into()));
+        // send_request without collecting the reply is also legal.
+        let call = ctx.send_request(server, Value::Str("ping".into()))?;
+        let m = ctx.recv_matching(move |m| m.is_reply_to(call))?;
+        assert_eq!(m.kind, MsgKind::Reply(call));
+        ctx.output("rpc ok")?;
+        Ok(())
+    });
+    sim.spawn("server", |ctx| {
+        for _ in 0..2 {
+            let req = ctx.recv()?;
+            assert!(matches!(req.kind, MsgKind::Request(_)));
+            ctx.reply(&req, Value::Str("pong".into()))?;
+        }
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+    assert_eq!(report.output_lines(), vec!["rpc ok"]);
+}
+
+#[test]
+fn replaying_flag_is_visible_only_during_replay() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let verifier = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        // On the first run this is live; after rollback it replays.
+        let was_replaying_at_start = ctx.replaying();
+        ctx.compute(ms(1))?;
+        let aid = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+        if ctx.guess(aid)? {
+            ctx.compute(ms(1))?;
+        } else {
+            // Live again by the time the re-executed guess returns.
+            assert!(!ctx.replaying());
+            ctx.output(format!("started replaying={was_replaying_at_start}"))?;
+        }
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(ms(2))?;
+        ctx.deny(aid)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+    assert_eq!(report.output_lines(), vec!["started replaying=true"]);
+}
+
+#[test]
+fn self_send_is_delivered_immediately() {
+    let mut sim = Simulation::new(SimConfig::default().topology(Topology::uniform(
+        LatencyModel::Fixed(ms(50)),
+    )));
+    let me = ProcessId(0);
+    sim.spawn("loner", move |ctx| {
+        ctx.send(me, Value::Int(7))?;
+        let m = ctx.recv()?;
+        assert_eq!(m.payload, Value::Int(7));
+        assert_eq!(m.from, me);
+        // Self-sends bypass the 50ms links.
+        assert_eq!(ctx.now()?, VirtualTime::ZERO);
+        ctx.output("self-send ok")?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+}
+
+#[test]
+fn pid_matches_spawn_order() {
+    let mut sim = Simulation::new(SimConfig::default());
+    let a = sim.spawn("a", |ctx| {
+        assert_eq!(ctx.pid(), ProcessId(0));
+        Ok(())
+    });
+    let b = sim.spawn("b", |ctx| {
+        assert_eq!(ctx.pid(), ProcessId(1));
+        Ok(())
+    });
+    assert_eq!((a, b), (ProcessId(0), ProcessId(1)));
+    assert_eq!(sim.process_count(), 2);
+    assert!(sim.run().completed());
+}
+
+#[test]
+fn deep_nested_speculation_unwinds_to_the_right_guess() {
+    // Five nested guesses; deny the middle one: the process re-executes
+    // from guess 3 with the outer two intact.
+    let mut sim = Simulation::new(SimConfig::with_seed(2));
+    let judge = ProcessId(1);
+    sim.spawn("nester", move |ctx| {
+        let mut flags = Vec::new();
+        for i in 0..5 {
+            let aid = ctx.aid_init()?;
+            // Ship every AID to the (definite) judge *before* guessing, so
+            // the judge can settle them without becoming speculative.
+            ctx.send(
+                judge,
+                Value::List(vec![Value::Int(i), Value::Int(aid.index() as i64)]),
+            )?;
+            flags.push(ctx.guess(aid)?);
+            ctx.compute(ms(1))?;
+        }
+        ctx.output(format!("flags={flags:?}"))?;
+        Ok(())
+    });
+    sim.spawn("judge", |ctx| {
+        // Collect all five AIDs first (their tags carry the nester's
+        // earlier guards, but FIFO + the final settle order keeps us
+        // definite for the deny: process them after a delay, denying #2
+        // first, then affirming the rest).
+        let mut aids = vec![None; 5];
+        let mut seen = 0;
+        while seen < 5 {
+            let m = ctx.recv()?;
+            let items = m.payload.expect_list();
+            let i = items[0].expect_int() as usize;
+            aids[i] = Some(AidId::from_index(items[1].expect_int() as u64));
+            seen += 1;
+        }
+        ctx.compute(ms(10))?;
+        ctx.deny(aids[2].unwrap())?;
+        for (i, aid) in aids.into_iter().enumerate() {
+            if i != 2 {
+                ctx.affirm(aid.unwrap())?;
+            }
+        }
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.errors().is_empty(), "{report}");
+    assert_eq!(
+        report.output_lines(),
+        vec!["flags=[true, true, false, true, true]"],
+        "{report}"
+    );
+    // Both the nester and the judge (which was speculative through the
+    // announcement tags when it issued the self-denying deny) re-execute.
+    assert_eq!(report.stats().replays, 2);
+}
+
+#[test]
+fn trace_records_the_full_story() {
+    let mut sim = Simulation::new(SimConfig::with_seed(3).traced());
+    let verifier = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        let aid = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+        if ctx.guess(aid)? {
+            ctx.output("optimistic")?;
+        } else {
+            ctx.output("pessimistic")?;
+        }
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(ms(1))?;
+        ctx.deny(aid)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "{report}");
+    let trace = report.trace().join("\n");
+    for needle in [
+        "guess(X0) -> true",
+        "deny(X0)",
+        "ROLLBACK",
+        "guess(X0) -> false",
+        "send m0 -> P1",
+        "deliver m0 P0 -> P1",
+        "recv m0 from P0",
+    ] {
+        assert!(trace.contains(needle), "missing {needle:?} in trace:\n{trace}");
+    }
+
+    // Affirmed scenario: the speculative output's commit is traced.
+    let mut sim = Simulation::new(SimConfig::with_seed(3).traced());
+    sim.spawn("worker", move |ctx| {
+        let aid = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+        if ctx.guess(aid)? {
+            ctx.output("optimistic")?;
+        }
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(ms(1))?;
+        ctx.affirm(aid)?;
+        Ok(())
+    });
+    let affirmed = sim.run();
+    let trace = affirmed.trace().join("\n");
+    for needle in ["affirm(X0)", "finalized", "1 output line(s) committed"] {
+        assert!(trace.contains(needle), "missing {needle:?} in trace:\n{trace}");
+    }
+
+    // Untraced runs stay empty.
+    let mut sim = Simulation::new(SimConfig::with_seed(3));
+    sim.spawn("solo", |ctx| ctx.output("x"));
+    let quiet = sim.run();
+    assert!(quiet.trace().is_empty());
+}
+
+#[test]
+fn quiescence_oracle_commits_surviving_speculation() {
+    // Nobody ever affirms: the worker's output stays buffered forever…
+    let build = |commit: bool| {
+        let cfg = if commit {
+            SimConfig::with_seed(4).commit_at_quiescence()
+        } else {
+            SimConfig::with_seed(4)
+        };
+        let mut sim = Simulation::new(cfg);
+        sim.spawn("worker", |ctx| {
+            let aid = ctx.aid_init()?;
+            if ctx.guess(aid)? {
+                ctx.output("speculative forever")?;
+            }
+            Ok(())
+        });
+        sim.run()
+    };
+    let plain = build(false);
+    assert!(plain.outputs().is_empty(), "{plain}");
+    assert_eq!(plain.stats().engine.finalized, 0);
+
+    // …unless the definite external observer settles it at quiescence.
+    let committed = build(true);
+    assert_eq!(committed.output_lines(), vec!["speculative forever"]);
+    assert!(committed.stats().engine.finalized >= 1);
+    assert_eq!(committed.stats().rollback_events, 0);
+}
+
+#[test]
+fn quiescence_oracle_applies_pending_speculative_denies() {
+    // A speculative deny pends on its issuer finalizing; the oracle's
+    // affirms finalize the issuer, the deny fires, and the victim rolls
+    // back — all *after* apparent quiescence.
+    let build = |commit: bool| {
+        let cfg = if commit {
+            SimConfig::with_seed(4).commit_at_quiescence()
+        } else {
+            SimConfig::with_seed(4)
+        };
+        let mut sim = Simulation::new(cfg);
+        let denier = ProcessId(1);
+        sim.spawn("victim", move |ctx| {
+            let x = ctx.aid_init()?;
+            ctx.send(denier, Value::Int(x.index() as i64))?;
+            if ctx.guess(x)? {
+                ctx.output("victim: optimistic")?;
+            } else {
+                ctx.output("victim: denied after quiescence")?;
+            }
+            Ok(())
+        });
+        sim.spawn("denier", |ctx| {
+            let m = ctx.recv()?;
+            let x = AidId::from_index(m.payload.expect_int() as u64);
+            let y = ctx.aid_init()?;
+            // Become speculative on our own assumption, then deny x:
+            // speculative (x is not among our dependencies).
+            let _ = ctx.guess(y)?;
+            ctx.deny(x)?;
+            Ok(())
+        });
+        sim.run()
+    };
+    let plain = build(false);
+    assert!(plain.outputs().is_empty(), "{plain}");
+
+    let committed = build(true);
+    assert_eq!(
+        committed.output_lines(),
+        vec!["victim: denied after quiescence"],
+        "{committed}"
+    );
+    assert!(committed.stats().rollback_events >= 1);
+}

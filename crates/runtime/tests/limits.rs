@@ -1,0 +1,66 @@
+//! Safety-limit behaviour: runaway simulations stop cleanly.
+
+use hope_runtime::{SimConfig, Simulation, Value};
+use hope_sim::{VirtualDuration, VirtualTime};
+
+#[test]
+fn max_virtual_time_stops_the_clock() {
+    let cfg = SimConfig {
+        max_virtual_time: VirtualTime::ZERO + VirtualDuration::from_millis(10),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(cfg);
+    sim.spawn("ticker", |ctx| loop {
+        ctx.compute(VirtualDuration::from_millis(1))?;
+        ctx.output("tick")?;
+    });
+    let report = sim.run();
+    assert!(report.hit_limits());
+    assert!(!report.completed());
+    assert!(report.end_time() <= VirtualTime::ZERO + VirtualDuration::from_millis(10));
+    // Roughly ten ticks committed before the horizon.
+    assert!(report.outputs().len() >= 9, "{report}");
+    assert!(report.outputs().len() <= 11, "{report}");
+}
+
+#[test]
+fn limits_do_not_corrupt_partial_results() {
+    // Two processes ping-pong forever; stopping at the event cap must
+    // still leave consistent, committed prefixes.
+    let cfg = SimConfig {
+        max_events: 40,
+        ..SimConfig::with_seed(5)
+    };
+    let mut sim = Simulation::new(cfg);
+    let b = hope_runtime::ProcessId(1);
+    sim.spawn("a", move |ctx| {
+        let mut i = 0i64;
+        loop {
+            let r = ctx.rpc(b, Value::Int(i))?;
+            i = r.expect_int();
+            ctx.output(format!("a got {i}"))?;
+        }
+    });
+    sim.spawn("b", |ctx| loop {
+        let req = ctx.recv()?;
+        ctx.reply(&req, Value::Int(req.payload.expect_int() + 1))?;
+    });
+    let report = sim.run();
+    assert!(report.hit_limits());
+    // The committed lines are an uninterrupted prefix 1, 2, 3, …
+    for (idx, line) in report.output_lines().iter().enumerate() {
+        assert_eq!(*line, format!("a got {}", idx + 1));
+    }
+    assert!(!report.outputs().is_empty());
+}
+
+#[test]
+fn zero_process_simulation_with_limits_is_trivially_complete() {
+    let cfg = SimConfig {
+        max_events: 1,
+        ..SimConfig::default()
+    };
+    let report = Simulation::new(cfg).run();
+    assert!(report.completed());
+    assert_eq!(report.events(), 0);
+}

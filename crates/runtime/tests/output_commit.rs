@@ -1,0 +1,184 @@
+//! Focused tests for output commit: the runtime's answer to the paper's
+//! requirement that speculative effects must not escape to the external
+//! world.
+
+use hope_core::AidId;
+use hope_runtime::{ProcessId, SimConfig, Simulation, Value};
+use hope_sim::{VirtualDuration, VirtualTime};
+
+fn ms(v: u64) -> VirtualDuration {
+    VirtualDuration::from_millis(v)
+}
+
+#[test]
+fn commit_time_is_the_affirm_time_not_the_produce_time() {
+    let mut sim = Simulation::new(SimConfig::with_seed(1));
+    let verifier = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        let aid = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+        if ctx.guess(aid)? {
+            ctx.output("speculative line")?; // produced at t≈0
+        }
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(ms(25))?; // a slow verification
+        ctx.affirm(aid)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert_eq!(report.output_lines(), vec!["speculative line"]);
+    let line = &report.outputs()[0];
+    assert_eq!(line.time, VirtualTime::ZERO, "produced immediately");
+    assert!(
+        line.committed_at >= VirtualTime::ZERO + ms(25),
+        "committed only once affirmed: {}",
+        line.committed_at
+    );
+    assert_eq!(
+        report.commit_time(ProcessId(0)),
+        Some(line.committed_at)
+    );
+}
+
+#[test]
+fn outputs_under_distinct_intervals_commit_separately() {
+    // Two nested assumptions; the inner is affirmed later than the outer.
+    // The outer interval's line commits as soon as *its* assumption chain
+    // resolves; the inner's waits for both.
+    let mut sim = Simulation::new(SimConfig::with_seed(2));
+    let verifier = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        let a = ctx.aid_init()?;
+        let b = ctx.aid_init()?;
+        ctx.send(
+            verifier,
+            Value::List(vec![
+                Value::Int(a.index() as i64),
+                Value::Int(b.index() as i64),
+            ]),
+        )?;
+        let _ = ctx.guess(a)?;
+        ctx.output("outer")?;
+        let _ = ctx.guess(b)?;
+        ctx.output("inner")?;
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let m = ctx.recv()?;
+        let items = m.payload.expect_list();
+        let a = AidId::from_index(items[0].expect_int() as u64);
+        let b = AidId::from_index(items[1].expect_int() as u64);
+        ctx.compute(ms(5))?;
+        ctx.affirm(a)?;
+        ctx.compute(ms(10))?;
+        ctx.affirm(b)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert_eq!(report.output_lines(), vec!["outer", "inner"]);
+    let outer = &report.outputs()[0];
+    let inner = &report.outputs()[1];
+    assert!(
+        outer.committed_at < inner.committed_at,
+        "outer {} !< inner {}",
+        outer.committed_at,
+        inner.committed_at
+    );
+}
+
+#[test]
+fn discarded_and_released_counters_balance() {
+    // A worker retries a denied step twice before an affirmed one: the
+    // discarded count must equal the speculative lines that died, and the
+    // released count the lines that survived.
+    let mut sim = Simulation::new(SimConfig::with_seed(3));
+    let verifier = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        for _ in 0..3 {
+            loop {
+                let aid = ctx.aid_init()?;
+                ctx.send(verifier, Value::Int(aid.index() as i64))?;
+                if ctx.guess(aid)? {
+                    break;
+                }
+            }
+            ctx.output("step")?;
+            ctx.compute(ms(1))?;
+        }
+        Ok(())
+    });
+    sim.spawn("verifier", |ctx| {
+        let mut n = 0u32;
+        loop {
+            let m = ctx.recv()?;
+            let aid = AidId::from_index(m.payload.expect_int() as u64);
+            ctx.compute(ms(1))?;
+            n += 1;
+            // Deny every third proposal.
+            if n.is_multiple_of(3) {
+                ctx.deny(aid)?;
+            } else {
+                ctx.affirm(aid)?;
+            }
+        }
+    });
+    let report = sim.run();
+    assert_eq!(
+        report.output_lines(),
+        vec!["step", "step", "step"],
+        "{report}"
+    );
+    assert_eq!(report.stats().outputs_released, 3);
+    assert_eq!(
+        report.stats().outputs_discarded,
+        report.stats().rollback_events,
+        "one speculative line died per denied step: {report}"
+    );
+    assert!(report.stats().rollback_events >= 1);
+}
+
+#[test]
+fn definite_output_is_immediate_and_uncounted_as_discardable() {
+    let mut sim = Simulation::new(SimConfig::with_seed(4));
+    sim.spawn("plain", |ctx| {
+        ctx.compute(ms(2))?;
+        ctx.output("definite")?;
+        Ok(())
+    });
+    let report = sim.run();
+    let line = &report.outputs()[0];
+    assert_eq!(line.time, line.committed_at);
+    assert_eq!(report.stats().outputs_discarded, 0);
+    assert_eq!(report.stats().outputs_released, 1);
+}
+
+#[test]
+fn last_commit_time_tracks_the_slowest_process() {
+    let mut sim = Simulation::new(SimConfig::with_seed(5));
+    sim.spawn("fast", |ctx| {
+        ctx.output("fast done")?;
+        Ok(())
+    });
+    sim.spawn("slow", |ctx| {
+        ctx.compute(ms(40))?;
+        ctx.output("slow done")?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert_eq!(
+        report.last_commit_time(),
+        Some(VirtualTime::ZERO + ms(40))
+    );
+    assert_eq!(
+        report.completion_time(ProcessId(0)),
+        Some(VirtualTime::ZERO)
+    );
+    assert_eq!(
+        report.completion_time(ProcessId(1)),
+        Some(VirtualTime::ZERO + ms(40))
+    );
+}

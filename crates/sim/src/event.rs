@@ -1,0 +1,138 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: ties in virtual time break by
+//! insertion order, which makes every simulation run a pure function of its
+//! inputs — the property the whole experiment suite rests on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::VirtualTime;
+
+/// A min-heap of timestamped events with deterministic tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    time: VirtualTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `time`. Returns the event's sequence number
+    /// (unique per queue, usable as a cancellation epoch).
+    pub fn push(&mut self, time: VirtualTime, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+        seq
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(VirtualTime, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+    }
+
+    /// The timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::VirtualDuration;
+
+    fn t(ms: u64) -> VirtualTime {
+        VirtualTime::ZERO + VirtualDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "c");
+        q.push(t(1), "a");
+        q.push(t(3), "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((t(1), "a")));
+        assert_eq!(q.pop(), Some((t(3), "b")));
+        assert_eq!(q.pop(), Some((t(5), "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(t(2), 1);
+        q.push(t(2), 2);
+        q.push(t(2), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9), ());
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), ());
+        let b = q.push(t(1), ());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic randomness for simulations.
+//!
+//! Every source of randomness in a simulation flows from one master seed so
+//! that runs are exactly reproducible. [`SimRng`] wraps a seeded
+//! [`rand::rngs::StdRng`] and adds [`fork`](SimRng::fork) to derive
+//! independent, stable sub-streams (one per network link, one per process,
+//! …) without the sub-streams perturbing each other's draw sequences.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator for simulation components.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a master seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent sub-stream keyed by `stream`. Deterministic:
+    /// the same `(seed, stream)` always yields the same sequence, and
+    /// drawing from a fork does not affect the parent.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // SplitMix-style mix of seed and stream id.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(stream.wrapping_mul(0xD129_0D3B_3F6C_4B7B));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::new(z ^ (z >> 31))
+    }
+
+    /// A uniformly random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.rng.random_range(lo..hi)
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        self.rng.random_range(0..n)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponentially distributed `f64` with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        let u: f64 = 1.0 - self.next_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn forks_are_stable_and_independent() {
+        let parent = SimRng::new(42);
+        let mut f1 = parent.fork(1);
+        let mut f1_again = parent.fork(1);
+        let mut f2 = parent.fork(2);
+        let s1: Vec<u64> = (0..8).map(|_| f1.next_u64()).collect();
+        let s1b: Vec<u64> = (0..8).map(|_| f1_again.next_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| f2.next_u64()).collect();
+        assert_eq!(s1, s1b);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn range_and_index_respect_bounds() {
+        let mut r = SimRng::new(1);
+        for _ in 0..100 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let i = r.index(5);
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(1);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0)); // clamped
+        assert!(!r.chance(-1.0)); // clamped
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut r = SimRng::new(123);
+        let n = 20_000;
+        let mean = 5.0;
+        let total: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let sample_mean = total / n as f64;
+        assert!((sample_mean - mean).abs() < 0.2, "sample mean {sample_mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::new(1).range_u64(5, 5);
+    }
+}

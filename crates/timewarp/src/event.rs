@@ -1,0 +1,66 @@
+//! Timestamped simulation events exchanged between logical processes.
+//!
+//! Time Warp's virtual time is a *payload-level* notion: these timestamps
+//! are the simulated model's clock, independent of the substrate's
+//! [`VirtualTime`](hope_sim::VirtualTime) (which models real network/CPU
+//! delays). Jefferson's insight — and the paper's §2 point — is that
+//! "messages arrive in timestamp order" is just one particular optimistic
+//! assumption; HOPE expresses it with one guard AID per processed event.
+
+use hope_runtime::Value;
+
+/// A logical-process event: a model timestamp plus a hop counter (PHOLD
+/// jobs count how many times they have bounced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    /// Model (Time Warp) timestamp, in abstract ticks.
+    pub ts: u64,
+    /// How many LPs this job has visited.
+    pub hops: u64,
+}
+
+impl Event {
+    /// Encode for transmission.
+    pub fn to_value(&self) -> Value {
+        Value::List(vec![Value::Int(self.ts as i64), Value::Int(self.hops as i64)])
+    }
+
+    /// Decode a received payload.
+    ///
+    /// Returns `None` for malformed payloads.
+    pub fn from_value(v: &Value) -> Option<Event> {
+        let items = v.as_list()?;
+        if items.len() != 2 {
+            return None;
+        }
+        Some(Event {
+            ts: u64::try_from(items[0].as_int()?).ok()?,
+            hops: u64::try_from(items[1].as_int()?).ok()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let e = Event { ts: 42, hops: 3 };
+        assert_eq!(Event::from_value(&e.to_value()), Some(e));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(Event::from_value(&Value::Unit), None);
+        assert_eq!(Event::from_value(&Value::List(vec![Value::Int(-1), Value::Int(0)])), None);
+        assert_eq!(Event::from_value(&Value::List(vec![Value::Int(1)])), None);
+    }
+
+    #[test]
+    fn orders_by_timestamp_first() {
+        let a = Event { ts: 1, hops: 9 };
+        let b = Event { ts: 2, hops: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,121 @@
+//! The judge: nogood policing and belief revision by `deny`.
+//!
+//! The judge models the union of all *live* assumptions. A `Confirm`
+//! message makes it causally dependent on the assumption (the message is
+//! tagged with it), so when the closure of the live set violates a
+//! nogood, denying the chosen culprit is a **definite** deny (Equation
+//! 15's `X ∈ A.IDO` case) — it unwinds the judge itself along with every
+//! reasoner downstream of the doomed assumption. Re-execution replays the
+//! judge's history with the culprit's messages ghost-filtered away: the
+//! judge's model is rebuilt *without* the retracted assumption, which is
+//! exactly dependency-directed backtracking.
+
+use std::collections::BTreeSet;
+
+use hope_core::AidId;
+use hope_runtime::{Ctx, Hope};
+use hope_sim::VirtualDuration;
+
+use crate::logic::{Atom, KnowledgeBase};
+use crate::protocol::TmsMsg;
+
+/// Configuration of the judge process.
+#[derive(Debug, Clone)]
+pub struct JudgeConfig {
+    /// The shared knowledge base (rules and nogoods).
+    pub kb: KnowledgeBase,
+    /// Number of reasoners whose `Done` the judge awaits.
+    pub reasoners: usize,
+    /// Virtual CPU per processed message.
+    pub step_time: VirtualDuration,
+}
+
+/// Run the judge; emits `live=<sorted atoms>` after settling everything.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_judge(ctx: &mut Ctx, cfg: &JudgeConfig) -> Hope<()> {
+    // Live assumptions, in confirmation order (newest last).
+    let mut live: Vec<(AidId, Atom)> = Vec::new();
+    let mut done: usize = 0;
+
+    while done < cfg.reasoners {
+        let msg = ctx.recv()?;
+        let Some(decoded) = TmsMsg::from_value(&msg.payload) else {
+            continue;
+        };
+        ctx.compute(cfg.step_time)?;
+        match decoded {
+            TmsMsg::Announce { .. } => {
+                // Bookkeeping only; the dependence arrives with Confirm.
+            }
+            TmsMsg::Confirm { aid, atom } => {
+                live.push((aid, atom));
+                // Police the nogoods over the closure of live assumptions.
+                // One check suffices per confirm: a deny unwinds us, and
+                // the re-execution (with the culprit's ghosts filtered)
+                // re-checks as the confirms replay.
+                let facts: BTreeSet<Atom> = live.iter().map(|(_, a)| *a).collect();
+                let closed = cfg.kb.close(&facts);
+                if let Some(violated) = cfg.kb.violated(&closed).cloned() {
+                    // Chronological dependency-directed backtracking: the
+                    // newest live assumption whose removal clears this
+                    // nogood is the culprit.
+                    // If every nogood atom is multiply supported, no single
+                    // retraction clears it; retract the newest assumption
+                    // and let the re-executed check continue (live shrinks
+                    // monotonically, so this terminates).
+                    let culprit = (0..live.len())
+                        .rev()
+                        .find(|&i| {
+                            let without: BTreeSet<Atom> = live
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != i)
+                                .map(|(_, (_, a))| *a)
+                                .collect();
+                            let closed = cfg.kb.close(&without);
+                            !violated.atoms.iter().all(|a| closed.contains(a))
+                        })
+                        .unwrap_or(live.len() - 1);
+                    let (aid, _) = live[culprit];
+                    // Definite (we depend on it via the Confirm tag):
+                    // unwinds us too — the `?` propagates the rollback and
+                    // our re-execution rebuilds `live` without the ghosts.
+                    ctx.deny(aid)?;
+                    unreachable!("denying a confirmed assumption unwinds the judge");
+                }
+            }
+            TmsMsg::Fact { .. } => {}
+            TmsMsg::Done => done += 1,
+        }
+    }
+
+    // Everything announced and never refuted survives: settle it so the
+    // reasoners' speculative belief reports commit (the speculative
+    // affirms collapse once every AID is decided — see hope-core's
+    // engine docs on Equations 10–14).
+    for (aid, _) in live.clone() {
+        ctx.affirm(aid)?;
+    }
+    let atoms: BTreeSet<Atom> = live.iter().map(|(_, a)| *a).collect();
+    let listed: Vec<String> = atoms.iter().map(u32::to_string).collect();
+    ctx.output(format!("live={}", listed.join(",")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn judge_config_shapes() {
+        let cfg = JudgeConfig {
+            kb: KnowledgeBase::default(),
+            reasoners: 3,
+            step_time: VirtualDuration::from_micros(5),
+        };
+        assert_eq!(cfg.reasoners, 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! # hope-tms — distributed truth maintenance on HOPE
+//!
+//! §7 of the paper proposes extending optimism "into new areas such as
+//! truth maintenance systems \[12\]" (Doyle). This crate is that extension,
+//! and it makes a tidy conceptual point: **a TMS justification network is
+//! HOPE's dependency graph, and dependency-directed backtracking is HOPE
+//! rollback.**
+//!
+//! * An *assumption* is an AID: a reasoner announces it, `guess`es it, and
+//!   reasons onward; every fact derived from it — on any reasoner,
+//!   anywhere in the gossip mesh — is automatically a causal descendant,
+//!   because the runtime tags the fact messages.
+//! * A *nogood* violation triggers `deny` on the chosen culprit; HOPE
+//!   retracts every consequence everywhere (ghost-filtering the stale
+//!   facts), and the re-executed `guess` returning `false` is precisely
+//!   the TMS marking the assumption *out*.
+//! * The judge's final `affirm`s settle the surviving assumptions so the
+//!   distributed belief sets commit.
+//!
+//! See [`run_tms`] for the assembled system and
+//! [`sequential_oracle`] for the classical single-machine equivalent used
+//! in testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod judge;
+mod logic;
+mod protocol;
+mod reasoner;
+
+pub use driver::{run_tms, sequential_oracle, TmsOutcome};
+pub use judge::{run_judge, JudgeConfig};
+pub use logic::{Atom, KnowledgeBase, Nogood, Rule};
+pub use protocol::TmsMsg;
+pub use reasoner::{run_reasoner, ReasonerConfig};

@@ -1,0 +1,128 @@
+//! Propositional machinery: atoms, Horn rules, nogoods, forward chaining.
+//!
+//! Deliberately tiny — the interesting dependency tracking lives in HOPE,
+//! not here. Atoms are small integers; a [`KnowledgeBase`] is a rule set
+//! plus a nogood set; [`KnowledgeBase::close`] computes the deductive
+//! closure of a fact set.
+
+use std::collections::BTreeSet;
+
+/// A propositional atom.
+pub type Atom = u32;
+
+/// A Horn rule: if every atom in `body` holds, `head` holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Antecedents (all required).
+    pub body: Vec<Atom>,
+    /// Consequent.
+    pub head: Atom,
+}
+
+/// A set of atoms that must not all hold simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nogood {
+    /// The mutually inconsistent atoms.
+    pub atoms: Vec<Atom>,
+}
+
+/// Rules plus integrity constraints.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    /// Horn rules.
+    pub rules: Vec<Rule>,
+    /// Integrity constraints.
+    pub nogoods: Vec<Nogood>,
+}
+
+impl KnowledgeBase {
+    /// Build from `(body, head)` rule tuples and nogood atom lists.
+    pub fn new(rules: &[(&[Atom], Atom)], nogoods: &[&[Atom]]) -> Self {
+        KnowledgeBase {
+            rules: rules
+                .iter()
+                .map(|(body, head)| Rule {
+                    body: body.to_vec(),
+                    head: *head,
+                })
+                .collect(),
+            nogoods: nogoods
+                .iter()
+                .map(|atoms| Nogood {
+                    atoms: atoms.to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Deductive closure of `facts` under the rules.
+    pub fn close(&self, facts: &BTreeSet<Atom>) -> BTreeSet<Atom> {
+        let mut out = facts.clone();
+        loop {
+            let mut grew = false;
+            for r in &self.rules {
+                if !out.contains(&r.head) && r.body.iter().all(|a| out.contains(a)) {
+                    out.insert(r.head);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return out;
+            }
+        }
+    }
+
+    /// The first violated nogood in `facts`, if any (deterministic order).
+    pub fn violated(&self, facts: &BTreeSet<Atom>) -> Option<&Nogood> {
+        self.nogoods
+            .iter()
+            .find(|n| n.atoms.iter().all(|a| facts.contains(a)))
+    }
+
+    /// `true` if `facts` is deductively closed.
+    pub fn is_closed(&self, facts: &BTreeSet<Atom>) -> bool {
+        self.close(facts) == *facts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::new(
+            &[(&[1, 2], 10), (&[10], 11), (&[3], 12)],
+            &[&[11, 12], &[1, 4]],
+        )
+    }
+
+    #[test]
+    fn closure_chains_rules() {
+        let kb = kb();
+        let facts: BTreeSet<Atom> = [1, 2].into();
+        let closed = kb.close(&facts);
+        assert_eq!(closed, [1, 2, 10, 11].into());
+        assert!(kb.is_closed(&closed));
+        assert!(!kb.is_closed(&facts));
+    }
+
+    #[test]
+    fn violations_detected_in_order() {
+        let kb = kb();
+        let ok: BTreeSet<Atom> = [1, 2, 10, 11].into();
+        assert!(kb.violated(&ok).is_none());
+        let bad = kb.close(&[1, 2, 3].into());
+        let v = kb.violated(&bad).expect("11 and 12 both derived");
+        assert_eq!(v.atoms, vec![11, 12]);
+        let bad2: BTreeSet<Atom> = [1, 4].into();
+        assert_eq!(kb.violated(&bad2).unwrap().atoms, vec![1, 4]);
+    }
+
+    #[test]
+    fn empty_kb_is_inert() {
+        let kb = KnowledgeBase::default();
+        let facts: BTreeSet<Atom> = [5].into();
+        assert_eq!(kb.close(&facts), facts);
+        assert!(kb.violated(&facts).is_none());
+    }
+}

@@ -1,0 +1,118 @@
+//! Wire encoding for the distributed TMS.
+
+use hope_core::AidId;
+use hope_runtime::Value;
+
+use crate::logic::Atom;
+
+/// A TMS protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmsMsg {
+    /// "I am about to assume `atom` under assumption id `aid`" — sent
+    /// *before* the guess, so it carries only prior dependence.
+    Announce {
+        /// The assumption's AID.
+        aid: AidId,
+        /// The assumed atom.
+        atom: Atom,
+    },
+    /// "I have assumed it" — sent *after* the guess, so the receiver
+    /// becomes dependent on the assumption (making a later deny definite).
+    Confirm {
+        /// The assumption's AID.
+        aid: AidId,
+        /// The assumed atom.
+        atom: Atom,
+    },
+    /// A derived fact, shared with peers.
+    Fact {
+        /// The derived atom.
+        atom: Atom,
+    },
+    /// "My reasoning rounds are over."
+    Done,
+}
+
+impl TmsMsg {
+    /// Encode for transmission.
+    pub fn to_value(&self) -> Value {
+        match self {
+            TmsMsg::Announce { aid, atom } => Value::List(vec![
+                Value::Str("assume".into()),
+                Value::Int(aid.index() as i64),
+                Value::Int(*atom as i64),
+            ]),
+            TmsMsg::Confirm { aid, atom } => Value::List(vec![
+                Value::Str("confirm".into()),
+                Value::Int(aid.index() as i64),
+                Value::Int(*atom as i64),
+            ]),
+            TmsMsg::Fact { atom } => Value::List(vec![
+                Value::Str("fact".into()),
+                Value::Int(*atom as i64),
+            ]),
+            TmsMsg::Done => Value::List(vec![Value::Str("done".into())]),
+        }
+    }
+
+    /// Decode a received payload; `None` for foreign messages.
+    pub fn from_value(v: &Value) -> Option<TmsMsg> {
+        let items = v.as_list()?;
+        match items.first()?.as_str()? {
+            "assume" if items.len() == 3 => Some(TmsMsg::Announce {
+                aid: AidId::from_index(u64::try_from(items[1].as_int()?).ok()?),
+                atom: u32::try_from(items[2].as_int()?).ok()?,
+            }),
+            "confirm" if items.len() == 3 => Some(TmsMsg::Confirm {
+                aid: AidId::from_index(u64::try_from(items[1].as_int()?).ok()?),
+                atom: u32::try_from(items[2].as_int()?).ok()?,
+            }),
+            "fact" if items.len() == 2 => Some(TmsMsg::Fact {
+                atom: u32::try_from(items[1].as_int()?).ok()?,
+            }),
+            "done" if items.len() == 1 => Some(TmsMsg::Done),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let msgs = [
+            TmsMsg::Announce {
+                aid: AidId::from_index(3),
+                atom: 7,
+            },
+            TmsMsg::Confirm {
+                aid: AidId::from_index(3),
+                atom: 7,
+            },
+            TmsMsg::Fact { atom: 9 },
+            TmsMsg::Done,
+        ];
+        for m in msgs {
+            assert_eq!(TmsMsg::from_value(&m.to_value()), Some(m));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(TmsMsg::from_value(&Value::Unit), None);
+        assert_eq!(
+            TmsMsg::from_value(&Value::List(vec![Value::Str("fact".into())])),
+            None
+        );
+        assert_eq!(
+            TmsMsg::from_value(&Value::List(vec![
+                Value::Str("assume".into()),
+                Value::Int(-1),
+                Value::Int(0),
+            ])),
+            None
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The distributed reasoner: assumes, derives, gossips, and is revised by
+//! rollback.
+//!
+//! A reasoner owns a list of candidate assumptions. Per round it drains
+//! incoming peer facts, makes its next assumption (announce → `guess` →
+//! confirm), forward-chains its local belief set under the shared rule
+//! base, and broadcasts newly derived atoms. When the judge refutes an
+//! assumption (dependency-directed backtracking!), HOPE rolls the
+//! reasoner — and transitively every peer that consumed its facts — back
+//! to the guess, where the re-executed `guess` returns `false` and the
+//! assumption is simply not made. Doyle's TMS justification network is
+//! the engine's `IDO`/`DOM` graph, maintained for free.
+
+use std::collections::BTreeSet;
+
+use hope_runtime::{Ctx, Hope, ProcessId};
+use hope_sim::VirtualDuration;
+
+use crate::logic::{Atom, KnowledgeBase};
+use crate::protocol::TmsMsg;
+
+/// Configuration of one reasoner process.
+#[derive(Debug, Clone)]
+pub struct ReasonerConfig {
+    /// The nogood-policing judge.
+    pub judge: ProcessId,
+    /// Fellow reasoners (facts are gossiped to all of them).
+    pub peers: Vec<ProcessId>,
+    /// The shared rule base (nogoods are the judge's business).
+    pub kb: KnowledgeBase,
+    /// Atoms to assume, one per round, in order.
+    pub assumptions: Vec<Atom>,
+    /// Extra gossip rounds after the last assumption (lets facts settle).
+    pub extra_rounds: u64,
+    /// Virtual CPU per round.
+    pub round_time: VirtualDuration,
+}
+
+/// Run one reasoner; emits `beliefs=<sorted atoms>` once its rounds end.
+///
+/// # Errors
+///
+/// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+pub fn run_reasoner(ctx: &mut Ctx, cfg: &ReasonerConfig) -> Hope<()> {
+    let mut beliefs: BTreeSet<Atom> = BTreeSet::new();
+    let mut shared: BTreeSet<Atom> = BTreeSet::new();
+
+    let rounds = cfg.assumptions.len() as u64 + cfg.extra_rounds;
+    for round in 0..rounds {
+        // Absorb peer facts (ghosts of retracted derivations are filtered
+        // by the runtime before we ever see them).
+        while let Some(m) = ctx.try_recv()? {
+            if let Some(TmsMsg::Fact { atom }) = TmsMsg::from_value(&m.payload) {
+                beliefs.insert(atom);
+            }
+        }
+        // Make this round's assumption, if any.
+        if let Some(&atom) = cfg.assumptions.get(round as usize) {
+            let aid = ctx.aid_init()?;
+            ctx.send(cfg.judge, TmsMsg::Announce { aid, atom }.to_value())?;
+            if ctx.guess(aid)? {
+                beliefs.insert(atom);
+                ctx.send(cfg.judge, TmsMsg::Confirm { aid, atom }.to_value())?;
+            }
+            // guess == false: the judge refuted it (now or in a previous
+            // life); reason on without it.
+        }
+        // Forward-chain and gossip anything new.
+        beliefs = cfg.kb.close(&beliefs);
+        for &atom in beliefs.difference(&shared.clone()) {
+            for &p in &cfg.peers {
+                ctx.send(p, TmsMsg::Fact { atom }.to_value())?;
+            }
+            shared.insert(atom);
+        }
+        ctx.compute(cfg.round_time)?;
+    }
+
+    // Final drain, then report.
+    while let Some(m) = ctx.try_recv()? {
+        if let Some(TmsMsg::Fact { atom }) = TmsMsg::from_value(&m.payload) {
+            beliefs.insert(atom);
+        }
+    }
+    beliefs = cfg.kb.close(&beliefs);
+    let listed: Vec<String> = beliefs.iter().map(u32::to_string).collect();
+    ctx.output(format!("beliefs={}", listed.join(",")))?;
+    ctx.send(cfg.judge, TmsMsg::Done.to_value())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_shapes() {
+        let cfg = ReasonerConfig {
+            judge: ProcessId(9),
+            peers: vec![ProcessId(1)],
+            kb: KnowledgeBase::default(),
+            assumptions: vec![1, 2],
+            extra_rounds: 3,
+            round_time: VirtualDuration::from_micros(10),
+        };
+        assert_eq!(cfg.assumptions.len() as u64 + cfg.extra_rounds, 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: distributed truth maintenance over random knowledge
+//! bases must always settle to a consistent, committed world.
+
+use std::collections::BTreeSet;
+
+use hope_sim::{LatencyModel, Topology, VirtualDuration};
+use hope_tms::{run_tms, KnowledgeBase, Nogood, Rule};
+use proptest::prelude::*;
+
+const ASSUMABLE: u32 = 6; // atoms 1..=6 are assumable
+const DERIVED: u32 = 6; // atoms 7..=12 are derivable heads
+
+fn atom() -> impl Strategy<Value = u32> {
+    1..=(ASSUMABLE + DERIVED)
+}
+
+fn rule() -> impl Strategy<Value = Rule> {
+    (
+        proptest::collection::vec(atom(), 1..3),
+        (ASSUMABLE + 1)..=(ASSUMABLE + DERIVED),
+    )
+        .prop_map(|(body, head)| Rule { body, head })
+}
+
+fn nogood() -> impl Strategy<Value = Nogood> {
+    proptest::collection::btree_set(atom(), 2..4)
+        .prop_map(|atoms| Nogood {
+            atoms: atoms.into_iter().collect(),
+        })
+}
+
+fn kb() -> impl Strategy<Value = KnowledgeBase> {
+    (
+        proptest::collection::vec(rule(), 0..6),
+        proptest::collection::vec(nogood(), 0..4),
+    )
+        .prop_map(|(rules, nogoods)| KnowledgeBase { rules, nogoods })
+}
+
+fn assumption_lists() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(1..=ASSUMABLE, 0..4),
+        1..3, // 1–2 reasoners
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn committed_worlds_are_consistent(
+        kb in kb(),
+        lists in assumption_lists(),
+        seed in 0u64..32,
+    ) {
+        let topo = Topology::uniform(LatencyModel::Fixed(
+            VirtualDuration::from_millis(1),
+        ));
+        let out = run_tms(&kb, &lists, topo, seed);
+        prop_assert!(out.report.errors().is_empty(), "{}", out.report);
+        // The judge's live set is consistent under the rules.
+        let closed = kb.close(&out.live);
+        prop_assert!(
+            kb.violated(&closed).is_none(),
+            "live={:?} violates a nogood",
+            out.live
+        );
+        // Live assumptions were actually assumable and were requested.
+        let requested: BTreeSet<u32> = lists.iter().flatten().copied().collect();
+        prop_assert!(out.live.iter().all(|a| requested.contains(a)));
+        // Every committed belief set is nogood-free and inside the live
+        // closure.
+        for (i, b) in out.beliefs.iter().enumerate() {
+            prop_assert!(kb.violated(b).is_none(), "reasoner {i}: {b:?}");
+            prop_assert!(
+                b.is_subset(&closed),
+                "reasoner {i}: {b:?} ⊄ {closed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic(
+        kb in kb(),
+        lists in assumption_lists(),
+        seed in 0u64..8,
+    ) {
+        let topo = Topology::uniform(LatencyModel::Fixed(
+            VirtualDuration::from_millis(1),
+        ));
+        let a = run_tms(&kb, &lists, topo.clone(), seed);
+        let b = run_tms(&kb, &lists, topo, seed);
+        prop_assert_eq!(&a.live, &b.live);
+        prop_assert_eq!(&a.beliefs, &b.beliefs);
+        prop_assert_eq!(
+            a.report.stats().rollback_events,
+            b.report.stats().rollback_events
+        );
+    }
+}

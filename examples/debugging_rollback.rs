@@ -1,0 +1,77 @@
+//! Debugging an optimistic program: execution traces and dependency
+//! graphs.
+//!
+//! Rollback cascades can be bewildering; this example shows the two tools
+//! the reproduction provides. `SimConfig::traced()` records every
+//! primitive, delivery, ghost and rollback with virtual timestamps, and
+//! `hope::core::trace::render_dependency_graph` exports the engine's live
+//! IDO/DOM graph as Graphviz DOT.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example debugging_rollback
+//! ```
+
+use hope::core::trace::render_dependency_graph;
+use hope::core::{Checkpoint, Engine};
+use hope::runtime::{SimConfig, Simulation, Value};
+use hope::sim::VirtualDuration;
+use hope::{AidId, ProcessId};
+
+fn main() {
+    // --- Part 1: a traced run with a rollback cascade -------------------
+    let mut sim = Simulation::new(SimConfig::with_seed(7).traced());
+    let relay = ProcessId(1);
+    let judge = ProcessId(2);
+    sim.spawn("origin", move |ctx| {
+        let x = ctx.aid_init()?;
+        ctx.send(judge, Value::Int(x.index() as i64))?;
+        if ctx.guess(x)? {
+            ctx.send(relay, Value::Str("speculative hello".into()))?;
+            ctx.output("origin: took the fast path")?;
+        } else {
+            ctx.output("origin: took the slow path")?;
+        }
+        Ok(())
+    });
+    sim.spawn("relay", |ctx| {
+        let m = ctx.recv()?;
+        ctx.output(format!("relay saw: {}", m.payload))?;
+        Ok(())
+    });
+    sim.spawn("judge", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(VirtualDuration::from_millis(1))?;
+        ctx.deny(aid)?; // refute the assumption: cascade ensues
+        Ok(())
+    });
+    let report = sim.run();
+
+    println!("=== execution trace ===");
+    for line in report.trace() {
+        println!("  {line}");
+    }
+    println!("\ncommitted output: {:?}", report.output_lines());
+    assert_eq!(report.output_lines(), vec!["origin: took the slow path"]);
+    assert!(report.trace().iter().any(|l| l.contains("ROLLBACK")));
+    assert!(report.trace().iter().any(|l| l.contains("ghost")));
+
+    // --- Part 2: a dependency graph snapshot ----------------------------
+    let mut engine = Engine::new();
+    let p = engine.register_process();
+    let q = engine.register_process();
+    let part_page = engine.aid_init(p);
+    let order = engine.aid_init(p);
+    engine.guess(p, &[part_page], Checkpoint(0)).unwrap();
+    engine.guess(p, &[order], Checkpoint(1)).unwrap();
+    let tag = engine.dependence_tag(p).unwrap();
+    engine.implicit_guess(q, &tag, Checkpoint(0)).unwrap();
+
+    println!("\n=== dependency graph (Graphviz DOT) ===");
+    let dot = render_dependency_graph(&engine);
+    println!("{dot}");
+    assert!(dot.contains("digraph hope"));
+    println!("(pipe this into `dot -Tsvg` to see the IDO edges)");
+}

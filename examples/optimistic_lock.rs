@@ -1,0 +1,122 @@
+//! Optimistic lock acquisition — §1's "quite obvious" example of new
+//! concurrency: "an optimistic assumption that a concurrency lock will be
+//! granted".
+//!
+//! Two workers race for a lock held by a remote lock manager. Each sends
+//! its request, *guesses* the grant, and starts the critical-section work
+//! immediately. The manager grants the first request and denies the
+//! second; the loser is rolled back — its speculative critical-section
+//! work and outputs vanish — and takes the wait-and-retry path. The lock's
+//! mutual exclusion is never violated in committed history.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example optimistic_lock
+//! ```
+
+use hope::runtime::{MsgKind, SimConfig, Simulation, Value};
+use hope::sim::{LatencyModel, Topology, VirtualDuration};
+use hope::{AidId, ProcessId};
+
+fn ms(v: u64) -> VirtualDuration {
+    VirtualDuration::from_millis(v)
+}
+
+fn main() {
+    let topo = Topology::uniform(LatencyModel::Fixed(ms(10)));
+    let mut sim = Simulation::new(SimConfig::with_seed(5).topology(topo));
+    let manager = ProcessId(2);
+
+    for w in 0..2u32 {
+        sim.spawn(format!("worker{w}"), move |ctx| {
+            // Stagger the second worker slightly so the race is realistic.
+            if w == 1 {
+                ctx.compute(ms(1))?;
+            }
+            let granted = ctx.aid_init()?;
+            ctx.send(
+                manager,
+                Value::List(vec![
+                    Value::Str("acquire".into()),
+                    Value::Int(granted.index() as i64),
+                ]),
+            )?;
+            if ctx.guess(granted)? {
+                // Optimistic critical section: we act as if we hold the
+                // lock while the grant decision is still in flight.
+                ctx.compute(ms(4))?;
+                ctx.output(format!("worker{w}: critical section done (optimistic)"))?;
+                // Release so the other worker can proceed.
+                ctx.send(manager, Value::List(vec![Value::Str("release".into())]))?;
+            } else {
+                // Denied: wait for the lock the slow way.
+                ctx.output(format!("worker{w}: lock busy, waiting"))?;
+                let grant = ctx.rpc(manager, Value::List(vec![Value::Str("wait".into())]))?;
+                assert_eq!(grant, Value::Str("granted".into()));
+                ctx.compute(ms(4))?;
+                ctx.output(format!("worker{w}: critical section done (after wait)"))?;
+                ctx.send(manager, Value::List(vec![Value::Str("release".into())]))?;
+            }
+            Ok(())
+        });
+    }
+
+    sim.spawn("lock-manager", move |ctx| {
+        let mut held = false;
+        let mut waiter: Option<hope::runtime::Message> = None;
+        loop {
+            let msg = ctx.recv()?;
+            let items = msg.payload.expect_list();
+            match items[0].expect_str() {
+                "acquire" => {
+                    let aid = AidId::from_index(items[1].expect_int() as u64);
+                    ctx.compute(VirtualDuration::from_micros(100))?;
+                    if held {
+                        ctx.deny(aid)?; // the optimistic holder loses
+                    } else {
+                        held = true;
+                        ctx.affirm(aid)?;
+                    }
+                }
+                "wait" => {
+                    if held {
+                        waiter = Some(msg); // reply when released
+                    } else {
+                        held = true;
+                        ctx.reply(&msg, Value::Str("granted".into()))?;
+                    }
+                }
+                "release" => {
+                    held = false;
+                    if let Some(m) = waiter.take() {
+                        if matches!(m.kind, MsgKind::Request(_)) {
+                            held = true;
+                            ctx.reply(&m, Value::Str("granted".into()))?;
+                        }
+                    }
+                }
+                other => panic!("unknown lock op {other:?}"),
+            }
+        }
+    });
+
+    let report = sim.run();
+    assert!(report.errors().is_empty(), "{report}");
+    println!("committed history:");
+    for o in report.outputs() {
+        println!("  [{:>9}] {}", o.committed_at.to_string(), o.line);
+    }
+    println!(
+        "(rollbacks: {}, speculative outputs discarded: {})",
+        report.stats().rollback_events,
+        report.stats().outputs_discarded
+    );
+
+    let lines = report.output_lines();
+    // One worker won optimistically; the other was denied and waited.
+    assert!(lines.iter().any(|l| l.contains("(optimistic)")), "{lines:?}");
+    assert!(lines.iter().any(|l| l.contains("lock busy")), "{lines:?}");
+    assert!(lines.iter().any(|l| l.contains("(after wait)")), "{lines:?}");
+    assert!(report.stats().rollback_events >= 1);
+}

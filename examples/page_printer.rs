@@ -1,0 +1,88 @@
+//! The paper's running example, end to end: Figures 1 and 2.
+//!
+//! Prints the report both ways — the synchronous Worker of Figure 1 and
+//! the Call-Streaming Worker/WorryWart pair of Figure 2 — on the same
+//! 30 ms-RTT topology, for a page that does and does not overflow, and
+//! shows the latency saved and the rollback that repairs a wrong guess.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example page_printer
+//! ```
+
+use hope::callstream::page::{
+    paper_topology, print_server, worker_optimistic, worker_pessimistic, worrywart, PAGE_SIZE,
+};
+use hope::runtime::{RunReport, SimConfig, Simulation};
+use hope::sim::VirtualDuration;
+use hope::ProcessId;
+
+fn ms(v: u64) -> VirtualDuration {
+    VirtualDuration::from_millis(v)
+}
+
+fn figure1(start_line: i64) -> RunReport {
+    let mut sim = Simulation::new(SimConfig::with_seed(1).topology(paper_topology(ms(15))));
+    let printer = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        worker_pessimistic(ctx, printer, 1234, PAGE_SIZE)
+    });
+    sim.spawn("printer", move |ctx| {
+        print_server(ctx, start_line, VirtualDuration::from_micros(100))
+    });
+    sim.run()
+}
+
+fn figure2(start_line: i64) -> RunReport {
+    let mut sim = Simulation::new(SimConfig::with_seed(1).topology(paper_topology(ms(15))));
+    let printer = ProcessId(1);
+    let wart = ProcessId(2);
+    sim.spawn("worker", move |ctx| {
+        worker_optimistic(ctx, printer, wart, 1234)
+    });
+    sim.spawn("printer", move |ctx| {
+        print_server(ctx, start_line, VirtualDuration::from_micros(100))
+    });
+    sim.spawn("worrywart", move |ctx| worrywart(ctx, printer, PAGE_SIZE));
+    sim.run()
+}
+
+fn show(label: &str, report: &RunReport) {
+    let t = report
+        .completion_time(ProcessId(0))
+        .expect("worker completes");
+    println!(
+        "{label:<34} completed at {:>9}  (rollbacks: {})",
+        t.to_string(),
+        report.stats().rollback_events
+    );
+}
+
+fn main() {
+    println!("page printer on a 30ms-RTT WAN (PageSize = {PAGE_SIZE})\n");
+
+    println!("assumption holds — the total fits on the current page:");
+    let f1 = figure1(10);
+    let f2 = figure2(10);
+    show("  Figure 1 (synchronous RPCs)", &f1);
+    show("  Figure 2 (Call Streaming)", &f2);
+    let t1 = f1.completion_time(ProcessId(0)).unwrap().as_millis_f64();
+    let t2 = f2.completion_time(ProcessId(0)).unwrap().as_millis_f64();
+    println!("  saving: {:.1}%\n", (t1 - t2) / t1 * 100.0);
+    assert!(t2 < t1);
+    assert_eq!(f2.stats().rollback_events, 0);
+
+    println!("assumption fails — the page overflows, guess(PartPage) was wrong:");
+    let f1 = figure1(70);
+    let f2 = figure2(70);
+    show("  Figure 1 (synchronous RPCs)", &f1);
+    show("  Figure 2 (Call Streaming)", &f2);
+    assert!(f2.stats().rollback_events >= 1);
+    println!("  the Worker was rolled back, re-executed guess(PartPage) = false,");
+    println!("  called newpage(), and produced the identical report:");
+    assert_eq!(f1.output_lines(), f2.output_lines());
+    for line in f2.output_lines() {
+        println!("    output: {line}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: the smallest useful HOPE program.
+//!
+//! A worker wants to append a record to a remote ledger, but appending is
+//! only legal if the ledger's running total stays under a limit — a check
+//! only the ledger can make, a round trip away. Pessimistically the worker
+//! idles for the whole round trip; with HOPE it *guesses* the append will
+//! be accepted, keeps computing, and is transparently rolled back (taking
+//! the slow path instead) if the ledger refuses.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hope::runtime::{SimConfig, Simulation, Value};
+use hope::sim::{LatencyModel, Topology, VirtualDuration};
+use hope::ProcessId;
+
+fn ms(v: u64) -> VirtualDuration {
+    VirtualDuration::from_millis(v)
+}
+
+fn run(amount: i64) -> hope::runtime::RunReport {
+    // A 20ms round trip between worker and ledger.
+    let topo = Topology::uniform(LatencyModel::Fixed(ms(10)));
+    let mut sim = Simulation::new(SimConfig::with_seed(7).topology(topo));
+    let ledger = ProcessId(1);
+
+    sim.spawn("worker", move |ctx| {
+        // Name the assumption: "the ledger will accept my append".
+        let accepted = ctx.aid_init()?;
+        // Ship the request (and the assumption's name) before guessing, so
+        // the message carries no speculative dependence.
+        ctx.send(
+            ledger,
+            Value::List(vec![Value::Int(accepted.index() as i64), Value::Int(amount)]),
+        )?;
+        if ctx.guess(accepted)? {
+            // Optimistic path: act as if the append succeeded. All of this
+            // computes *during* the round trip we used to wait out.
+            ctx.compute(ms(5))?;
+            ctx.output(format!("appended {amount}, continued immediately"))?;
+        } else {
+            // We were rolled back: the ledger said no. Take the slow path.
+            ctx.output(format!("append of {amount} refused; queued for review"))?;
+        }
+        Ok(())
+    });
+
+    sim.spawn("ledger", move |ctx| {
+        let msg = ctx.recv()?;
+        let items = msg.payload.expect_list();
+        let aid = hope::AidId::from_index(items[0].expect_int() as u64);
+        let amount = items[1].expect_int();
+        ctx.compute(ms(1))?; // the actual bookkeeping
+        if amount <= 100 {
+            ctx.affirm(aid)?; // the guess was right
+        } else {
+            ctx.deny(aid)?; // refuse: every dependent computation unwinds
+        }
+        Ok(())
+    });
+
+    sim.run()
+}
+
+fn main() {
+    let accepted = run(42);
+    println!("--- amount within limit ---");
+    for line in accepted.output_lines() {
+        println!("  {line}");
+    }
+    println!(
+        "  (rollbacks: {}, finished at {})",
+        accepted.stats().rollback_events,
+        accepted.end_time()
+    );
+
+    let refused = run(4242);
+    println!("--- amount over limit ---");
+    for line in refused.output_lines() {
+        println!("  {line}");
+    }
+    println!(
+        "  (rollbacks: {}, finished at {})",
+        refused.stats().rollback_events,
+        refused.end_time()
+    );
+
+    assert_eq!(
+        accepted.output_lines(),
+        vec!["appended 42, continued immediately"]
+    );
+    assert_eq!(
+        refused.output_lines(),
+        vec!["append of 4242 refused; queued for review"]
+    );
+    assert_eq!(refused.stats().rollback_events, 1);
+}

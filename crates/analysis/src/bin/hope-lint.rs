@@ -1,0 +1,172 @@
+//! `hope-lint`: run the static speculation-flow lints over a HOPE program.
+//!
+//! ```text
+//! hope-lint [OPTIONS] <FILE | - | --generate SEED,PROCS,LEN,AIDS>
+//!
+//!   FILE                       a program in Program's display syntax
+//!   -                          read the program from stdin
+//!   --generate S,P,L,A         lint Program::generate(S, P, L, A) instead
+//!   --json                     emit diagnostics as JSON
+//!   --print                    also print the program before diagnostics
+//!   --cascade-threshold N      cascade-depth warning threshold (default 3)
+//!   -h, --help                 show this help
+//! ```
+//!
+//! Exit status: 0 — no error diagnostics; 1 — at least one error
+//! diagnostic; 2 — usage or parse failure.
+
+use std::io::{ErrorKind, Read, Write};
+use std::process::ExitCode;
+
+use hope_analysis::{render_json, render_text, Analyzer, Severity, DEFAULT_CASCADE_THRESHOLD};
+use hope_core::program::Program;
+
+const USAGE: &str = "usage: hope-lint [--json] [--print] [--cascade-threshold N] \
+                     <FILE | - | --generate SEED,PROCS,LEN,AIDS>";
+
+struct Options {
+    json: bool,
+    print: bool,
+    threshold: usize,
+    source: Source,
+}
+
+enum Source {
+    File(String),
+    Stdin,
+    Generate {
+        seed: u64,
+        procs: usize,
+        len: usize,
+        aids: usize,
+    },
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut json = false;
+    let mut print = false;
+    let mut threshold = DEFAULT_CASCADE_THRESHOLD;
+    let mut source: Option<Source> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--print" => print = true,
+            "--cascade-threshold" => {
+                let value = it.next().ok_or("--cascade-threshold needs a value")?;
+                threshold = value
+                    .parse()
+                    .map_err(|_| format!("bad --cascade-threshold value `{value}`"))?;
+            }
+            "--generate" => {
+                let spec = it.next().ok_or("--generate needs SEED,PROCS,LEN,AIDS")?;
+                let parts: Vec<&str> = spec.split(',').collect();
+                let [seed, procs, len, aids] = parts.as_slice() else {
+                    return Err(format!(
+                        "--generate wants 4 comma-separated numbers, got `{spec}`"
+                    ));
+                };
+                let bad = |field: &str| format!("bad --generate field `{field}` in `{spec}`");
+                source = Some(Source::Generate {
+                    seed: seed.parse().map_err(|_| bad(seed))?,
+                    procs: procs.parse().map_err(|_| bad(procs))?,
+                    len: len.parse().map_err(|_| bad(len))?,
+                    aids: aids.parse().map_err(|_| bad(aids))?,
+                });
+            }
+            "-h" | "--help" => return Err(String::new()),
+            "-" => source = Some(Source::Stdin),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            path => {
+                if source.is_some() {
+                    return Err("more than one program source given".into());
+                }
+                source = Some(Source::File(path.to_string()));
+            }
+        }
+    }
+    Ok(Options {
+        json,
+        print,
+        threshold,
+        source: source.ok_or("no program source given")?,
+    })
+}
+
+fn load(source: &Source) -> Result<Program, String> {
+    let text = match source {
+        Source::Generate {
+            seed,
+            procs,
+            len,
+            aids,
+        } => return Ok(Program::generate(*seed, *procs, *len, *aids)),
+        Source::File(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        Source::Stdin => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    text.parse::<Program>().map_err(|e| e.to_string())
+}
+
+/// Write to stdout, treating a broken pipe (`hope-lint ... | head`) as a
+/// clean early exit rather than a panic. Other I/O errors exit 2.
+fn emit(text: &str) -> Result<(), ExitCode> {
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::BrokenPipe => Err(ExitCode::SUCCESS),
+        Err(e) => {
+            eprintln!("hope-lint: cannot write to stdout: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("hope-lint: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match load(&options.source) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("hope-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.print {
+        if let Err(code) = emit(&program.to_string()) {
+            return code;
+        }
+    }
+    let analyzer = Analyzer::new().with_cascade_threshold(options.threshold);
+    let diagnostics = analyzer.analyze(&program);
+    let rendered = if options.json {
+        render_json(&diagnostics)
+    } else {
+        render_text(&diagnostics)
+    };
+    if let Err(code) = emit(&rendered) {
+        return code;
+    }
+    if diagnostics.iter().any(|d| d.severity == Severity::Error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,275 @@
+//! Dependence-flow analysis: an over-approximate abstract interpretation of
+//! a [`Program`]'s speculation state.
+//!
+//! The concrete semantics tracks, per process, the `IDO` set of the current
+//! interval — the AIDs the process's state may depend on (§4–5). Statically
+//! we compute a *may*-IDO: for every program point, the set of AID
+//! variables that can be in the process's dependence set there under **some**
+//! schedule. Dependence enters at a `guess` and flows across processes
+//! through message tags: a `send` publishes the sender's may-IDO on the
+//! channel, and a `recv` joins every tag that any process may send to the
+//! receiver (§3's implicit guess).
+//!
+//! Because tags can flow transitively (P guesses, sends to Q; Q sends to R),
+//! the channel summaries and the per-point sets are computed as a joint
+//! fixpoint. All transfer functions only add elements, the domain is finite
+//! (processes × points × AIDs), so the iteration terminates.
+//!
+//! A local `affirm(x)`/`deny(x)`/`free_of(x)` *kills* `x` in the asserter's
+//! own may-IDO: in every non-degenerate execution the decider removes the
+//! AID from its own interval's `IDO` (a definite affirm discharges it, a
+//! speculative self-affirm dissolves it, a deny of a depended-on AID resets
+//! the process to its pre-guess state). The degenerate cases — the decider
+//! is skipped as consumed, or never executes — only arise in runs that are
+//! already broken, which is acceptable imprecision because nothing with an
+//! error-severity guarantee reads may-IDO; the flow feeds the cascade
+//! fan-out *warning* and tooling. Alongside the flow itself, the pass
+//! gathers the syntactic site tables ([`guess_sites`], [`deciders`],
+//! send/recv counts) that the lints interpret.
+//!
+//! [`guess_sites`]: Flow::guess_sites
+//! [`deciders`]: Flow::deciders
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hope_core::program::{AidVar, ProcIdx, Program, Stmt};
+
+/// What kind of decider statement consumed an AID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeciderKind {
+    /// `affirm(x)`.
+    Affirm,
+    /// `deny(x)`.
+    Deny,
+    /// `free_of(x)`.
+    FreeOf,
+}
+
+impl DeciderKind {
+    /// The statement keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeciderKind::Affirm => "affirm",
+            DeciderKind::Deny => "deny",
+            DeciderKind::FreeOf => "free_of",
+        }
+    }
+}
+
+/// A statement site: `(process, statement index)`.
+pub type Site = (ProcIdx, usize);
+
+/// The result of [`analyze`]: may-IDO sets, channel summaries, and the
+/// syntactic site tables the lints consume.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// `may_ido[p][i]` is the set of AID variables that may be in process
+    /// `p`'s dependence set *before* statement `i` executes;
+    /// `may_ido[p][code[p].len()]` is the set at process exit.
+    pub may_ido: Vec<Vec<BTreeSet<AidVar>>>,
+    /// For each channel `(from, to)` with at least one in-range `send`, the
+    /// union of tags that may be sent on it.
+    pub edge_tags: BTreeMap<(ProcIdx, ProcIdx), BTreeSet<AidVar>>,
+    /// `dependents[x]` is the set of processes whose state may come to
+    /// depend on AID `x` (the static bound on a deny-of-`x` cascade).
+    pub dependents: Vec<BTreeSet<ProcIdx>>,
+    /// `guess_sites[x]` lists every explicit `guess(x)` site in program
+    /// order.
+    pub guess_sites: Vec<Vec<Site>>,
+    /// `deciders[x]` lists every `affirm(x)`/`deny(x)`/`free_of(x)` site in
+    /// program order.
+    pub deciders: Vec<Vec<(ProcIdx, usize, DeciderKind)>>,
+    /// `sends_to[p]` counts the `send` statements targeting process `p`
+    /// (in-range targets only).
+    pub sends_to: Vec<usize>,
+    /// `recv_count[p]` counts the `recv` statements of process `p`.
+    pub recv_count: Vec<usize>,
+}
+
+/// Run the dependence-flow analysis over `program`.
+///
+/// Statements that name out-of-range processes or AIDs (see
+/// [`Lint::InvalidTarget`](crate::Lint::InvalidTarget)) are ignored by the
+/// flow itself — the analysis never panics on malformed programs; the lint
+/// layer reports them.
+pub fn analyze(program: &Program) -> Flow {
+    let procs = program.process_count();
+    let aids = program.aid_count;
+
+    let mut guess_sites: Vec<Vec<Site>> = vec![Vec::new(); aids];
+    let mut deciders: Vec<Vec<(ProcIdx, usize, DeciderKind)>> = vec![Vec::new(); aids];
+    let mut sends_to = vec![0usize; procs];
+    let mut recv_count = vec![0usize; procs];
+    for (p, stmts) in program.code.iter().enumerate() {
+        for (i, s) in stmts.iter().enumerate() {
+            match *s {
+                Stmt::Guess(x) if x < aids => guess_sites[x].push((p, i)),
+                Stmt::Affirm(x) if x < aids => deciders[x].push((p, i, DeciderKind::Affirm)),
+                Stmt::Deny(x) if x < aids => deciders[x].push((p, i, DeciderKind::Deny)),
+                Stmt::FreeOf(x) if x < aids => deciders[x].push((p, i, DeciderKind::FreeOf)),
+                Stmt::Send { to } if to < procs => sends_to[to] += 1,
+                Stmt::Recv => recv_count[p] += 1,
+                _ => {}
+            }
+        }
+    }
+
+    let mut may_ido: Vec<Vec<BTreeSet<AidVar>>> = program
+        .code
+        .iter()
+        .map(|stmts| vec![BTreeSet::new(); stmts.len() + 1])
+        .collect();
+    let mut edge_tags: BTreeMap<(ProcIdx, ProcIdx), BTreeSet<AidVar>> = BTreeMap::new();
+
+    // Joint fixpoint of per-point sets and channel summaries.
+    loop {
+        let mut changed = false;
+        for (p, stmts) in program.code.iter().enumerate() {
+            for (i, s) in stmts.iter().enumerate() {
+                // Transfer: out = in ∪ gen(stmt).
+                let mut out = may_ido[p][i].clone();
+                match *s {
+                    Stmt::Guess(x) if x < aids => {
+                        out.insert(x);
+                    }
+                    Stmt::Affirm(x) | Stmt::Deny(x) | Stmt::FreeOf(x) if x < aids => {
+                        out.remove(&x);
+                    }
+                    Stmt::Recv => {
+                        for ((_, to), tag) in &edge_tags {
+                            if *to == p {
+                                out.extend(tag.iter().copied());
+                            }
+                        }
+                    }
+                    Stmt::Send { to } if to < procs => {
+                        let tag = edge_tags.entry((p, to)).or_default();
+                        let before = tag.len();
+                        tag.extend(may_ido[p][i].iter().copied());
+                        changed |= tag.len() != before;
+                    }
+                    _ => {}
+                }
+                if out != may_ido[p][i + 1] {
+                    debug_assert!(
+                        out.is_superset(&may_ido[p][i + 1]),
+                        "transfer is monotone in its growing inputs"
+                    );
+                    may_ido[p][i + 1] = out;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // A process "may depend" on x if x is in its may-IDO at *any* point —
+    // a later kill does not undo that the rollback exposure existed.
+    let mut dependents = vec![BTreeSet::new(); aids];
+    for (p, points) in may_ido.iter().enumerate() {
+        for point in points {
+            for &x in point {
+                dependents[x].insert(p);
+            }
+        }
+    }
+
+    Flow {
+        may_ido,
+        edge_tags,
+        dependents,
+        guess_sites,
+        deciders,
+        sends_to,
+        recv_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guess_enters_ido_and_send_publishes_it() {
+        let program = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Send { to: 1 }],
+            vec![Stmt::Recv],
+        ]);
+        let flow = analyze(&program);
+        assert!(flow.may_ido[0][0].is_empty());
+        assert!(flow.may_ido[0][1].contains(&0));
+        assert_eq!(flow.edge_tags[&(0, 1)], BTreeSet::from([0]));
+        assert!(flow.may_ido[1][1].contains(&0), "recv joins the tag");
+        assert_eq!(flow.dependents[0], BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn dependence_flows_transitively_through_relays() {
+        // P0 guesses and sends to P1; P1 relays to P2; P2 relays to P3.
+        let program = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Send { to: 1 }],
+            vec![Stmt::Recv, Stmt::Send { to: 2 }],
+            vec![Stmt::Recv, Stmt::Send { to: 3 }],
+            vec![Stmt::Recv],
+        ]);
+        let flow = analyze(&program);
+        assert_eq!(flow.dependents[0], BTreeSet::from([0, 1, 2, 3]));
+        assert_eq!(flow.edge_tags[&(2, 3)], BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn send_before_guess_publishes_nothing() {
+        let program = Program::new(vec![
+            vec![Stmt::Send { to: 1 }, Stmt::Guess(0)],
+            vec![Stmt::Recv],
+        ]);
+        let flow = analyze(&program);
+        assert!(flow.edge_tags[&(0, 1)].is_empty());
+        assert_eq!(flow.dependents[0], BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn cyclic_channels_reach_a_fixpoint() {
+        // P0 and P1 mutually send/recv; both guess distinct AIDs. The
+        // fixpoint must converge with both AIDs on both processes.
+        let program = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Recv, Stmt::Send { to: 1 }],
+            vec![Stmt::Guess(1), Stmt::Recv, Stmt::Send { to: 0 }],
+        ]);
+        let flow = analyze(&program);
+        assert_eq!(flow.dependents[0], BTreeSet::from([0, 1]));
+        assert_eq!(flow.dependents[1], BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn site_tables_are_complete_and_in_order() {
+        let program = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Affirm(0), Stmt::Recv],
+            vec![Stmt::Deny(1), Stmt::FreeOf(0), Stmt::Send { to: 0 }],
+        ]);
+        let flow = analyze(&program);
+        assert_eq!(flow.guess_sites[0], vec![(0, 0)]);
+        assert_eq!(
+            flow.deciders[0],
+            vec![(0, 1, DeciderKind::Affirm), (1, 1, DeciderKind::FreeOf)]
+        );
+        assert_eq!(flow.deciders[1], vec![(1, 0, DeciderKind::Deny)]);
+        assert_eq!(flow.sends_to, vec![1, 0]);
+        assert_eq!(flow.recv_count, vec![1, 0]);
+    }
+
+    #[test]
+    fn out_of_range_references_are_ignored_not_panicked() {
+        let program = Program {
+            code: vec![vec![Stmt::Guess(7), Stmt::Send { to: 9 }, Stmt::Affirm(7)]],
+            aid_count: 1,
+        };
+        let flow = analyze(&program);
+        assert!(flow.guess_sites[0].is_empty());
+        assert!(flow.deciders[0].is_empty());
+        assert!(flow.edge_tags.is_empty());
+        assert_eq!(flow.may_ido[0][3], BTreeSet::new());
+    }
+}

@@ -1,0 +1,215 @@
+//! Static-vs-dynamic agreement: every error-severity verdict must agree
+//! with actual machine execution.
+//!
+//! The contract (the crate's zero-false-positive guarantee): if the
+//! analyzer emits **any error diagnostic**, then **no schedule** lets the
+//! program run to *full finalization* — completion with every process
+//! definite and no rollback event, ghost message, or skipped primitive.
+//! Contrapositively, any program observed to finalize fully on some
+//! schedule must be free of error diagnostics.
+//!
+//! Checked two ways: exhaustively over every small program in two
+//! fixed shapes (all 7⁴ two-process programs of length 2 over one AID, and
+//! all 7³ one-process programs of length 3), and over seeded random large
+//! programs from [`Program::generate`]. Each program is executed under a
+//! round-robin schedule plus several seeded random schedules.
+
+use hope_analysis::Analyzer;
+use hope_core::machine::{Event, Machine};
+use hope_core::program::{Program, Stmt};
+
+const SCHEDULE_SEEDS: u64 = 12;
+
+/// Run `program` under one schedule and decide whether the run reached
+/// full finalization.
+fn pristine_under(program: &Program, seed: Option<u64>, fuel: u64) -> bool {
+    let mut m = Machine::new(program.clone());
+    let report = match seed {
+        None => m.run(fuel),
+        Some(s) => m.run_seeded(fuel, s),
+    };
+    if !report.completed {
+        return false;
+    }
+    let stats = m.engine().stats();
+    if stats.rollback_events != 0 || stats.ghosts != 0 {
+        return false;
+    }
+    (0..program.process_count()).all(|p| {
+        !m.engine().is_speculative(m.pid(p)).expect("registered pid")
+            && m.history(p)
+                .states()
+                .iter()
+                .all(|s| !matches!(s.event, Event::Skipped { .. }))
+    })
+}
+
+fn pristine_on_some_schedule(program: &Program, fuel: u64) -> bool {
+    pristine_under(program, None, fuel)
+        || (0..SCHEDULE_SEEDS).any(|s| pristine_under(program, Some(s), fuel))
+}
+
+/// The statement alphabet for the exhaustive sweeps: every statement form,
+/// one AID, `send` targeting `peer`.
+fn alphabet(peer: usize) -> [Stmt; 7] {
+    [
+        Stmt::Guess(0),
+        Stmt::Affirm(0),
+        Stmt::Deny(0),
+        Stmt::FreeOf(0),
+        Stmt::Compute,
+        Stmt::Send { to: peer },
+        Stmt::Recv,
+    ]
+}
+
+fn check_agreement(program: &Program, fuel: u64, context: &str) -> (bool, bool) {
+    let errors = Analyzer::new().errors(program);
+    let pristine = pristine_on_some_schedule(program, fuel);
+    assert!(
+        errors.is_empty() || !pristine,
+        "{context}: static verdict disagrees with execution\n\
+         program:\n{program}\nerrors: {errors:?}\n\
+         but some schedule ran to full finalization"
+    );
+    (!errors.is_empty(), pristine)
+}
+
+#[test]
+fn exhaustive_two_process_agreement() {
+    let mut flagged = 0usize;
+    let mut pristine_count = 0usize;
+    let mut total = 0usize;
+    for a in alphabet(1) {
+        for b in alphabet(1) {
+            for c in alphabet(0) {
+                for d in alphabet(0) {
+                    let program = Program {
+                        code: vec![vec![a, b], vec![c, d]],
+                        aid_count: 1,
+                    };
+                    let (err, pristine) = check_agreement(&program, 500, "two-process exhaustive");
+                    flagged += usize::from(err);
+                    pristine_count += usize::from(pristine);
+                    total += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(total, 7usize.pow(4));
+    // The sweep must exercise both sides of the contract heavily, or the
+    // agreement claim would be vacuous.
+    assert!(flagged > total / 10, "only {flagged}/{total} flagged");
+    assert!(
+        pristine_count > total / 10,
+        "only {pristine_count}/{total} pristine"
+    );
+}
+
+#[test]
+fn exhaustive_single_process_agreement() {
+    // Single process; `send` can only target the process itself, which is
+    // the self-send warning's territory — still legal to execute.
+    let mut flagged = 0usize;
+    let mut pristine_count = 0usize;
+    for a in alphabet(0) {
+        for b in alphabet(0) {
+            for c in alphabet(0) {
+                let program = Program {
+                    code: vec![vec![a, b, c]],
+                    aid_count: 1,
+                };
+                let (err, pristine) = check_agreement(&program, 500, "single-process exhaustive");
+                flagged += usize::from(err);
+                pristine_count += usize::from(pristine);
+            }
+        }
+    }
+    assert!(flagged > 0 && pristine_count > 0);
+}
+
+#[test]
+fn generated_large_program_agreement() {
+    let mut flagged = 0usize;
+    for seed in 0..40u64 {
+        let program = Program::generate(seed, 4, 25, 4);
+        let (err, _) = check_agreement(&program, 50_000, "generated 4x25");
+        flagged += usize::from(err);
+    }
+    // Random programs re-decide AIDs constantly; most must be flagged.
+    assert!(flagged > 20, "only {flagged}/40 generated programs flagged");
+
+    for seed in 100..110u64 {
+        let program = Program::generate(seed, 6, 40, 6);
+        check_agreement(&program, 100_000, "generated 6x40");
+    }
+}
+
+#[test]
+fn per_lint_dynamic_claims_hold_on_the_exhaustive_corpus() {
+    // Sharper per-lint claims than the blanket agreement, over the
+    // two-process corpus:
+    // * leaked-speculation: every *completed* run leaves some process
+    //   speculative or rolled back;
+    // * consumed-reassertion / doomed-free-of: every completed run has a
+    //   skip or a rollback;
+    // * unreachable-recv: no run completes.
+    use hope_analysis::Lint;
+    for a in alphabet(1) {
+        for b in alphabet(1) {
+            for c in alphabet(0) {
+                for d in alphabet(0) {
+                    let program = Program {
+                        code: vec![vec![a, b], vec![c, d]],
+                        aid_count: 1,
+                    };
+                    let lints: Vec<Lint> = Analyzer::new()
+                        .errors(&program)
+                        .iter()
+                        .map(|d| d.lint)
+                        .collect();
+                    if lints.is_empty() {
+                        continue;
+                    }
+                    for seed in 0..4u64 {
+                        let mut m = Machine::new(program.clone());
+                        let report = m.run_seeded(500, seed);
+                        if lints.contains(&Lint::UnreachableRecv) {
+                            assert!(
+                                !report.completed,
+                                "unreachable-recv but completed:\n{program}"
+                            );
+                        }
+                        if !report.completed {
+                            continue;
+                        }
+                        let stats = m.engine().stats();
+                        let rolled = stats.rollback_events > 0;
+                        let skipped = (0..program.process_count()).any(|p| {
+                            m.history(p)
+                                .states()
+                                .iter()
+                                .any(|s| matches!(s.event, Event::Skipped { .. }))
+                        });
+                        let speculative = (0..program.process_count())
+                            .any(|p| m.engine().is_speculative(m.pid(p)).expect("pid"));
+                        if lints.contains(&Lint::LeakedSpeculation) {
+                            assert!(
+                                speculative || rolled,
+                                "leaked-speculation but all definite, no rollback:\n{program}"
+                            );
+                        }
+                        if lints.contains(&Lint::ConsumedReassertion)
+                            || lints.contains(&Lint::DoomedFreeOf)
+                        {
+                            assert!(
+                                skipped || rolled,
+                                "one-shot violation but no skip/rollback:\n{program}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

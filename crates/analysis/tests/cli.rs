@@ -1,0 +1,143 @@
+//! End-to-end tests of the `hope-lint` binary: argument handling, both
+//! renderers, the parser front-end, and exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn hope_lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hope-lint"))
+}
+
+#[test]
+fn stdin_program_with_errors_exits_one() {
+    let mut child = hope_lint()
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hope-lint");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"process P0:\n  guess(x0)\n  free_of(x0)\n")
+        .expect("write program");
+    let out = child.wait_with_output().expect("run hope-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("error[doomed-free-of] P0:1:"), "{stdout}");
+    assert!(stdout.contains("1 error, 0 warnings"), "{stdout}");
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("hope_lint_cli_clean.hope");
+    std::fs::write(
+        &path,
+        "process P0:\n  guess(x0)\nprocess P1:\n  affirm(x0)\n",
+    )
+    .expect("write temp program");
+    let out = hope_lint().arg(&path).output().expect("run hope-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert_eq!(stdout, "0 errors, 0 warnings\n");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn json_output_is_emitted() {
+    let mut child = hope_lint()
+        .args(["--json", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hope-lint");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"process P0:\n  recv\n")
+        .expect("write program");
+    let out = child.wait_with_output().expect("run hope-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("[\n"), "{stdout}");
+    assert!(stdout.contains("\"lint\":\"unreachable-recv\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+}
+
+#[test]
+fn generate_mode_lints_without_a_file() {
+    let out = hope_lint()
+        .args(["--generate", "7,3,20,4", "--print"])
+        .output()
+        .expect("run hope-lint");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    // --print dumps the program before the diagnostics.
+    assert!(stdout.starts_with("process P0:"), "{stdout}");
+    assert!(
+        stdout.contains("warning") || stdout.contains("error"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn cascade_threshold_flag_is_honoured() {
+    let program = "process P0:\n  guess(x0)\n  send(P1)\n  affirm(x0)\nprocess P1:\n  recv\n";
+    for (threshold, expect_warn) in [("2", true), ("3", false)] {
+        let mut child = hope_lint()
+            .args(["--cascade-threshold", threshold, "-"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn hope-lint");
+        child
+            .stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(program.as_bytes())
+            .expect("write program");
+        let out = child.wait_with_output().expect("run hope-lint");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "warnings never fail the exit code"
+        );
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert_eq!(
+            stdout.contains("warning[cascade-depth]"),
+            expect_warn,
+            "threshold {threshold}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn bad_usage_and_bad_programs_exit_two() {
+    let out = hope_lint().output().expect("run hope-lint");
+    assert_eq!(out.status.code(), Some(2), "no source given");
+
+    let out = hope_lint()
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("run hope-lint");
+    assert_eq!(out.status.code(), Some(2));
+
+    let mut child = hope_lint()
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hope-lint");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"process P0:\n  hope(x0)\n")
+        .expect("write program");
+    let out = child.wait_with_output().expect("run hope-lint");
+    assert_eq!(out.status.code(), Some(2), "parse error");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("line 2"), "{stderr}");
+}

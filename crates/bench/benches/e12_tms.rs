@@ -8,9 +8,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e12_tms");
     g.sample_size(10);
     for nogoods in [0usize, 4] {
-        g.bench_with_input(BenchmarkId::new("two_reasoners", nogoods), &nogoods, |b, &n| {
-            b.iter(|| measure(n, 13));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("two_reasoners", nogoods),
+            &nogoods,
+            |b, &n| {
+                b.iter(|| measure(n, 13));
+            },
+        );
     }
     g.finish();
 }

@@ -11,12 +11,20 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_page_printer");
     g.sample_size(20);
     for rtt in [10u64, 30] {
-        g.bench_with_input(BenchmarkId::new("figure1_pessimistic", rtt), &rtt, |b, &rtt| {
-            b.iter(|| run_pessimistic(rtt, 10));
-        });
-        g.bench_with_input(BenchmarkId::new("figure2_optimistic", rtt), &rtt, |b, &rtt| {
-            b.iter(|| run_optimistic(rtt, 10));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("figure1_pessimistic", rtt),
+            &rtt,
+            |b, &rtt| {
+                b.iter(|| run_pessimistic(rtt, 10));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("figure2_optimistic", rtt),
+            &rtt,
+            |b, &rtt| {
+                b.iter(|| run_optimistic(rtt, 10));
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("figure2_with_rollback", rtt),
             &rtt,

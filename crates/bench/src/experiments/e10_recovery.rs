@@ -78,7 +78,9 @@ pub fn table() -> Table {
             r.recoveries.to_string(),
         ]);
     }
-    t.note("every step's output still commits exactly once, in order — rollback is invisible outside");
+    t.note(
+        "every step's output still commits exactly once, in order — rollback is invisible outside",
+    );
     t
 }
 

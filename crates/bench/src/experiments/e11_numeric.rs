@@ -93,7 +93,10 @@ mod tests {
         let tight = measure(0.0, 5, 3);
         let loose = measure(0.25, 5, 3);
         assert!(loose.rollbacks < tight.rollbacks, "{tight:?} vs {loose:?}");
-        assert!(loose.optimistic_ms <= tight.optimistic_ms, "{tight:?} vs {loose:?}");
+        assert!(
+            loose.optimistic_ms <= tight.optimistic_ms,
+            "{tight:?} vs {loose:?}"
+        );
         assert!(loose.optimistic_ms < loose.sync_ms, "{loose:?}");
     }
 }

@@ -31,13 +31,11 @@ pub struct E12Row {
 /// and `nogoods` of the cross-reasoner pairs conflict.
 pub fn measure(nogoods: usize, seed: u64) -> E12Row {
     let per = 4usize; // assumptions per reasoner
-    // Reasoner 0 assumes 1..=4, reasoner 1 assumes 11..=14; nogood pairs
-    // couple (1,11), (2,12), … up to the requested density.
+                      // Reasoner 0 assumes 1..=4, reasoner 1 assumes 11..=14; nogood pairs
+                      // couple (1,11), (2,12), … up to the requested density.
     let a0: Vec<u32> = (1..=per as u32).collect();
     let a1: Vec<u32> = (11..=10 + per as u32).collect();
-    let pairs: Vec<Vec<u32>> = (0..nogoods.min(per))
-        .map(|i| vec![a0[i], a1[i]])
-        .collect();
+    let pairs: Vec<Vec<u32>> = (0..nogoods.min(per)).map(|i| vec![a0[i], a1[i]]).collect();
     let pair_refs: Vec<&[u32]> = pairs.iter().map(Vec::as_slice).collect();
     let kb = KnowledgeBase::new(&[], &pair_refs);
     let topo = Topology::uniform(LatencyModel::Fixed(VirtualDuration::from_millis(1)));

@@ -45,7 +45,13 @@ pub fn measure(editors: usize, seed: u64) -> E13Row {
 pub fn table() -> Table {
     let mut t = Table::new(
         "E13: lock-free co-operative editing — conflicts vs concurrency (5 edits/editor)",
-        &["editors", "commits", "conflict rollbacks", "completion", "converged"],
+        &[
+            "editors",
+            "commits",
+            "conflict rollbacks",
+            "completion",
+            "converged",
+        ],
     );
     for editors in [1, 2, 4, 8] {
         let r = measure(editors, 23);

@@ -51,7 +51,9 @@ pub fn run_optimistic(rtt_ms: u64, start_line: i64) -> (RunReport, f64) {
         worker_optimistic(ctx, printer, wart, 1234)
     });
     sim.spawn("printer", move |ctx| print_server(ctx, start_line, us(100)));
-    sim.spawn("worrywart", move |ctx| page::worrywart(ctx, printer, PAGE_SIZE));
+    sim.spawn("worrywart", move |ctx| {
+        page::worrywart(ctx, printer, PAGE_SIZE)
+    });
     let report = sim.run();
     let t = completion_ms(&report, ProcessId(0));
     (report, t)

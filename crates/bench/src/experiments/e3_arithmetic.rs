@@ -41,9 +41,15 @@ pub fn table() -> Table {
         &["link", "one-way", "cpu", "instructions / RPC"],
     );
     let links = [
-        ("local pipe", LatencyModel::Fixed(VirtualDuration::from_micros(5))),
+        (
+            "local pipe",
+            LatencyModel::Fixed(VirtualDuration::from_micros(5)),
+        ),
         ("LAN", LatencyModel::lan()),
-        ("metro", LatencyModel::Fixed(VirtualDuration::from_millis(1))),
+        (
+            "metro",
+            LatencyModel::Fixed(VirtualDuration::from_millis(1)),
+        ),
         ("coast-to-coast", LatencyModel::coast_to_coast()),
     ];
     for (name, link) in &links {

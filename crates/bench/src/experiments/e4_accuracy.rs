@@ -106,7 +106,9 @@ pub fn table() -> Table {
             fmt_pct(r.gain),
         ]);
     }
-    t.note("gain shrinks with accuracy; even at 0% the deny ships the true answer, bounding the loss");
+    t.note(
+        "gain shrinks with accuracy; even at 0% the deny ships the true answer, bounding the loss",
+    );
     t
 }
 

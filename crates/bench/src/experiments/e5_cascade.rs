@@ -97,7 +97,13 @@ pub fn measure(n: usize) -> E5Row {
 pub fn table() -> Table {
     let mut t = Table::new(
         "E5: cascading rollback reach vs dependency chain length",
-        &["n", "rollback events", "intervals discarded", "ghosts", "completion"],
+        &[
+            "n",
+            "rollback events",
+            "intervals discarded",
+            "ghosts",
+            "completion",
+        ],
     );
     for n in [1, 2, 4, 8, 16, 32, 64] {
         let r = measure(n);

@@ -57,7 +57,15 @@ pub fn measure(n_lps: usize, horizon: u64, seed: u64) -> E6Row {
 pub fn table() -> Table {
     let mut t = Table::new(
         "E6: Time Warp (on HOPE) vs sequential event processing — PHOLD",
-        &["LPs", "sequential", "Time Warp", "speedup", "handled", "committed", "rollbacks"],
+        &[
+            "LPs",
+            "sequential",
+            "Time Warp",
+            "speedup",
+            "handled",
+            "committed",
+            "rollbacks",
+        ],
     );
     for n in [2, 4, 8, 16] {
         let r = measure(n, 100, 21);

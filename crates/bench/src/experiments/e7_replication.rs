@@ -66,7 +66,13 @@ fn run(clients: usize, keys: usize, writes: u64, optimistic: bool, seed: u64) ->
     let conflicts: u64 = report
         .output_lines()
         .iter()
-        .map(|l| l.split("conflicts=").nth(1).unwrap().parse::<u64>().unwrap())
+        .map(|l| {
+            l.split("conflicts=")
+                .nth(1)
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        })
         .sum();
     (mean_ms, conflicts, report.stats().rollback_events)
 }
@@ -89,7 +95,13 @@ pub fn measure(clients: usize, keys: usize, writes: u64, seed: u64) -> E7Row {
 pub fn table() -> Table {
     let mut t = Table::new(
         "E7: optimistic replication vs pessimistic primary copy (4 clients × 8 writes)",
-        &["keys", "pessimistic", "optimistic", "conflicts", "rollbacks"],
+        &[
+            "keys",
+            "pessimistic",
+            "optimistic",
+            "conflicts",
+            "rollbacks",
+        ],
     );
     for keys in [64, 8, 2, 1] {
         let r = measure(4, keys, 8, 31);
@@ -122,10 +134,7 @@ mod tests {
     fn contention_raises_conflicts() {
         let low = measure(3, 64, 5, 8);
         let high = measure(3, 1, 5, 8);
-        assert!(
-            high.conflicts > low.conflicts,
-            "low={low:?} high={high:?}"
-        );
+        assert!(high.conflicts > low.conflicts, "low={low:?} high={high:?}");
         assert!(high.rollbacks >= high.conflicts);
     }
 }

@@ -6,6 +6,10 @@
 //! experiment ids (E1…E10) are indexed in `DESIGN.md` and their outcomes
 //! recorded in `EXPERIMENTS.md`.
 
+pub mod e10_recovery;
+pub mod e11_numeric;
+pub mod e12_tms;
+pub mod e13_coedit;
 pub mod e1_callstream;
 pub mod e2_chain;
 pub mod e3_arithmetic;
@@ -14,10 +18,6 @@ pub mod e5_cascade;
 pub mod e6_timewarp;
 pub mod e7_replication;
 pub mod e8_ablation;
-pub mod e10_recovery;
-pub mod e11_numeric;
-pub mod e12_tms;
-pub mod e13_coedit;
 
 use hope_runtime::{ProcessId, RunReport};
 use hope_sim::VirtualDuration;

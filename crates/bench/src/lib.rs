@@ -26,7 +26,7 @@
 //! benches under `benches/` measure host-time costs of the same scenarios.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;

@@ -158,11 +158,7 @@ pub fn paper_topology(one_way: VirtualDuration) -> hope_sim::Topology {
     topo.set_pair(0, 2, LatencyModel::Fixed(close));
     // WorryWart → printer is slightly faster than worker → printer, so S1
     // keeps its head start.
-    topo.set_pair(
-        2,
-        1,
-        LatencyModel::Fixed(one_way.saturating_sub(close * 3)),
-    );
+    topo.set_pair(2, 1, LatencyModel::Fixed(one_way.saturating_sub(close * 3)));
     topo
 }
 

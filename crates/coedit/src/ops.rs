@@ -143,7 +143,10 @@ mod tests {
             del.rebase_past(&Op::Insert { pos: 0, ch: 'a' }),
             Op::Delete { pos: 3 }
         );
-        assert_eq!(del.rebase_past(&Op::Delete { pos: 0 }), Op::Delete { pos: 1 });
+        assert_eq!(
+            del.rebase_past(&Op::Delete { pos: 0 }),
+            Op::Delete { pos: 1 }
+        );
     }
 
     #[test]
@@ -160,10 +163,7 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        for op in [
-            Op::Insert { pos: 4, ch: 'é' },
-            Op::Delete { pos: 0 },
-        ] {
+        for op in [Op::Insert { pos: 4, ch: 'é' }, Op::Delete { pos: 0 }] {
             assert_eq!(Op::from_value(&op.to_value()), Some(op));
         }
         assert_eq!(Op::from_value(&Value::Unit), None);

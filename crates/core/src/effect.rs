@@ -143,7 +143,10 @@ mod tests {
             intervals: vec![IntervalId(3), IntervalId(4)],
             checkpoint: Checkpoint(7),
         };
-        assert_eq!(e.to_string(), "P2: rolled back to ps@7, discarding [A3, A4]");
+        assert_eq!(
+            e.to_string(),
+            "P2: rolled back to ps@7, discarding [A3, A4]"
+        );
         assert!(e.is_rollback());
         assert_eq!(e.process(), Some(ProcessId(2)));
     }

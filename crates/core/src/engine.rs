@@ -292,9 +292,11 @@ impl Engine {
     /// [`Error::UnknownProcess`] if `pid` was never registered.
     pub fn current_interval(&self, pid: ProcessId) -> Result<Option<IntervalId>> {
         let proc = self.procs.get(&pid).ok_or(Error::UnknownProcess(pid))?;
-        Ok(proc.history.last().copied().filter(|&a| {
-            self.intervals[a.0 as usize].status == IntervalStatus::Speculative
-        }))
+        Ok(proc
+            .history
+            .last()
+            .copied()
+            .filter(|&a| self.intervals[a.0 as usize].status == IntervalStatus::Speculative))
     }
 
     /// `true` if the process is currently speculative.
@@ -662,10 +664,9 @@ impl Engine {
                     .copied()
                     .filter(|&y| y != x)
                     .collect();
-                let x_dom: Vec<IntervalId> =
-                    std::mem::take(&mut self.aids[x.0 as usize].dom)
-                        .into_iter()
-                        .collect();
+                let x_dom: Vec<IntervalId> = std::mem::take(&mut self.aids[x.0 as usize].dom)
+                    .into_iter()
+                    .collect();
                 // Eq. 10: every AID the affirmer depends on inherits x's
                 // dependents.
                 for &y in &a_ido {
@@ -739,12 +740,7 @@ impl Engine {
 
     /// Make `x` definitively denied and queue rollback of its dependents
     /// (Equation 15's universal rollback).
-    fn definite_deny_aid(
-        &mut self,
-        x: AidId,
-        _effects: &mut Vec<Effect>,
-        wl: &mut VecDeque<Task>,
-    ) {
+    fn definite_deny_aid(&mut self, x: AidId, _effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
         self.stats.definite_denies += 1;
         let aid = &mut self.aids[x.0 as usize];
         aid.state = AidState::Denied;
@@ -1068,9 +1064,9 @@ mod tests {
         let a = out.interval().unwrap();
         let fx = e.affirm(p[1], x).unwrap();
         assert!(fx.contains(&Effect::AidAffirmed { aid: x }));
-        assert!(fx.iter().any(
-            |f| matches!(f, Effect::Finalized { interval, .. } if *interval == a)
-        ));
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::Finalized { interval, .. } if *interval == a)));
         assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::Definite);
         assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
         assert!(!e.is_speculative(p[0]).unwrap());
@@ -1150,7 +1146,7 @@ mod tests {
         let ax = ox.interval().unwrap();
         e.guess(p[2], &[y], Checkpoint(0)).unwrap();
         e.deny(p[2], x).unwrap(); // speculative deny of x, pending on y
-        // Deny y: p2 rolls back; its speculative deny of x must die with it.
+                                  // Deny y: p2 rolls back; its speculative deny of x must die with it.
         e.deny(p[0], y).unwrap();
         // x was never definitively denied: the IHD entry died with p2's
         // interval. x is released (the deny never happened), its state
@@ -1187,9 +1183,9 @@ mod tests {
         let (oa, _) = e.guess(p[2], &[y], Checkpoint(0)).unwrap();
         let a = oa.interval().unwrap();
         let fx = e.affirm(p[2], x).unwrap();
-        assert!(fx
-            .iter()
-            .any(|f| matches!(f, Effect::SpeculativelyAffirmed { aid, by } if *aid == x && *by == a)));
+        assert!(fx.iter().any(
+            |f| matches!(f, Effect::SpeculativelyAffirmed { aid, by } if *aid == x && *by == a)
+        ));
         let b_ido = e.interval(b).unwrap().ido().clone();
         assert!(!b_ido.contains(&x));
         assert!(b_ido.contains(&y));
@@ -1212,7 +1208,9 @@ mod tests {
         // Both the affirmer's interval and B finalize; x becomes Affirmed.
         assert_eq!(e.interval(b).unwrap().status(), IntervalStatus::Definite);
         assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
-        assert!(fx.iter().any(|f| matches!(f, Effect::AidAffirmed { aid } if *aid == x)));
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::AidAffirmed { aid } if *aid == x)));
     }
 
     #[test]
@@ -1230,7 +1228,9 @@ mod tests {
         // dependence) B; x is conservatively denied.
         assert_eq!(e.interval(b).unwrap().status(), IntervalStatus::RolledBack);
         assert_eq!(e.aid_state(x).unwrap(), AidState::Denied);
-        assert!(fx.iter().any(|f| matches!(f, Effect::AidDenied { aid } if *aid == x)));
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::AidDenied { aid } if *aid == x)));
     }
 
     #[test]
@@ -1242,9 +1242,9 @@ mod tests {
         let a = oa.interval().unwrap();
         let fx = e.affirm(p[0], x).unwrap();
         assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::Definite);
-        assert!(fx.iter().any(
-            |f| matches!(f, Effect::Finalized { interval, .. } if *interval == a)
-        ));
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::Finalized { interval, .. } if *interval == a)));
         assert!(!e.is_speculative(p[0]).unwrap());
         assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
     }
@@ -1488,7 +1488,10 @@ mod tests {
             e.guess(p[0], &[ghost_aid], Checkpoint(0)),
             Err(Error::UnknownAid(ghost_aid))
         );
-        assert_eq!(e.affirm(ghost_pid, x), Err(Error::UnknownProcess(ghost_pid)));
+        assert_eq!(
+            e.affirm(ghost_pid, x),
+            Err(Error::UnknownProcess(ghost_pid))
+        );
         assert_eq!(e.affirm(p[0], ghost_aid), Err(Error::UnknownAid(ghost_aid)));
         assert!(e.aid(ghost_aid).is_err());
         assert!(e.interval(IntervalId(42)).is_err());

@@ -40,6 +40,14 @@ pub enum Error {
     /// Only reachable through the low-level testing surface; the engine's own
     /// cascades always respect the precondition.
     FinalizePrecondition(IntervalId),
+    /// A program was rejected before execution by a
+    /// [`ProgramValidator`](crate::machine::ProgramValidator).
+    ///
+    /// Carries one human-readable reason per static diagnostic.
+    ProgramRejected {
+        /// Why the validator refused the program.
+        reasons: Vec<String>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -55,6 +63,16 @@ impl fmt::Display for Error {
             Error::EmptyGuess => write!(f, "guess requires at least one assumption identifier"),
             Error::FinalizePrecondition(a) => {
                 write!(f, "interval {a} cannot finalize: its IDO set is not empty")
+            }
+            Error::ProgramRejected { reasons } => {
+                write!(f, "program rejected by static validation: ")?;
+                for (i, r) in reasons.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -78,6 +96,10 @@ mod tests {
             Error::AidConsumed(AidId(4)).to_string(),
             Error::EmptyGuess.to_string(),
             Error::FinalizePrecondition(IntervalId(5)).to_string(),
+            Error::ProgramRejected {
+                reasons: vec!["first reason".into(), "second reason".into()],
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "no trailing punctuation: {m}");

@@ -141,7 +141,10 @@ impl Program {
             }
             code.push(stmts);
         }
-        Program { code, aid_count: aids }
+        Program {
+            code,
+            aid_count: aids,
+        }
     }
 }
 
@@ -154,6 +157,137 @@ impl fmt::Display for Program {
             }
         }
         Ok(())
+    }
+}
+
+/// Error produced when parsing a [`Program`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+impl std::str::FromStr for Stmt {
+    type Err = String;
+
+    /// Parse one statement in the [`Display`](Stmt#impl-Display-for-Stmt)
+    /// syntax, e.g. `guess(x0)`, `send(P2)`, `compute`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn aid_arg(s: &str, op: &str) -> Result<AidVar, String> {
+            let inner = s
+                .strip_prefix(op)
+                .and_then(|r| r.strip_prefix('('))
+                .and_then(|r| r.strip_suffix(')'))
+                .ok_or_else(|| format!("malformed `{op}` statement: `{s}`"))?;
+            let digits = inner
+                .strip_prefix('x')
+                .ok_or_else(|| format!("expected AID like `x0` in `{s}`"))?;
+            digits
+                .parse::<AidVar>()
+                .map_err(|_| format!("bad AID index `{digits}` in `{s}`"))
+        }
+
+        let s = s.trim();
+        match s {
+            "compute" => return Ok(Stmt::Compute),
+            "recv" => return Ok(Stmt::Recv),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("send(") {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("malformed `send` statement: `{s}`"))?;
+            let digits = inner
+                .strip_prefix('P')
+                .ok_or_else(|| format!("expected process like `P1` in `{s}`"))?;
+            let to = digits
+                .parse::<ProcIdx>()
+                .map_err(|_| format!("bad process index `{digits}` in `{s}`"))?;
+            return Ok(Stmt::Send { to });
+        }
+        if s.starts_with("guess") {
+            return aid_arg(s, "guess").map(Stmt::Guess);
+        }
+        if s.starts_with("affirm") {
+            return aid_arg(s, "affirm").map(Stmt::Affirm);
+        }
+        if s.starts_with("deny") {
+            return aid_arg(s, "deny").map(Stmt::Deny);
+        }
+        if s.starts_with("free_of") {
+            return aid_arg(s, "free_of").map(Stmt::FreeOf);
+        }
+        Err(format!("unknown statement `{s}`"))
+    }
+}
+
+impl std::str::FromStr for Program {
+    type Err = ParseProgramError;
+
+    /// Parse a program in the [`Display`](Program#impl-Display-for-Program)
+    /// syntax — the parser round-trips `Program::to_string`:
+    ///
+    /// ```text
+    /// process P0:
+    ///     0: guess(x0)
+    ///     1: send(P1)
+    /// process P1:
+    ///     0: recv
+    /// ```
+    ///
+    /// Leading statement numbers are optional, blank lines and `#` comments
+    /// are skipped, and `aid_count` is inferred as in [`Program::new`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut code: Vec<Vec<Stmt>> = Vec::new();
+        for (idx, raw) in s.lines().enumerate() {
+            let line = idx + 1;
+            let err = |message: String| ParseProgramError { line, message };
+            let text = raw.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = text.strip_prefix("process ") {
+                let digits = header
+                    .strip_prefix('P')
+                    .and_then(|h| h.strip_suffix(':'))
+                    .ok_or_else(|| {
+                        err(format!(
+                            "malformed process header `{text}` (want `process P<n>:`)"
+                        ))
+                    })?;
+                let p: usize = digits
+                    .parse()
+                    .map_err(|_| err(format!("bad process index `{digits}`")))?;
+                if p != code.len() {
+                    return Err(err(format!(
+                        "process P{p} declared out of order (expected P{})",
+                        code.len()
+                    )));
+                }
+                code.push(Vec::new());
+                continue;
+            }
+            // Strip an optional `<n>:` statement-number prefix.
+            let stmt_text = match text.split_once(':') {
+                Some((num, rest)) if num.trim().parse::<usize>().is_ok() => rest.trim(),
+                _ => text,
+            };
+            let stmt: Stmt = stmt_text.parse().map_err(err)?;
+            code.last_mut()
+                .ok_or_else(|| err(format!("statement `{stmt_text}` before any process header")))?
+                .push(stmt);
+        }
+        Ok(Program::new(code))
     }
 }
 
@@ -183,7 +317,10 @@ mod tests {
 
     #[test]
     fn new_infers_aid_count() {
-        let p = Program::new(vec![vec![Stmt::Guess(3), Stmt::Compute], vec![Stmt::Affirm(1)]]);
+        let p = Program::new(vec![
+            vec![Stmt::Guess(3), Stmt::Compute],
+            vec![Stmt::Affirm(1)],
+        ]);
         assert_eq!(p.aid_count, 4);
         assert_eq!(p.process_count(), 2);
         assert_eq!(p.len(), 3);
@@ -243,6 +380,43 @@ mod tests {
         ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for seed in 0..20 {
+            let p = Program::generate(seed, 3, 12, 4);
+            let reparsed: Program = p.to_string().parse().expect("round trip");
+            assert_eq!(reparsed.code, p.code);
+            // aid_count is inferred on parse, so it may shrink if the largest
+            // AID never appears; the code itself must be identical.
+            assert!(reparsed.aid_count <= p.aid_count);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_bare_statements_comments_and_blanks() {
+        let src = "\n# a doomed free_of\nprocess P0:\n  guess(x1)\n\n  free_of(x1)\n";
+        let p: Program = src.parse().unwrap();
+        assert_eq!(p.code, vec![vec![Stmt::Guess(1), Stmt::FreeOf(1)]]);
+        assert_eq!(p.aid_count, 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = "process P0:\n  hope(x0)\n".parse::<Program>().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown statement"));
+
+        let err = "  guess(x0)\n".parse::<Program>().unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("before any process header"));
+
+        let err = "process P1:\n".parse::<Program>().unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+
+        assert!("process P0:\n guess(y0)\n".parse::<Program>().is_err());
+        assert!("process P0:\n send(Q1)\n".parse::<Program>().is_err());
     }
 
     #[test]

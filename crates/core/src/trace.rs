@@ -107,11 +107,7 @@ fn spec_suffix(speculative: bool) -> &'static str {
 pub fn render_history(label: &str, history: &History) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{label} (truncations: {}):",
-        history.truncations()
-    );
+    let _ = writeln!(out, "{label} (truncations: {}):", history.truncations());
     for (i, s) in history.states().iter().enumerate() {
         let interval = match s.interval {
             Some(a) => a.to_string(),

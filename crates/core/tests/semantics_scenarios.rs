@@ -79,9 +79,7 @@ fn paper_section_3_1_order_violation() {
     let (out, _) = e.guess(worker, &[order], Checkpoint(2)).unwrap();
     assert_eq!(out, GuessOutcome::AlreadyFalse(order));
     let fx = e.affirm(worrywart, part_page).unwrap();
-    assert!(fx
-        .iter()
-        .any(|f| matches!(f, Effect::Finalized { .. })));
+    assert!(fx.iter().any(|f| matches!(f, Effect::Finalized { .. })));
     assert!(!e.is_speculative(worker).unwrap());
 }
 
@@ -170,7 +168,9 @@ fn deny_of_replaced_aid_reaches_transferred_dependents() {
     assert_eq!(e.interval(b).unwrap().status(), IntervalStatus::RolledBack);
     // Footnote 2: the speculative affirm's AID is conservatively denied.
     assert_eq!(e.aid_state(x).unwrap(), AidState::Denied);
-    assert!(fx.iter().any(|f| matches!(f, Effect::AidDenied { aid } if *aid == x)));
+    assert!(fx
+        .iter()
+        .any(|f| matches!(f, Effect::AidDenied { aid } if *aid == x)));
 }
 
 #[test]

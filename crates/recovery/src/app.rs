@@ -128,7 +128,11 @@ mod tests {
         VirtualDuration::from_millis(v)
     }
 
-    fn run(optimistic: bool, crash_rate: f64, steps: u64) -> (hope_runtime::RunReport, VirtualTime) {
+    fn run(
+        optimistic: bool,
+        crash_rate: f64,
+        steps: u64,
+    ) -> (hope_runtime::RunReport, VirtualTime) {
         let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
         let mut sim = Simulation::new(SimConfig::with_seed(11).topology(topo));
         let store = ProcessId(1);
@@ -204,10 +208,7 @@ mod tests {
     fn optimistic_logging_hides_flush_latency() {
         let (opt_report, opt) = run(true, 0.0, 20);
         let (_, sync) = run(false, 0.0, 20);
-        assert!(
-            opt < sync,
-            "optimistic {opt} !< synchronous {sync}"
-        );
+        assert!(opt < sync, "optimistic {opt} !< synchronous {sync}");
         assert_eq!(opt_report.stats().rollback_events, 0);
     }
 

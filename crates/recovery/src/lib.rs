@@ -18,7 +18,7 @@
 //!   batch of entries — fewer messages, coarser rollback.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod app;

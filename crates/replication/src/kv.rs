@@ -41,12 +41,7 @@ impl VersionedStore {
     ///
     /// `Err((current_value, current_version))` on a version conflict.
     #[allow(clippy::result_large_err)]
-    pub fn certify(
-        &mut self,
-        key: &str,
-        value: Value,
-        expected: u64,
-    ) -> Result<u64, (Value, u64)> {
+    pub fn certify(&mut self, key: &str, value: Value, expected: u64) -> Result<u64, (Value, u64)> {
         let current = self.version(key);
         if current == expected {
             let new = current + 1;

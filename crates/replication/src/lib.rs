@@ -21,7 +21,7 @@
 //! applications converge (see `hope-timewarp` for the contrasting case).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod kv;

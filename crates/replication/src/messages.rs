@@ -83,10 +83,7 @@ impl RepMsg {
                 Value::List(vec![Value::Str("read".into()), Value::Str(key.clone())])
             }
             RepMsg::MultiUpdate { aid, entries } => {
-                let mut items = vec![
-                    Value::Str("mupd".into()),
-                    Value::Int(aid.index() as i64),
-                ];
+                let mut items = vec![Value::Str("mupd".into()), Value::Int(aid.index() as i64)];
                 for (k, v, expected) in entries {
                     items.push(Value::Str(k.clone()));
                     items.push(v.clone());

@@ -293,7 +293,12 @@ mod tests {
                 Ok(())
             });
             sim.spawn("primary", move |ctx| {
-                run_primary(ctx, vec![ProcessId(0)], VirtualDuration::from_micros(10), |_| {})
+                run_primary(
+                    ctx,
+                    vec![ProcessId(0)],
+                    VirtualDuration::from_micros(10),
+                    |_| {},
+                )
             });
             let r = sim.run();
             assert_eq!(r.output_lines(), vec!["final=4"], "{r}");
@@ -337,7 +342,13 @@ mod tests {
         // Exactly one client conflicted (the loser of the race).
         let total_conflicts: u64 = lines
             .iter()
-            .map(|l| l.split("conflicts=").nth(1).unwrap().parse::<u64>().unwrap())
+            .map(|l| {
+                l.split("conflicts=")
+                    .nth(1)
+                    .unwrap()
+                    .parse::<u64>()
+                    .unwrap()
+            })
             .sum();
         assert_eq!(total_conflicts, 1, "{lines:?}");
         assert!(r.stats().rollback_events >= 1);
@@ -364,7 +375,12 @@ mod tests {
             Ok(())
         });
         sim.spawn("primary", move |ctx| {
-            run_primary(ctx, vec![ProcessId(0)], VirtualDuration::from_micros(10), |_| {})
+            run_primary(
+                ctx,
+                vec![ProcessId(0)],
+                VirtualDuration::from_micros(10),
+                |_| {},
+            )
         });
         let r = sim.run();
         assert_eq!(r.output_lines(), vec!["final read=2"], "{r}");
@@ -412,8 +428,14 @@ mod tests {
         assert!(report.errors().is_empty(), "{report}");
         let lines = report.output_lines();
         // One winner, one retried loser.
-        assert!(lines.iter().any(|l| l.contains("first_try=true")), "{lines:?}");
-        assert!(lines.iter().any(|l| l.contains("first_try=false")), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.contains("first_try=true")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("first_try=false")),
+            "{lines:?}"
+        );
         assert!(lines.iter().any(|l| l.starts_with("pair=")), "{lines:?}");
         assert!(report.stats().rollback_events >= 1);
     }
@@ -426,7 +448,11 @@ mod tests {
             let mut rep = Replica::new(primary);
             let ok = rep.write_many_optimistic(
                 ctx,
-                &[("a", Value::Int(1)), ("b", Value::Int(2)), ("c", Value::Int(3))],
+                &[
+                    ("a", Value::Int(1)),
+                    ("b", Value::Int(2)),
+                    ("c", Value::Int(3)),
+                ],
             )?;
             assert!(ok);
             // Read-your-writes across the transaction.
@@ -435,7 +461,12 @@ mod tests {
             Ok(())
         });
         sim.spawn("primary", move |ctx| {
-            run_primary(ctx, vec![ProcessId(0)], VirtualDuration::from_micros(10), |_| {})
+            run_primary(
+                ctx,
+                vec![ProcessId(0)],
+                VirtualDuration::from_micros(10),
+                |_| {},
+            )
         });
         let r = sim.run();
         assert_eq!(r.output_lines(), vec!["txn ok"], "{r}");

@@ -248,7 +248,11 @@ impl Ctx {
             format!(
                 "{pid}: {}({aid}){}",
                 prim.name(),
-                if skipped { " [already decided: no-op]" } else { "" }
+                if skipped {
+                    " [already decided: no-op]"
+                } else {
+                    ""
+                }
             )
         });
         sh.procs[self.idx].journal.push(entry);
@@ -446,10 +450,7 @@ impl Ctx {
     /// # Errors
     ///
     /// [`Signal`]s propagated from the runtime.
-    pub fn try_recv_matching(
-        &mut self,
-        pred: impl Fn(&Message) -> bool,
-    ) -> Hope<Option<Message>> {
+    pub fn try_recv_matching(&mut self, pred: impl Fn(&Message) -> bool) -> Hope<Option<Message>> {
         self.try_recv_where(&pred)
     }
 
@@ -530,10 +531,7 @@ impl Ctx {
     ///
     /// Panics if `req` is not a [`MsgKind::Request`].
     pub fn reply(&mut self, req: &Message, payload: impl Into<Value>) -> Hope<u64> {
-        let call = req
-            .kind
-            .call_id()
-            .expect("reply target must be a request");
+        let call = req.kind.call_id().expect("reply target must be a request");
         debug_assert!(matches!(req.kind, MsgKind::Request(_)));
         self.send_kind(req.from, move |_| MsgKind::Reply(call), payload.into())
     }

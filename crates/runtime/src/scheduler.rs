@@ -453,9 +453,8 @@ mod tests {
     #[test]
     fn ping_pong_accumulates_latency() {
         let mut sim = Simulation::new(
-            SimConfig::with_seed(3).topology(Topology::uniform(
-                hope_sim::LatencyModel::Fixed(ms(10)),
-            )),
+            SimConfig::with_seed(3)
+                .topology(Topology::uniform(hope_sim::LatencyModel::Fixed(ms(10)))),
         );
         let ponger = hope_core::ProcessId(1);
         let pinger = sim.spawn("pinger", move |ctx| {
@@ -642,12 +641,12 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let run = || {
-            let mut sim = Simulation::new(SimConfig::with_seed(99).topology(
-                Topology::uniform(hope_sim::LatencyModel::Uniform {
+            let mut sim = Simulation::new(SimConfig::with_seed(99).topology(Topology::uniform(
+                hope_sim::LatencyModel::Uniform {
                     lo: ms(1),
                     hi: ms(5),
-                }),
-            ));
+                },
+            )));
             let consumer = hope_core::ProcessId(1);
             sim.spawn("producer", move |ctx| {
                 for _ in 0..10 {

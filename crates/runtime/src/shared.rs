@@ -116,7 +116,12 @@ impl Shared {
         if open.is_empty() {
             return false;
         }
-        self.trace(|| format!("quiescence oracle affirms {} open assumption(s)", open.len()));
+        self.trace(|| {
+            format!(
+                "quiescence oracle affirms {} open assumption(s)",
+                open.len()
+            )
+        });
         let mut any = false;
         for x in open {
             match self.engine.affirm(oracle, x) {
@@ -387,7 +392,10 @@ mod tests {
         // Journal: [Rand] then guess checkpoint at pos 1, then a Recv.
         s.procs[0].journal.push(Entry::Rand(7));
         s.engine.guess(pid0, &[x], Checkpoint(1)).unwrap();
-        s.procs[0].journal.push(Entry::Guess { aid: x, value: true });
+        s.procs[0].journal.push(Entry::Guess {
+            aid: x,
+            value: true,
+        });
         let msg = Message {
             id: 9,
             from: ProcessId(1),

@@ -202,10 +202,16 @@ mod tests {
         };
         assert!(r.completed());
         assert_eq!(r.output_lines(), vec!["hello"]);
-        assert_eq!(r.finish_time(ProcessId(0)), Some(VirtualTime::from_nanos(9)));
+        assert_eq!(
+            r.finish_time(ProcessId(0)),
+            Some(VirtualTime::from_nanos(9))
+        );
         assert_eq!(r.finish_time(ProcessId(1)), None);
         assert_eq!(r.last_commit_time(), Some(VirtualTime::from_nanos(4)));
-        assert_eq!(r.commit_time(ProcessId(0)), Some(VirtualTime::from_nanos(4)));
+        assert_eq!(
+            r.commit_time(ProcessId(0)),
+            Some(VirtualTime::from_nanos(4))
+        );
         assert_eq!(r.commit_time(ProcessId(1)), None);
         assert_eq!(
             r.completion_time(ProcessId(0)),

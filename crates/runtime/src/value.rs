@@ -192,10 +192,7 @@ mod tests {
         assert_eq!(Value::Unit.as_str(), None);
         assert_eq!(Value::Int(3).expect_int(), 3);
         assert_eq!(Value::Str("s".into()).expect_str(), "s");
-        assert_eq!(
-            Value::List(vec![Value::Unit]).expect_list(),
-            &[Value::Unit]
-        );
+        assert_eq!(Value::List(vec![Value::Unit]).expect_list(), &[Value::Unit]);
     }
 
     #[test]

@@ -161,17 +161,13 @@ fn chance_is_journaled_through_rollback() {
     let mut sim = Simulation::new(SimConfig::with_seed(21));
     let verifier = ProcessId(1);
     sim.spawn("worker", move |ctx| {
-        let draws: Vec<bool> = (0..8)
-            .map(|_| ctx.chance(0.5))
-            .collect::<Result<_, _>>()?;
+        let draws: Vec<bool> = (0..8).map(|_| ctx.chance(0.5)).collect::<Result<_, _>>()?;
         let aid = ctx.aid_init()?;
         ctx.send(verifier, Value::Int(aid.index() as i64))?;
         let _ = ctx.guess(aid)?;
         // Re-draw after the guess: these journal entries are truncated by
         // the rollback and re-drawn live, while `draws` replays.
-        let post: Vec<bool> = (0..4)
-            .map(|_| ctx.chance(0.5))
-            .collect::<Result<_, _>>()?;
+        let post: Vec<bool> = (0..4).map(|_| ctx.chance(0.5)).collect::<Result<_, _>>()?;
         ctx.output(format!("pre={draws:?} post={post:?}"))?;
         Ok(())
     });
@@ -249,9 +245,9 @@ fn replaying_flag_is_visible_only_during_replay() {
 
 #[test]
 fn self_send_is_delivered_immediately() {
-    let mut sim = Simulation::new(SimConfig::default().topology(Topology::uniform(
-        LatencyModel::Fixed(ms(50)),
-    )));
+    let mut sim = Simulation::new(
+        SimConfig::default().topology(Topology::uniform(LatencyModel::Fixed(ms(50)))),
+    );
     let me = ProcessId(0);
     sim.spawn("loner", move |ctx| {
         ctx.send(me, Value::Int(7))?;
@@ -373,7 +369,10 @@ fn trace_records_the_full_story() {
         "deliver m0 P0 -> P1",
         "recv m0 from P0",
     ] {
-        assert!(trace.contains(needle), "missing {needle:?} in trace:\n{trace}");
+        assert!(
+            trace.contains(needle),
+            "missing {needle:?} in trace:\n{trace}"
+        );
     }
 
     // Affirmed scenario: the speculative output's commit is traced.
@@ -396,7 +395,10 @@ fn trace_records_the_full_story() {
     let affirmed = sim.run();
     let trace = affirmed.trace().join("\n");
     for needle in ["affirm(X0)", "finalized", "1 output line(s) committed"] {
-        assert!(trace.contains(needle), "missing {needle:?} in trace:\n{trace}");
+        assert!(
+            trace.contains(needle),
+            "missing {needle:?} in trace:\n{trace}"
+        );
     }
 
     // Untraced runs stay empty.

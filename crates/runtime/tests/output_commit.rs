@@ -38,10 +38,7 @@ fn commit_time_is_the_affirm_time_not_the_produce_time() {
         "committed only once affirmed: {}",
         line.committed_at
     );
-    assert_eq!(
-        report.commit_time(ProcessId(0)),
-        Some(line.committed_at)
-    );
+    assert_eq!(report.commit_time(ProcessId(0)), Some(line.committed_at));
 }
 
 #[test]
@@ -169,10 +166,7 @@ fn last_commit_time_tracks_the_slowest_process() {
         Ok(())
     });
     let report = sim.run();
-    assert_eq!(
-        report.last_commit_time(),
-        Some(VirtualTime::ZERO + ms(40))
-    );
+    assert_eq!(report.last_commit_time(), Some(VirtualTime::ZERO + ms(40)));
     assert_eq!(
         report.completion_time(ProcessId(0)),
         Some(VirtualTime::ZERO)

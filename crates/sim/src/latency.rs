@@ -91,9 +91,11 @@ impl LatencyModel {
             LatencyModel::Fixed(d) => *d,
             LatencyModel::Uniform { lo, .. } => *lo,
             LatencyModel::Exponential { floor, .. } => *floor,
-            LatencyModel::Empirical { samples } => {
-                samples.iter().copied().min().unwrap_or(VirtualDuration::ZERO)
-            }
+            LatencyModel::Empirical { samples } => samples
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(VirtualDuration::ZERO),
         }
     }
 
@@ -177,7 +179,9 @@ impl CpuModel {
         let secs = instructions / self.instructions_per_sec;
         let rem = instructions % self.instructions_per_sec;
         VirtualDuration::from_secs(secs)
-            + VirtualDuration::from_nanos(rem.saturating_mul(1_000_000_000) / self.instructions_per_sec)
+            + VirtualDuration::from_nanos(
+                rem.saturating_mul(1_000_000_000) / self.instructions_per_sec,
+            )
     }
 
     /// Instructions executable within `d`.
@@ -249,7 +253,10 @@ mod tests {
     #[test]
     fn presets() {
         assert_eq!(LatencyModel::zero().min(), VirtualDuration::ZERO);
-        assert_eq!(LatencyModel::lan().mean(), VirtualDuration::from_micros(100));
+        assert_eq!(
+            LatencyModel::lan().mean(),
+            VirtualDuration::from_micros(100)
+        );
         assert_eq!(
             LatencyModel::coast_to_coast().mean(),
             VirtualDuration::from_millis(15)
@@ -306,10 +313,7 @@ mod tests {
         let n = cpu.instructions_in(VirtualDuration::from_millis(30));
         assert_eq!(n, 3_000_000);
         // And the inverse:
-        assert_eq!(
-            cpu.time_for(3_000_000),
-            VirtualDuration::from_millis(30)
-        );
+        assert_eq!(cpu.time_for(3_000_000), VirtualDuration::from_millis(30));
     }
 
     #[test]

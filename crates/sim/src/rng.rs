@@ -1,28 +1,30 @@
 //! Deterministic randomness for simulations.
 //!
 //! Every source of randomness in a simulation flows from one master seed so
-//! that runs are exactly reproducible. [`SimRng`] wraps a seeded
-//! [`rand::rngs::StdRng`] and adds [`fork`](SimRng::fork) to derive
-//! independent, stable sub-streams (one per network link, one per process,
-//! …) without the sub-streams perturbing each other's draw sequences.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! that runs are exactly reproducible. [`SimRng`] is a self-contained
+//! SplitMix64 generator (the same construction `hope-core`'s program
+//! generator uses) and adds [`fork`](SimRng::fork) to derive independent,
+//! stable sub-streams (one per network link, one per process, …) without
+//! the sub-streams perturbing each other's draw sequences. Being
+//! dependency-free keeps the whole workspace buildable with no registry
+//! access.
 
 /// A seeded random-number generator for simulation components.
+///
+/// SplitMix64: tiny, fast, and statistically strong enough for simulation
+/// workloads (it is the generator used to seed xoshiro/xoroshiro family
+/// generators). Every draw advances a 64-bit counter state by a Weyl
+/// constant and mixes it, so streams never short-cycle.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    rng: StdRng,
+    state: u64,
     seed: u64,
 }
 
 impl SimRng {
     /// Create a generator from a master seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            rng: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        SimRng { state: seed, seed }
     }
 
     /// The seed this generator was created from.
@@ -46,12 +48,17 @@ impl SimRng {
 
     /// A uniformly random `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.random()
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// A uniform `f64` in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        self.rng.random()
+        // 53 high-quality bits → the unit interval, the standard recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -61,7 +68,20 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.rng.random_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): uniform without modulo bias.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// A uniform index in `[0, n)`.
@@ -71,7 +91,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.rng.random_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// A Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
@@ -138,6 +158,15 @@ mod tests {
     }
 
     #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = SimRng::new(1);
         assert!(!r.chance(0.0));
@@ -153,7 +182,10 @@ mod tests {
         let mean = 5.0;
         let total: f64 = (0..n).map(|_| r.exponential(mean)).sum();
         let sample_mean = total / n as f64;
-        assert!((sample_mean - mean).abs() < 0.2, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() < 0.2,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

@@ -235,14 +235,16 @@ mod tests {
         assert_eq!(d, VirtualDuration::from_millis(3));
         assert_eq!(d * 2, VirtualDuration::from_millis(6));
         assert_eq!(d / 3, VirtualDuration::from_millis(1));
-        let total: VirtualDuration =
-            (0..4).map(|_| VirtualDuration::from_millis(2)).sum();
+        let total: VirtualDuration = (0..4).map(|_| VirtualDuration::from_millis(2)).sum();
         assert_eq!(total, VirtualDuration::from_millis(8));
     }
 
     #[test]
     fn saturation() {
-        assert_eq!(VirtualTime::MAX + VirtualDuration::from_secs(1), VirtualTime::MAX);
+        assert_eq!(
+            VirtualTime::MAX + VirtualDuration::from_secs(1),
+            VirtualTime::MAX
+        );
         assert_eq!(
             VirtualDuration::from_millis(1).saturating_sub(VirtualDuration::from_secs(1)),
             VirtualDuration::ZERO
@@ -255,7 +257,9 @@ mod tests {
         assert_eq!(VirtualDuration::from_micros(12).to_string(), "12.000µs");
         assert_eq!(VirtualDuration::from_millis(12).to_string(), "12.000ms");
         assert_eq!(VirtualDuration::from_secs(12).to_string(), "12.000s");
-        assert!(VirtualTime::from_nanos(1_500_000).to_string().starts_with("t="));
+        assert!(VirtualTime::from_nanos(1_500_000)
+            .to_string()
+            .starts_with("t="));
     }
 
     #[test]

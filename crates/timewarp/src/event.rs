@@ -22,7 +22,10 @@ pub struct Event {
 impl Event {
     /// Encode for transmission.
     pub fn to_value(&self) -> Value {
-        Value::List(vec![Value::Int(self.ts as i64), Value::Int(self.hops as i64)])
+        Value::List(vec![
+            Value::Int(self.ts as i64),
+            Value::Int(self.hops as i64),
+        ])
     }
 
     /// Decode a received payload.
@@ -53,7 +56,10 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert_eq!(Event::from_value(&Value::Unit), None);
-        assert_eq!(Event::from_value(&Value::List(vec![Value::Int(-1), Value::Int(0)])), None);
+        assert_eq!(
+            Event::from_value(&Value::List(vec![Value::Int(-1), Value::Int(0)])),
+            None
+        );
         assert_eq!(Event::from_value(&Value::List(vec![Value::Int(1)])), None);
     }
 

@@ -19,7 +19,7 @@
 //! sequential baseline for experiment E6.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod event;

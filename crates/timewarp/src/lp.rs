@@ -118,12 +118,7 @@ pub fn run_lp(ctx: &mut Ctx, cfg: &LpConfig) -> Hope<()> {
         // Fossil-collect: once every commit channel has delivered something
         // at least as new, guards below the minimum can never be straggled.
         if cfg.senders.iter().all(|s| last_seen.contains_key(s)) {
-            let safe = cfg
-                .senders
-                .iter()
-                .map(|s| last_seen[s])
-                .min()
-                .unwrap_or(0);
+            let safe = cfg.senders.iter().map(|s| last_seen[s]).min().unwrap_or(0);
             while let Some(&(ts, guard)) = guards.first() {
                 if ts < safe {
                     guards.remove(0);
@@ -227,9 +222,7 @@ mod tests {
     /// Force a straggler: two senders with very different link latencies.
     #[test]
     fn straggler_rolls_back_and_reorders() {
-        let mut topo = Topology::uniform(LatencyModel::Fixed(
-            VirtualDuration::from_millis(1),
-        ));
+        let mut topo = Topology::uniform(LatencyModel::Fixed(VirtualDuration::from_millis(1)));
         // Driver 2 → LP0 is slow: its early-timestamped event arrives late.
         topo.set_link(2, 0, LatencyModel::Fixed(VirtualDuration::from_millis(50)));
         let mut sim = Simulation::new(SimConfig::with_seed(5).topology(topo));

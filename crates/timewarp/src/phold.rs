@@ -43,7 +43,15 @@ pub fn run_phold(
     horizon: u64,
     seed: u64,
 ) -> PholdReport {
-    run_phold_with(n_lps, topology, service_time, mean_delay, horizon, seed, false)
+    run_phold_with(
+        n_lps,
+        topology,
+        service_time,
+        mean_delay,
+        horizon,
+        seed,
+        false,
+    )
 }
 
 /// Run PHOLD with an optional quiescence-commit oracle — the *external
@@ -133,7 +141,10 @@ mod tests {
         assert!(r.events >= 4);
         assert_eq!(r.total_time, VirtualDuration::from_micros(100) * r.events);
         // Deterministic.
-        assert_eq!(r, run_sequential(4, VirtualDuration::from_micros(100), 10, 100, 7));
+        assert_eq!(
+            r,
+            run_sequential(4, VirtualDuration::from_micros(100), 10, 100, 7)
+        );
     }
 
     #[test]

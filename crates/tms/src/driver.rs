@@ -30,11 +30,7 @@ pub fn run_tms(
     let n = assumption_lists.len();
     let mut sim = Simulation::new(SimConfig::with_seed(seed).topology(topology));
     let judge_pid = ProcessId(n as u32);
-    let max_rounds = assumption_lists
-        .iter()
-        .map(Vec::len)
-        .max()
-        .unwrap_or(0) as u64;
+    let max_rounds = assumption_lists.iter().map(Vec::len).max().unwrap_or(0) as u64;
     for (i, assumptions) in assumption_lists.iter().enumerate() {
         let peers: Vec<ProcessId> = (0..n as u32)
             .filter(|&p| p as usize != i)
@@ -165,10 +161,7 @@ mod tests {
         // closure.
         for (i, b) in out.beliefs.iter().enumerate() {
             assert!(kb().violated(b).is_none(), "reasoner {i}: {b:?}");
-            assert!(
-                b.is_subset(&closed),
-                "reasoner {i}: {b:?} ⊄ {closed:?}"
-            );
+            assert!(b.is_subset(&closed), "reasoner {i}: {b:?} ⊄ {closed:?}");
         }
     }
 

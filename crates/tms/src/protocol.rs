@@ -47,10 +47,9 @@ impl TmsMsg {
                 Value::Int(aid.index() as i64),
                 Value::Int(*atom as i64),
             ]),
-            TmsMsg::Fact { atom } => Value::List(vec![
-                Value::Str("fact".into()),
-                Value::Int(*atom as i64),
-            ]),
+            TmsMsg::Fact { atom } => {
+                Value::List(vec![Value::Str("fact".into()), Value::Int(*atom as i64)])
+            }
             TmsMsg::Done => Value::List(vec![Value::Str("done".into())]),
         }
     }

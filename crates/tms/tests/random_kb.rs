@@ -23,10 +23,9 @@ fn rule() -> impl Strategy<Value = Rule> {
 }
 
 fn nogood() -> impl Strategy<Value = Nogood> {
-    proptest::collection::btree_set(atom(), 2..4)
-        .prop_map(|atoms| Nogood {
-            atoms: atoms.into_iter().collect(),
-        })
+    proptest::collection::btree_set(atom(), 2..4).prop_map(|atoms| Nogood {
+        atoms: atoms.into_iter().collect(),
+    })
 }
 
 fn kb() -> impl Strategy<Value = KnowledgeBase> {

@@ -31,5 +31,4 @@ fn main() {
         out.converged()
     );
     assert!(out.converged());
-
 }

@@ -23,8 +23,10 @@ fn main() {
     };
     let topo = Topology::uniform(LatencyModel::Fixed(VirtualDuration::from_millis(5)));
 
-    println!("1-D heat equation, {} chunks × {} cells, {} iterations, 5ms links\n",
-        problem.n_chunks, problem.chunk_size, problem.iterations);
+    println!(
+        "1-D heat equation, {} chunks × {} cells, {} iterations, 5ms links\n",
+        problem.n_chunks, problem.chunk_size, problem.iterations
+    );
 
     let sync = run(&problem, topo.clone(), 1, false);
     let exact = run(&problem, topo.clone(), 1, true);

@@ -115,8 +115,14 @@ fn main() {
 
     let lines = report.output_lines();
     // One worker won optimistically; the other was denied and waited.
-    assert!(lines.iter().any(|l| l.contains("(optimistic)")), "{lines:?}");
+    assert!(
+        lines.iter().any(|l| l.contains("(optimistic)")),
+        "{lines:?}"
+    );
     assert!(lines.iter().any(|l| l.contains("lock busy")), "{lines:?}");
-    assert!(lines.iter().any(|l| l.contains("(after wait)")), "{lines:?}");
+    assert!(
+        lines.iter().any(|l| l.contains("(after wait)")),
+        "{lines:?}"
+    );
     assert!(report.stats().rollback_events >= 1);
 }

@@ -34,7 +34,10 @@ fn run(amount: i64) -> hope::runtime::RunReport {
         // the message carries no speculative dependence.
         ctx.send(
             ledger,
-            Value::List(vec![Value::Int(accepted.index() as i64), Value::Int(amount)]),
+            Value::List(vec![
+                Value::Int(accepted.index() as i64),
+                Value::Int(amount),
+            ]),
         )?;
         if ctx.guess(accepted)? {
             // Optimistic path: act as if the append succeeded. All of this

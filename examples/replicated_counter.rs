@@ -57,7 +57,12 @@ fn main() {
 
     let replicas: Vec<ProcessId> = (0..CLIENTS).map(ProcessId).collect();
     sim.spawn("primary", move |ctx| {
-        run_primary(ctx, replicas.clone(), VirtualDuration::from_micros(50), |_| {})
+        run_primary(
+            ctx,
+            replicas.clone(),
+            VirtualDuration::from_micros(50),
+            |_| {},
+        )
     });
 
     // A late reader checks the final value through a fresh replica.
@@ -84,13 +89,7 @@ fn main() {
         .iter()
         .find(|o| o.process == reader)
         .expect("auditor reported");
-    let v: i64 = final_line
-        .line
-        .rsplit(' ')
-        .next()
-        .unwrap()
-        .parse()
-        .unwrap();
+    let v: i64 = final_line.line.rsplit(' ').next().unwrap().parse().unwrap();
     // Under read-modify-write races the counter can only undercount if a
     // client swallowed a conflict incorrectly; it must reach at least the
     // contention-free floor and never exceed the total attempts.
@@ -99,5 +98,8 @@ fn main() {
         v <= (CLIENTS as i64) * (INCREMENTS_PER_CLIENT as i64),
         "no increment may count twice: {v}"
     );
-    println!("counter within bounds: 1 ≤ {v} ≤ {}", CLIENTS as u64 * INCREMENTS_PER_CLIENT);
+    println!(
+        "counter within bounds: 1 ≤ {v} ≤ {}",
+        CLIENTS as u64 * INCREMENTS_PER_CLIENT
+    );
 }

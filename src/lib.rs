@@ -24,6 +24,9 @@
 //! * [`core`] (`hope-core`) — the paper's §4–§5 semantics, executable: the
 //!   `Engine`, intervals, `IDO`/`DOM`/`IHD` bookkeeping,
 //!   and the literal abstract machine used to verify the §6 theorems.
+//! * [`analysis`] (`hope-analysis`) — static speculation-flow analysis and
+//!   lints over machine programs, plus the `hope-lint` binary; statically
+//!   doomed programs can be rejected before they run.
 //! * [`sim`] (`hope-sim`) — the deterministic distributed-system substrate
 //!   (virtual time, latency models, topologies, seeded RNG).
 //! * [`runtime`] (`hope-runtime`) — processes as plain closures with the
@@ -78,8 +81,9 @@
 //! for the experiment index.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub use hope_analysis as analysis;
 pub use hope_callstream as callstream;
 pub use hope_coedit as coedit;
 pub use hope_core as core;

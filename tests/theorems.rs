@@ -39,12 +39,27 @@ use proptest::prelude::*;
 /// One abstract operation of the driver's alphabet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Op {
-    Guess { p: usize, x: usize },
-    Affirm { p: usize, x: usize },
-    Deny { p: usize, x: usize },
-    FreeOf { p: usize, x: usize },
+    Guess {
+        p: usize,
+        x: usize,
+    },
+    Affirm {
+        p: usize,
+        x: usize,
+    },
+    Deny {
+        p: usize,
+        x: usize,
+    },
+    FreeOf {
+        p: usize,
+        x: usize,
+    },
     /// Transfer dependence: tag a message at `from`, deliver it at `to`.
-    Send { from: usize, to: usize },
+    Send {
+        from: usize,
+        to: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -224,7 +239,9 @@ impl Driver {
                 .take_while(|(a, b)| a == b)
                 .count();
             assert!(
-                common == old.len() || common == new.len() || new[common..].iter().all(|a| !old.contains(a)),
+                common == old.len()
+                    || common == new.len()
+                    || new[common..].iter().all(|a| !old.contains(a)),
                 "history changed non-suffix-wise: old={old:?} new={new:?}"
             );
             for dropped in &old[common..] {
@@ -411,10 +428,7 @@ fn alphabet() -> Vec<Op> {
             ops.push(Op::Deny { p, x });
             ops.push(Op::FreeOf { p, x });
         }
-        ops.push(Op::Send {
-            from: p,
-            to: 1 - p,
-        });
+        ops.push(Op::Send { from: p, to: 1 - p });
     }
     ops
 }
@@ -498,6 +512,75 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// seeded-loop checking (no proptest dependency)
+// ---------------------------------------------------------------------
+//
+// The same two properties as the proptest block above, but as plain
+// `#[test]` functions over an explicit SplitMix64 stream: deterministic,
+// shrink-free, and independent of which property-testing harness (real
+// proptest or the offline shim) the build resolves.
+
+/// SplitMix64; mirrors `hope_sim::rng` so failures reproduce from the
+/// printed seed alone.
+struct ScriptRng(u64);
+
+impl ScriptRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// One op with the same 3:2:1:1:3 weighting as `op_strategy`.
+    fn op(&mut self, n_procs: usize, n_aids: usize) -> Op {
+        let p = self.below(n_procs);
+        let x = self.below(n_aids);
+        match self.below(10) {
+            0..=2 => Op::Guess { p, x },
+            3..=4 => Op::Affirm { p, x },
+            5 => Op::Deny { p, x },
+            6 => Op::FreeOf { p, x },
+            _ => Op::Send {
+                from: p,
+                to: self.below(n_procs),
+            },
+        }
+    }
+}
+
+fn run_seeded_scripts(n_procs: usize, n_aids: usize, max_len: usize, cases: u64) {
+    for case in 0..cases {
+        let mut rng = ScriptRng(0xC0FF_EE00 ^ (case.wrapping_mul(0x9e37_79b9)));
+        let len = rng.below(max_len + 1);
+        let mut d = Driver::new(n_procs, n_aids);
+        for step in 0..len {
+            let op = rng.op(n_procs, n_aids);
+            // The Driver's battery panics with context on violation; the
+            // case number here makes the failing script reproducible.
+            let _ = (case, step);
+            d.exec(op);
+        }
+        d.settle_and_check_theorem_6_1();
+    }
+}
+
+#[test]
+fn theorems_hold_on_seeded_random_scripts() {
+    run_seeded_scripts(4, 6, 48, 256);
+}
+
+#[test]
+fn theorems_hold_on_seeded_dense_two_party_scripts() {
+    run_seeded_scripts(2, 3, 64, 256);
+}
+
+// ---------------------------------------------------------------------
 // directed regression scripts for the trickiest interleavings
 // ---------------------------------------------------------------------
 
@@ -510,7 +593,7 @@ fn chained_speculative_affirms_resolve_transitively() {
     d.exec(Op::Affirm { p: 1, x: 0 }); // X now depends on Y
     d.exec(Op::Guess { p: 2, x: 2 }); // P2 speculative on Z
     d.exec(Op::Affirm { p: 2, x: 1 }); // Y now depends on Z
-    // Definite affirm of Z from a definite process settles the chain.
+                                       // Definite affirm of Z from a definite process settles the chain.
     let judge = d.engine.register_process();
     let z = d.aids[2];
     let fx = d.engine.affirm(judge, z).unwrap();
@@ -688,8 +771,8 @@ fn mutual_speculative_denies_livelock() {
 #[test]
 fn aid_state_and_interval_maps_agree_at_scale() {
     // Larger randomized soak with a fixed seed (cheap, deterministic).
-    use hope_core::program::Program;
     use hope_core::machine::Machine;
+    use hope_core::program::Program;
     for seed in 0..25 {
         let program = Program::generate(seed, 4, 40, 5);
         let mut m = Machine::new(program);

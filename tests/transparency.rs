@@ -131,11 +131,16 @@ fn replication_oracle_final_state_matches_serial_certification() {
         let committed_in = committed.clone();
         sim.spawn("primary", move |ctx| {
             let counter = committed_in.clone();
-            run_primary(ctx, replicas.clone(), VirtualDuration::from_micros(20), move |o| {
-                if o == hope::replication::CertifyOutcome::Committed {
-                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
-            })
+            run_primary(
+                ctx,
+                replicas.clone(),
+                VirtualDuration::from_micros(20),
+                move |o| {
+                    if o == hope::replication::CertifyOutcome::Committed {
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                },
+            )
         });
         // Auditor reads all keys late.
         let keys_for_audit = keys;
@@ -184,16 +189,14 @@ fn outputs_commit_in_per_process_order_despite_rollbacks() {
             }
             Ok(())
         });
-        sim.spawn("verifier", move |ctx| {
-            loop {
-                let m = ctx.recv()?;
-                let aid = hope::AidId::from_index(m.payload.expect_int() as u64);
-                ctx.compute(VirtualDuration::from_micros(50))?;
-                if ctx.chance(0.3)? {
-                    ctx.deny(aid)?;
-                } else {
-                    ctx.affirm(aid)?;
-                }
+        sim.spawn("verifier", move |ctx| loop {
+            let m = ctx.recv()?;
+            let aid = hope::AidId::from_index(m.payload.expect_int() as u64);
+            ctx.compute(VirtualDuration::from_micros(50))?;
+            if ctx.chance(0.3)? {
+                ctx.deny(aid)?;
+            } else {
+                ctx.affirm(aid)?;
             }
         });
         let report = sim.run();

@@ -1,32 +1,59 @@
 //! `hope-lint`: run the static speculation-flow lints over a HOPE program.
 //!
-//! ```text
-//! hope-lint [OPTIONS] <FILE | - | --generate SEED,PROCS,LEN,AIDS>
-//!
-//!   FILE                       a program in Program's display syntax
-//!   -                          read the program from stdin
-//!   --generate S,P,L,A         lint Program::generate(S, P, L, A) instead
-//!   --json                     emit diagnostics as JSON
-//!   --print                    also print the program before diagnostics
-//!   --cascade-threshold N      cascade-depth warning threshold (default 3)
-//!   -h, --help                 show this help
-//! ```
-//!
-//! Exit status: 0 — no error diagnostics; 1 — at least one error
-//! diagnostic; 2 — usage or parse failure.
+//! See [`HELP`] for the full option and exit-status contract.
 
 use std::io::{ErrorKind, Read, Write};
 use std::process::ExitCode;
 
+use hope_analysis::cost::{self, CostWeights};
 use hope_analysis::{render_json, render_text, Analyzer, Severity, DEFAULT_CASCADE_THRESHOLD};
 use hope_core::program::Program;
 
-const USAGE: &str = "usage: hope-lint [--json] [--print] [--cascade-threshold N] \
-                     <FILE | - | --generate SEED,PROCS,LEN,AIDS>";
+const USAGE: &str = "usage: hope-lint [--json] [--print] [--rank | --cost] \
+                     [--cascade-threshold N] <FILE | - | --generate SEED,PROCS,LEN,AIDS>";
+
+/// The `--help` text: options plus the exit-status contract scripts rely
+/// on.
+const HELP: &str = "\
+hope-lint — static speculation-flow analysis for HOPE programs
+
+usage: hope-lint [OPTIONS] <FILE | - | --generate SEED,PROCS,LEN,AIDS>
+
+Program sources (exactly one):
+  FILE                     a program in Program's display syntax
+  -                        read the program from stdin
+  --generate S,P,L,A       analyze Program::generate(S, P, L, A) instead
+
+Options:
+  --json                   emit the output as JSON instead of text
+  --print                  also print the program before the output
+  --cascade-threshold N    cascade-depth warning threshold (default 3)
+  --rank                   print guess sites ranked by expected rollback
+                           damage (highest first) instead of diagnostics
+  --cost                   like --rank, but in program order and without
+                           rank numbers
+  -h, --help               show this help and exit 0
+
+Exit status:
+  0  the program was analyzed and no error-severity diagnostic fired;
+     warnings do not change the exit status, and neither do --rank/--cost
+     (they swap the *output*, not the verdict — the lints still run)
+  1  at least one error-severity diagnostic fired: no schedule lets the
+     program run to full finalization
+  2  usage error, unreadable input, or program parse failure
+";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Lint,
+    Rank,
+    Cost,
+}
 
 struct Options {
     json: bool,
     print: bool,
+    mode: Mode,
     threshold: usize,
     source: Source,
 }
@@ -45,6 +72,7 @@ enum Source {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut json = false;
     let mut print = false;
+    let mut mode = Mode::Lint;
     let mut threshold = DEFAULT_CASCADE_THRESHOLD;
     let mut source: Option<Source> = None;
     let mut it = args.iter();
@@ -52,6 +80,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--json" => json = true,
             "--print" => print = true,
+            "--rank" | "--cost" => {
+                let wanted = if arg == "--rank" {
+                    Mode::Rank
+                } else {
+                    Mode::Cost
+                };
+                if mode != Mode::Lint && mode != wanted {
+                    return Err("--rank and --cost cannot be combined".into());
+                }
+                mode = wanted;
+            }
             "--cascade-threshold" => {
                 let value = it.next().ok_or("--cascade-threshold needs a value")?;
                 threshold = value
@@ -88,6 +127,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(Options {
         json,
         print,
+        mode,
         threshold,
         source: source.ok_or("no program source given")?,
     })
@@ -134,7 +174,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg.is_empty() {
-                println!("{USAGE}");
+                print!("{HELP}");
                 return ExitCode::SUCCESS;
             }
             eprintln!("hope-lint: {msg}");
@@ -155,11 +195,25 @@ fn main() -> ExitCode {
         }
     }
     let analyzer = Analyzer::new().with_cascade_threshold(options.threshold);
-    let diagnostics = analyzer.analyze(&program);
-    let rendered = if options.json {
-        render_json(&diagnostics)
-    } else {
-        render_text(&diagnostics)
+    let (diagnostics, flow) = analyzer.analyze_with_flow(&program);
+    let rendered = match options.mode {
+        Mode::Lint if options.json => render_json(&diagnostics),
+        Mode::Lint => render_text(&diagnostics),
+        Mode::Rank | Mode::Cost => {
+            let mut costs = cost::rank_with(&program, &flow, &CostWeights::default());
+            if options.mode == Mode::Cost {
+                costs.sort_by_key(|c| (c.proc, c.stmt_idx, c.aid));
+                if options.json {
+                    cost::render_cost_json(&costs)
+                } else {
+                    cost::render_cost_text(&costs)
+                }
+            } else if options.json {
+                cost::render_rank_json(&costs)
+            } else {
+                cost::render_rank_text(&costs)
+            }
+        }
     };
     if let Err(code) = emit(&rendered) {
         return code;

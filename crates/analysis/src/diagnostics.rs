@@ -26,6 +26,18 @@ pub enum Lint {
     /// Denying one AID may roll back speculation across many processes;
     /// fired when the may-depend process set reaches a threshold.
     CascadeDepth,
+    /// A `deny`/`free_of` may execute while the decider itself depends on
+    /// the AID: Equation 15/19 makes that a definite self-deny that rolls
+    /// the decider back and skips the statement's own re-execution
+    /// (warning — the dependence may not materialize on every schedule).
+    DependentDeny,
+    /// A `send` whose tag may carry an AID that a `deny`/`free_of`
+    /// elsewhere can condemn: the message may arrive as a ghost and be
+    /// silently dropped (§7) (warning).
+    GhostRisk,
+    /// A `guess` of an AID that another process may deny first: the guess
+    /// would return `false` with no causal link to the deny (warning).
+    GuessDecideRace,
 }
 
 impl Lint {
@@ -38,11 +50,14 @@ impl Lint {
             Lint::UnreachableRecv => "unreachable-recv",
             Lint::InvalidTarget => "invalid-target",
             Lint::CascadeDepth => "cascade-depth",
+            Lint::DependentDeny => "dependent-deny",
+            Lint::GhostRisk => "ghost-risk",
+            Lint::GuessDecideRace => "guess-decide-race",
         }
     }
 
     /// Every lint, in reporting order.
-    pub fn all() -> [Lint; 6] {
+    pub fn all() -> [Lint; 9] {
         [
             Lint::InvalidTarget,
             Lint::LeakedSpeculation,
@@ -50,6 +65,9 @@ impl Lint {
             Lint::ConsumedReassertion,
             Lint::UnreachableRecv,
             Lint::CascadeDepth,
+            Lint::DependentDeny,
+            Lint::GhostRisk,
+            Lint::GuessDecideRace,
         ]
     }
 }
@@ -101,6 +119,10 @@ pub struct Diagnostic {
     pub proc: Option<usize>,
     /// The statement index within that process, if any.
     pub stmt_idx: Option<usize>,
+    /// The AID variable the finding is about, if any. Not rendered (the
+    /// message already names it); used programmatically, e.g. by the
+    /// dynamic race detector's coverage check.
+    pub aid: Option<usize>,
     /// Human-readable explanation.
     pub message: String,
 }
@@ -113,6 +135,7 @@ impl Diagnostic {
             severity: Severity::Error,
             proc: Some(proc),
             stmt_idx: Some(stmt_idx),
+            aid: None,
             message: message.into(),
         }
     }
@@ -124,8 +147,15 @@ impl Diagnostic {
             severity: Severity::Warning,
             proc: Some(proc),
             stmt_idx: Some(stmt_idx),
+            aid: None,
             message: message.into(),
         }
+    }
+
+    /// Attach the AID variable the finding is about.
+    pub fn with_aid(mut self, aid: usize) -> Self {
+        self.aid = Some(aid);
+        self
     }
 }
 
@@ -226,6 +256,7 @@ mod tests {
             severity: Severity::Error,
             proc: None,
             stmt_idx: None,
+            aid: None,
             message: "x0 never decided".into(),
         };
         assert_eq!(d.to_string(), "error[leaked-speculation]: x0 never decided");
@@ -250,6 +281,7 @@ mod tests {
             severity: Severity::Warning,
             proc: Some(2),
             stmt_idx: None,
+            aid: None,
             message: "quote \" backslash \\ newline \n".into(),
         }];
         let json = render_json(&ds);

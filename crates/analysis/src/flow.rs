@@ -121,24 +121,28 @@ pub fn analyze(program: &Program) -> Flow {
         .collect();
     let mut edge_tags: BTreeMap<(ProcIdx, ProcIdx), BTreeSet<AidVar>> = BTreeMap::new();
 
-    // Joint fixpoint of per-point sets and channel summaries.
+    // Joint fixpoint of per-point sets and channel summaries. Points only
+    // ever grow (the kill in the decider transfer stops *propagation* past
+    // the decider; it never shrinks a point that already holds the AID from
+    // another source, such as the substitution rule below), so termination
+    // follows from the finite domain.
     loop {
         let mut changed = false;
         for (p, stmts) in program.code.iter().enumerate() {
             for (i, s) in stmts.iter().enumerate() {
-                // Transfer: out = in ∪ gen(stmt).
-                let mut out = may_ido[p][i].clone();
+                // Transfer: out ∪= thru(in, stmt).
+                let mut thru = may_ido[p][i].clone();
                 match *s {
                     Stmt::Guess(x) if x < aids => {
-                        out.insert(x);
+                        thru.insert(x);
                     }
                     Stmt::Affirm(x) | Stmt::Deny(x) | Stmt::FreeOf(x) if x < aids => {
-                        out.remove(&x);
+                        thru.remove(&x);
                     }
                     Stmt::Recv => {
                         for ((_, to), tag) in &edge_tags {
                             if *to == p {
-                                out.extend(tag.iter().copied());
+                                thru.extend(tag.iter().copied());
                             }
                         }
                     }
@@ -150,16 +154,43 @@ pub fn analyze(program: &Program) -> Flow {
                     }
                     _ => {}
                 }
-                if out != may_ido[p][i + 1] {
-                    debug_assert!(
-                        out.is_superset(&may_ido[p][i + 1]),
-                        "transfer is monotone in its growing inputs"
-                    );
-                    may_ido[p][i + 1] = out;
-                    changed = true;
+                let before = may_ido[p][i + 1].len();
+                may_ido[p][i + 1].extend(thru);
+                changed |= may_ido[p][i + 1].len() != before;
+            }
+        }
+
+        // Speculative-affirm substitution (Equations 10–14, statically): an
+        // `affirm(x)` — or a `free_of(x)`, which affirms when the asserter
+        // is independent (Equations 17–18) — issued while the asserter may
+        // itself be speculative does not discharge dependence on `x`; it
+        // *replaces* it with dependence on the asserter's own `IDO`. So for
+        // every may-speculative affirm site, every point that may hold `x`
+        // may instead hold the asserter's dependence set at that site.
+        // Without this rule a dynamic rollback reached through a
+        // substituted dependence would have no static witness.
+        for (x, sites) in deciders.iter().enumerate() {
+            for &(q, j, kind) in sites {
+                if kind == DeciderKind::Deny {
+                    continue;
+                }
+                let t: Vec<AidVar> = may_ido[q][j].iter().copied().filter(|&y| y != x).collect();
+                if t.is_empty() {
+                    continue;
+                }
+                for points in may_ido.iter_mut() {
+                    for point in points.iter_mut() {
+                        if !point.contains(&x) {
+                            continue;
+                        }
+                        let before = point.len();
+                        point.extend(t.iter().copied());
+                        changed |= point.len() != before;
+                    }
                 }
             }
         }
+
         if !changed {
             break;
         }
@@ -258,6 +289,33 @@ mod tests {
         assert_eq!(flow.deciders[1], vec![(1, 0, DeciderKind::Deny)]);
         assert_eq!(flow.sends_to, vec![1, 0]);
         assert_eq!(flow.recv_count, vec![1, 0]);
+    }
+
+    #[test]
+    fn speculative_affirm_substitutes_dependence() {
+        // P1 affirms x0 while speculative on x1 (Equations 10–14): P0's
+        // dependence on x0 is replaced by dependence on x1, so P0's
+        // deny(x1) site must see x1 in its own may-IDO — the concrete run
+        // really can self-deny there and roll P0 back.
+        let program = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Deny(1)],
+            vec![Stmt::Guess(1), Stmt::Affirm(0)],
+        ]);
+        let flow = analyze(&program);
+        assert!(
+            flow.may_ido[0][1].contains(&1),
+            "substitution must inject x1 into P0's point holding x0: {:?}",
+            flow.may_ido
+        );
+        assert!(flow.dependents[1].contains(&0));
+
+        // A *definite* affirm (empty asserter IDO) substitutes nothing.
+        let definite = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Compute],
+            vec![Stmt::Affirm(0)],
+        ]);
+        let flow = analyze(&definite);
+        assert_eq!(flow.may_ido[0][1], BTreeSet::from([0]));
     }
 
     #[test]

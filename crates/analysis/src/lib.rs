@@ -12,11 +12,17 @@
 //!   *may*-IDO set — the AIDs the process's state may depend on — and
 //!   propagates dependence across `send`/`recv` edges through message tags
 //!   to a joint fixpoint (§3's implicit guess, statically).
-//! * [`lints`] interprets the flow through six checks; every
+//! * [`lints`] interprets the flow through nine checks; every
 //!   [`Severity::Error`] finding carries a machine-checked guarantee: *no*
 //!   schedule lets the program run to full finalization (see the agreement
 //!   test-suite in `tests/`).
+//! * [`cost`] ranks every `guess` site by expected rollback damage
+//!   (re-execution, checkpoint, and ghost-message components weighed over
+//!   the may-IDO fixpoint).
 //! * [`diagnostics`] renders findings as one-line text or JSON.
+//! * [`dynamic`] is the runtime side: a [`hope_core::RuntimeObserver`]
+//!   race detector whose reports the agreement suite checks against the
+//!   static warnings.
 //!
 //! The [`Analyzer`] bundles the passes; it also implements
 //! [`hope_core::machine::ProgramValidator`], so statically-doomed programs
@@ -46,11 +52,15 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cost;
 pub mod diagnostics;
+pub mod dynamic;
 pub mod flow;
 pub mod lints;
 
+pub use cost::{rank, rank_with, CostWeights, SpeculationCost};
 pub use diagnostics::{render_json, render_text, Diagnostic, Lint, Severity};
+pub use dynamic::{covered_by, RaceDetector, RaceKind, RaceReport};
 pub use flow::{analyze as analyze_flow, DeciderKind, Flow};
 
 use hope_core::machine::ProgramValidator;
@@ -108,6 +118,9 @@ impl Analyzer {
         out.extend(lints::consumed_reassertion(program, &flow));
         out.extend(lints::unreachable_recv(program, &flow));
         out.extend(lints::cascade_depth(program, &flow, self.cascade_threshold));
+        out.extend(lints::dependent_deny(program, &flow));
+        out.extend(lints::ghost_risk(program, &flow));
+        out.extend(lints::guess_decide_race(program, &flow));
         out.sort_by_key(|d| (d.proc, d.stmt_idx, d.lint));
         (out, flow)
     }

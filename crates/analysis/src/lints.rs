@@ -1,4 +1,4 @@
-//! The six lints, interpreting the [`flow`](crate::flow) results.
+//! The lints, interpreting the [`flow`](crate::flow) results.
 //!
 //! Every **error**-severity lint comes with a dynamic guarantee, verified
 //! mechanically by the agreement test-suite against the abstract machine: if
@@ -15,7 +15,39 @@
 use hope_core::program::{Program, Stmt};
 
 use crate::diagnostics::{Diagnostic, Lint};
-use crate::flow::Flow;
+use crate::flow::{DeciderKind, Flow};
+
+/// The decider sites of `x` that can ever execute *with effect*.
+///
+/// A decider site preceded by an earlier decider of the same AID in the
+/// same process never takes effect: the earlier site always executes first
+/// (program order survives rollback, which resets the counter *before* the
+/// earlier site), so by the time the later site runs the AID is either
+/// consumed (the later site is skipped) or was released by a rollback that
+/// also re-runs the earlier site first. Only the first site per process can
+/// change the AID's state.
+fn effective_deciders(flow: &Flow, x: usize) -> Vec<(usize, usize, DeciderKind)> {
+    let mut out: Vec<(usize, usize, DeciderKind)> = Vec::new();
+    for &(p, i, kind) in &flow.deciders[x] {
+        // `flow.deciders[x]` is in (process, index) order.
+        if out.last().is_none_or(|&(q, _, _)| q != p) {
+            out.push((p, i, kind));
+        }
+    }
+    out
+}
+
+/// `true` when a decider of `x` at `site` may act as a *deny*: an explicit
+/// `deny`, or a `free_of` issued while the asserter may depend on `x`
+/// (Equation 19).
+fn may_deny(flow: &Flow, x: usize, site: (usize, usize, DeciderKind)) -> bool {
+    let (p, i, kind) = site;
+    match kind {
+        DeciderKind::Deny => true,
+        DeciderKind::FreeOf => flow.may_ido[p][i].contains(&x),
+        DeciderKind::Affirm => false,
+    }
+}
 
 /// `invalid-target`: statements naming undeclared processes/AIDs (error;
 /// the machine would panic) and self-sends (warning).
@@ -77,15 +109,18 @@ pub fn leaked_speculation(_program: &Program, flow: &Flow) -> Vec<Diagnostic> {
         } else {
             String::new()
         };
-        out.push(Diagnostic::error(
-            Lint::LeakedSpeculation,
-            p,
-            i,
-            format!(
-                "x{x} is guessed here{extra} but no affirm/deny/free_of of x{x} exists anywhere; \
-                 the guessing process can never become definite"
-            ),
-        ));
+        out.push(
+            Diagnostic::error(
+                Lint::LeakedSpeculation,
+                p,
+                i,
+                format!(
+                    "x{x} is guessed here{extra} but no affirm/deny/free_of of x{x} exists \
+                     anywhere; the guessing process can never become definite"
+                ),
+            )
+            .with_aid(x),
+        );
     }
     out
 }
@@ -119,16 +154,19 @@ pub fn doomed_free_of(program: &Program, _flow: &Flow) -> Vec<Diagnostic> {
                 .iter()
                 .any(|t| matches!(t, Stmt::Affirm(y) | Stmt::Deny(y) | Stmt::FreeOf(y) if *y == x));
             if !intervening {
-                out.push(Diagnostic::error(
-                    Lint::DoomedFreeOf,
-                    p,
-                    j,
-                    format!(
-                        "free_of(x{x}) follows guess(x{x}) at P{p}:{i}: the asserter depends on \
-                         x{x}, so this is a self-deny (Equation 19) or a skipped re-use on every \
-                         schedule"
-                    ),
-                ));
+                out.push(
+                    Diagnostic::error(
+                        Lint::DoomedFreeOf,
+                        p,
+                        j,
+                        format!(
+                            "free_of(x{x}) follows guess(x{x}) at P{p}:{i}: the asserter depends \
+                             on x{x}, so this is a self-deny (Equation 19) or a skipped re-use on \
+                             every schedule"
+                        ),
+                    )
+                    .with_aid(x),
+                );
             }
         }
     }
@@ -154,17 +192,20 @@ pub fn consumed_reassertion(_program: &Program, flow: &Flow) -> Vec<Diagnostic> 
             .map(|&(p, i, kind)| format!("{}(x{x}) at P{p}:{i}", kind.name()))
             .collect();
         let &(p, i, _) = &sites[1];
-        out.push(Diagnostic::error(
-            Lint::ConsumedReassertion,
-            p,
-            i,
-            format!(
-                "x{x} is decided {} times ({}); affirm/deny/free_of are one-shot, so all but \
-                 one use is skipped or undone on every schedule",
-                sites.len(),
-                described.join(", "),
-            ),
-        ));
+        out.push(
+            Diagnostic::error(
+                Lint::ConsumedReassertion,
+                p,
+                i,
+                format!(
+                    "x{x} is decided {} times ({}); affirm/deny/free_of are one-shot, so all but \
+                     one use is skipped or undone on every schedule",
+                    sites.len(),
+                    described.join(", "),
+                ),
+            )
+            .with_aid(x),
+        );
     }
     out
 }
@@ -224,19 +265,162 @@ pub fn cascade_depth(_program: &Program, flow: &Flow, threshold: usize) -> Vec<D
             continue;
         };
         let members: Vec<String> = procs.iter().map(|q| format!("P{q}")).collect();
-        out.push(Diagnostic::warning(
-            Lint::CascadeDepth,
-            p,
-            i,
-            format!(
-                "a deny of x{x} may cascade a rollback across {} processes ({}); consider \
-                 affirming earlier or narrowing the speculation",
-                procs.len(),
-                members.join(", "),
-            ),
-        ));
+        out.push(
+            Diagnostic::warning(
+                Lint::CascadeDepth,
+                p,
+                i,
+                format!(
+                    "a deny of x{x} may cascade a rollback across {} processes ({}); consider \
+                     affirming earlier or narrowing the speculation",
+                    procs.len(),
+                    members.join(", "),
+                ),
+            )
+            .with_aid(x),
+        );
     }
     out
+}
+
+/// `dependent-deny`: a `deny(x)`/`free_of(x)` site where the decider itself
+/// may depend on `x` (warning).
+///
+/// Equation 15 (deny) and Equation 19 (free_of) make such a decide a
+/// *definite self-deny*: it survives the rollback it causes, the decider
+/// re-executes from its checkpoint, and the statement's own re-execution is
+/// skipped as consumed — the single-site form of decided-AID reuse. Sites
+/// already reported by `doomed-free-of` (which proves the dependence on
+/// every schedule and is an error) are skipped; this warning covers the
+/// may-side: dependence through a received tag or a speculative affirm's
+/// substitution.
+pub fn dependent_deny(program: &Program, flow: &Flow) -> Vec<Diagnostic> {
+    let aids = program.aid_count;
+    let mut out = Vec::new();
+    for x in 0..aids {
+        for site in effective_deciders(flow, x) {
+            let (p, i, kind) = site;
+            if kind == DeciderKind::Affirm || !flow.may_ido[p][i].contains(&x) {
+                continue;
+            }
+            if kind == DeciderKind::FreeOf && doomed_free_of_condition(program, x, p, i) {
+                continue; // doomed-free-of's (stronger) finding
+            }
+            out.push(
+                Diagnostic::warning(
+                    Lint::DependentDeny,
+                    p,
+                    i,
+                    format!(
+                        "{}(x{x}) may execute while P{p} itself depends on x{x}: that is a \
+                         definite self-deny (Equation {}) which rolls P{p} back and skips this \
+                         statement's re-execution",
+                        kind.name(),
+                        if kind == DeciderKind::Deny {
+                            "15"
+                        } else {
+                            "19"
+                        },
+                    ),
+                )
+                .with_aid(x),
+            );
+        }
+    }
+    out
+}
+
+/// `ghost-risk`: a `send` whose tag may carry an AID that some decider can
+/// deny — the message may be condemned in flight and dropped as a ghost
+/// (§7) (warning).
+pub fn ghost_risk(program: &Program, flow: &Flow) -> Vec<Diagnostic> {
+    let procs = program.process_count();
+    let mut out = Vec::new();
+    for (p, stmts) in program.code.iter().enumerate() {
+        for (i, s) in stmts.iter().enumerate() {
+            let Stmt::Send { to } = *s else { continue };
+            if to >= procs {
+                continue; // invalid-target's finding
+            }
+            for &x in &flow.may_ido[p][i] {
+                let Some(denier) = effective_deciders(flow, x)
+                    .into_iter()
+                    .find(|&site| may_deny(flow, x, site))
+                else {
+                    continue;
+                };
+                let (q, k, kind) = denier;
+                out.push(
+                    Diagnostic::warning(
+                        Lint::GhostRisk,
+                        p,
+                        i,
+                        format!(
+                            "this send's tag may carry x{x}, which {}(x{x}) at P{q}:{k} can \
+                             deny; the message would be condemned as a ghost and silently \
+                             dropped (§7)",
+                            kind.name(),
+                        ),
+                    )
+                    .with_aid(x),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// `guess-decide-race`: a `guess(x)` that another process's deny may beat —
+/// the guess would return `false` with no causal link to the decide
+/// (warning).
+///
+/// Only deny-capable deciders in *other* processes qualify: a same-process
+/// decide is ordered by program order (or by the rollback it causes), and an
+/// affirm never makes a later guess fail — it merely contributes no
+/// dependence.
+pub fn guess_decide_race(program: &Program, flow: &Flow) -> Vec<Diagnostic> {
+    let aids = program.aid_count;
+    let mut out = Vec::new();
+    for x in 0..aids {
+        for &(p, i) in &flow.guess_sites[x] {
+            let Some(denier) = effective_deciders(flow, x)
+                .into_iter()
+                .find(|&site| site.0 != p && may_deny(flow, x, site))
+            else {
+                continue;
+            };
+            let (q, k, kind) = denier;
+            out.push(
+                Diagnostic::warning(
+                    Lint::GuessDecideRace,
+                    p,
+                    i,
+                    format!(
+                        "guess(x{x}) races {}(x{x}) at P{q}:{k}: if the deny lands first, this \
+                         guess returns false with no causal link to the decision",
+                        kind.name(),
+                    ),
+                )
+                .with_aid(x),
+            );
+        }
+    }
+    out
+}
+
+/// `doomed-free-of`'s exact trigger at one site: a same-process `guess(x)`
+/// earlier than statement `j` with no intervening decider of `x`.
+fn doomed_free_of_condition(program: &Program, x: usize, p: usize, j: usize) -> bool {
+    let stmts = &program.code[p];
+    let Some(i) = stmts[..j]
+        .iter()
+        .rposition(|t| matches!(t, Stmt::Guess(y) if *y == x))
+    else {
+        return false;
+    };
+    !stmts[i + 1..j]
+        .iter()
+        .any(|t| matches!(t, Stmt::Affirm(y) | Stmt::Deny(y) | Stmt::FreeOf(y) if *y == x))
 }
 
 #[cfg(test)]
@@ -254,6 +438,9 @@ mod tests {
         out.extend(consumed_reassertion(program, &flow));
         out.extend(unreachable_recv(program, &flow));
         out.extend(cascade_depth(program, &flow, threshold));
+        out.extend(dependent_deny(program, &flow));
+        out.extend(ghost_risk(program, &flow));
+        out.extend(guess_decide_race(program, &flow));
         out.into_iter()
             .map(|d| (d.lint.name(), d.severity))
             .collect()
@@ -336,6 +523,122 @@ mod tests {
         // Cross-process free_of of a guessed AID is legal (Equation 17/18).
         let cross = Program::new(vec![vec![Stmt::Guess(0)], vec![Stmt::FreeOf(0)]]);
         assert!(lint_names(&cross, 9).is_empty());
+    }
+
+    #[test]
+    fn dependent_deny_fires_on_may_dependence_only() {
+        // Dependence through a received tag: doomed-free-of cannot prove it,
+        // dependent-deny warns.
+        let tagged = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Send { to: 1 }, Stmt::Affirm(0)],
+            vec![Stmt::Recv, Stmt::Deny(1), Stmt::Guess(1)],
+        ]);
+        // x1 is never guessed before the deny: no dependence, no warning …
+        let flow = analyze(&tagged);
+        assert!(dependent_deny(&tagged, &flow).is_empty());
+
+        // … but deny of the *received* x0 dependence is flagged.
+        let racy = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Send { to: 1 }],
+            vec![Stmt::Recv, Stmt::Deny(0)],
+        ]);
+        let flow = analyze(&racy);
+        let ds = dependent_deny(&racy, &flow);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            (ds[0].proc, ds[0].stmt_idx, ds[0].aid),
+            (Some(1), Some(1), Some(0))
+        );
+
+        // A deny of one's own guess is the single-process form.
+        let self_deny = Program::new(vec![vec![Stmt::Guess(0), Stmt::Deny(0)]]);
+        let flow = analyze(&self_deny);
+        assert_eq!(dependent_deny(&self_deny, &flow).len(), 1);
+
+        // The free_of form is doomed-free-of's finding, not ours.
+        let doomed = Program::new(vec![vec![Stmt::Guess(0), Stmt::FreeOf(0)]]);
+        let flow = analyze(&doomed);
+        assert!(dependent_deny(&doomed, &flow).is_empty());
+    }
+
+    #[test]
+    fn ghost_risk_needs_a_tagged_send_and_a_denier() {
+        let risky = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Send { to: 1 }, Stmt::Deny(0)],
+            vec![Stmt::Recv],
+        ]);
+        let flow = analyze(&risky);
+        let ds = ghost_risk(&risky, &flow);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            (ds[0].proc, ds[0].stmt_idx, ds[0].aid),
+            (Some(0), Some(1), Some(0))
+        );
+
+        // An affirm cannot condemn the message: no ghost possible.
+        let safe = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Send { to: 1 }, Stmt::Affirm(0)],
+            vec![Stmt::Recv],
+        ]);
+        let flow = analyze(&safe);
+        assert!(ghost_risk(&safe, &flow).is_empty());
+
+        // An untagged send is never a ghost.
+        let untagged = Program::new(vec![
+            vec![
+                Stmt::Guess(0),
+                Stmt::Affirm(0),
+                Stmt::Send { to: 1 },
+                Stmt::Deny(1),
+            ],
+            vec![Stmt::Recv, Stmt::Guess(1)],
+        ]);
+        let flow = analyze(&untagged);
+        assert!(ghost_risk(&untagged, &flow).is_empty());
+    }
+
+    #[test]
+    fn guess_decide_race_needs_a_foreign_denier() {
+        let racy = Program::new(vec![vec![Stmt::Guess(0)], vec![Stmt::Deny(0)]]);
+        let flow = analyze(&racy);
+        let ds = guess_decide_race(&racy, &flow);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(
+            (ds[0].proc, ds[0].stmt_idx, ds[0].aid),
+            (Some(0), Some(0), Some(0))
+        );
+
+        // A cross-process affirm is the canonical worker/worrywart pattern:
+        // never flagged.
+        let canonical = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Compute],
+            vec![Stmt::Affirm(0)],
+        ]);
+        let flow = analyze(&canonical);
+        assert!(guess_decide_race(&canonical, &flow).is_empty());
+
+        // An independent cross-process free_of is an affirm (Eq. 17/18):
+        // not a denier.
+        let free = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Compute],
+            vec![Stmt::FreeOf(0)],
+        ]);
+        let flow = analyze(&free);
+        assert!(guess_decide_race(&free, &flow).is_empty());
+
+        // A same-process deny is ordered by program order or rollback.
+        let ordered = Program::new(vec![vec![Stmt::Deny(0), Stmt::Guess(0)]]);
+        let flow = analyze(&ordered);
+        assert!(guess_decide_race(&ordered, &flow).is_empty());
+
+        // A second decider site in the denier's process never executes with
+        // effect, so it is not a denier.
+        let shadowed = Program::new(vec![
+            vec![Stmt::Guess(0), Stmt::Compute],
+            vec![Stmt::Affirm(0), Stmt::Deny(0)],
+        ]);
+        let flow = analyze(&shadowed);
+        assert!(guess_decide_race(&shadowed, &flow).is_empty());
     }
 
     #[test]

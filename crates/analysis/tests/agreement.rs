@@ -14,7 +14,7 @@
 //! programs from [`Program::generate`]. Each program is executed under a
 //! round-robin schedule plus several seeded random schedules.
 
-use hope_analysis::Analyzer;
+use hope_analysis::{cost, covered_by, Analyzer, RaceDetector, RaceKind};
 use hope_core::machine::{Event, Machine};
 use hope_core::program::{Program, Stmt};
 
@@ -143,6 +143,136 @@ fn generated_large_program_agreement() {
         let program = Program::generate(seed, 6, 40, 6);
         check_agreement(&program, 100_000, "generated 6x40");
     }
+}
+
+/// Run `program` under the round-robin schedule plus every seeded schedule
+/// with a [`RaceDetector`] attached, and assert each dynamic race report is
+/// predicted by a static diagnostic ([`covered_by`]). Returns per-kind race
+/// counts `[decided-aid-reuse, send-after-deny, guess-after-decide]`.
+fn check_race_coverage(program: &Program, fuel: u64, context: &str) -> [usize; 3] {
+    let diagnostics = Analyzer::new().analyze(program);
+    let mut counts = [0usize; 3];
+    for seed in std::iter::once(None).chain((0..SCHEDULE_SEEDS).map(Some)) {
+        let mut detector = RaceDetector::new();
+        let mut m = Machine::new(program.clone());
+        match seed {
+            None => m.run_observed(fuel, &mut detector),
+            Some(s) => m.run_seeded_observed(fuel, s, &mut detector),
+        };
+        for race in detector.races() {
+            counts[match race.kind {
+                RaceKind::DecidedAidReuse => 0,
+                RaceKind::SendAfterDeny => 1,
+                RaceKind::GuessAfterDecide => 2,
+            }] += 1;
+            assert!(
+                covered_by(race, &diagnostics),
+                "{context}: dynamic race not predicted statically\n\
+                 program:\n{program}\nschedule seed: {seed:?}\n\
+                 race: {race:?}\ndiagnostics: {diagnostics:?}"
+            );
+        }
+    }
+    counts
+}
+
+#[test]
+fn exhaustive_dynamic_races_are_statically_covered() {
+    // The dynamic half of the agreement contract: on the same exhaustive
+    // spaces the blanket test sweeps, every race the runtime detector
+    // reports — under every schedule — must be covered by a static
+    // warning on the same AID. (The static side may over-approximate; the
+    // dynamic side must never surprise it.)
+    let mut totals = [0usize; 3];
+    for a in alphabet(1) {
+        for b in alphabet(1) {
+            for c in alphabet(0) {
+                for d in alphabet(0) {
+                    let program = Program {
+                        code: vec![vec![a, b], vec![c, d]],
+                        aid_count: 1,
+                    };
+                    let counts = check_race_coverage(&program, 500, "two-process races");
+                    for (t, c) in totals.iter_mut().zip(counts) {
+                        *t += c;
+                    }
+                }
+            }
+        }
+    }
+    for a in alphabet(0) {
+        for b in alphabet(0) {
+            for c in alphabet(0) {
+                let program = Program {
+                    code: vec![vec![a, b, c]],
+                    aid_count: 1,
+                };
+                let counts = check_race_coverage(&program, 500, "single-process races");
+                for (t, c) in totals.iter_mut().zip(counts) {
+                    *t += c;
+                }
+            }
+        }
+    }
+    // Non-vacuity: the corpus must actually trigger every race shape, or
+    // the coverage claim proves nothing.
+    assert!(
+        totals.iter().all(|&t| t > 0),
+        "race shapes unexercised: [reuse, ghost, guess-race] = {totals:?}"
+    );
+}
+
+/// A cascade chain with `relays` relay processes: the origin guesses and
+/// forwards its tagged dependence hop by hop; the far end denies.
+fn cascade_chain(relays: usize) -> Program {
+    let mut code = vec![vec![Stmt::Guess(0), Stmt::Send { to: 1 }]];
+    for r in 0..relays {
+        code.push(vec![Stmt::Recv, Stmt::Compute, Stmt::Send { to: r + 2 }]);
+    }
+    code.push(vec![Stmt::Recv, Stmt::Compute, Stmt::Deny(0)]);
+    Program::new(code)
+}
+
+#[test]
+fn cost_rank_correlates_with_measured_rollback_work() {
+    // The cost model's damage score is a static prediction of how much
+    // work a deny destroys. Check it against the machine: on cascade
+    // chains of growing length, predicted damage and measured rollback
+    // work (intervals discarded when the far-end deny lands) must rank
+    // the programs identically — and both must grow strictly.
+    let mut predicted = Vec::new();
+    let mut measured = Vec::new();
+    for relays in [0usize, 1, 2, 4] {
+        let program = cascade_chain(relays);
+        let costs = cost::rank(&program);
+        assert_eq!(costs.len(), 1, "one speculation per chain");
+        predicted.push(costs[0].damage);
+
+        // Round-robin lets the whole chain go speculative before the
+        // deny lands, so the measured rollback reflects the full cascade.
+        let mut m = Machine::new(program.clone());
+        let report = m.run(10_000);
+        assert!(report.completed, "chain with {relays} relays must finish");
+        let stats = m.engine().stats();
+        assert!(stats.rollback_events > 0, "the deny must trigger rollback");
+        measured.push(stats.rolled_back_intervals + stats.ghosts);
+    }
+    assert!(
+        predicted.windows(2).all(|w| w[0] < w[1]),
+        "predicted damage must grow with chain length: {predicted:?}"
+    );
+    assert!(
+        measured.windows(2).all(|w| w[0] < w[1]),
+        "measured rollback work must grow with chain length: {measured:?}"
+    );
+    // Same ranking both ways: the most-damaging prediction is the
+    // most-damaging measurement.
+    let rank_of = |xs: &[u64]| {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(xs[i]));
+        idx
+    };
+    assert_eq!(rank_of(&predicted), rank_of(&measured));
 }
 
 #[test]

@@ -113,6 +113,101 @@ fn cascade_threshold_flag_is_honoured() {
     }
 }
 
+fn run_on_stdin(args: &[&str], program: &str) -> std::process::Output {
+    let mut child = hope_lint()
+        .args(args)
+        .arg("-")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hope-lint");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(program.as_bytes())
+        .expect("write program");
+    child.wait_with_output().expect("run hope-lint")
+}
+
+/// A chain whose only diagnostic-free speculation has a wide cascade:
+/// clean, so both ranking modes must still exit 0.
+const CHAIN: &str = "process P0:\n  guess(x0)\n  send(P1)\n  affirm(x0)\n\
+                     process P1:\n  recv\n  compute\n";
+
+#[test]
+fn rank_mode_prints_damage_ordering_and_keeps_the_lint_verdict() {
+    let out = run_on_stdin(&["--rank"], CHAIN);
+    assert_eq!(out.status.code(), Some(0), "clean program stays exit 0");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.starts_with("#1 P0:0 guess(x0): damage "), "{stdout}");
+    assert!(stdout.ends_with("1 speculation ranked\n"), "{stdout}");
+    assert!(!stdout.contains("warning"), "{stdout}");
+
+    // A doomed program still exits 1 under --rank: the ranking swaps the
+    // output, not the verdict.
+    let doomed = "process P0:\n  guess(x0)\n  free_of(x0)\n";
+    let out = run_on_stdin(&["--rank"], doomed);
+    assert_eq!(out.status.code(), Some(1), "errors still fail under --rank");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("speculation ranked"), "{stdout}");
+    assert!(!stdout.contains("doomed-free-of"), "{stdout}");
+}
+
+#[test]
+fn cost_mode_lists_sites_in_program_order() {
+    let two = "process P0:\n  compute\n  guess(x1)\n  affirm(x1)\n\
+               process P1:\n  guess(x0)\n  affirm(x0)\n";
+    let out = run_on_stdin(&["--cost"], two);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].starts_with("P0:1 guess(x1):"), "{stdout}");
+    assert!(lines[1].starts_with("P1:0 guess(x0):"), "{stdout}");
+    assert_eq!(lines[2], "2 speculations costed");
+
+    let out = run_on_stdin(&["--cost", "--json"], two);
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.starts_with("[\n  {\"proc\":0,\"stmt\":1,"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"damage\":"), "{stdout}");
+
+    let out = run_on_stdin(&["--rank", "--json"], two);
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"rank\":1"), "{stdout}");
+}
+
+#[test]
+fn help_documents_the_exit_code_contract() {
+    for flag in ["-h", "--help"] {
+        let out = hope_lint().arg(flag).output().expect("run hope-lint");
+        assert_eq!(out.status.code(), Some(0), "help exits 0");
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.contains("Exit status:"), "{stdout}");
+        for needle in [
+            "no error-severity diagnostic",
+            "at least one error-severity diagnostic",
+            "usage error, unreadable input, or program parse failure",
+            "--rank",
+            "--cost",
+            "--cascade-threshold N",
+        ] {
+            assert!(stdout.contains(needle), "missing {needle:?}: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn rank_and_cost_conflict_exits_two() {
+    let out = hope_lint()
+        .args(["--rank", "--cost", "-"])
+        .output()
+        .expect("run hope-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn bad_usage_and_bad_programs_exit_two() {
     let out = hope_lint().output().expect("run hope-lint");

@@ -1,0 +1,64 @@
+//! The repo's own example programs (`examples/programs/*.hope`) must stay
+//! free of error-severity diagnostics — the same gate CI enforces by
+//! running `hope-lint` over each file.
+
+use std::path::PathBuf;
+
+use hope_analysis::{Analyzer, Severity};
+use hope_core::program::Program;
+
+fn programs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs")
+}
+
+#[test]
+fn every_example_program_is_error_free() {
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(programs_dir()).expect("examples/programs exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none_or(|e| e != "hope") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).expect("readable program");
+        let program: Program = src
+            .parse()
+            .unwrap_or_else(|e| panic!("{}: parse failure: {e}", path.display()));
+        let errors: Vec<_> = Analyzer::new()
+            .analyze(&program)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{}: error diagnostics on a shipped example:\n{errors:?}",
+            path.display()
+        );
+    }
+    assert!(seen >= 4, "expected the example programs, found {seen}");
+}
+
+#[test]
+fn the_showcase_example_warns_exactly_as_its_header_promises() {
+    // cascade_chain.hope exists to display the speculative-hazard
+    // warnings; pin the set so the example and the analyzer cannot drift
+    // apart silently.
+    let src = std::fs::read_to_string(programs_dir().join("cascade_chain.hope")).expect("example");
+    let program: Program = src.parse().expect("parses");
+    let mut names: Vec<&str> = Analyzer::new()
+        .analyze(&program)
+        .iter()
+        .map(|d| d.lint.name())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names,
+        vec![
+            "cascade-depth",
+            "dependent-deny",
+            "ghost-risk",
+            "guess-decide-race",
+        ]
+    );
+}

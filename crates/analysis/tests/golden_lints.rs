@@ -210,8 +210,11 @@ fn cascade_depth_trigger_and_near_miss() {
 }
 
 #[test]
-fn all_six_lints_on_one_program_with_golden_json() {
-    // One crafted program triggering every lint at once.
+fn six_original_lints_on_one_program_with_golden_json() {
+    // One crafted program triggering each of the original six lints at
+    // once (the flow-race lints added later need shapes — foreign deniers,
+    // tagged sends — this program deliberately avoids, keeping the golden
+    // JSON stable).
     let program = Program {
         code: vec![
             // P0: leaked guess of x1, doomed free_of of x0, self-send.
@@ -238,7 +241,15 @@ fn all_six_lints_on_one_program_with_golden_json() {
     let analyzer = Analyzer::new().with_cascade_threshold(2);
     let ds = analyzer.analyze(&program);
     let fired: Vec<Lint> = ds.iter().map(|d| d.lint).collect();
-    for lint in Lint::all() {
+    let six = [
+        Lint::InvalidTarget,
+        Lint::LeakedSpeculation,
+        Lint::DoomedFreeOf,
+        Lint::ConsumedReassertion,
+        Lint::UnreachableRecv,
+        Lint::CascadeDepth,
+    ];
+    for lint in six {
         assert!(fired.contains(&lint), "{lint} did not fire");
     }
 

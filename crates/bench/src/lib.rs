@@ -17,6 +17,7 @@
 //! | E11 | §7 numerical computation (ref \[7\]) | [`experiments::e11_numeric`] |
 //! | E12 | §7 truth maintenance (ref \[12\]) | [`experiments::e12_tms`] |
 //! | E13 | §7 co-operative work (ref \[5\]) | [`experiments::e13_coedit`] |
+//! | E14 | cost-model calibration | [`experiments::e14_costmodel`] |
 //!
 //! (E9, the theorem suite, runs under `cargo test` — see `tests/theorems.rs`
 //! at the workspace root.)
@@ -36,7 +37,7 @@ pub use table::{fmt_ms, fmt_pct, Table};
 
 /// All experiment ids known to the `tables` binary, in order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// Produce the table for one experiment id.
@@ -58,6 +59,7 @@ pub fn table_for(id: &str) -> Table {
         "e11" => experiments::e11_numeric::table(),
         "e12" => experiments::e12_tms::table(),
         "e13" => experiments::e13_coedit::table(),
+        "e14" => experiments::e14_costmodel::table(),
         other => panic!("unknown experiment id {other:?} (known: {EXPERIMENT_IDS:?})"),
     }
 }

@@ -77,6 +77,7 @@ mod interval;
 mod tag;
 
 pub mod machine;
+pub mod observer;
 pub mod program;
 pub mod trace;
 
@@ -86,4 +87,5 @@ pub use engine::{Engine, EngineStats, GuessOutcome};
 pub use error::{Error, Result};
 pub use ids::{AidId, IntervalId, ProcessId};
 pub use interval::{Checkpoint, IntervalStatus, IntervalView};
+pub use observer::{Action, DecideKind, NullObserver, RuntimeObserver};
 pub use tag::{ReceiveOutcome, Tag};

@@ -26,6 +26,7 @@ use crate::engine::{Engine, GuessOutcome};
 use crate::error::Result;
 use crate::ids::{AidId, IntervalId, ProcessId};
 use crate::interval::Checkpoint;
+use crate::observer::{Action, DecideKind, NullObserver, RuntimeObserver};
 use crate::program::{Program, SplitMix64, Stmt};
 use crate::tag::{ReceiveOutcome, Tag};
 use crate::Effect;
@@ -334,6 +335,24 @@ impl Machine {
     ///
     /// Panics if `p` is out of range.
     pub fn step(&mut self, p: usize) -> Result<StepOutcome> {
+        self.step_observed(p, &mut NullObserver)
+    }
+
+    /// Like [`Machine::step`], but reporting the executed [`Action`] (with
+    /// its engine effects) to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn step_observed(
+        &mut self,
+        p: usize,
+        observer: &mut dyn RuntimeObserver,
+    ) -> Result<StepOutcome> {
         let (pid, pc) = {
             let proc = &self.procs[p];
             (proc.pid, proc.pc)
@@ -346,17 +365,20 @@ impl Machine {
             Stmt::Guess(v) => {
                 let aid = self.aids[v];
                 let (outcome, effects) = self.engine.guess(pid, &[aid], Checkpoint(pc as u64))?;
-                match outcome {
+                let value = match outcome {
                     GuessOutcome::Begun(interval) => {
                         self.mark(p, interval);
                         self.record(p, Event::Guess { aid, value: true }, Some(true));
+                        true
                     }
                     GuessOutcome::AlreadyFalse(_) => {
                         self.record(p, Event::Guess { aid, value: false }, Some(false));
+                        false
                     }
-                }
+                };
                 self.procs[p].pc += 1;
                 self.apply(&effects);
+                observer.observe(pid, &Action::Guess { aid, value }, &effects);
             }
             Stmt::Affirm(v) => {
                 let aid = self.aids[v];
@@ -366,10 +388,19 @@ impl Machine {
                         self.record(p, Event::Affirm { aid, speculative }, None);
                         self.procs[p].pc += 1;
                         self.apply(&effects);
+                        observer.observe(pid, &Action::Affirm { aid, speculative }, &effects);
                     }
                     Err(crate::Error::AidConsumed(_)) => {
                         self.record(p, Event::Skipped { stmt }, None);
                         self.procs[p].pc += 1;
+                        observer.observe(
+                            pid,
+                            &Action::SkippedDecide {
+                                aid,
+                                kind: DecideKind::Affirm,
+                            },
+                            &[],
+                        );
                     }
                     Err(e) => return Err(e),
                 }
@@ -385,10 +416,19 @@ impl Machine {
                         self.record(p, Event::Deny { aid, speculative }, None);
                         self.procs[p].pc += 1;
                         self.apply(&effects);
+                        observer.observe(pid, &Action::Deny { aid, speculative }, &effects);
                     }
                     Err(crate::Error::AidConsumed(_)) => {
                         self.record(p, Event::Skipped { stmt }, None);
                         self.procs[p].pc += 1;
+                        observer.observe(
+                            pid,
+                            &Action::SkippedDecide {
+                                aid,
+                                kind: DecideKind::Deny,
+                            },
+                            &[],
+                        );
                     }
                     Err(e) => return Err(e),
                 }
@@ -400,10 +440,19 @@ impl Machine {
                         self.record(p, Event::FreeOf { aid }, None);
                         self.procs[p].pc += 1;
                         self.apply(&effects);
+                        observer.observe(pid, &Action::FreeOf { aid }, &effects);
                     }
                     Err(crate::Error::AidConsumed(_)) => {
                         self.record(p, Event::Skipped { stmt }, None);
                         self.procs[p].pc += 1;
+                        observer.observe(
+                            pid,
+                            &Action::SkippedDecide {
+                                aid,
+                                kind: DecideKind::FreeOf,
+                            },
+                            &[],
+                        );
                     }
                     Err(e) => return Err(e),
                 }
@@ -429,8 +478,17 @@ impl Machine {
                     },
                     None,
                 );
+                let msg_id = msg.id;
                 self.procs[to].mailbox.push_back(msg);
                 self.procs[p].pc += 1;
+                observer.observe(
+                    pid,
+                    &Action::Send {
+                        to: to_pid,
+                        msg: msg_id,
+                    },
+                    &[],
+                );
             }
             Stmt::Recv => loop {
                 let msg = match self.procs[p].mailbox.pop_front() {
@@ -450,6 +508,15 @@ impl Machine {
                             },
                             None,
                         );
+                        observer.observe(
+                            pid,
+                            &Action::GhostDropped {
+                                msg: msg.id,
+                                from: msg.from,
+                                denied,
+                            },
+                            &effects,
+                        );
                         continue; // look for the next deliverable message
                     }
                     ReceiveOutcome::Clean => {
@@ -461,9 +528,19 @@ impl Machine {
                             },
                             None,
                         );
+                        let (msg_id, from) = (msg.id, msg.from);
                         self.procs[p].delivered.push(msg);
                         self.procs[p].pc += 1;
                         self.apply(&effects);
+                        observer.observe(
+                            pid,
+                            &Action::Recv {
+                                msg: msg_id,
+                                from,
+                                speculative: false,
+                            },
+                            &effects,
+                        );
                         break;
                     }
                     ReceiveOutcome::Speculative(interval) => {
@@ -476,9 +553,19 @@ impl Machine {
                             },
                             None,
                         );
+                        let (msg_id, from) = (msg.id, msg.from);
                         self.procs[p].delivered.push(msg);
                         self.procs[p].pc += 1;
                         self.apply(&effects);
+                        observer.observe(
+                            pid,
+                            &Action::Recv {
+                                msg: msg_id,
+                                from,
+                                speculative: true,
+                            },
+                            &effects,
+                        );
                         break;
                     }
                 }
@@ -495,7 +582,7 @@ impl Machine {
     /// Panics if the engine reports an error (impossible for machine-built
     /// programs; indicates an engine bug).
     pub fn run(&mut self, fuel: u64) -> RunReport {
-        self.run_with_schedule(fuel, |_machine, round| round)
+        self.run_with_schedule(fuel, |_machine, round| round, &mut NullObserver)
     }
 
     /// Run with a seeded pseudo-random schedule: at each step a random
@@ -506,10 +593,45 @@ impl Machine {
     /// As for [`Machine::run`].
     pub fn run_seeded(&mut self, fuel: u64, seed: u64) -> RunReport {
         let mut rng = SplitMix64::new(seed);
-        self.run_with_schedule(fuel, move |_machine, _round| rng.next() as usize)
+        self.run_with_schedule(
+            fuel,
+            move |_machine, _round| rng.next() as usize,
+            &mut NullObserver,
+        )
     }
 
-    fn run_with_schedule<F>(&mut self, fuel: u64, mut pick: F) -> RunReport
+    /// Like [`Machine::run`], reporting every executed [`Action`] to
+    /// `observer`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Machine::run`].
+    pub fn run_observed(&mut self, fuel: u64, observer: &mut dyn RuntimeObserver) -> RunReport {
+        self.run_with_schedule(fuel, |_machine, round| round, observer)
+    }
+
+    /// Like [`Machine::run_seeded`], reporting every executed [`Action`] to
+    /// `observer`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Machine::run`].
+    pub fn run_seeded_observed(
+        &mut self,
+        fuel: u64,
+        seed: u64,
+        observer: &mut dyn RuntimeObserver,
+    ) -> RunReport {
+        let mut rng = SplitMix64::new(seed);
+        self.run_with_schedule(fuel, move |_machine, _round| rng.next() as usize, observer)
+    }
+
+    fn run_with_schedule<F>(
+        &mut self,
+        fuel: u64,
+        mut pick: F,
+        observer: &mut dyn RuntimeObserver,
+    ) -> RunReport
     where
         F: FnMut(&Machine, usize) -> usize,
     {
@@ -539,7 +661,10 @@ impl Machine {
             let mut all_done = true;
             for off in 0..n {
                 let p = (start + off) % n;
-                match self.step(p).expect("machine-built programs cannot err") {
+                match self
+                    .step_observed(p, observer)
+                    .expect("machine-built programs cannot err")
+                {
                     StepOutcome::Executed => {
                         steps += 1;
                         any_executed = true;

@@ -1,0 +1,158 @@
+//! Runtime observation: a typed stream of process actions for dynamic
+//! analyses to consume.
+//!
+//! The [`Engine`](crate::Engine) reports *state changes* as [`Effect`]s, but
+//! a dynamic analysis (a race detector, a tracer, a coverage tool) also
+//! needs the *actions* that caused them — including the ones the semantics
+//! deliberately swallows: a decider skipped because its AID was already
+//! consumed (§5.2's one-shot rule), a ghost message filtered before
+//! delivery (§7), a re-executed guess answering `False` (Equation 24).
+//!
+//! [`RuntimeObserver`] is the consumer interface. Both embeddings feed it:
+//! the abstract [`machine`](crate::machine) via
+//! [`Machine::run_observed`](crate::machine::Machine::run_observed) (used by
+//! the exhaustive agreement test-suites) and `hope-runtime`'s `Simulation`
+//! via its `set_observer` hook (used on real simulated applications). Each
+//! callback delivers the acting process, the [`Action`] it performed, and
+//! the ordered [`Effect`] list the engine produced for it, so an observer
+//! sees cause and consequence atomically.
+
+use crate::ids::{AidId, ProcessId};
+use crate::Effect;
+
+/// Which decider primitive an [`Action::SkippedDecide`] was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DecideKind {
+    /// `affirm(x)`.
+    Affirm,
+    /// `deny(x)`.
+    Deny,
+    /// `free_of(x)`.
+    FreeOf,
+}
+
+impl DecideKind {
+    /// The primitive's keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecideKind::Affirm => "affirm",
+            DecideKind::Deny => "deny",
+            DecideKind::FreeOf => "free_of",
+        }
+    }
+}
+
+/// One observable action a process performed.
+///
+/// Message-bearing variants carry a runtime-assigned message id so an
+/// observer can pair each receive (or ghost drop) with its send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Action {
+    /// A `guess` executed; `value` is what it returned (`false` on
+    /// re-execution after rollback, or when the AID was already denied).
+    Guess {
+        /// The guessed AID.
+        aid: AidId,
+        /// The value the guess returned.
+        value: bool,
+    },
+    /// An `affirm` executed with effect.
+    Affirm {
+        /// The affirmed AID.
+        aid: AidId,
+        /// Whether the affirm was speculative (§5.2's second case).
+        speculative: bool,
+    },
+    /// A `deny` executed with effect.
+    Deny {
+        /// The denied AID.
+        aid: AidId,
+        /// Whether the deny was speculative (Equation 16).
+        speculative: bool,
+    },
+    /// A `free_of` executed with effect (an affirm or a deny per
+    /// Equations 17–19; the accompanying effects show which).
+    FreeOf {
+        /// The AID asserted free of.
+        aid: AidId,
+    },
+    /// A decider was skipped because its AID was already consumed — the
+    /// dynamic signature of decided-AID reuse.
+    SkippedDecide {
+        /// The already-consumed AID.
+        aid: AidId,
+        /// Which primitive was skipped.
+        kind: DecideKind,
+    },
+    /// A message was sent.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Message id.
+        msg: u64,
+    },
+    /// A message was received (after ghost filtering).
+    Recv {
+        /// Message id.
+        msg: u64,
+        /// Sending process.
+        from: ProcessId,
+        /// Whether delivery made the receiver (more) speculative.
+        speculative: bool,
+    },
+    /// A ghost message was discarded before delivery (§7) — the dynamic
+    /// signature of a send racing a deny.
+    GhostDropped {
+        /// Message id.
+        msg: u64,
+        /// Sending process.
+        from: ProcessId,
+        /// The denied AID that condemned the message.
+        denied: AidId,
+    },
+}
+
+/// A consumer of runtime actions.
+///
+/// Implementations must not assume anything about scheduling beyond what
+/// the callbacks show: `observe` is invoked once per action, in the global
+/// order the embedding executed them, with the engine's effects for that
+/// action (empty for pure bookkeeping actions such as a skipped decider).
+pub trait RuntimeObserver {
+    /// `process` performed `action`, producing `effects`.
+    fn observe(&mut self, process: ProcessId, action: &Action, effects: &[Effect]);
+}
+
+/// An observer that ignores everything (useful as a default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RuntimeObserver for NullObserver {
+    fn observe(&mut self, _process: ProcessId, _action: &Action, _effects: &[Effect]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decide_kind_names() {
+        assert_eq!(DecideKind::Affirm.name(), "affirm");
+        assert_eq!(DecideKind::Deny.name(), "deny");
+        assert_eq!(DecideKind::FreeOf.name(), "free_of");
+    }
+
+    #[test]
+    fn null_observer_accepts_actions() {
+        let mut o = NullObserver;
+        o.observe(
+            ProcessId(0),
+            &Action::Guess {
+                aid: AidId(0),
+                value: true,
+            },
+            &[],
+        );
+    }
+}

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use crossbeam_channel::{Receiver, Sender};
-use hope_core::{AidId, Checkpoint, Error, ProcessId, ReceiveOutcome};
+use hope_core::{Action, AidId, Checkpoint, DecideKind, Error, ProcessId, ReceiveOutcome};
 use hope_sim::{VirtualDuration, VirtualTime};
 use parking_lot::Mutex;
 
@@ -176,6 +176,7 @@ impl Ctx {
         sh.trace(|| format!("{pid}: guess({aid}) -> {value}"));
         sh.procs[self.idx].journal.push(Entry::Guess { aid, value });
         let rolled = sh.apply_effects(self.idx, &fx);
+        sh.observe(pid, &Action::Guess { aid, value }, &fx);
         drop(sh);
         if rolled {
             return Err(Signal::Rollback);
@@ -257,9 +258,40 @@ impl Ctx {
         });
         sh.procs[self.idx].journal.push(entry);
         let rolled = match result {
-            Ok(fx) => sh.apply_effects(self.idx, &fx),
+            Ok(fx) => {
+                let rolled = sh.apply_effects(self.idx, &fx);
+                let action = match prim {
+                    Prim::Affirm => Action::Affirm {
+                        aid,
+                        speculative: fx.iter().any(|e| {
+                            matches!(e, hope_core::Effect::SpeculativelyAffirmed { aid: a, .. }
+                                     if *a == aid)
+                        }),
+                    },
+                    Prim::Deny => Action::Deny {
+                        aid,
+                        speculative: fx.iter().any(|e| {
+                            matches!(e, hope_core::Effect::SpeculativelyDenied { aid: a, .. }
+                                     if *a == aid)
+                        }),
+                    },
+                    Prim::FreeOf => Action::FreeOf { aid },
+                };
+                sh.observe(pid, &action, &fx);
+                rolled
+            }
             // Re-application after a conservative decision: recorded no-op.
-            Err(Error::AidConsumed(_)) => false,
+            Err(Error::AidConsumed(_)) => {
+                sh.observe(
+                    pid,
+                    &Action::SkippedDecide {
+                        aid,
+                        kind: prim.kind(),
+                    },
+                    &[],
+                );
+                false
+            }
             Err(e) => panic!("engine rejected {}: {e}", prim.name()),
         };
         drop(sh);
@@ -491,6 +523,15 @@ impl Ctx {
                             sh.trace(|| {
                                 format!("{pid}: ghost m{} dropped ({denied} denied)", m.id)
                             });
+                            sh.observe(
+                                pid,
+                                &Action::GhostDropped {
+                                    msg: m.id,
+                                    from: m.from,
+                                    denied,
+                                },
+                                &[],
+                            );
                             continue;
                         }
                         ReceiveOutcome::Clean | ReceiveOutcome::Speculative(_) => {
@@ -498,6 +539,16 @@ impl Ctx {
                                 .journal
                                 .push(Entry::Recv(Box::new(m.clone())));
                             let rolled = sh.apply_effects(self.idx, &fx);
+                            let speculative = matches!(outcome, ReceiveOutcome::Speculative(_));
+                            sh.observe(
+                                self.pid,
+                                &Action::Recv {
+                                    msg: m.id,
+                                    from: m.from,
+                                    speculative,
+                                },
+                                &fx,
+                            );
                             debug_assert!(!rolled, "a receive cannot roll back its receiver");
                             return Ok(Some(m));
                         }
@@ -553,6 +604,7 @@ impl Ctx {
         let pid = self.pid;
         sh.trace(|| format!("{pid}: send m{id} -> {to}"));
         sh.procs[self.idx].journal.push(Entry::Send { msg_id: id });
+        sh.observe(pid, &Action::Send { to, msg: id }, &[]);
         Ok(id)
     }
 
@@ -588,6 +640,15 @@ impl Ctx {
                             sh.trace(|| {
                                 format!("{pid}: ghost m{} dropped ({denied} denied)", m.id)
                             });
+                            sh.observe(
+                                pid,
+                                &Action::GhostDropped {
+                                    msg: m.id,
+                                    from: m.from,
+                                    denied,
+                                },
+                                &[],
+                            );
                             // keep scanning: the ghost is gone for good
                             continue;
                         }
@@ -609,6 +670,16 @@ impl Ctx {
                                 .journal
                                 .push(Entry::Recv(Box::new(m.clone())));
                             let rolled = sh.apply_effects(self.idx, &fx);
+                            let speculative = matches!(outcome, ReceiveOutcome::Speculative(_));
+                            sh.observe(
+                                self.pid,
+                                &Action::Recv {
+                                    msg: m.id,
+                                    from: m.from,
+                                    speculative,
+                                },
+                                &fx,
+                            );
                             debug_assert!(!rolled, "a receive cannot roll back its receiver");
                             return Ok(m);
                         }
@@ -636,6 +707,14 @@ impl Prim {
             Prim::Affirm => "affirm",
             Prim::Deny => "deny",
             Prim::FreeOf => "free_of",
+        }
+    }
+
+    fn kind(self) -> DecideKind {
+        match self {
+            Prim::Affirm => DecideKind::Affirm,
+            Prim::Deny => DecideKind::Deny,
+            Prim::FreeOf => DecideKind::FreeOf,
         }
     }
 }

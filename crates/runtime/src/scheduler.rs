@@ -26,7 +26,7 @@ use crate::config::SimConfig;
 use crate::ctx::Ctx;
 use crate::journal::Journal;
 use crate::message::Mailbox;
-use crate::shared::{EventKind, ProcShared, ProcState, Shared};
+use crate::shared::{EventKind, ObserverSlot, ProcShared, ProcState, Shared};
 use crate::signal::{Hope, Signal};
 use crate::stats::RunReport;
 
@@ -136,6 +136,37 @@ impl Simulation {
     /// Number of spawned processes.
     pub fn process_count(&self) -> usize {
         self.bodies.len()
+    }
+
+    /// Install a runtime observer: `observer` is called once per executed
+    /// HOPE action — guesses (including re-executed ones returning
+    /// `false`), deciders (including skipped one-shot re-uses), sends,
+    /// receives, and ghost drops — with the acting process and the engine
+    /// effects the action produced.
+    ///
+    /// Journal *replay* after a rollback is not reported (those actions
+    /// already were, on first execution); the re-executed live suffix is.
+    /// Feed the callbacks to a [`hope_core::RuntimeObserver`] such as the
+    /// `hope-analysis` race detector:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use hope_core::{NullObserver, RuntimeObserver};
+    /// use hope_runtime::{SimConfig, Simulation};
+    /// use parking_lot::Mutex;
+    ///
+    /// let mut sim = Simulation::new(SimConfig::with_seed(1));
+    /// let observer = Arc::new(Mutex::new(NullObserver));
+    /// let hook = observer.clone();
+    /// sim.set_observer(move |pid, action, effects| {
+    ///     hook.lock().observe(pid, action, effects);
+    /// });
+    /// ```
+    pub fn set_observer(
+        &mut self,
+        observer: impl FnMut(ProcessId, &hope_core::Action, &[hope_core::Effect]) + Send + 'static,
+    ) {
+        self.shared.lock().observer = ObserverSlot(Some(Box::new(observer)));
     }
 
     /// Run the simulation until quiescence (no events left, or every

@@ -7,7 +7,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use hope_core::{Effect, Engine, IntervalId, ProcessId};
+use hope_core::{Action, Effect, Engine, IntervalId, ProcessId};
 use hope_sim::{EventQueue, SimRng, VirtualTime};
 
 use crate::config::SimConfig;
@@ -58,6 +58,23 @@ pub(crate) struct ProcShared {
     pub(crate) error: Option<String>,
 }
 
+/// The boxed form of an installed observer callback.
+pub(crate) type ObserverFn = Box<dyn FnMut(ProcessId, &Action, &[Effect]) + Send>;
+
+/// The installed runtime observer, if any. A newtype so [`Shared`] can
+/// keep deriving `Debug` around the unprintable closure.
+pub(crate) struct ObserverSlot(pub(crate) Option<ObserverFn>);
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "ObserverSlot(set)"
+        } else {
+            "ObserverSlot(unset)"
+        })
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) engine: Engine,
@@ -78,6 +95,8 @@ pub(crate) struct Shared {
     pub(crate) trace_log: Vec<String>,
     /// Engine process id of the quiescence-commit oracle, once created.
     pub(crate) oracle: Option<ProcessId>,
+    /// Reported every executed HOPE action (see `Simulation::set_observer`).
+    pub(crate) observer: ObserverSlot,
 }
 
 impl Shared {
@@ -100,6 +119,14 @@ impl Shared {
             stats: RunStats::default(),
             trace_log: Vec::new(),
             oracle: None,
+            observer: ObserverSlot(None),
+        }
+    }
+
+    /// Report one executed action to the installed observer, if any.
+    pub(crate) fn observe(&mut self, pid: ProcessId, action: &Action, effects: &[Effect]) {
+        if let Some(f) = self.observer.0.as_mut() {
+            f(pid, action, effects);
         }
     }
 

@@ -1,0 +1,500 @@
+//! **E15 — DepSet hot-path microbenchmark**: the copy-on-write dependence
+//! sets (`hope_core::depset`) against the `BTreeSet` representation the
+//! engine used before them.
+//!
+//! The engine's hot paths are set-shaped: a nested guess inherits its
+//! parent's IDO (Equations 4–5), an implicit guess materializes a tag,
+//! an affirm removes one AID from every dominated interval, and a deny
+//! walks the IDO of every discarded interval. With `BTreeSet` each
+//! inheritance was a full O(n log n) copy — twice, in fact, because the
+//! old `Engine::guess` cloned the set once for dependence bookkeeping and
+//! once more for the interval record. `DepSet` makes inheritance an
+//! `Arc` refcount bump, unions word-parallel, and membership O(1).
+//!
+//! The baseline here is a deliberately minimal in-module engine that
+//! transcribes the *old* hot paths verbatim (including the double clone)
+//! over `BTreeSet`, stripped of everything that is representation-neutral.
+//! Both sides run the same three scenarios and must agree on the work
+//! performed (intervals finalized or discarded) before their times are
+//! compared; only the hot section is timed (`std::time::Instant`,
+//! best-of-five batches), with scaffolding excluded on both sides.
+//!
+//! The committed numbers live in `BENCH_e15.json`, regenerated with
+//! `cargo run -p hope-bench --release --bin tables -- --json BENCH_e15.json e15`.
+//! Debug or test builds (where the shadow oracle is compiled in) are not
+//! meaningful for timing; the unit tests below therefore check structure
+//! and agreement only.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use hope_core::{AidId, Checkpoint, Effect, Engine, ProcessId};
+
+use crate::table::Table;
+
+// ---------------------------------------------------------------------
+// Baseline: the pre-DepSet hot paths, transcribed over BTreeSet.
+// ---------------------------------------------------------------------
+
+struct OldInterval {
+    owner: usize,
+    ido: BTreeSet<u64>,
+    live: bool,
+}
+
+/// A minimal engine keeping exactly the state the measured hot paths
+/// touch: per-interval IDO sets, per-AID DOM sets, per-process interval
+/// stacks. Decisions are definite (an external judge), as in the
+/// scenarios driven on the real engine.
+struct OldEngine {
+    intervals: Vec<OldInterval>,
+    doms: Vec<BTreeSet<usize>>,
+    history: Vec<Vec<usize>>,
+    finalized: u64,
+    discarded: u64,
+}
+
+impl OldEngine {
+    fn new(procs: usize, aids: usize) -> Self {
+        OldEngine {
+            intervals: Vec::new(),
+            doms: vec![BTreeSet::new(); aids],
+            history: vec![Vec::new(); procs],
+            finalized: 0,
+            discarded: 0,
+        }
+    }
+
+    /// The old `Engine::guess` hot path: clone the parent's IDO, insert
+    /// the guessed AID, register DOM edges, then clone the set *again*
+    /// for the interval record (the double materialization the refactor
+    /// removed).
+    fn guess(&mut self, p: usize, x: u64) {
+        let mut guessed = BTreeSet::new();
+        guessed.insert(x);
+        let mut ido = match self.history[p].last() {
+            Some(&a) => self.intervals[a].ido.clone(),
+            None => BTreeSet::new(),
+        };
+        ido.extend(guessed.iter().copied());
+        let id = self.intervals.len();
+        for &y in &ido {
+            self.doms[y as usize].insert(id);
+        }
+        self.intervals.push(OldInterval {
+            owner: p,
+            ido: ido.clone(),
+            live: true,
+        });
+        let _still_used_after_push = ido;
+        self.history[p].push(id);
+    }
+
+    /// The old `Engine::implicit_guess` hot path: materialize the tag as
+    /// the new interval's IDO — again with the literal's extra clone.
+    fn implicit_guess(&mut self, p: usize, tag: &BTreeSet<u64>) {
+        let ido = tag.clone();
+        let id = self.intervals.len();
+        for &y in &ido {
+            self.doms[y as usize].insert(id);
+        }
+        self.intervals.push(OldInterval {
+            owner: p,
+            ido: ido.clone(),
+            live: true,
+        });
+        let _still_used_after_push = ido;
+        self.history[p].push(id);
+    }
+
+    /// The old definite-affirm path: take the AID's DOM, remove the AID
+    /// from every dominated interval's IDO, finalize those that empty.
+    fn affirm(&mut self, x: u64) {
+        let dom = std::mem::take(&mut self.doms[x as usize]);
+        for &b in &dom {
+            let iv = &mut self.intervals[b];
+            if !iv.live {
+                continue;
+            }
+            iv.ido.remove(&x);
+            if iv.ido.is_empty() {
+                iv.live = false;
+                self.finalized += 1;
+                let owner = iv.owner;
+                self.history[owner].retain(|&c| c != b);
+            }
+        }
+    }
+
+    /// The old definite-deny path with the `do_rollback` sweep: every
+    /// dominated interval rolls its process back, discarding it and all
+    /// later intervals of that process and unhooking each discarded
+    /// IDO from the DOM sets — a clone plus a walk per interval.
+    fn deny(&mut self, x: u64) {
+        let dom = std::mem::take(&mut self.doms[x as usize]);
+        for &b in &dom {
+            if !self.intervals[b].live {
+                continue;
+            }
+            let owner = self.intervals[b].owner;
+            let pos = self.history[owner]
+                .iter()
+                .position(|&c| c == b)
+                .expect("live interval is on its owner's stack");
+            let doomed: Vec<usize> = self.history[owner].split_off(pos);
+            for c in doomed {
+                self.intervals[c].live = false;
+                self.discarded += 1;
+                let ido = self.intervals[c].ido.clone();
+                for &y in &ido {
+                    self.doms[y as usize].remove(&c);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenarios, driven identically on both engines.
+// ---------------------------------------------------------------------
+
+fn count_finalized(effects: &[Effect]) -> u64 {
+    effects
+        .iter()
+        .filter(|e| matches!(e, Effect::Finalized { .. }))
+        .count() as u64
+}
+
+/// Each scenario times only its hot section — engine construction,
+/// process registration and `aid_init` are representation-neutral
+/// scaffolding and are excluded on both sides.
+type Sample = (u64, u64); // (work performed, hot-section nanoseconds)
+
+fn new_chain(depth: usize) -> (Engine, ProcessId, ProcessId, Vec<AidId>) {
+    let mut e = Engine::new();
+    let p = e.register_process();
+    let judge = e.register_process();
+    let aids: Vec<AidId> = (0..depth).map(|_| e.aid_init(p)).collect();
+    (e, p, judge, aids)
+}
+
+fn build_chain(e: &mut Engine, p: ProcessId, aids: &[AidId]) {
+    for (i, &x) in aids.iter().enumerate() {
+        e.guess(p, &[x], Checkpoint(i as u64)).unwrap();
+    }
+}
+
+/// Deep inheritance, the tentpole scenario: one process nests `depth`
+/// guesses, so interval *k* inherits an IDO of size *k* (Equations 4–5).
+/// The old representation cloned that set twice per guess; DepSet bumps
+/// a refcount and copy-on-writes once. Work = intervals created.
+fn deep_old(depth: usize) -> Sample {
+    let mut e = OldEngine::new(1, depth);
+    let t0 = Instant::now();
+    for x in 0..depth as u64 {
+        e.guess(0, x);
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    (e.intervals.len() as u64, ns)
+}
+
+fn deep_new(depth: usize) -> Sample {
+    let (mut e, p, _judge, aids) = new_chain(depth);
+    let t0 = Instant::now();
+    build_chain(&mut e, p, &aids);
+    let ns = t0.elapsed().as_nanos() as u64;
+    (e.interval_count() as u64, ns)
+}
+
+/// Affirm drain: a definite judge affirms the chain's AIDs oldest-first
+/// — O(depth^2) element removals on both representations. Work =
+/// intervals finalized; only the affirm loop is timed.
+fn drain_old(depth: usize) -> Sample {
+    let mut e = OldEngine::new(1, depth);
+    for x in 0..depth as u64 {
+        e.guess(0, x);
+    }
+    let t0 = Instant::now();
+    for x in 0..depth as u64 {
+        e.affirm(x);
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    (e.finalized, ns)
+}
+
+fn drain_new(depth: usize) -> Sample {
+    let (mut e, p, judge, aids) = new_chain(depth);
+    build_chain(&mut e, p, &aids);
+    let t0 = Instant::now();
+    let mut finalized = 0;
+    for &x in &aids {
+        finalized += count_finalized(&e.affirm(judge, x).unwrap());
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    (finalized, ns)
+}
+
+/// Fan-out: a depth-`depth` chain's dependence tag is inherited by
+/// `width` fresh processes via implicit guess — `width` tag
+/// materializations of a `depth`-element set. Work = intervals created;
+/// only the implicit-guess loop is timed.
+fn fanout_old(depth: usize, width: usize) -> Sample {
+    let mut e = OldEngine::new(1 + width, depth);
+    for x in 0..depth as u64 {
+        e.guess(0, x);
+    }
+    let tag = e.intervals[depth - 1].ido.clone();
+    let t0 = Instant::now();
+    for q in 0..width {
+        e.implicit_guess(1 + q, &tag);
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    (e.intervals.len() as u64, ns)
+}
+
+fn fanout_new(depth: usize, width: usize) -> Sample {
+    let (mut e, p, _judge, aids) = new_chain(depth);
+    let receivers: Vec<ProcessId> = (0..width).map(|_| e.register_process()).collect();
+    build_chain(&mut e, p, &aids);
+    let tag = e.dependence_tag(p).unwrap();
+    let t0 = Instant::now();
+    for &q in &receivers {
+        e.implicit_guess(q, &tag, Checkpoint(0)).unwrap();
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    (e.interval_count() as u64, ns)
+}
+
+/// Deny cascade: a depth-`depth` chain whose root assumption the judge
+/// refutes, rolling the whole chain back. Work = intervals discarded;
+/// only the deny is timed.
+fn deny_old(depth: usize) -> Sample {
+    let mut e = OldEngine::new(1, depth);
+    for x in 0..depth as u64 {
+        e.guess(0, x);
+    }
+    let t0 = Instant::now();
+    e.deny(0);
+    let ns = t0.elapsed().as_nanos() as u64;
+    (e.discarded, ns)
+}
+
+fn deny_new(depth: usize) -> Sample {
+    let (mut e, p, judge, aids) = new_chain(depth);
+    build_chain(&mut e, p, &aids);
+    let t0 = Instant::now();
+    e.deny(judge, aids[0]).unwrap();
+    let ns = t0.elapsed().as_nanos() as u64;
+    (e.stats().rolled_back_intervals, ns)
+}
+
+// ---------------------------------------------------------------------
+// Measurement.
+// ---------------------------------------------------------------------
+
+/// One measured point: the same scenario on both representations.
+#[derive(Debug, Clone)]
+pub struct E15Row {
+    /// Scenario name (`deep-inheritance`, `fan-out`, `deny-cascade`).
+    pub scenario: &'static str,
+    /// Human-readable size (`depth=32`, `depth=32 width=256`, …).
+    pub size: String,
+    /// Intervals finalized or discarded — must agree across engines.
+    pub work: u64,
+    /// Mean host nanoseconds per run, `BTreeSet` baseline.
+    pub baseline_ns: f64,
+    /// Mean host nanoseconds per run, `DepSet` engine.
+    pub depset_ns: f64,
+}
+
+impl E15Row {
+    /// Baseline time over DepSet time; > 1 means DepSet is faster.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.depset_ns
+    }
+}
+
+/// Best (minimum) mean over `SAMPLES` batches of `iters` runs each —
+/// the standard defense against scheduler and frequency-scaling noise.
+const SAMPLES: u32 = 5;
+
+fn time<F: FnMut() -> Sample>(mut f: F, iters: u32) -> (f64, u64) {
+    let (work, _) = f(); // warm-up, and the agreed work count
+    let mut best = u64::MAX;
+    for _ in 0..SAMPLES {
+        let mut total = 0u64;
+        for _ in 0..iters {
+            let (w, ns) = f();
+            assert_eq!(w, work, "scenario must be deterministic");
+            total += ns;
+        }
+        best = best.min(total);
+    }
+    (best as f64 / f64::from(iters), work)
+}
+
+/// Measure one scenario at one size.
+///
+/// # Panics
+///
+/// Panics if the two engines disagree on the work performed — the times
+/// would then compare different computations.
+pub fn measure(
+    scenario: &'static str,
+    size: String,
+    iters: u32,
+    mut old: impl FnMut() -> Sample,
+    mut new: impl FnMut() -> Sample,
+) -> E15Row {
+    let (baseline_ns, old_work) = time(&mut old, iters);
+    let (depset_ns, new_work) = time(&mut new, iters);
+    assert_eq!(
+        old_work, new_work,
+        "{scenario} {size}: baseline and DepSet engines must agree on the work"
+    );
+    E15Row {
+        scenario,
+        size,
+        work: new_work,
+        baseline_ns,
+        depset_ns,
+    }
+}
+
+fn iters_for(depth: usize) -> u32 {
+    (4096 / depth).clamp(8, 256) as u32
+}
+
+/// All measured rows at the default sizes.
+pub fn rows() -> Vec<E15Row> {
+    let mut out = Vec::new();
+    for depth in [8usize, 32, 64, 128] {
+        out.push(measure(
+            "deep-inheritance",
+            format!("depth={depth}"),
+            iters_for(depth),
+            move || deep_old(depth),
+            move || deep_new(depth),
+        ));
+    }
+    for depth in [32usize, 128] {
+        out.push(measure(
+            "affirm-drain",
+            format!("depth={depth}"),
+            iters_for(depth),
+            move || drain_old(depth),
+            move || drain_new(depth),
+        ));
+    }
+    for (depth, width) in [(32usize, 64usize), (32, 256)] {
+        out.push(measure(
+            "fan-out",
+            format!("depth={depth} width={width}"),
+            iters_for(depth + width),
+            move || fanout_old(depth, width),
+            move || fanout_new(depth, width),
+        ));
+    }
+    for depth in [32usize, 128] {
+        out.push(measure(
+            "deny-cascade",
+            format!("depth={depth}"),
+            iters_for(depth),
+            move || deny_old(depth),
+            move || deny_new(depth),
+        ));
+    }
+    out
+}
+
+/// The default E15 table.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E15: DepSet vs BTreeSet on the engine hot paths (host time)",
+        &[
+            "scenario",
+            "size",
+            "work",
+            "btreeset_ns",
+            "depset_ns",
+            "speedup",
+        ],
+    );
+    for r in rows() {
+        t.push(vec![
+            r.scenario.to_string(),
+            r.size.clone(),
+            r.work.to_string(),
+            format!("{:.0}", r.baseline_ns),
+            format!("{:.0}", r.depset_ns),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    t.note(
+        "baseline transcribes the pre-DepSet hot paths (BTreeSet IDO/DOM, \
+         double clone in guess) on a minimal in-module engine; depset runs \
+         the real hope_core::Engine",
+    );
+    t.note(
+        "work = intervals created (deep/fan-out), finalized (drain) or \
+         discarded (deny) — asserted equal across both engines before \
+         times are compared",
+    );
+    t.note("times are meaningful in --release only; see BENCH_e15.json for the recorded run");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Timing assertions are deliberately absent: under `cargo test` the
+    // DepSet shadow oracle is compiled in and skews the comparison. The
+    // recorded numbers come from the release-mode tables binary.
+
+    #[test]
+    fn engines_agree_on_tiny_scenarios() {
+        let r = measure(
+            "deep-inheritance",
+            "depth=4".into(),
+            2,
+            || deep_old(4),
+            || deep_new(4),
+        );
+        assert_eq!(r.work, 4, "four nested guesses create four intervals");
+        assert!(r.speedup() > 0.0);
+
+        let r = measure(
+            "affirm-drain",
+            "depth=4".into(),
+            2,
+            || drain_old(4),
+            || drain_new(4),
+        );
+        assert_eq!(r.work, 4, "draining the chain finalizes every interval");
+
+        let r = measure(
+            "fan-out",
+            "depth=3 width=5".into(),
+            2,
+            || fanout_old(3, 5),
+            || fanout_new(3, 5),
+        );
+        assert_eq!(r.work, 8, "three chain intervals plus five inheritors");
+
+        let r = measure(
+            "deny-cascade",
+            "depth=6".into(),
+            2,
+            || deny_old(6),
+            || deny_new(6),
+        );
+        assert_eq!(r.work, 6, "the root deny discards the whole chain");
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree")]
+    fn disagreeing_engines_panic() {
+        measure("bogus", "n=1".into(), 1, || (1, 0), || (2, 0));
+    }
+}

@@ -60,6 +60,73 @@ impl Table {
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
         self.rows.get(row)?.get(col).map(String::as_str)
     }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+}
+
+/// Render experiment tables as JSON: an array of experiment objects, each
+/// with its `experiment` id, `title`, `headers`, `notes`, and `rows` —
+/// every row an object keyed by the column headers, all values strings.
+/// Hand-rolled; the workspace deliberately carries no serde.
+pub fn tables_to_json(tables: &[(&str, Table)]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn str_array(items: &[String]) -> String {
+        let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+        format!("[{}]", quoted.join(", "))
+    }
+    let mut out = String::from("[\n");
+    for (i, (id, t)) in tables.iter().enumerate() {
+        out.push_str("  {\n");
+        out.push_str(&format!("    \"experiment\": \"{}\",\n", esc(id)));
+        out.push_str(&format!("    \"title\": \"{}\",\n", esc(t.title())));
+        out.push_str(&format!("    \"headers\": {},\n", str_array(t.headers())));
+        out.push_str(&format!("    \"notes\": {},\n", str_array(t.notes())));
+        out.push_str("    \"rows\": [\n");
+        for (j, row) in t.rows().iter().enumerate() {
+            let fields: Vec<String> = t
+                .headers()
+                .iter()
+                .zip(row)
+                .map(|(h, cell)| format!("\"{}\": \"{}\"", esc(h), esc(cell)))
+                .collect();
+            out.push_str(&format!("      {{{}}}", fields.join(", ")));
+            out.push_str(if j + 1 < t.rows().len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]\n");
+        out.push_str(if i + 1 < tables.len() {
+            "  },\n"
+        } else {
+            "  }\n"
+        });
+    }
+    out.push_str("]\n");
+    out
 }
 
 impl fmt::Display for Table {
@@ -136,6 +203,31 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_schema_has_ids_headers_notes_and_keyed_rows() {
+        let mut t = Table::new("Demo \"quoted\"", &["param", "value"]);
+        t.push(vec!["rtt".into(), "30ms".into()]);
+        t.push(vec!["back\\slash".into(), "1".into()]);
+        t.note("a note");
+        let json = tables_to_json(&[("e99", t)]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"experiment\": \"e99\""));
+        assert!(json.contains("\"title\": \"Demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"headers\": [\"param\", \"value\"]"));
+        assert!(json.contains("\"notes\": [\"a note\"]"));
+        assert!(json.contains("{\"param\": \"rtt\", \"value\": \"30ms\"},"));
+        assert!(json.contains("{\"param\": \"back\\\\slash\", \"value\": \"1\"}"));
+        // Balanced brackets — a cheap well-formedness check without a
+        // JSON parser in the workspace.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces balance"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

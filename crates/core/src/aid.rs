@@ -7,8 +7,7 @@
 //! module is accordingly `pub(crate)` except for the read-only views the
 //! engine re-exports for inspection and testing.
 
-use std::collections::BTreeSet;
-
+use crate::depset::DepSet;
 use crate::ids::{AidId, IntervalId, ProcessId};
 
 /// The decision state of an optimistic assumption.
@@ -49,7 +48,7 @@ pub(crate) struct Aid {
     pub(crate) state: AidState,
     /// `X.DOM`: intervals that depend on `X` (Definition 4.2). Kept
     /// symmetric with the intervals' `IDO` sets per Lemma 5.1.
-    pub(crate) dom: BTreeSet<IntervalId>,
+    pub(crate) dom: DepSet<IntervalId>,
     /// Whether an `affirm`, `deny` or `free_of` has been applied. One-shot
     /// per §5.2; a second application is [`Error::AidConsumed`].
     ///
@@ -71,7 +70,7 @@ impl Aid {
             id,
             creator,
             state: AidState::Undecided,
-            dom: BTreeSet::new(),
+            dom: DepSet::new(),
             consumed: false,
             spec_affirmed_by: None,
             spec_denied_by: None,
@@ -106,7 +105,10 @@ impl<'a> AidView<'a> {
     }
 
     /// `X.DOM`: the intervals currently dependent on this assumption.
-    pub fn dom(&self) -> &'a BTreeSet<IntervalId> {
+    ///
+    /// Iterating the returned [`DepSet`] yields [`IntervalId`]s by value in
+    /// ascending order, exactly as the former `BTreeSet` representation did.
+    pub fn dom(&self) -> &'a DepSet<IntervalId> {
         &self.inner.dom
     }
 

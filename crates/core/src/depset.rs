@@ -1,0 +1,752 @@
+//! `DepSet`: the dependence-set representation behind `IDO`, `IHD`, `IHA`,
+//! `DOM` and message [`Tag`](crate::Tag)s.
+//!
+//! Every control variable of Definitions 4.2–4.4 is a set of dense ids
+//! ([`AidId`] or [`IntervalId`]), and the engine's hot paths (Equations
+//! 1–24) copy, union and walk those sets constantly: a nested guess inherits
+//! its parent's `IDO` (Eq. 4–5), a send snapshots the sender's `IDO` into a
+//! tag (§3), a speculative affirm rewires whole `DOM` sets (Eq. 10–14).
+//! `BTreeSet` makes each of those an O(n log n) node-by-node clone.
+//!
+//! `DepSet` is a hybrid:
+//!
+//! * sets of **≤ 32 elements** (the overwhelming case in the E1–E14
+//!   workloads) live in a sorted inline array — no allocation at all;
+//! * larger sets spill to a dense **`u64`-word bitset** behind an
+//!   [`Arc`] with copy-on-write semantics: cloning is an O(1) refcount
+//!   bump, and the words are only duplicated when a *shared* set is
+//!   mutated. Union, subset and iteration over spilled sets are
+//!   word-parallel.
+//!
+//! Iteration is always in **ascending id order** — exactly `BTreeSet`'s
+//! order — so every effect cascade the engine emits is bit-identical to the
+//! original representation. Under `cfg(test)` (or the `shadow-oracle` cargo
+//! feature) every `DepSet` additionally carries a real `BTreeSet` shadow
+//! and asserts agreement after each mutation: the differential oracle the
+//! semantics suites run against.
+
+use std::cell::Cell;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+#[cfg(any(test, feature = "shadow-oracle"))]
+use std::collections::BTreeSet;
+
+use crate::ids::{AidId, IntervalId};
+
+/// Maximum cardinality stored inline before spilling to the bitset.
+///
+/// 32 covers the IDO/DOM/tag sets the nested-guess hot path hammers
+/// hardest (see bench E15): inserts into inline sets are a bounds-checked
+/// array append and clones are a memcpy — no allocation and no refcount
+/// traffic until a set genuinely grows large.
+const INLINE_CAP: usize = 32;
+
+thread_local! {
+    /// Per-thread count of copy-on-write duplications (see [`cow_copies`]).
+    static COW_COPIES: Cell<u64> = const { Cell::new(0) };
+    /// Per-thread count of inline→bitset spills (see [`spills`]).
+    static SPILLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of **copy-on-write duplications** performed by this thread since
+/// it started: the word vector of a *shared* spilled set had to be copied
+/// because one owner mutated it. O(1) refcount bumps and in-place edits of
+/// unshared sets are not counted. The counter is thread-local so tests can
+/// assert exact costs (e.g. "one `guess` materializes the inherited `IDO`
+/// at most once") without cross-test interference.
+pub fn cow_copies() -> u64 {
+    COW_COPIES.with(|c| c.get())
+}
+
+/// Number of **inline→bitset spills** performed by this thread: a set
+/// crossed the inline capacity (32 elements) and upgraded its representation.
+/// Each individual set spills at most once in its lifetime, so spills are
+/// amortized O(1) per insertion.
+pub fn spills() -> u64 {
+    SPILLS.with(|c| c.get())
+}
+
+/// Total **set materializations** by this thread: [`cow_copies`] plus
+/// [`spills`] — every event that copied set contents rather than sharing
+/// or editing them in place.
+pub fn materializations() -> u64 {
+    cow_copies() + spills()
+}
+
+fn note_cow_copy() {
+    COW_COPIES.with(|c| c.set(c.get() + 1));
+}
+
+fn note_spill() {
+    SPILLS.with(|c| c.set(c.get() + 1));
+}
+
+mod sealed {
+    /// Prevents foreign `DepElem` impls: the raw-index contract is an
+    /// engine-internal invariant.
+    pub trait Sealed {}
+}
+
+/// An element storable in a [`DepSet`]: one of the engine's dense id types.
+///
+/// The trait is sealed; it is implemented exactly for [`AidId`] and
+/// [`IntervalId`], whose raw values are dense indexes assigned from zero —
+/// the property the bitset representation relies on.
+pub trait DepElem: Copy + Ord + fmt::Debug + sealed::Sealed {
+    /// The element's dense raw index.
+    fn to_raw(self) -> u64;
+    /// Rebuild the element from a raw index previously obtained via
+    /// [`DepElem::to_raw`].
+    fn from_raw(raw: u64) -> Self;
+}
+
+impl sealed::Sealed for AidId {}
+impl DepElem for AidId {
+    fn to_raw(self) -> u64 {
+        self.0
+    }
+    fn from_raw(raw: u64) -> Self {
+        AidId(raw)
+    }
+}
+
+impl sealed::Sealed for IntervalId {}
+impl DepElem for IntervalId {
+    fn to_raw(self) -> u64 {
+        self.0
+    }
+    fn from_raw(raw: u64) -> Self {
+        IntervalId(raw)
+    }
+}
+
+/// The spilled representation: a dense bitset plus a cached cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Bits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    fn contains(&self, v: u64) -> bool {
+        let w = (v / 64) as usize;
+        self.words
+            .get(w)
+            .is_some_and(|&word| word >> (v % 64) & 1 == 1)
+    }
+
+    fn insert(&mut self, v: u64) -> bool {
+        let w = (v / 64) as usize;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (v % 64);
+        if self.words[w] & mask != 0 {
+            return false;
+        }
+        self.words[w] |= mask;
+        self.len += 1;
+        true
+    }
+
+    fn remove(&mut self, v: u64) -> bool {
+        let w = (v / 64) as usize;
+        let mask = 1u64 << (v % 64);
+        match self.words.get_mut(w) {
+            Some(word) if *word & mask != 0 => {
+                *word &= !mask;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `true` if every bit of `other` is set in `self`.
+    fn superset_of(&self, other: &Bits) -> bool {
+        other
+            .words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !self.words.get(i).copied().unwrap_or(0) == 0)
+    }
+}
+
+#[derive(Clone)]
+// The size gap to `Bits(Arc)` is the point: the inline variant is the
+// overwhelmingly common one, and boxing it would reintroduce exactly the
+// per-set allocation the representation exists to avoid.
+#[allow(clippy::large_enum_variant)]
+enum Repr {
+    /// Sorted ascending; only `vals[..len]` is meaningful.
+    Inline { len: u8, vals: [u64; INLINE_CAP] },
+    /// Copy-on-write spilled bitset.
+    Bits(Arc<Bits>),
+}
+
+/// A set of dense engine ids with inline small-set storage and O(1)
+/// copy-on-write sharing of large sets. See the [module docs](self).
+///
+/// The API mirrors the `BTreeSet` surface the engine uses (`contains` takes
+/// `&T`, iteration is ascending) so view types remain source-compatible;
+/// [`DepSet::iter`] yields elements **by value** since spilled sets store
+/// bits, not elements.
+pub struct DepSet<T: DepElem> {
+    repr: Repr,
+    _marker: PhantomData<T>,
+    /// The `BTreeSet` differential oracle (tests / `shadow-oracle` only):
+    /// every mutation is mirrored here and agreement asserted.
+    #[cfg(any(test, feature = "shadow-oracle"))]
+    shadow: BTreeSet<u64>,
+}
+
+impl<T: DepElem> DepSet<T> {
+    /// The empty set.
+    pub fn new() -> Self {
+        DepSet {
+            repr: Repr::Inline {
+                len: 0,
+                vals: [0; INLINE_CAP],
+            },
+            _marker: PhantomData,
+            #[cfg(any(test, feature = "shadow-oracle"))]
+            shadow: BTreeSet::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Bits(b) => b.len,
+        }
+    }
+
+    /// `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if `value` is a member.
+    pub fn contains(&self, value: &T) -> bool {
+        let v = value.to_raw();
+        match &self.repr {
+            Repr::Inline { len, vals } => vals[..*len as usize].binary_search(&v).is_ok(),
+            Repr::Bits(b) => b.contains(v),
+        }
+    }
+
+    /// Insert `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        #[cfg(any(test, feature = "shadow-oracle"))]
+        let shadow_changed = self.shadow.insert(value.to_raw());
+        let changed = self.insert_raw(value.to_raw());
+        #[cfg(any(test, feature = "shadow-oracle"))]
+        {
+            assert_eq!(changed, shadow_changed, "shadow oracle: insert disagreed");
+            self.check_shadow();
+        }
+        changed
+    }
+
+    /// Remove `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        #[cfg(any(test, feature = "shadow-oracle"))]
+        let shadow_changed = self.shadow.remove(&value.to_raw());
+        let changed = self.remove_raw(value.to_raw());
+        #[cfg(any(test, feature = "shadow-oracle"))]
+        {
+            assert_eq!(changed, shadow_changed, "shadow oracle: remove disagreed");
+            self.check_shadow();
+        }
+        changed
+    }
+
+    /// Add every element of `other` to `self` (set union, in place).
+    ///
+    /// Word-parallel when both sets are spilled; adopts `other`'s storage
+    /// by refcount bump when `self` is small and `other` is spilled; a
+    /// no-op (and no materialization) when `other ⊆ self`.
+    pub fn union_with(&mut self, other: &DepSet<T>) {
+        #[cfg(any(test, feature = "shadow-oracle"))]
+        self.shadow.extend(other.shadow.iter().copied());
+        self.union_raw(other);
+        #[cfg(any(test, feature = "shadow-oracle"))]
+        self.check_shadow();
+    }
+
+    /// `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &DepSet<T>) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Bits(a), Repr::Bits(b)) => Arc::ptr_eq(a, b) || b.superset_of(a),
+            _ => self.iter_raw().all(|v| match &other.repr {
+                Repr::Inline { len, vals } => vals[..*len as usize].binary_search(&v).is_ok(),
+                Repr::Bits(b) => b.contains(v),
+            }),
+        }
+    }
+
+    /// Iterate over the elements in ascending id order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            inner: match &self.repr {
+                Repr::Inline { len, vals } => IterRepr::Inline(vals[..*len as usize].iter()),
+                Repr::Bits(b) => IterRepr::Bits {
+                    words: &b.words,
+                    word_idx: 0,
+                    current: b.words.first().copied().unwrap_or(0),
+                },
+            },
+            _marker: PhantomData,
+        }
+    }
+
+    fn iter_raw(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(DepElem::to_raw)
+    }
+
+    fn insert_raw(&mut self, v: u64) -> bool {
+        match &mut self.repr {
+            Repr::Inline { len, vals } => {
+                let n = *len as usize;
+                // Fast path: engine ids are allocated in increasing order,
+                // so the common insert appends a new maximum.
+                if n < INLINE_CAP && (n == 0 || vals[n - 1] < v) {
+                    vals[n] = v;
+                    *len += 1;
+                    return true;
+                }
+                match vals[..n].binary_search(&v) {
+                    Ok(_) => false,
+                    Err(pos) if n < INLINE_CAP => {
+                        vals.copy_within(pos..n, pos + 1);
+                        vals[pos] = v;
+                        *len += 1;
+                        true
+                    }
+                    Err(_) => {
+                        // Spill: one materialization.
+                        let mut bits = Bits::default();
+                        for &w in vals.iter() {
+                            bits.insert(w);
+                        }
+                        bits.insert(v);
+                        note_spill();
+                        self.repr = Repr::Bits(Arc::new(bits));
+                        true
+                    }
+                }
+            }
+            Repr::Bits(arc) => {
+                let w = (v / 64) as usize;
+                let mask = 1u64 << (v % 64);
+                if arc.words.get(w).is_some_and(|&word| word & mask != 0) {
+                    return false;
+                }
+                let bits = make_mut(arc);
+                if bits.words.len() <= w {
+                    bits.words.resize(w + 1, 0);
+                }
+                bits.words[w] |= mask;
+                bits.len += 1;
+                true
+            }
+        }
+    }
+
+    fn remove_raw(&mut self, v: u64) -> bool {
+        match &mut self.repr {
+            Repr::Inline { len, vals } => {
+                let n = *len as usize;
+                match vals[..n].binary_search(&v) {
+                    Ok(pos) => {
+                        vals.copy_within(pos + 1..n, pos);
+                        *len -= 1;
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+            Repr::Bits(arc) => {
+                if !arc.contains(v) {
+                    return false;
+                }
+                make_mut(arc).remove(v)
+            }
+        }
+    }
+
+    fn union_raw(&mut self, other: &DepSet<T>) {
+        match &other.repr {
+            Repr::Inline { len, vals } => {
+                let n = *len as usize;
+                let theirs: [u64; INLINE_CAP] = *vals;
+                for &v in &theirs[..n] {
+                    self.insert_raw(v);
+                }
+            }
+            Repr::Bits(ob) => match &mut self.repr {
+                Repr::Inline { len, vals } => {
+                    // Adopt the big side's storage and add our few
+                    // elements: at most one copy-on-write duplication.
+                    let n = *len as usize;
+                    let ours: [u64; INLINE_CAP] = *vals;
+                    let mut arc = ob.clone();
+                    for &v in &ours[..n] {
+                        if !arc.contains(v) {
+                            make_mut(&mut arc).insert(v);
+                        }
+                    }
+                    self.repr = Repr::Bits(arc);
+                }
+                Repr::Bits(sb) => {
+                    if Arc::ptr_eq(sb, ob) || sb.superset_of(ob) {
+                        return; // nothing to add, nothing to materialize
+                    }
+                    let m = make_mut(sb);
+                    if m.words.len() < ob.words.len() {
+                        m.words.resize(ob.words.len(), 0);
+                    }
+                    let mut total = 0usize;
+                    for (i, w) in m.words.iter_mut().enumerate() {
+                        *w |= ob.words.get(i).copied().unwrap_or(0);
+                        total += w.count_ones() as usize;
+                    }
+                    m.len = total;
+                }
+            },
+        }
+    }
+
+    #[cfg(any(test, feature = "shadow-oracle"))]
+    fn check_shadow(&self) {
+        assert!(
+            self.iter_raw().eq(self.shadow.iter().copied()),
+            "DepSet diverged from its BTreeSet shadow oracle: {:?} vs {:?}",
+            self.iter_raw().collect::<Vec<_>>(),
+            self.shadow
+        );
+        assert_eq!(
+            self.len(),
+            self.shadow.len(),
+            "shadow oracle: len disagreed"
+        );
+    }
+}
+
+/// Duplicate the bitset if (and only if) it is shared, counting the copy.
+fn make_mut(arc: &mut Arc<Bits>) -> &mut Bits {
+    // A relaxed count load, not `Arc::get_mut`: this sits on the engine's
+    // hottest path (every DOM registration and IDO removal lands here) and
+    // `get_mut`'s uniqueness probe is an atomic RMW we'd pay *in addition*
+    // to the one inside `make_mut`. `DepSet` never hands out `Weak` refs,
+    // so `strong_count == 1` is exactly the case `Arc::make_mut` resolves
+    // in place; anything else is the copy we count.
+    if Arc::strong_count(arc) != 1 {
+        note_cow_copy();
+    }
+    Arc::make_mut(arc)
+}
+
+impl<T: DepElem> Default for DepSet<T> {
+    fn default() -> Self {
+        DepSet::new()
+    }
+}
+
+impl<T: DepElem> Clone for DepSet<T> {
+    fn clone(&self) -> Self {
+        DepSet {
+            // Cloning a spilled set is an O(1) refcount bump.
+            repr: self.repr.clone(),
+            _marker: PhantomData,
+            #[cfg(any(test, feature = "shadow-oracle"))]
+            shadow: self.shadow.clone(),
+        }
+    }
+}
+
+impl<T: DepElem> PartialEq for DepSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter_raw().eq(other.iter_raw())
+    }
+}
+
+impl<T: DepElem> Eq for DepSet<T> {}
+
+impl<T: DepElem> PartialOrd for DepSet<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: DepElem> Ord for DepSet<T> {
+    /// Lexicographic over ascending elements — the same order `BTreeSet`
+    /// defines.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter_raw().cmp(other.iter_raw())
+    }
+}
+
+impl<T: DepElem> Hash for DepSet<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.len());
+        for v in self.iter_raw() {
+            v.hash(state);
+        }
+    }
+}
+
+impl<T: DepElem> fmt::Debug for DepSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<T: DepElem> FromIterator<T> for DepSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = DepSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl<T: DepElem> Extend<T> for DepSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a, T: DepElem> IntoIterator for &'a DepSet<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+enum IterRepr<'a> {
+    Inline(std::slice::Iter<'a, u64>),
+    Bits {
+        words: &'a [u64],
+        word_idx: usize,
+        current: u64,
+    },
+}
+
+/// Ascending iterator over a [`DepSet`], yielding elements by value.
+pub struct Iter<'a, T: DepElem> {
+    inner: IterRepr<'a>,
+    _marker: PhantomData<T>,
+}
+
+impl<T: DepElem> fmt::Debug for Iter<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("depset::Iter")
+    }
+}
+
+impl<T: DepElem> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match &mut self.inner {
+            IterRepr::Inline(it) => it.next().map(|&v| T::from_raw(v)),
+            IterRepr::Bits {
+                words,
+                word_idx,
+                current,
+            } => {
+                while *current == 0 {
+                    *word_idx += 1;
+                    *current = *words.get(*word_idx)?;
+                }
+                let tz = current.trailing_zeros() as u64;
+                *current &= *current - 1;
+                Some(T::from_raw(*word_idx as u64 * 64 + tz))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn aid(v: u64) -> AidId {
+        AidId(v)
+    }
+
+    /// SplitMix64 — deterministic, dependency-free.
+    fn rng(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_set() {
+        let s: DepSet<AidId> = DepSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(&aid(0)));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn inline_insert_remove_sorted() {
+        let mut s: DepSet<AidId> = DepSet::new();
+        for v in [5u64, 1, 3, 7, 3] {
+            s.insert(aid(v));
+        }
+        assert_eq!(s.len(), 4);
+        let got: Vec<u64> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(got, vec![1, 3, 5, 7], "ascending like BTreeSet");
+        assert!(s.remove(&aid(3)));
+        assert!(!s.remove(&aid(3)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(&aid(3)));
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_and_stays_ordered() {
+        let n = INLINE_CAP as u64 + 1;
+        let mut s: DepSet<AidId> = DepSet::new();
+        for v in (0..n).rev() {
+            s.insert(aid(v * 10));
+        }
+        assert_eq!(s.len(), n as usize);
+        let got: Vec<u64> = s.iter().map(|x| x.index()).collect();
+        assert_eq!(got, (0..n).map(|v| v * 10).collect::<Vec<_>>());
+        assert!(matches!(s.repr, Repr::Bits(_)), "crossed the cap: spilled");
+        assert!(s.contains(&aid((n - 1) * 10)));
+        assert!(!s.contains(&aid((n - 1) * 10 + 1)));
+    }
+
+    #[test]
+    fn clone_of_spilled_set_is_shared_until_mutated() {
+        let mut a: DepSet<AidId> = (0..INLINE_CAP as u64 + 4).map(aid).collect();
+        let before = materializations();
+        let b = a.clone();
+        assert_eq!(materializations(), before, "clone is a refcount bump");
+        a.insert(aid(99));
+        assert_eq!(
+            materializations(),
+            before + 1,
+            "first mutation of a shared set copies once"
+        );
+        assert!(a.contains(&aid(99)));
+        assert!(!b.contains(&aid(99)), "COW: the clone is unaffected");
+        assert_eq!(b.len(), INLINE_CAP + 4);
+    }
+
+    #[test]
+    fn union_adopts_big_side_storage() {
+        let big: DepSet<AidId> = (0..40).map(aid).collect();
+        let mut small: DepSet<AidId> = [aid(100), aid(3)].into_iter().collect();
+        small.union_with(&big);
+        assert_eq!(small.len(), 41);
+        assert!(small.contains(&aid(100)));
+        assert!(small.contains(&aid(39)));
+    }
+
+    #[test]
+    fn union_of_subset_does_not_materialize() {
+        let big: DepSet<AidId> = (0..40).map(aid).collect();
+        let mut a = big.clone();
+        let sub: DepSet<AidId> = (5..15).map(aid).collect();
+        let before = materializations();
+        a.union_with(&sub);
+        assert_eq!(materializations(), before, "other ⊆ self is a no-op");
+        assert_eq!(a.len(), 40);
+    }
+
+    #[test]
+    fn subset_reflexive_and_word_parallel() {
+        let a: DepSet<AidId> = (0..100).map(aid).collect();
+        let b: DepSet<AidId> = (10..20).map(aid).collect();
+        let c: DepSet<AidId> = [aid(5), aid(200)].into_iter().collect();
+        assert!(a.is_subset(&a));
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(!c.is_subset(&a));
+        let empty: DepSet<AidId> = DepSet::new();
+        assert!(empty.is_subset(&a));
+        assert!(empty.is_subset(&empty));
+    }
+
+    #[test]
+    fn eq_ord_hash_match_btreeset_semantics() {
+        use std::collections::hash_map::DefaultHasher;
+        let a: DepSet<AidId> = [aid(2), aid(9), aid(70)].into_iter().collect();
+        let b: DepSet<AidId> = [aid(70), aid(2), aid(9)].into_iter().collect();
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        let c: DepSet<AidId> = [aid(2), aid(9)].into_iter().collect();
+        assert_ne!(a, c);
+        assert!(c < a, "lexicographic like BTreeSet");
+    }
+
+    #[test]
+    fn interval_ids_work_too() {
+        let mut s: DepSet<IntervalId> = DepSet::new();
+        s.insert(IntervalId(7));
+        s.insert(IntervalId(300));
+        assert!(s.contains(&IntervalId(300)));
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn randomized_parity_with_btreeset() {
+        // 4 interleaved op streams over a domain big enough to force
+        // spills, each mirrored into a BTreeSet and compared exhaustively.
+        let mut state = 0xD1F7_u64;
+        for round in 0..4 {
+            let mut s: DepSet<AidId> = DepSet::new();
+            let mut model: BTreeSet<u64> = BTreeSet::new();
+            let mut other: DepSet<AidId> = DepSet::new();
+            let mut other_model: BTreeSet<u64> = BTreeSet::new();
+            for _ in 0..400 {
+                let v = rng(&mut state) % 200;
+                match rng(&mut state) % 5 {
+                    0 | 1 => {
+                        assert_eq!(s.insert(aid(v)), model.insert(v), "round {round}");
+                    }
+                    2 => {
+                        assert_eq!(s.remove(&aid(v)), model.remove(&v));
+                    }
+                    3 => {
+                        other.insert(aid(v));
+                        other_model.insert(v);
+                    }
+                    _ => {
+                        s.union_with(&other);
+                        model.extend(other_model.iter().copied());
+                    }
+                }
+                assert_eq!(s.len(), model.len());
+                assert!(s.iter().map(|x| x.index()).eq(model.iter().copied()));
+                assert_eq!(
+                    s.is_subset(&other),
+                    model.is_subset(&other_model),
+                    "round {round}"
+                );
+            }
+        }
+    }
+}

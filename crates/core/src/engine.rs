@@ -35,9 +35,10 @@
 //!   `tests/theorems.rs`. (Mutual speculative *denies* can still
 //!   livelock; the test suite documents that as a finding.)
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::aid::{Aid, AidState, AidView};
+use crate::depset::DepSet;
 use crate::effect::Effect;
 use crate::error::{Error, Result};
 use crate::ids::{AidId, IntervalId, ProcessId};
@@ -316,7 +317,8 @@ impl Engine {
     /// [`Error::UnknownProcess`] if `pid` was never registered.
     pub fn dependence_tag(&self, pid: ProcessId) -> Result<Tag> {
         Ok(match self.current_interval(pid)? {
-            Some(a) => Tag::from_aids(self.intervals[a.0 as usize].ido.iter().copied()),
+            // O(1): the sender's IDO is shared into the tag by refcount bump.
+            Some(a) => Tag::from_depset(self.intervals[a.0 as usize].ido.clone()),
             None => Tag::new(),
         })
     }
@@ -371,10 +373,6 @@ impl Engine {
             return Ok((GuessOutcome::AlreadyFalse(denied), Vec::new()));
         }
 
-        let parent_ido: BTreeSet<AidId> = match self.current_interval(pid)? {
-            Some(a) => self.intervals[a.0 as usize].ido.clone(),
-            None => BTreeSet::new(),
-        };
         // Resolve each named AID to the dependence it *means* right now:
         // an undecided AID stands for itself, but one that was
         // speculatively affirmed was dissolved by Equations 10–14 —
@@ -382,7 +380,7 @@ impl Engine {
         // (Without this, a late guess would resurrect dependence on the
         // AID and break Theorem 6.3's proof.) Affirmed AIDs contribute
         // nothing.
-        let mut guessed: BTreeSet<AidId> = BTreeSet::new();
+        let mut guessed: DepSet<AidId> = DepSet::new();
         for &x in aids {
             let aid = &self.aids[x.0 as usize];
             if aid.state != AidState::Undecided {
@@ -394,17 +392,26 @@ impl Engine {
                         aid.dom.is_empty(),
                         "a speculatively affirmed AID has no direct dependents"
                     );
-                    guessed.extend(self.intervals[a.0 as usize].ido.iter().copied());
+                    guessed.union_with(&self.intervals[a.0 as usize].ido);
                 }
                 None => {
                     guessed.insert(x);
                 }
             }
         }
-        let mut ido = parent_ido;
-        ido.extend(guessed.iter().copied());
+        // Inherit the parent's IDO by refcount bump (Eq. 4–5): the set is
+        // built once and moved into the new interval — no per-node clone.
+        let mut ido = match self.current_interval(pid)? {
+            Some(a) => self.intervals[a.0 as usize].ido.clone(),
+            None => DepSet::new(),
+        };
+        ido.union_with(&guessed);
 
         let id = IntervalId(self.intervals.len() as u64);
+        for x in &ido {
+            self.aids[x.0 as usize].dom.insert(id);
+        }
+        let ido_empty = ido.is_empty();
         let proc = self.procs.get_mut(&pid).expect("validated above");
         let seq = proc.history.len();
         proc.history.push(id);
@@ -412,16 +419,13 @@ impl Engine {
             id,
             pid,
             ps,
-            ido: ido.clone(),
-            ihd: BTreeSet::new(),
-            iha: BTreeSet::new(),
+            ido,
+            ihd: DepSet::new(),
+            iha: DepSet::new(),
             guessed,
             status: IntervalStatus::Speculative,
             seq,
         });
-        for &x in &ido {
-            self.aids[x.0 as usize].dom.insert(id);
-        }
 
         let mut effects = vec![Effect::IntervalStarted {
             interval: id,
@@ -429,7 +433,7 @@ impl Engine {
         }];
         self.stats.guesses += 1;
 
-        if ido.is_empty() {
+        if ido_empty {
             // Every named AID was already affirmed and the process was
             // definite: the interval is definite from birth.
             let mut wl = VecDeque::new();
@@ -658,25 +662,20 @@ impl Engine {
                 // Speculative affirm (Equations 10–14).
                 self.stats.speculative_affirms += 1;
                 let a_idx = a.0 as usize;
-                let a_ido: Vec<AidId> = self.intervals[a_idx]
-                    .ido
-                    .iter()
-                    .copied()
-                    .filter(|&y| y != x)
-                    .collect();
-                let x_dom: Vec<IntervalId> = std::mem::take(&mut self.aids[x.0 as usize].dom)
-                    .into_iter()
-                    .collect();
+                // The affirmer's IDO minus x: a COW share plus one removal.
+                let mut a_ido = self.intervals[a_idx].ido.clone();
+                a_ido.remove(&x);
+                let x_dom = std::mem::take(&mut self.aids[x.0 as usize].dom);
                 // Eq. 10: every AID the affirmer depends on inherits x's
-                // dependents.
-                for &y in &a_ido {
-                    self.aids[y.0 as usize].dom.extend(x_dom.iter().copied());
+                // dependents (word-parallel union).
+                for y in &a_ido {
+                    self.aids[y.0 as usize].dom.union_with(&x_dom);
                 }
                 // Eqs. 11–14: dependents swap x for the affirmer's IDO.
-                for &b in &x_dom {
+                for b in &x_dom {
                     let b_idx = b.0 as usize;
                     self.intervals[b_idx].ido.remove(&x);
-                    self.intervals[b_idx].ido.extend(a_ido.iter().copied());
+                    self.intervals[b_idx].ido.union_with(&a_ido);
                     if self.intervals[b_idx].ido.is_empty() {
                         wl.push_back(Task::Finalize(b));
                     }
@@ -728,8 +727,8 @@ impl Engine {
         aid.state = AidState::Affirmed;
         aid.spec_affirmed_by = None;
         aid.consumed = true;
-        let dom: Vec<IntervalId> = std::mem::take(&mut aid.dom).into_iter().collect();
-        for b in dom {
+        let dom = std::mem::take(&mut aid.dom);
+        for b in &dom {
             let b_idx = b.0 as usize;
             self.intervals[b_idx].ido.remove(&x);
             if self.intervals[b_idx].ido.is_empty() {
@@ -747,8 +746,8 @@ impl Engine {
         aid.spec_affirmed_by = None;
         aid.spec_denied_by = None;
         aid.consumed = true;
-        let dom: Vec<IntervalId> = std::mem::take(&mut aid.dom).into_iter().collect();
-        for b in dom {
+        let dom = std::mem::take(&mut aid.dom);
+        for b in &dom {
             wl.push_back(Task::Rollback(b));
         }
     }
@@ -783,16 +782,16 @@ impl Engine {
         });
         // Speculative affirms issued in `a` become definite (Lemma 6.1):
         // promote the AIDs so later guessers observe `Affirmed`.
-        let iha: Vec<AidId> = self.intervals[idx].iha.iter().copied().collect();
-        for x in iha {
+        let iha = self.intervals[idx].iha.clone();
+        for x in &iha {
             if self.aids[x.0 as usize].state == AidState::Undecided {
                 effects.push(Effect::AidAffirmed { aid: x });
                 self.definite_affirm_aid(x, effects, wl);
             }
         }
         // Speculative denies issued in `a` become definite (Equation 22).
-        let ihd: Vec<AidId> = self.intervals[idx].ihd.iter().copied().collect();
-        for x in ihd {
+        let ihd = self.intervals[idx].ihd.clone();
+        for x in &ihd {
             if self.aids[x.0 as usize].state == AidState::Undecided {
                 effects.push(Effect::AidDenied { aid: x });
                 self.definite_deny_aid(x, effects, wl);
@@ -834,14 +833,14 @@ impl Engine {
             );
             self.intervals[c_idx].status = IntervalStatus::RolledBack;
             // Withdraw from every DOM set (keeps Lemma 5.1 symmetric).
-            let ido: Vec<AidId> = self.intervals[c_idx].ido.iter().copied().collect();
-            for x in ido {
+            let ido = self.intervals[c_idx].ido.clone();
+            for x in &ido {
                 self.aids[x.0 as usize].dom.remove(&c);
             }
             // Speculative affirms become conservative definite denies
             // (§5.6, footnote 2).
-            let iha: Vec<AidId> = self.intervals[c_idx].iha.iter().copied().collect();
-            for x in iha {
+            let iha = self.intervals[c_idx].iha.clone();
+            for x in &iha {
                 self.aids[x.0 as usize].spec_affirmed_by = None;
                 if self.aids[x.0 as usize].state == AidState::Undecided {
                     effects.push(Effect::AidDenied { aid: x });
@@ -852,8 +851,8 @@ impl Engine {
             // with the interval inside the IHD set"). The deny never took
             // effect, so the AID is released for the re-execution to decide
             // again — the one-shot rule counts only surviving primitives.
-            let ihd: Vec<AidId> = self.intervals[c_idx].ihd.iter().copied().collect();
-            for x in ihd {
+            let ihd = self.intervals[c_idx].ihd.clone();
+            for x in &ihd {
                 if self.aids[x.0 as usize].spec_denied_by == Some(c) {
                     self.aids[x.0 as usize].spec_denied_by = None;
                     if self.aids[x.0 as usize].state == AidState::Undecided {
@@ -986,12 +985,38 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     fn engine_with(n_procs: usize) -> (Engine, Vec<ProcessId>) {
         let mut e = Engine::new();
         e.set_invariant_checking(true);
         let pids = (0..n_procs).map(|_| e.register_process()).collect();
         (e, pids)
+    }
+
+    #[test]
+    fn nested_guess_builds_inherited_ido_at_most_once() {
+        // Historically `guess` cloned the full parent IDO twice (once for
+        // the working set, once into the stored interval). With DepSet the
+        // inherited set is COW-shared and built exactly once: each guess
+        // may perform at most ONE copy-on-write duplication, and
+        // representation spills are one-time per set (amortized O(1)).
+        use crate::depset;
+        let (mut e, p) = engine_with(1);
+        let spills_before = depset::spills();
+        const DEPTH: u64 = 64;
+        for i in 0..DEPTH {
+            let x = e.aid_init(p[0]);
+            let cow_before = depset::cow_copies();
+            e.guess(p[0], &[x], Checkpoint(i)).unwrap();
+            assert!(
+                depset::cow_copies() - cow_before <= 1,
+                "guess at depth {i} materialized the inherited IDO more than once"
+            );
+        }
+        // One spill for the IDO chain crossing the inline capacity, at most
+        // one per AID's DOM set: never more than one spill per live set.
+        assert!(depset::spills() - spills_before <= 1 + DEPTH);
     }
 
     #[test]

@@ -22,8 +22,7 @@
 //! (Lemma 6.1's conclusion) and (b) conservatively deny it when the interval
 //! rolls back (§5.6, footnote 2).
 
-use std::collections::BTreeSet;
-
+use crate::depset::DepSet;
 use crate::ids::{AidId, IntervalId, ProcessId};
 
 /// Lifecycle status of an interval.
@@ -63,15 +62,15 @@ pub(crate) struct Interval {
     /// `A.PS`.
     pub(crate) ps: Checkpoint,
     /// `A.IDO`.
-    pub(crate) ido: BTreeSet<AidId>,
+    pub(crate) ido: DepSet<AidId>,
     /// `A.IHD`.
-    pub(crate) ihd: BTreeSet<AidId>,
+    pub(crate) ihd: DepSet<AidId>,
     /// `A.IHA` (see module docs).
-    pub(crate) iha: BTreeSet<AidId>,
+    pub(crate) iha: DepSet<AidId>,
     /// The AIDs named in the guess that opened this interval (before
     /// inheriting the parent's `IDO`). Used by runtimes to re-issue the
     /// guess after rollback and by the resume-point invariant tests.
-    pub(crate) guessed: BTreeSet<AidId>,
+    pub(crate) guessed: DepSet<AidId>,
     pub(crate) status: IntervalStatus,
     /// Position in the owning process's (live) history at creation time.
     pub(crate) seq: usize,
@@ -102,22 +101,25 @@ impl<'a> IntervalView<'a> {
     }
 
     /// `A.IDO`: assumption identifiers this interval depends on.
-    pub fn ido(&self) -> &'a BTreeSet<AidId> {
+    ///
+    /// Iterating the returned [`DepSet`] yields [`AidId`]s by value in
+    /// ascending order, exactly as the former `BTreeSet` representation did.
+    pub fn ido(&self) -> &'a DepSet<AidId> {
         &self.inner.ido
     }
 
     /// `A.IHD`: speculative denies pending this interval's finalization.
-    pub fn ihd(&self) -> &'a BTreeSet<AidId> {
+    pub fn ihd(&self) -> &'a DepSet<AidId> {
         &self.inner.ihd
     }
 
     /// `A.IHA`: speculative affirms issued within this interval.
-    pub fn iha(&self) -> &'a BTreeSet<AidId> {
+    pub fn iha(&self) -> &'a DepSet<AidId> {
         &self.inner.iha
     }
 
     /// The AIDs named by the guess that opened this interval.
-    pub fn guessed(&self) -> &'a BTreeSet<AidId> {
+    pub fn guessed(&self) -> &'a DepSet<AidId> {
         &self.inner.guessed
     }
 
@@ -147,10 +149,10 @@ mod tests {
             id: IntervalId(0),
             pid: ProcessId(0),
             ps: Checkpoint(0),
-            ido: BTreeSet::new(),
-            ihd: BTreeSet::new(),
-            iha: BTreeSet::new(),
-            guessed: BTreeSet::new(),
+            ido: DepSet::new(),
+            ihd: DepSet::new(),
+            iha: DepSet::new(),
+            guessed: DepSet::new(),
             status: IntervalStatus::Speculative,
             seq: 0,
         };

@@ -76,12 +76,14 @@ mod ids;
 mod interval;
 mod tag;
 
+pub mod depset;
 pub mod machine;
 pub mod observer;
 pub mod program;
 pub mod trace;
 
 pub use aid::{AidState, AidView};
+pub use depset::DepSet;
 pub use effect::Effect;
 pub use engine::{Engine, EngineStats, GuessOutcome};
 pub use error::{Error, Result};

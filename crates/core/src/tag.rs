@@ -13,9 +13,9 @@
 //! be delivered. Ghost filtering is how HOPE subsumes Time Warp
 //! anti-messages (§2).
 
-use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::depset::DepSet;
 use crate::ids::AidId;
 
 /// The set of assumption identifiers a message's sender depended on at send
@@ -35,7 +35,7 @@ use crate::ids::AidId;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Tag {
-    aids: BTreeSet<AidId>,
+    aids: DepSet<AidId>,
 }
 
 impl Tag {
@@ -49,6 +49,13 @@ impl Tag {
         Tag {
             aids: aids.into_iter().collect(),
         }
+    }
+
+    /// Wrap an already-built dependence set — O(1); the hot path behind
+    /// [`Engine::dependence_tag`](crate::Engine::dependence_tag), where the
+    /// sender's `IDO` is shared by refcount bump instead of rebuilt.
+    pub fn from_depset(aids: DepSet<AidId>) -> Self {
+        Tag { aids }
     }
 
     /// `true` if the sender was definite — receiving this message creates no
@@ -69,13 +76,13 @@ impl Tag {
 
     /// Iterate over the tag's AIDs in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = AidId> + '_ {
-        self.aids.iter().copied()
+        self.aids.iter()
     }
 
     /// Merge another tag into this one (used when a reply aggregates the
     /// dependencies of several inbound messages).
     pub fn union_with(&mut self, other: &Tag) {
-        self.aids.extend(other.aids.iter().copied());
+        self.aids.union_with(&other.aids);
     }
 
     /// Add a single AID to the tag.
@@ -84,7 +91,7 @@ impl Tag {
     }
 
     /// Borrow the underlying set.
-    pub fn as_set(&self) -> &BTreeSet<AidId> {
+    pub fn as_set(&self) -> &DepSet<AidId> {
         &self.aids
     }
 }

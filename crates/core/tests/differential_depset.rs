@@ -1,0 +1,608 @@
+//! Differential oracle for the `DepSet` representation swap.
+//!
+//! A reference engine (`RefEngine`) transcribes the engine's algorithm on
+//! plain `BTreeSet`s — the pre-`DepSet` representation, including its
+//! iteration orders — and random primitive sequences are driven against
+//! both engines in lockstep. Every operation must produce identical
+//! results and effect streams, and the final control-variable state
+//! (histories, statuses, `IDO`/`IHD`/`IHA`/`guessed`, `DOM`, tags) must be
+//! identical. Any divergence introduced by the hybrid inline/bitset
+//! representation — ordering, COW aliasing, spill boundaries — fails here.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use hope_core::{
+    AidId, AidState, Checkpoint, Effect, Engine, GuessOutcome, IntervalId, IntervalStatus,
+    ProcessId, ReceiveOutcome, Tag,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Reference engine: the original BTreeSet-based algorithm.
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct RefAid {
+    state: AidState,
+    dom: BTreeSet<IntervalId>,
+    consumed: bool,
+    spec_affirmed_by: Option<IntervalId>,
+    spec_denied_by: Option<IntervalId>,
+}
+
+#[derive(Clone)]
+struct RefInterval {
+    pid: ProcessId,
+    ps: Checkpoint,
+    ido: BTreeSet<AidId>,
+    ihd: BTreeSet<AidId>,
+    iha: BTreeSet<AidId>,
+    guessed: BTreeSet<AidId>,
+    status: IntervalStatus,
+}
+
+enum Task {
+    Finalize(IntervalId),
+    Rollback(IntervalId),
+}
+
+/// Operation results, shape-compatible with the real engine's.
+type RefResult<T> = Result<T, String>;
+
+#[derive(Default)]
+struct RefEngine {
+    aids: Vec<RefAid>,
+    intervals: Vec<RefInterval>,
+    procs: BTreeMap<ProcessId, Vec<IntervalId>>,
+    next_pid: u32,
+}
+
+impl RefEngine {
+    fn register_process(&mut self) -> ProcessId {
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid, Vec::new());
+        pid
+    }
+
+    fn aid_init(&mut self) -> AidId {
+        let id = AidId::from_index(self.aids.len() as u64);
+        self.aids.push(RefAid {
+            state: AidState::Undecided,
+            dom: BTreeSet::new(),
+            consumed: false,
+            spec_affirmed_by: None,
+            spec_denied_by: None,
+        });
+        id
+    }
+
+    fn aid_mut(&mut self, x: AidId) -> &mut RefAid {
+        &mut self.aids[x.index() as usize]
+    }
+
+    fn current_interval(&self, pid: ProcessId) -> Option<IntervalId> {
+        self.procs[&pid]
+            .last()
+            .copied()
+            .filter(|a| self.intervals[a.index() as usize].status == IntervalStatus::Speculative)
+    }
+
+    fn dependence_tag(&self, pid: ProcessId) -> BTreeSet<AidId> {
+        match self.current_interval(pid) {
+            Some(a) => self.intervals[a.index() as usize].ido.clone(),
+            None => BTreeSet::new(),
+        }
+    }
+
+    fn guess(
+        &mut self,
+        pid: ProcessId,
+        aids: &[AidId],
+        ps: Checkpoint,
+    ) -> RefResult<(Option<IntervalId>, Vec<Effect>)> {
+        if aids.is_empty() {
+            return Err("EmptyGuess".into());
+        }
+        if let Some(&denied) = aids
+            .iter()
+            .find(|&&x| self.aids[x.index() as usize].state == AidState::Denied)
+        {
+            let _ = denied;
+            return Ok((None, Vec::new()));
+        }
+        // The original hot path: clone the parent IDO (clone #1), resolve
+        // the guessed set, store a second clone in the interval (clone #2).
+        let parent_ido: BTreeSet<AidId> = match self.current_interval(pid) {
+            Some(a) => self.intervals[a.index() as usize].ido.clone(),
+            None => BTreeSet::new(),
+        };
+        let mut guessed: BTreeSet<AidId> = BTreeSet::new();
+        for &x in aids {
+            let aid = &self.aids[x.index() as usize];
+            if aid.state != AidState::Undecided {
+                continue;
+            }
+            match aid.spec_affirmed_by {
+                Some(a) => guessed.extend(self.intervals[a.index() as usize].ido.iter().copied()),
+                None => {
+                    guessed.insert(x);
+                }
+            }
+        }
+        let mut ido = parent_ido;
+        ido.extend(guessed.iter().copied());
+
+        let id = IntervalId::from_index(self.intervals.len() as u64);
+        self.procs.get_mut(&pid).unwrap().push(id);
+        self.intervals.push(RefInterval {
+            pid,
+            ps,
+            ido: ido.clone(),
+            ihd: BTreeSet::new(),
+            iha: BTreeSet::new(),
+            guessed,
+            status: IntervalStatus::Speculative,
+        });
+        for &x in &ido {
+            self.aids[x.index() as usize].dom.insert(id);
+        }
+
+        let mut effects = vec![Effect::IntervalStarted {
+            interval: id,
+            process: pid,
+        }];
+        if ido.is_empty() {
+            let mut wl = VecDeque::new();
+            self.do_finalize(id, &mut effects, &mut wl);
+            self.drain(&mut wl, &mut effects);
+        }
+        Ok((Some(id), effects))
+    }
+
+    fn implicit_guess(
+        &mut self,
+        pid: ProcessId,
+        tag: &BTreeSet<AidId>,
+        ps: Checkpoint,
+    ) -> RefResult<(ReceiveOutcome, Vec<Effect>)> {
+        if let Some(&denied) = tag
+            .iter()
+            .find(|&&x| self.aids[x.index() as usize].state == AidState::Denied)
+        {
+            return Ok((ReceiveOutcome::Ghost(denied), Vec::new()));
+        }
+        let undecided: Vec<AidId> = tag
+            .iter()
+            .copied()
+            .filter(|&x| self.aids[x.index() as usize].state == AidState::Undecided)
+            .collect();
+        if undecided.is_empty() {
+            return Ok((ReceiveOutcome::Clean, Vec::new()));
+        }
+        let (outcome, effects) = self.guess(pid, &undecided, ps)?;
+        match outcome {
+            Some(a) => Ok((ReceiveOutcome::Speculative(a), effects)),
+            None => unreachable!("denied AIDs were filtered above"),
+        }
+    }
+
+    fn consume(&mut self, x: AidId) -> RefResult<()> {
+        let aid = self.aid_mut(x);
+        if aid.consumed {
+            return Err("AidConsumed".into());
+        }
+        aid.consumed = true;
+        Ok(())
+    }
+
+    fn affirm(&mut self, pid: ProcessId, x: AidId) -> RefResult<Vec<Effect>> {
+        self.consume(x)?;
+        let mut effects = Vec::new();
+        let mut wl = VecDeque::new();
+        self.affirm_inner(pid, x, &mut effects, &mut wl);
+        self.drain(&mut wl, &mut effects);
+        Ok(effects)
+    }
+
+    fn deny(&mut self, pid: ProcessId, x: AidId) -> RefResult<Vec<Effect>> {
+        self.consume(x)?;
+        let mut effects = Vec::new();
+        let mut wl = VecDeque::new();
+        self.deny_inner(pid, x, &mut effects, &mut wl);
+        self.drain(&mut wl, &mut effects);
+        Ok(effects)
+    }
+
+    fn free_of(&mut self, pid: ProcessId, x: AidId) -> RefResult<Vec<Effect>> {
+        self.consume(x)?;
+        let mut effects = Vec::new();
+        let mut wl = VecDeque::new();
+        let depends = self
+            .current_interval(pid)
+            .map(|a| self.intervals[a.index() as usize].ido.contains(&x));
+        match depends {
+            None | Some(false) => self.affirm_inner(pid, x, &mut effects, &mut wl),
+            Some(true) => self.deny_inner(pid, x, &mut effects, &mut wl),
+        }
+        self.drain(&mut wl, &mut effects);
+        Ok(effects)
+    }
+
+    fn affirm_inner(
+        &mut self,
+        pid: ProcessId,
+        x: AidId,
+        effects: &mut Vec<Effect>,
+        wl: &mut VecDeque<Task>,
+    ) {
+        match self.current_interval(pid) {
+            None => {
+                effects.push(Effect::AidAffirmed { aid: x });
+                self.definite_affirm_aid(x, wl);
+            }
+            Some(a) => {
+                let a_idx = a.index() as usize;
+                let a_ido: Vec<AidId> = self.intervals[a_idx]
+                    .ido
+                    .iter()
+                    .copied()
+                    .filter(|&y| y != x)
+                    .collect();
+                let x_dom: Vec<IntervalId> = std::mem::take(&mut self.aid_mut(x).dom)
+                    .into_iter()
+                    .collect();
+                for &y in &a_ido {
+                    self.aids[y.index() as usize]
+                        .dom
+                        .extend(x_dom.iter().copied());
+                }
+                for &b in &x_dom {
+                    let b_idx = b.index() as usize;
+                    self.intervals[b_idx].ido.remove(&x);
+                    self.intervals[b_idx].ido.extend(a_ido.iter().copied());
+                    if self.intervals[b_idx].ido.is_empty() {
+                        wl.push_back(Task::Finalize(b));
+                    }
+                }
+                self.aid_mut(x).spec_affirmed_by = Some(a);
+                self.intervals[a_idx].iha.insert(x);
+                effects.push(Effect::SpeculativelyAffirmed { aid: x, by: a });
+            }
+        }
+    }
+
+    fn deny_inner(
+        &mut self,
+        pid: ProcessId,
+        x: AidId,
+        effects: &mut Vec<Effect>,
+        wl: &mut VecDeque<Task>,
+    ) {
+        let cur = self.current_interval(pid);
+        let definite = match cur {
+            None => true,
+            Some(a) => self.intervals[a.index() as usize].ido.contains(&x),
+        };
+        if definite {
+            effects.push(Effect::AidDenied { aid: x });
+            self.definite_deny_aid(x, wl);
+        } else {
+            let a = cur.unwrap();
+            self.intervals[a.index() as usize].ihd.insert(x);
+            self.aid_mut(x).spec_denied_by = Some(a);
+            effects.push(Effect::SpeculativelyDenied { aid: x, by: a });
+        }
+    }
+
+    fn definite_affirm_aid(&mut self, x: AidId, wl: &mut VecDeque<Task>) {
+        let aid = self.aid_mut(x);
+        aid.state = AidState::Affirmed;
+        aid.spec_affirmed_by = None;
+        aid.consumed = true;
+        let dom: Vec<IntervalId> = std::mem::take(&mut aid.dom).into_iter().collect();
+        for b in dom {
+            let b_idx = b.index() as usize;
+            self.intervals[b_idx].ido.remove(&x);
+            if self.intervals[b_idx].ido.is_empty() {
+                wl.push_back(Task::Finalize(b));
+            }
+        }
+    }
+
+    fn definite_deny_aid(&mut self, x: AidId, wl: &mut VecDeque<Task>) {
+        let aid = self.aid_mut(x);
+        aid.state = AidState::Denied;
+        aid.spec_affirmed_by = None;
+        aid.spec_denied_by = None;
+        aid.consumed = true;
+        let dom: Vec<IntervalId> = std::mem::take(&mut aid.dom).into_iter().collect();
+        for b in dom {
+            wl.push_back(Task::Rollback(b));
+        }
+    }
+
+    fn drain(&mut self, wl: &mut VecDeque<Task>, effects: &mut Vec<Effect>) {
+        while let Some(task) = wl.pop_front() {
+            match task {
+                Task::Finalize(a) => self.do_finalize(a, effects, wl),
+                Task::Rollback(a) => self.do_rollback(a, effects, wl),
+            }
+        }
+    }
+
+    fn do_finalize(&mut self, a: IntervalId, effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
+        let idx = a.index() as usize;
+        if self.intervals[idx].status != IntervalStatus::Speculative {
+            return;
+        }
+        self.intervals[idx].status = IntervalStatus::Definite;
+        effects.push(Effect::Finalized {
+            interval: a,
+            process: self.intervals[idx].pid,
+        });
+        let iha: Vec<AidId> = self.intervals[idx].iha.iter().copied().collect();
+        for x in iha {
+            if self.aids[x.index() as usize].state == AidState::Undecided {
+                effects.push(Effect::AidAffirmed { aid: x });
+                self.definite_affirm_aid(x, wl);
+            }
+        }
+        let ihd: Vec<AidId> = self.intervals[idx].ihd.iter().copied().collect();
+        for x in ihd {
+            if self.aids[x.index() as usize].state == AidState::Undecided {
+                effects.push(Effect::AidDenied { aid: x });
+                self.definite_deny_aid(x, wl);
+            }
+        }
+    }
+
+    fn do_rollback(&mut self, a: IntervalId, effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
+        let idx = a.index() as usize;
+        match self.intervals[idx].status {
+            IntervalStatus::RolledBack | IntervalStatus::Definite => return,
+            IntervalStatus::Speculative => {}
+        }
+        let pid = self.intervals[idx].pid;
+        let history = self.procs.get_mut(&pid).unwrap();
+        let pos = match history.iter().position(|&i| i == a) {
+            Some(p) => p,
+            None => return,
+        };
+        let discarded = history.split_off(pos);
+        let checkpoint = self.intervals[idx].ps;
+
+        for &c in discarded.iter().rev() {
+            let c_idx = c.index() as usize;
+            self.intervals[c_idx].status = IntervalStatus::RolledBack;
+            let ido: Vec<AidId> = self.intervals[c_idx].ido.iter().copied().collect();
+            for x in ido {
+                self.aids[x.index() as usize].dom.remove(&c);
+            }
+            let iha: Vec<AidId> = self.intervals[c_idx].iha.iter().copied().collect();
+            for x in iha {
+                self.aid_mut(x).spec_affirmed_by = None;
+                if self.aids[x.index() as usize].state == AidState::Undecided {
+                    effects.push(Effect::AidDenied { aid: x });
+                    self.definite_deny_aid(x, wl);
+                }
+            }
+            let ihd: Vec<AidId> = self.intervals[c_idx].ihd.iter().copied().collect();
+            for x in ihd {
+                if self.aids[x.index() as usize].spec_denied_by == Some(c) {
+                    self.aid_mut(x).spec_denied_by = None;
+                    if self.aids[x.index() as usize].state == AidState::Undecided {
+                        self.aid_mut(x).consumed = false;
+                    }
+                }
+            }
+        }
+        effects.push(Effect::RolledBack {
+            process: pid,
+            intervals: discarded,
+            checkpoint,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lockstep driver.
+// ---------------------------------------------------------------------
+
+const N_PROCS: u32 = 3;
+const N_AIDS: u64 = 6;
+
+/// One random primitive. Raw indices are mapped onto live ids at play time.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Guess(u32, u64),
+    Affirm(u32, u64),
+    Deny(u32, u64),
+    FreeOf(u32, u64),
+    Send(u32),
+    Recv(u32, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..7, 0u32..N_PROCS, 0u64..N_AIDS).prop_map(|(k, p, x)| match k {
+        0 | 1 => Op::Guess(p, x),
+        2 => Op::Affirm(p, x),
+        3 => Op::Deny(p, x),
+        4 => Op::FreeOf(p, x),
+        5 => Op::Send(p),
+        _ => Op::Recv(p, x),
+    })
+}
+
+/// Assert the real engine and the reference agree on every observable.
+fn assert_state_agrees(engine: &Engine, reference: &RefEngine, step: usize) {
+    for p in 0..N_PROCS {
+        let pid = ProcessId(p);
+        assert_eq!(
+            engine.history(pid).unwrap(),
+            reference.procs[&pid].as_slice(),
+            "history of {pid} diverged at step {step}"
+        );
+        let tag: Vec<AidId> = engine.dependence_tag(pid).unwrap().iter().collect();
+        let ref_tag: Vec<AidId> = reference.dependence_tag(pid).into_iter().collect();
+        assert_eq!(tag, ref_tag, "tag of {pid} diverged at step {step}");
+    }
+    for i in 0..engine.interval_count() {
+        let id = IntervalId::from_index(i as u64);
+        let view = engine.interval(id).unwrap();
+        let r = &reference.intervals[i];
+        assert_eq!(view.status(), r.status, "status of {id} at step {step}");
+        assert!(
+            view.ido().iter().eq(r.ido.iter().copied()),
+            "IDO of {id} diverged at step {step}: {:?} vs {:?}",
+            view.ido(),
+            r.ido
+        );
+        assert!(view.ihd().iter().eq(r.ihd.iter().copied()), "IHD of {id}");
+        assert!(view.iha().iter().eq(r.iha.iter().copied()), "IHA of {id}");
+        assert!(
+            view.guessed().iter().eq(r.guessed.iter().copied()),
+            "guessed of {id}"
+        );
+    }
+    for x in 0..N_AIDS {
+        let id = AidId::from_index(x);
+        let view = engine.aid(id).unwrap();
+        let r = &reference.aids[x as usize];
+        assert_eq!(view.state(), r.state, "state of {id} at step {step}");
+        assert_eq!(view.is_consumed(), r.consumed, "consumed of {id}");
+        assert_eq!(view.speculatively_affirmed_by(), r.spec_affirmed_by);
+        assert_eq!(view.speculatively_denied_by(), r.spec_denied_by);
+        assert!(
+            view.dom().iter().eq(r.dom.iter().copied()),
+            "DOM of {id} diverged at step {step}: {:?} vs {:?}",
+            view.dom(),
+            r.dom
+        );
+    }
+}
+
+fn play(ops: &[Op]) {
+    let mut engine = Engine::new();
+    engine.set_invariant_checking(true);
+    let mut reference = RefEngine::default();
+    for _ in 0..N_PROCS {
+        let a = engine.register_process();
+        let b = reference.register_process();
+        assert_eq!(a, b);
+    }
+    for _ in 0..N_AIDS {
+        let a = engine.aid_init(ProcessId(0));
+        let b = reference.aid_init();
+        assert_eq!(a, b);
+    }
+
+    // Tag pools captured by Send and replayed by Recv.
+    let mut tags: Vec<Tag> = Vec::new();
+    let mut ref_tags: Vec<BTreeSet<AidId>> = Vec::new();
+    let mut ck = 0u64;
+
+    for (step, &op) in ops.iter().enumerate() {
+        ck += 1;
+        match op {
+            Op::Guess(p, x) => {
+                let pid = ProcessId(p);
+                let x = AidId::from_index(x);
+                let got = engine.guess(pid, &[x], Checkpoint(ck));
+                let want = reference.guess(pid, &[x], Checkpoint(ck));
+                match (got, want) {
+                    (Ok((out, fx)), Ok((ref_out, ref_fx))) => {
+                        assert_eq!(out.interval(), ref_out, "guess outcome at step {step}");
+                        assert!(matches!(out, GuessOutcome::AlreadyFalse(_)) == ref_out.is_none());
+                        assert_eq!(fx, ref_fx, "guess effects at step {step}");
+                    }
+                    (got, want) => panic!("guess disagreement at {step}: {got:?} vs {want:?}"),
+                }
+            }
+            Op::Affirm(p, x) => {
+                let pid = ProcessId(p);
+                let x = AidId::from_index(x);
+                match (engine.affirm(pid, x), reference.affirm(pid, x)) {
+                    (Ok(fx), Ok(ref_fx)) => assert_eq!(fx, ref_fx, "affirm fx at {step}"),
+                    (Err(_), Err(_)) => {}
+                    (got, want) => panic!("affirm disagreement at {step}: {got:?} vs {want:?}"),
+                }
+            }
+            Op::Deny(p, x) => {
+                let pid = ProcessId(p);
+                let x = AidId::from_index(x);
+                match (engine.deny(pid, x), reference.deny(pid, x)) {
+                    (Ok(fx), Ok(ref_fx)) => assert_eq!(fx, ref_fx, "deny fx at {step}"),
+                    (Err(_), Err(_)) => {}
+                    (got, want) => panic!("deny disagreement at {step}: {got:?} vs {want:?}"),
+                }
+            }
+            Op::FreeOf(p, x) => {
+                let pid = ProcessId(p);
+                let x = AidId::from_index(x);
+                match (engine.free_of(pid, x), reference.free_of(pid, x)) {
+                    (Ok(fx), Ok(ref_fx)) => assert_eq!(fx, ref_fx, "free_of fx at {step}"),
+                    (Err(_), Err(_)) => {}
+                    (got, want) => panic!("free_of disagreement at {step}: {got:?} vs {want:?}"),
+                }
+            }
+            Op::Send(p) => {
+                let pid = ProcessId(p);
+                let tag = engine.dependence_tag(pid).unwrap();
+                let ref_tag = reference.dependence_tag(pid);
+                assert!(
+                    tag.iter().eq(ref_tag.iter().copied()),
+                    "send tag diverged at step {step}"
+                );
+                tags.push(tag);
+                ref_tags.push(ref_tag);
+            }
+            Op::Recv(p, i) => {
+                if tags.is_empty() {
+                    continue;
+                }
+                let pid = ProcessId(p);
+                let idx = (i as usize) % tags.len();
+                let got = engine.implicit_guess(pid, &tags[idx], Checkpoint(ck));
+                let want = reference.implicit_guess(pid, &ref_tags[idx], Checkpoint(ck));
+                match (got, want) {
+                    (Ok((out, fx)), Ok((ref_out, ref_fx))) => {
+                        assert_eq!(out, ref_out, "recv outcome at step {step}");
+                        assert_eq!(fx, ref_fx, "recv effects at step {step}");
+                    }
+                    (got, want) => panic!("recv disagreement at {step}: {got:?} vs {want:?}"),
+                }
+            }
+        }
+        assert_state_agrees(&engine, &reference, step);
+    }
+    engine.verify_invariants().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn depset_engine_agrees_with_btreeset_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        play(&ops);
+    }
+}
+
+/// A directed deep-inheritance chain — the exact shape the perf work
+/// optimizes — checked against the reference beyond the random sweeps.
+#[test]
+fn deep_chain_agrees_with_reference() {
+    let mut ops = Vec::new();
+    for x in 0..N_AIDS {
+        ops.push(Op::Guess(0, x));
+    }
+    ops.push(Op::Send(0));
+    ops.push(Op::Recv(1, 0));
+    for x in 0..N_AIDS - 1 {
+        ops.push(Op::Affirm(2, x));
+    }
+    ops.push(Op::Deny(2, N_AIDS - 1));
+    play(&ops);
+}

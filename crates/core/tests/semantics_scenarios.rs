@@ -143,7 +143,7 @@ fn chained_replacement_keeps_sets_exact() {
     let c = oc.interval().unwrap();
     for itv in [b, c] {
         let view = e.interval(itv).unwrap();
-        assert_eq!(view.ido().iter().copied().collect::<Vec<_>>(), vec![y]);
+        assert_eq!(view.ido().iter().collect::<Vec<_>>(), vec![y]);
     }
     // Definite affirm of Y settles the world.
     let fx = e.affirm(p[0], y).unwrap();

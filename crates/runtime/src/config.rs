@@ -50,6 +50,15 @@ pub struct SimConfig {
     /// changes when (not whether) output commits, and programs with their
     /// own verifiers don't need it.
     pub commit_at_quiescence: bool,
+    /// Run the online race detector
+    /// ([`hope_analysis::dynamic::RaceDetector`]) over every executed HOPE
+    /// action and collect its findings into
+    /// [`RunReport::races`](crate::RunReport::races) at run end. The
+    /// detector flags decide/decide races on one AID, sends issued under
+    /// speculation that a concurrent deny already doomed, and guesses on
+    /// AIDs that were concurrently decided. Off by default: it keeps a
+    /// vector clock per process and inspects every action.
+    pub detect_races: bool,
 }
 
 impl SimConfig {
@@ -92,6 +101,7 @@ impl Default for SimConfig {
             check_engine_invariants: false,
             trace: false,
             commit_at_quiescence: false,
+            detect_races: false,
         }
     }
 }
@@ -107,6 +117,13 @@ impl SimConfig {
     /// [`SimConfig::commit_at_quiescence`]).
     pub fn commit_at_quiescence(mut self) -> Self {
         self.commit_at_quiescence = true;
+        self
+    }
+
+    /// Enable or disable the online race detector (see
+    /// [`SimConfig::detect_races`]).
+    pub fn detect_races(mut self, on: bool) -> Self {
+        self.detect_races = on;
         self
     }
 }

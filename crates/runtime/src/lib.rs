@@ -78,5 +78,6 @@ pub use value::Value;
 
 // Re-export the identifier types users need to talk about processes and
 // assumptions, so simple programs need not depend on hope-core directly.
+pub use hope_analysis::dynamic::{RaceKind, RaceReport};
 pub use hope_core::{AidId, AidState, ProcessId};
 pub use hope_sim::{VirtualDuration, VirtualTime};

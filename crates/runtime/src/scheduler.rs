@@ -218,6 +218,9 @@ impl Simulation {
             }
         };
 
+        // Holds one popped `EventKind` by value for the instant before it
+        // runs — indirection would buy nothing here.
+        #[allow(clippy::large_enum_variant)]
         enum Step {
             Run(EventKind),
             Quiesced,
@@ -352,6 +355,11 @@ impl Simulation {
             unfinished,
             errors,
             trace: std::mem::take(&mut sh.trace_log),
+            races: sh
+                .race_detector
+                .take()
+                .map(|d| d.into_races())
+                .unwrap_or_default(),
         }
     }
 }

@@ -7,7 +7,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use hope_core::{Action, Effect, Engine, IntervalId, ProcessId};
+use hope_analysis::dynamic::RaceDetector;
+use hope_core::{Action, Effect, Engine, IntervalId, ProcessId, RuntimeObserver};
 use hope_sim::{EventQueue, SimRng, VirtualTime};
 
 use crate::config::SimConfig;
@@ -18,6 +19,10 @@ use crate::value::Value;
 
 /// What a scheduler event does when it fires.
 #[derive(Debug, Clone)]
+// `Deliver` holds the `Message` (and its tag's inline `DepSet`) by value:
+// boxing it would cost an allocation per send on the simulator's hottest
+// queue, and almost every queued event is a `Deliver` anyway.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum EventKind {
     /// Resume process `proc` if `epoch` is still current.
     Wake { proc: usize, epoch: u64 },
@@ -97,6 +102,10 @@ pub(crate) struct Shared {
     pub(crate) oracle: Option<ProcessId>,
     /// Reported every executed HOPE action (see `Simulation::set_observer`).
     pub(crate) observer: ObserverSlot,
+    /// Online race detector, present iff [`SimConfig::detect_races`] was
+    /// set; drained into [`RunReport::races`](crate::RunReport::races) at
+    /// run end.
+    pub(crate) race_detector: Option<RaceDetector>,
 }
 
 impl Shared {
@@ -104,6 +113,7 @@ impl Shared {
         let net_rng = SimRng::new(config.seed).fork(u64::MAX);
         let mut engine = Engine::new();
         engine.set_invariant_checking(config.check_engine_invariants);
+        let race_detector = config.detect_races.then(RaceDetector::new);
         Shared {
             engine,
             procs: Vec::new(),
@@ -120,11 +130,16 @@ impl Shared {
             trace_log: Vec::new(),
             oracle: None,
             observer: ObserverSlot(None),
+            race_detector,
         }
     }
 
-    /// Report one executed action to the installed observer, if any.
+    /// Report one executed action to the race detector (if configured) and
+    /// the installed observer, if any.
     pub(crate) fn observe(&mut self, pid: ProcessId, action: &Action, effects: &[Effect]) {
+        if let Some(det) = self.race_detector.as_mut() {
+            RuntimeObserver::observe(det, pid, action, effects);
+        }
         if let Some(f) = self.observer.0.as_mut() {
             f(pid, action, effects);
         }

@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use hope_analysis::dynamic::RaceReport;
 use hope_core::{EngineStats, ProcessId};
 use hope_sim::VirtualTime;
 
@@ -71,6 +72,7 @@ pub struct RunReport {
     pub(crate) unfinished: Vec<ProcessId>,
     pub(crate) errors: BTreeMap<ProcessId, String>,
     pub(crate) trace: Vec<String>,
+    pub(crate) races: Vec<RaceReport>,
 }
 
 impl RunReport {
@@ -158,6 +160,14 @@ impl RunReport {
     pub fn trace(&self) -> &[String] {
         &self.trace
     }
+
+    /// Findings of the online race detector, if
+    /// [`SimConfig::detect_races`](crate::SimConfig::detect_races) was
+    /// enabled (empty otherwise): decide/decide races on one AID, sends
+    /// issued under doomed speculation, and guesses racing a decide.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -199,6 +209,7 @@ mod tests {
             unfinished: vec![],
             errors: BTreeMap::new(),
             trace: Vec::new(),
+            races: Vec::new(),
         };
         assert!(r.completed());
         assert_eq!(r.output_lines(), vec!["hello"]);
@@ -234,6 +245,7 @@ mod tests {
             unfinished: vec![ProcessId(1)],
             errors: BTreeMap::new(),
             trace: Vec::new(),
+            races: Vec::new(),
         };
         assert!(!r.completed());
         r.unfinished.clear();

@@ -1,0 +1,108 @@
+//! End-to-end tests for `SimConfig::detect_races`: the online race
+//! detector riding the scheduler's observer hook, with its findings
+//! surfaced through `RunReport::races`.
+
+use hope_runtime::{AidId, ProcessId, RaceKind, SimConfig, Simulation, Value, VirtualDuration};
+
+/// A speculative send condemned as a ghost by a later deny is reported as
+/// a `SendAfterDeny` race charged to the sender.
+#[test]
+fn ghost_condemnation_is_reported_as_send_after_deny() {
+    let mut sim = Simulation::new(SimConfig::with_seed(7).detect_races(true));
+    let relay = ProcessId(1);
+    let judge = ProcessId(2);
+    sim.spawn("origin", move |ctx| {
+        let x = ctx.aid_init()?;
+        ctx.send(judge, Value::Int(x.index() as i64))?;
+        if ctx.guess(x)? {
+            ctx.send(relay, Value::Str("speculative hello".into()))?;
+        }
+        Ok(())
+    });
+    sim.spawn("relay", |ctx| {
+        // Never receives anything definite: the only message aimed at it
+        // becomes a ghost, so it parks at `recv` until quiescence.
+        let _ = ctx.recv()?;
+        Ok(())
+    });
+    sim.spawn("judge", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.compute(VirtualDuration::from_millis(1))?;
+        ctx.deny(aid)?;
+        Ok(())
+    });
+    let report = sim.run();
+
+    assert!(report.stats().ghosts_dropped >= 1);
+    let ghosts: Vec<_> = report
+        .races()
+        .iter()
+        .filter(|r| r.kind == RaceKind::SendAfterDeny)
+        .collect();
+    assert_eq!(ghosts.len(), 1, "races: {:?}", report.races());
+    assert_eq!(ghosts[0].process, ProcessId(0), "charged to the sender");
+}
+
+/// Two judges deciding the same AID: the loser's decider is skipped under
+/// the one-shot rule and reported as `DecidedAidReuse`.
+#[test]
+fn competing_deciders_report_decided_aid_reuse() {
+    let mut sim = Simulation::new(SimConfig::with_seed(3).detect_races(true));
+    let judge_a = ProcessId(1);
+    let judge_b = ProcessId(2);
+    sim.spawn("origin", move |ctx| {
+        let x = ctx.aid_init()?;
+        ctx.send(judge_a, Value::Int(x.index() as i64))?;
+        ctx.send(judge_b, Value::Int(x.index() as i64))?;
+        let _ = ctx.guess(x)?;
+        Ok(())
+    });
+    for name in ["judge-a", "judge-b"] {
+        sim.spawn(name, |ctx| {
+            let m = ctx.recv()?;
+            let aid = AidId::from_index(m.payload.expect_int() as u64);
+            ctx.affirm(aid)?;
+            Ok(())
+        });
+    }
+    let report = sim.run();
+
+    let reuses: Vec<_> = report
+        .races()
+        .iter()
+        .filter(|r| r.kind == RaceKind::DecidedAidReuse)
+        .collect();
+    assert_eq!(reuses.len(), 1, "races: {:?}", report.races());
+    assert_eq!(reuses[0].aid, AidId::from_index(0));
+}
+
+/// With the flag off (the default), the same racy program yields an empty
+/// race list — the detector is never constructed.
+#[test]
+fn detection_is_off_by_default() {
+    let mut sim = Simulation::new(SimConfig::with_seed(7));
+    let relay = ProcessId(1);
+    let judge = ProcessId(2);
+    sim.spawn("origin", move |ctx| {
+        let x = ctx.aid_init()?;
+        ctx.send(judge, Value::Int(x.index() as i64))?;
+        if ctx.guess(x)? {
+            ctx.send(relay, Value::Str("speculative hello".into()))?;
+        }
+        Ok(())
+    });
+    sim.spawn("relay", |ctx| {
+        let _ = ctx.recv()?;
+        Ok(())
+    });
+    sim.spawn("judge", |ctx| {
+        let m = ctx.recv()?;
+        let aid = AidId::from_index(m.payload.expect_int() as u64);
+        ctx.deny(aid)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.stats().ghosts_dropped >= 1);
+    assert!(report.races().is_empty());
+}

@@ -1,9 +1,11 @@
 //! Debugging an optimistic program: execution traces and dependency
 //! graphs.
 //!
-//! Rollback cascades can be bewildering; this example shows the two tools
-//! the reproduction provides. `SimConfig::traced()` records every
-//! primitive, delivery, ghost and rollback with virtual timestamps, and
+//! Rollback cascades can be bewildering; this example shows the three
+//! tools the reproduction provides. `SimConfig::traced()` records every
+//! primitive, delivery, ghost and rollback with virtual timestamps;
+//! `SimConfig::detect_races(true)` runs the vector-clock race detector
+//! online and surfaces its findings through `RunReport::races`; and
 //! `hope::core::trace::render_dependency_graph` exports the engine's live
 //! IDO/DOM graph as Graphviz DOT.
 //!
@@ -21,7 +23,7 @@ use hope::{AidId, ProcessId};
 
 fn main() {
     // --- Part 1: a traced run with a rollback cascade -------------------
-    let mut sim = Simulation::new(SimConfig::with_seed(7).traced());
+    let mut sim = Simulation::new(SimConfig::with_seed(7).traced().detect_races(true));
     let relay = ProcessId(1);
     let judge = ProcessId(2);
     sim.spawn("origin", move |ctx| {
@@ -57,6 +59,17 @@ fn main() {
     assert_eq!(report.output_lines(), vec!["origin: took the slow path"]);
     assert!(report.trace().iter().any(|l| l.contains("ROLLBACK")));
     assert!(report.trace().iter().any(|l| l.contains("ghost")));
+
+    println!("\n=== race detector findings ===");
+    for race in report.races() {
+        println!("  [{}] {}", race.kind.name(), race.detail);
+    }
+    // The speculative hello was condemned as a ghost by the judge's deny:
+    // the detector charges a send-after-deny race to the sender.
+    assert!(report
+        .races()
+        .iter()
+        .any(|r| r.kind == hope::runtime::RaceKind::SendAfterDeny));
 
     // --- Part 2: a dependency graph snapshot ----------------------------
     let mut engine = Engine::new();

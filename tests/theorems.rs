@@ -266,7 +266,7 @@ impl Driver {
                     assert!(
                         view.guessed()
                             .iter()
-                            .any(|x| self.engine.aid_state(*x).unwrap() == AidState::Denied),
+                            .any(|x| self.engine.aid_state(x).unwrap() == AidState::Denied),
                         "Equation 24: re-executed guess at {first} would speculate again"
                     );
                 }
@@ -352,7 +352,7 @@ impl Driver {
                         assert!(!view.ido().is_empty());
                         for x in view.ido() {
                             assert_eq!(
-                                self.engine.aid_state(*x).unwrap(),
+                                self.engine.aid_state(x).unwrap(),
                                 AidState::Undecided,
                                 "live dependence on a decided AID"
                             );
@@ -396,7 +396,7 @@ impl Driver {
         for pid in &self.pids {
             if let Some(a) = self.engine.current_interval(*pid).unwrap() {
                 for x in self.engine.interval(a).unwrap().ido() {
-                    let view = self.engine.aid(*x).unwrap();
+                    let view = self.engine.aid(x).unwrap();
                     assert!(
                         view.is_consumed(),
                         "Theorem 6.1/6.2: {x} was definitively affirmed, yet \

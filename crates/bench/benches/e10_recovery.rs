@@ -1,16 +1,34 @@
-//! E10 (host-time view): optimistic-logging runs under failure injection.
+//! E10 (host-time view): optimistic-logging runs under fault injection.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hope_bench::experiments::e10_recovery::measure;
+use hope_runtime::FaultPlan;
+use hope_sim::VirtualDuration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_recovery");
     g.sample_size(10);
-    for pct in [0u64, 30] {
-        g.bench_with_input(BenchmarkId::new("both_protocols", pct), &pct, |b, &pct| {
-            b.iter(|| measure(pct as f64 / 100.0, 15, 3));
-        });
+    g.bench_function("fault_free", |b| {
+        b.iter(|| measure("none", None, 15, 3));
+    });
+    for drop_pct in [10u64, 30] {
+        g.bench_with_input(
+            BenchmarkId::new("lossy_link", drop_pct),
+            &drop_pct,
+            |b, &drop_pct| {
+                b.iter(|| {
+                    let plan = FaultPlan::new(3).drop_rate(drop_pct as f64 / 100.0);
+                    measure("lossy", Some(plan), 15, 3)
+                });
+            },
+        );
     }
+    g.bench_function("app_crash", |b| {
+        b.iter(|| {
+            let plan = FaultPlan::new(3).kill(0, 15, Some(VirtualDuration::from_millis(3)));
+            measure("crash", Some(plan), 15, 3)
+        });
+    });
     g.finish();
 }
 

@@ -1,36 +1,46 @@
 //! **E10 — optimistic recovery (§1, §2, \[24\])**: output-commit latency of
-//! optimistic vs synchronous logging under failures.
+//! optimistic vs synchronous logging under injected failures.
 //!
 //! The application must persist a log entry per step before its output may
 //! escape. Synchronous logging waits out every flush; optimistic logging
 //! assumes the flush will succeed and lets HOPE's output commit hold the
-//! line — a lost entry (crash) denies the assumption and the application
-//! transparently re-logs. The sweep shows the optimistic win shrinking as
-//! the crash rate grows.
+//! line. Crashes are injected by a seeded [`FaultPlan`]: killing the
+//! application denies its open stability assumptions (it recovers by
+//! journal-prefix replay and re-logs), killing the store is pure downtime
+//! ridden out by the reliable-send retry layer. The synchronous baseline
+//! has no retry machinery, so its column is only meaningful in the
+//! fault-free row.
 
 use hope_recovery::{run_app_optimistic, run_app_sync, run_stable_store};
-use hope_runtime::{ProcessId, SimConfig, Simulation};
+use hope_runtime::{FaultPlan, ProcessId, SimConfig, Simulation};
 use hope_sim::{LatencyModel, Topology};
 
 use super::{completion_ms, ms, us};
 use crate::table::{fmt_ms, Table};
 
 /// One measured point.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct E10Row {
-    /// Per-entry crash probability.
-    pub crash_rate: f64,
-    /// Synchronous-logging completion (virtual ms).
-    pub sync_ms: f64,
+    /// Human-readable fault scenario.
+    pub scenario: &'static str,
+    /// Synchronous-logging completion (virtual ms); `None` when the
+    /// scenario injects faults the baseline cannot survive.
+    pub sync_ms: Option<f64>,
     /// Optimistic-logging completion (virtual ms).
     pub optimistic_ms: f64,
     /// Rollbacks (recoveries) in the optimistic run.
     pub recoveries: u64,
+    /// Reliable-send retransmissions in the optimistic run.
+    pub retries: u64,
 }
 
-fn run(optimistic: bool, crash_rate: f64, steps: u64, seed: u64) -> (f64, u64, usize) {
+fn run(optimistic: bool, plan: Option<FaultPlan>, steps: u64, seed: u64) -> (f64, u64, u64, usize) {
     let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
-    let mut sim = Simulation::new(SimConfig::with_seed(seed).topology(topo));
+    let mut config = SimConfig::with_seed(seed).with_topology(topo);
+    if let Some(plan) = plan {
+        config = config.with_faults(plan);
+    }
+    let mut sim = Simulation::new(config);
     let store = ProcessId(1);
     let app = sim.spawn("app", move |ctx| {
         if optimistic {
@@ -39,47 +49,85 @@ fn run(optimistic: bool, crash_rate: f64, steps: u64, seed: u64) -> (f64, u64, u
             run_app_sync(ctx, store, steps, us(200))
         }
     });
-    sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5), crash_rate));
+    sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5)));
     let report = sim.run();
     assert!(report.errors().is_empty(), "{report}");
     (
         completion_ms(&report, app),
         report.stats().rollback_events,
+        report.stats().faults.retries,
         report.outputs().len(),
     )
 }
 
-/// Measure one crash-rate point with `steps` application steps.
-pub fn measure(crash_rate: f64, steps: u64, seed: u64) -> E10Row {
-    let (sync_ms, _, sync_outputs) = run(false, crash_rate, steps, seed);
-    let (optimistic_ms, recoveries, opt_outputs) = run(true, crash_rate, steps, seed);
-    assert_eq!(sync_outputs as u64, steps, "baseline commits every step");
+/// Measure one fault scenario with `steps` application steps. The
+/// synchronous baseline only runs when `plan` is `None` (it deadlocks on a
+/// lost flush acknowledgment — exactly the gap the optimistic retry layer
+/// closes).
+pub fn measure(scenario: &'static str, plan: Option<FaultPlan>, steps: u64, seed: u64) -> E10Row {
+    let sync_ms = if plan.is_none() {
+        let (t, _, _, sync_outputs) = run(false, None, steps, seed);
+        assert_eq!(sync_outputs as u64, steps, "baseline commits every step");
+        Some(t)
+    } else {
+        None
+    };
+    let (optimistic_ms, recoveries, retries, opt_outputs) = run(true, plan, steps, seed);
     assert_eq!(opt_outputs as u64, steps, "optimism commits every step");
     E10Row {
-        crash_rate,
+        scenario,
         sync_ms,
         optimistic_ms,
         recoveries,
+        retries,
     }
 }
 
-/// The default E10 table: crash rate ∈ {0, 5, 10, 20, 40}% over 30 steps.
+/// The default E10 table: fault-free, app crashes, a store outage, and a
+/// lossy link, over 30 steps.
 pub fn table() -> Table {
     let mut t = Table::new(
         "E10: optimistic vs synchronous logging (30 steps, 5ms flush, 4ms RTT)",
-        &["crash rate", "synchronous", "optimistic", "recoveries"],
+        &[
+            "faults",
+            "synchronous",
+            "optimistic",
+            "recoveries",
+            "retries",
+        ],
     );
-    for rate in [0.0, 0.05, 0.1, 0.2, 0.4] {
-        let r = measure(rate, 30, 19);
+    let scenarios: Vec<(&'static str, Option<FaultPlan>)> = vec![
+        ("none", None),
+        (
+            "1 app crash",
+            Some(FaultPlan::new(19).kill(0, 25, Some(ms(3)))),
+        ),
+        (
+            "2 app crashes",
+            Some(
+                FaultPlan::new(19)
+                    .kill(0, 25, Some(ms(3)))
+                    .kill(0, 80, Some(ms(3))),
+            ),
+        ),
+        (
+            "store outage (25ms)",
+            Some(FaultPlan::new(19).kill(1, 20, Some(ms(25)))),
+        ),
+        ("lossy link (10%)", Some(FaultPlan::new(19).drop_rate(0.1))),
+    ];
+    for (scenario, plan) in scenarios {
+        let r = measure(scenario, plan, 30, 19);
         t.push(vec![
-            format!("{:.0}%", r.crash_rate * 100.0),
-            fmt_ms(r.sync_ms),
+            r.scenario.to_string(),
+            r.sync_ms.map_or_else(|| "—".to_string(), fmt_ms),
             fmt_ms(r.optimistic_ms),
             r.recoveries.to_string(),
+            r.retries.to_string(),
         ]);
     }
     t.note(
-        "every step's output still commits exactly once, in order — rollback is invisible outside",
+        "every step's output still commits exactly once, in order — recovery is invisible outside",
     );
     t
 }
@@ -90,18 +138,26 @@ mod tests {
 
     #[test]
     fn optimistic_wins_without_failures() {
-        let r = measure(0.0, 10, 3);
+        let r = measure("none", None, 10, 3);
         assert_eq!(r.recoveries, 0);
         assert!(
-            r.optimistic_ms < r.sync_ms,
+            r.optimistic_ms < r.sync_ms.unwrap(),
             "flush latency must be hidden: {r:?}"
         );
     }
 
     #[test]
-    fn failures_cost_recoveries_but_preserve_output() {
-        let r = measure(0.3, 10, 3);
+    fn app_crashes_cost_recoveries_but_preserve_output() {
+        let plan = FaultPlan::new(3).kill(0, 15, Some(ms(3)));
+        let r = measure("1 app crash", Some(plan), 10, 3);
         assert!(r.recoveries > 0, "{r:?}");
         // measure() itself asserts all outputs commit.
+    }
+
+    #[test]
+    fn store_outage_costs_retries_but_preserves_output() {
+        let plan = FaultPlan::new(5).kill(1, 12, Some(ms(25)));
+        let r = measure("store outage", Some(plan), 10, 5);
+        assert!(r.retries > 0, "{r:?}");
     }
 }

@@ -19,6 +19,7 @@
 //! | E13 | §7 co-operative work (ref \[5\]) | [`experiments::e13_coedit`] |
 //! | E14 | cost-model calibration | [`experiments::e14_costmodel`] |
 //! | E15 | DepSet vs BTreeSet hot paths | [`experiments::e15_depset`] |
+//! | E16 | chaos: throughput vs fault rate | [`experiments::e16_chaos`] |
 //!
 //! (E9, the theorem suite, runs under `cargo test` — see `tests/theorems.rs`
 //! at the workspace root.)
@@ -38,7 +39,7 @@ pub use table::{fmt_ms, fmt_pct, tables_to_json, Table};
 
 /// All experiment ids known to the `tables` binary, in order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
 ];
 
 /// Produce the table for one experiment id.
@@ -62,6 +63,7 @@ pub fn table_for(id: &str) -> Table {
         "e13" => experiments::e13_coedit::table(),
         "e14" => experiments::e14_costmodel::table(),
         "e15" => experiments::e15_depset::table(),
+        "e16" => experiments::e16_chaos::table(),
         other => panic!("unknown experiment id {other:?} (known: {EXPERIMENT_IDS:?})"),
     }
 }

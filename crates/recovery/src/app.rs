@@ -20,10 +20,13 @@ use crate::stable::log_entry;
 
 /// Run `steps` application steps with optimistic logging.
 ///
-/// Each step: create the stability assumption, send the log entry
-/// (send-then-guess keeps the store definite), guess, emit the step's
-/// output under the assumption, and compute for `step_cost`. A denied
-/// entry re-executes the step's logging until it sticks.
+/// Each step: create the stability assumption, send the log entry over
+/// [`Ctx::send_reliable`] (so an entry addressed to a crashed or lossy
+/// store is retransmitted rather than silently lost; send-then-guess keeps
+/// the store definite), guess, emit the step's output under the
+/// assumption, and compute for `step_cost`. A denied entry — the
+/// application itself was killed with the assumption still open —
+/// re-executes the step's logging on restart until it sticks.
 ///
 /// # Errors
 ///
@@ -37,7 +40,7 @@ pub fn run_app_optimistic(
     for seq in 0..steps {
         loop {
             let aid = ctx.aid_init()?;
-            ctx.send(store, log_entry(aid, seq))?;
+            ctx.send_reliable(store, log_entry(aid, seq))?;
             if ctx.guess(aid)? {
                 break; // proceed under "the entry will persist"
             }
@@ -121,7 +124,7 @@ pub fn run_app_batched(
 mod tests {
     use super::*;
     use crate::stable::run_stable_store;
-    use hope_runtime::{SimConfig, Simulation};
+    use hope_runtime::{FaultPlan, SimConfig, Simulation};
     use hope_sim::{LatencyModel, Topology, VirtualTime};
 
     fn ms(v: u64) -> VirtualDuration {
@@ -130,11 +133,15 @@ mod tests {
 
     fn run(
         optimistic: bool,
-        crash_rate: f64,
+        faults: Option<FaultPlan>,
         steps: u64,
     ) -> (hope_runtime::RunReport, VirtualTime) {
         let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
-        let mut sim = Simulation::new(SimConfig::with_seed(11).topology(topo));
+        let mut config = SimConfig::with_seed(11).with_topology(topo);
+        if let Some(plan) = faults {
+            config = config.with_faults(plan);
+        }
+        let mut sim = Simulation::new(config);
         let store = ProcessId(1);
         let app = sim.spawn("app", move |ctx| {
             if optimistic {
@@ -143,7 +150,7 @@ mod tests {
                 run_app_sync(ctx, store, steps, VirtualDuration::from_micros(200))
             }
         });
-        sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5), crash_rate));
+        sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5)));
         let report = sim.run();
         let t = report.finish_time(app).expect("app finishes");
         (report, t)
@@ -152,7 +159,7 @@ mod tests {
     #[test]
     fn both_protocols_commit_all_steps() {
         for optimistic in [true, false] {
-            let (report, _) = run(optimistic, 0.0, 10);
+            let (report, _) = run(optimistic, None, 10);
             assert_eq!(report.outputs().len(), 10, "optimistic={optimistic}");
             for (i, line) in report.output_lines().iter().enumerate() {
                 assert_eq!(*line, format!("step {i} committed"));
@@ -164,12 +171,12 @@ mod tests {
     fn batched_logging_commits_everything_and_messages_less() {
         let run = |batch: u64| {
             let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
-            let mut sim = Simulation::new(SimConfig::with_seed(11).topology(topo));
+            let mut sim = Simulation::new(SimConfig::with_seed(11).with_topology(topo));
             let store = ProcessId(1);
             sim.spawn("app", move |ctx| {
                 run_app_batched(ctx, store, 12, VirtualDuration::from_micros(200), batch)
             });
-            sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5), 0.0));
+            sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5)));
             sim.run()
         };
         let per_entry = run(1);
@@ -190,14 +197,24 @@ mod tests {
     #[test]
     fn batched_logging_survives_crashes() {
         let topo = Topology::uniform(LatencyModel::Fixed(ms(2)));
-        let mut sim = Simulation::new(SimConfig::with_seed(13).topology(topo));
+        // Kill the *application* mid-run: its open batch assumptions are
+        // denied, and on restart the journal prefix replays while the lost
+        // batches are re-logged under fresh assumptions.
+        let plan = FaultPlan::new(13).kill(0, 10, Some(ms(3)));
+        let mut sim = Simulation::new(
+            SimConfig::with_seed(13)
+                .with_topology(topo)
+                .with_faults(plan),
+        );
         let store = ProcessId(1);
         sim.spawn("app", move |ctx| {
             run_app_batched(ctx, store, 12, VirtualDuration::from_micros(200), 3)
         });
-        sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5), 0.35));
+        sim.spawn("store", move |ctx| run_stable_store(ctx, ms(5)));
         let report = sim.run();
         assert_eq!(report.outputs().len(), 12, "{report}");
+        assert_eq!(report.stats().faults.kills, 1, "{report}");
+        assert_eq!(report.stats().faults.restarts, 1, "{report}");
         assert!(report.stats().rollback_events > 0, "{report}");
         for (i, line) in report.output_lines().iter().enumerate() {
             assert_eq!(*line, format!("step {i} committed"));
@@ -206,23 +223,32 @@ mod tests {
 
     #[test]
     fn optimistic_logging_hides_flush_latency() {
-        let (opt_report, opt) = run(true, 0.0, 20);
-        let (_, sync) = run(false, 0.0, 20);
+        let (opt_report, opt) = run(true, None, 20);
+        let (_, sync) = run(false, None, 20);
         assert!(opt < sync, "optimistic {opt} !< synchronous {sync}");
         assert_eq!(opt_report.stats().rollback_events, 0);
     }
 
     #[test]
     fn crashes_roll_back_and_recover() {
-        let (report, _) = run(true, 0.3, 15);
+        // The app dies with stability assumptions still open; the kill
+        // denies them, restart replays the surviving journal prefix, and
+        // the lost steps re-log — recovery end to end.
+        let plan = FaultPlan::new(7).kill(0, 30, Some(ms(4)));
+        let (report, _) = run(true, Some(plan), 15);
         assert_eq!(
             report.outputs().len(),
             15,
-            "all steps eventually commit despite crashes: {report}"
+            "all steps eventually commit despite the crash: {report}"
+        );
+        assert_eq!(report.stats().faults.kills, 1, "{report}");
+        assert!(
+            report.stats().faults.crash_denies > 0,
+            "the kill must catch open assumptions: {report}"
         );
         assert!(
             report.stats().rollback_events > 0,
-            "some entries must have been lost: {report}"
+            "denied entries must roll the app back: {report}"
         );
         // No speculative output escaped: committed lines are exactly the
         // 15 step lines in order.
@@ -232,8 +258,41 @@ mod tests {
     }
 
     #[test]
-    fn sync_baseline_also_survives_crashes() {
-        let (report, _) = run(false, 0.3, 15);
+    fn store_outage_is_pure_downtime_under_reliable_logging() {
+        // Kill the *store*: it owns no assumptions, so nothing is denied —
+        // entries in flight during the outage are simply lost links, and
+        // the app's reliable sends retransmit them after the restart.
+        let plan = FaultPlan::new(5).kill(1, 20, Some(ms(25)));
+        let (report, _) = run(true, Some(plan), 15);
+        assert_eq!(report.outputs().len(), 15, "{report}");
+        assert_eq!(report.stats().faults.kills, 1, "{report}");
+        assert_eq!(report.stats().faults.restarts, 1, "{report}");
+        assert!(
+            report.stats().faults.retries > 0,
+            "entries lost to the outage must be retransmitted: {report}"
+        );
+        for (i, line) in report.output_lines().iter().enumerate() {
+            assert_eq!(*line, format!("step {i} committed"));
+        }
+    }
+
+    #[test]
+    fn reliable_logging_rides_out_a_lossy_link() {
+        // No crashes — just a very lossy network. Reliable sends retry
+        // until every entry lands; all steps still commit in order.
+        let plan = FaultPlan::new(21).drop_rate(0.3);
+        let (report, _) = run(true, Some(plan), 10);
+        assert_eq!(report.outputs().len(), 10, "{report}");
+        assert!(report.stats().faults.drops > 0, "{report}");
+        assert!(report.stats().faults.retries > 0, "{report}");
+        for (i, line) in report.output_lines().iter().enumerate() {
+            assert_eq!(*line, format!("step {i} committed"));
+        }
+    }
+
+    #[test]
+    fn sync_baseline_commits_without_faults() {
+        let (report, _) = run(false, None, 15);
         assert_eq!(report.outputs().len(), 15, "{report}");
         assert_eq!(report.stats().rollback_events, 0, "no speculation used");
     }

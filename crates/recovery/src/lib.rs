@@ -9,9 +9,12 @@
 //! that subsumption, executed:
 //!
 //! * [`run_stable_store`] flushes log entries, affirming each entry's
-//!   stability assumption (or denying it on a simulated crash);
-//! * [`run_app_optimistic`] releases output under the assumption,
-//!   recovering automatically — via HOPE rollback — when an entry is lost;
+//!   stability assumption (crashes are injected by a fault plan, not
+//!   simulated by hand — a kill denies the application's open
+//!   assumptions for it);
+//! * [`run_app_optimistic`] releases output under the assumption and logs
+//!   over reliable sends, recovering automatically — via HOPE rollback and
+//!   journal-prefix replay — when a crash loses an entry;
 //! * [`run_app_sync`] is the synchronous write-ahead baseline for
 //!   experiment E10;
 //! * [`run_app_batched`] is the group-commit variant: one assumption per

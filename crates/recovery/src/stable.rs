@@ -8,9 +8,17 @@
 //! assume that the sender of a message will checkpoint its state to stable
 //! storage before failure at that node occurs". Here the assumption is
 //! explicit: every log entry carries an AID meaning *"this entry will
-//! reach stable storage"*. A successful flush affirms it; a (simulated)
-//! crash that loses the entry denies it, rolling the application back to
-//! its last stable point — which is precisely recovery.
+//! reach stable storage"*. A successful flush affirms it.
+//!
+//! Crashes are no longer simulated by hand inside the store (early
+//! versions drew a `chance(crash_rate)` and denied the entry themselves):
+//! they are injected by a [`FaultPlan`](hope_runtime::FaultPlan) kill, and
+//! the HOPE semantics do the rest. Killing the *application* denies its
+//! own stability assumptions, rolling it back to its last stable point on
+//! restart — which is precisely recovery. Killing the *store* is pure
+//! downtime (it owns no assumptions; its journal doubles as the stable
+//! medium), and [`run_app_optimistic`](crate::run_app_optimistic)'s
+//! reliable sends retry entries the dead store never saw.
 
 use hope_core::AidId;
 use hope_runtime::{Ctx, Hope, MsgKind, Value};
@@ -39,38 +47,31 @@ pub fn decode_log_entry(v: &Value) -> Option<(AidId, u64)> {
 
 /// Run the stable store until simulation shutdown.
 ///
-/// Each entry costs `flush_time` to persist. With probability
-/// `crash_rate`, the node "crashes" while holding the entry: the entry is
-/// lost and its assumption denied (the application re-executes from its
-/// last stable point and re-logs). Synchronous (request-kind) entries are
-/// acknowledged with the flushed sequence number instead of using AIDs —
-/// the pessimistic baseline path.
+/// Each entry costs `flush_time` to persist, after which its stability
+/// assumption is affirmed. Synchronous (request-kind) entries are
+/// acknowledged with a reply instead — the pessimistic baseline path.
+///
+/// The store deliberately has no failure logic of its own: crash it with a
+/// [`FaultPlan`](hope_runtime::FaultPlan) kill and the runtime's recovery
+/// machinery (journal-prefix replay on restart, reliable-send retries for
+/// entries lost in the outage) does the rest.
 ///
 /// # Errors
 ///
 /// Propagates runtime [`Signal`](hope_runtime::Signal)s.
-pub fn run_stable_store(ctx: &mut Ctx, flush_time: VirtualDuration, crash_rate: f64) -> Hope<()> {
+pub fn run_stable_store(ctx: &mut Ctx, flush_time: VirtualDuration) -> Hope<()> {
     loop {
         let msg = ctx.recv()?;
         let Some((aid, seq)) = decode_log_entry(&msg.payload) else {
             continue;
         };
-        let crashed = ctx.chance(crash_rate)?;
-        if crashed {
-            // The entry never reached the platter. For the optimistic
-            // protocol, deny the assumption; for the synchronous baseline,
-            // reply with a failure so the caller retries.
-            if matches!(msg.kind, MsgKind::Request(_)) {
-                ctx.reply(&msg, Value::Bool(false))?;
-            } else {
-                ctx.deny(aid)?;
-            }
-            continue;
-        }
         ctx.compute(flush_time)?;
         if matches!(msg.kind, MsgKind::Request(_)) {
             ctx.reply(&msg, Value::Bool(true))?;
         } else {
+            // The affirm may be a recorded no-op when a kill already denied
+            // the application's assumption mid-flight; the application is
+            // re-logging under a fresh AID by then.
             ctx.affirm(aid)?;
         }
         let _ = seq;

@@ -16,9 +16,14 @@
 //!   the classical synchronous certify, for experiment E7.
 //!
 //! Because updates are sent *before* the guess and links are FIFO, the
-//! primary never becomes speculative: its affirms are definite, so client
-//! work commits promptly — the architectural pattern that makes HOPE
+//! primary stays definite: its affirms are definite, so client work
+//! commits promptly — the architectural pattern that makes HOPE
 //! applications converge (see `hope-timewarp` for the contrasting case).
+//! Under fault injection, conflict repairs and crash-recovery repairs
+//! ride [`Ctx::send_reliable`](hope_runtime::Ctx::send_reliable) — making
+//! the primary briefly speculative per repair — so the protocol also
+//! survives fault-injected message loss and process kills (see the chaos
+//! suite in `tests/chaos_equivalence.rs`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -6,16 +6,35 @@
 //! carries only the client's pre-existing dependencies), and pipelined
 //! updates from one client arrive in FIFO order after their predecessors
 //! were certified — so their tags are already decided and the primary
-//! never becomes speculative. Affirms and denies issued here are therefore
-//! definite, and client output commits flow promptly (contrast with the
-//! symmetric Time Warp setting in `hope-timewarp`, where no definite
-//! affirmer exists).
+//! stays definite on the conflict-free path. Affirms and denies issued
+//! here are therefore definite, and client output commits flow promptly
+//! (contrast with the symmetric Time Warp setting in `hope-timewarp`,
+//! where no definite affirmer exists). The one exception: under fault
+//! injection, repair states ship over [`Ctx::send_reliable`], whose
+//! "delivered" guess makes the primary briefly speculative until the ack
+//! lands — an availability trade taken deliberately, because a conflicted
+//! or crash-recovering client is *blocked* on that repair and must not
+//! starve if the network drops it. On a reliable network (no fault plan)
+//! repairs go as plain sends and the primary never speculates at all.
 
 use hope_runtime::{Ctx, Hope, MsgKind, ProcessId, Value};
 use hope_sim::VirtualDuration;
 
 use crate::kv::VersionedStore;
 use crate::messages::RepMsg;
+
+/// Ship a repair `State` to a client that is (or will be) blocked waiting
+/// for it. On a reliable network a plain send suffices and keeps the
+/// primary fully definite; under fault injection the repair must ride the
+/// reliable layer — a blocked client must not starve because the network
+/// dropped the one message that would unblock it.
+fn send_repair(ctx: &mut Ctx, to: ProcessId, payload: Value) -> Hope<u64> {
+    if ctx.faults_enabled() {
+        ctx.send_reliable(to, payload)
+    } else {
+        ctx.send(to, payload)
+    }
+}
 
 /// Counters the primary accumulates (exposed for tests and benchmarks via
 /// the observer callback).
@@ -61,7 +80,7 @@ pub fn run_primary(
                 expected,
             } => match store.certify(&key, value.clone(), expected) {
                 Ok(version) => {
-                    ctx.affirm(aid)?;
+                    let applied = ctx.try_affirm(aid)?;
                     observer(CertifyOutcome::Committed);
                     for &r in replicas.iter().filter(|&&r| r != msg.from) {
                         ctx.send(
@@ -74,11 +93,29 @@ pub fn run_primary(
                             .to_value(),
                         )?;
                     }
+                    if !applied {
+                        // The assumption was denied out from under the
+                        // updater (a fault-injected kill), so the affirm
+                        // could not serve as the commit acknowledgement.
+                        // The restarted client is in its repair loop: ship
+                        // the committed state explicitly.
+                        send_repair(
+                            ctx,
+                            msg.from,
+                            RepMsg::State {
+                                key,
+                                value,
+                                version,
+                            }
+                            .to_value(),
+                        )?;
+                    }
                 }
                 Err((cur_value, cur_version)) => {
                     // Ship the repair before the deny so it is already in
                     // flight when the client's rollback re-reads.
-                    ctx.send(
+                    send_repair(
+                        ctx,
                         msg.from,
                         RepMsg::State {
                             key: key.clone(),
@@ -99,13 +136,29 @@ pub fn run_primary(
                     for (k, v, expected) in &entries {
                         store.install(k, v.clone(), expected + 1);
                     }
-                    ctx.affirm(aid)?;
+                    let applied = ctx.try_affirm(aid)?;
                     observer(CertifyOutcome::Committed);
                     for (k, v, expected) in &entries {
                         for &r in replicas.iter().filter(|&&r| r != msg.from) {
                             ctx.send(
                                 r,
                                 RepMsg::Notice {
+                                    key: k.clone(),
+                                    value: v.clone(),
+                                    version: expected + 1,
+                                }
+                                .to_value(),
+                            )?;
+                        }
+                    }
+                    if !applied {
+                        // As in the single-key arm: the updater was killed
+                        // with the assumption open, so repair it per key.
+                        for (k, v, expected) in &entries {
+                            send_repair(
+                                ctx,
+                                msg.from,
+                                RepMsg::State {
                                     key: k.clone(),
                                     value: v.clone(),
                                     version: expected + 1,
@@ -123,7 +176,8 @@ pub fn run_primary(
                             .get(k)
                             .map(|(v, ver)| (v.clone(), ver))
                             .unwrap_or((Value::Unit, 0));
-                        ctx.send(
+                        send_repair(
+                            ctx,
                             msg.from,
                             RepMsg::State {
                                 key: k.clone(),

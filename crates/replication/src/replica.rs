@@ -104,21 +104,40 @@ impl Replica {
     ///
     /// Propagates runtime [`Signal`](hope_runtime::Signal)s.
     pub fn write_optimistic(&mut self, ctx: &mut Ctx, key: &str, value: Value) -> Hope<bool> {
+        self.write_with(ctx, key, value, false)
+    }
+
+    /// Like [`Replica::write_optimistic`], but ships the update over
+    /// [`Ctx::send_reliable`], so the write survives an unreliable link or
+    /// a primary outage: dropped or outage-lost update messages are
+    /// retransmitted (with the same dependence tag) until the primary acks
+    /// them. Use this variant under fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime [`Signal`](hope_runtime::Signal)s.
+    pub fn write_reliable(&mut self, ctx: &mut Ctx, key: &str, value: Value) -> Hope<bool> {
+        self.write_with(ctx, key, value, true)
+    }
+
+    fn write_with(&mut self, ctx: &mut Ctx, key: &str, value: Value, reliable: bool) -> Hope<bool> {
         self.drain_notices(ctx)?;
         let mut first_try = true;
         loop {
             let expected = self.cache.version(key);
             let aid = ctx.aid_init()?;
-            ctx.send(
-                self.primary,
-                RepMsg::Update {
-                    aid,
-                    key: key.into(),
-                    value: value.clone(),
-                    expected,
-                }
-                .to_value(),
-            )?;
+            let payload = RepMsg::Update {
+                aid,
+                key: key.into(),
+                value: value.clone(),
+                expected,
+            }
+            .to_value();
+            if reliable {
+                ctx.send_reliable(self.primary, payload)?;
+            } else {
+                ctx.send(self.primary, payload)?;
+            }
             if ctx.guess(aid)? {
                 // Optimistic path: assume certification succeeds.
                 self.cache.install(key, value, expected + 1);
@@ -250,7 +269,9 @@ fn is_notice(m: &Message) -> bool {
 }
 
 fn is_state_for(m: &Message, key: &str) -> bool {
-    m.kind == MsgKind::Plain
+    // Repairs arrive as plain or reliable sends; RPC replies (which also
+    // carry `State` payloads) are claimed by the rpc machinery instead.
+    !matches!(m.kind, MsgKind::Request(_) | MsgKind::Reply(_))
         && matches!(
             RepMsg::from_value(&m.payload),
             Some(RepMsg::State { key: k, .. }) if k == key
@@ -471,6 +492,83 @@ mod tests {
         let r = sim.run();
         assert_eq!(r.output_lines(), vec!["txn ok"], "{r}");
         assert_eq!(r.stats().rollback_events, 0);
+    }
+
+    #[test]
+    fn reliable_writes_survive_a_lossy_link() {
+        let primary = ProcessId(1);
+        let plan = hope_runtime::FaultPlan::new(17).drop_rate(0.3);
+        let mut sim = Simulation::new(
+            SimConfig::with_seed(2)
+                .with_topology(topo())
+                .with_faults(plan),
+        );
+        sim.spawn("client", move |ctx| {
+            let mut rep = Replica::new(primary);
+            for i in 0..5 {
+                rep.write_reliable(ctx, "x", Value::Int(i))?;
+                ctx.output(format!("wrote {i}"))?;
+            }
+            Ok(())
+        });
+        sim.spawn("primary", move |ctx| {
+            run_primary(
+                ctx,
+                vec![ProcessId(0)],
+                VirtualDuration::from_micros(10),
+                |_| {},
+            )
+        });
+        let r = sim.run();
+        assert_eq!(
+            r.output_lines(),
+            vec!["wrote 0", "wrote 1", "wrote 2", "wrote 3", "wrote 4"],
+            "{r}"
+        );
+        assert!(r.stats().faults.drops > 0, "{r}");
+        assert!(r.stats().faults.retries > 0, "{r}");
+    }
+
+    #[test]
+    fn killed_client_recovers_via_primary_repair() {
+        // The client dies with update assumptions still open. The kill
+        // denies them; on restart the client replays its journal prefix,
+        // its guesses return false, and it falls into the repair loop —
+        // which works because the primary's `try_affirm` detects the
+        // no-op affirm and ships the committed state explicitly.
+        let primary = ProcessId(1);
+        let plan = hope_runtime::FaultPlan::new(9).kill(0, 12, Some(ms(10)));
+        let mut sim = Simulation::new(
+            SimConfig::with_seed(2)
+                .with_topology(topo())
+                .with_faults(plan),
+        );
+        sim.spawn("client", move |ctx| {
+            let mut rep = Replica::new(primary);
+            for i in 0..5 {
+                rep.write_reliable(ctx, "x", Value::Int(i))?;
+                ctx.output(format!("wrote {i}"))?;
+            }
+            Ok(())
+        });
+        sim.spawn("primary", move |ctx| {
+            run_primary(
+                ctx,
+                vec![ProcessId(0)],
+                VirtualDuration::from_micros(10),
+                |_| {},
+            )
+        });
+        let r = sim.run();
+        assert_eq!(
+            r.output_lines(),
+            vec!["wrote 0", "wrote 1", "wrote 2", "wrote 3", "wrote 4"],
+            "{r}"
+        );
+        assert_eq!(r.stats().faults.kills, 1, "{r}");
+        assert_eq!(r.stats().faults.restarts, 1, "{r}");
+        assert!(r.stats().faults.crash_denies > 0, "{r}");
+        assert!(r.stats().rollback_events > 0, "{r}");
     }
 
     #[test]

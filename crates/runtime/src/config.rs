@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use hope_sim::{Topology, VirtualDuration, VirtualTime};
+use hope_sim::{FaultPlan, Topology, VirtualDuration, VirtualTime};
 
 /// Configuration for a [`Simulation`](crate::Simulation).
 ///
@@ -26,6 +26,12 @@ pub struct SimConfig {
     pub max_virtual_time: VirtualTime,
     /// Hard stop: maximum number of scheduler events.
     pub max_events: u64,
+    /// Hard stop per process: a body whose journal grows beyond this many
+    /// entries is crashed with
+    /// [`CrashReason::LimitExceeded`](crate::CrashReason) (a runaway retry
+    /// loop under a hostile [`FaultPlan`] would otherwise spin until
+    /// `max_events`).
+    pub max_journal_entries: usize,
     /// Run the engine's O(intervals × AIDs) structural invariant check
     /// after every transition. Invaluable when debugging a protocol,
     /// ruinous for long simulations; the engine's own test suite covers
@@ -59,6 +65,21 @@ pub struct SimConfig {
     /// AIDs that were concurrently decided. Off by default: it keeps a
     /// vector clock per process and inspects every action.
     pub detect_races: bool,
+    /// The fault schedule, if any (see [`FaultPlan`]). `None` gives the
+    /// perfect substrate: exactly-once delivery, no kills. Fault verdicts
+    /// draw from a dedicated RNG stream seeded by the *plan's* seed, so
+    /// the same plan injects the same faults regardless of `seed`.
+    pub faults: Option<FaultPlan>,
+    /// Retransmission timeout for [`Ctx::send_reliable`](crate::Ctx):
+    /// the deterministic deadline by which the "delivered" assumption must
+    /// be affirmed by an ack before the runtime denies it and the sender
+    /// retries. The default (50 ms) comfortably covers a coast-to-coast
+    /// round trip, so fault-free runs never time out spuriously.
+    pub ack_timeout: VirtualDuration,
+    /// Upper bound on the exponential backoff of successive
+    /// [`Ctx::send_reliable`](crate::Ctx) retries (the k-th retry waits
+    /// `min(ack_timeout << (k-1), ack_backoff_cap)`).
+    pub ack_backoff_cap: VirtualDuration,
 }
 
 impl SimConfig {
@@ -98,10 +119,14 @@ impl Default for SimConfig {
             tracking_overhead: VirtualDuration::ZERO,
             max_virtual_time: VirtualTime::MAX,
             max_events: 10_000_000,
+            max_journal_entries: 1_000_000,
             check_engine_invariants: false,
             trace: false,
             commit_at_quiescence: false,
             detect_races: false,
+            faults: None,
+            ack_timeout: VirtualDuration::from_millis(50),
+            ack_backoff_cap: VirtualDuration::from_millis(400),
         }
     }
 }
@@ -126,6 +151,60 @@ impl SimConfig {
         self.detect_races = on;
         self
     }
+
+    /// Install a fault schedule (see [`SimConfig::faults`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Replace the topology (alias of [`SimConfig::topology`], for
+    /// builder-chain symmetry with the other `with_*` methods).
+    pub fn with_topology(self, topology: Topology) -> Self {
+        self.topology(topology)
+    }
+
+    /// Replace the rollback overhead (alias of
+    /// [`SimConfig::rollback_overhead`]).
+    pub fn with_rollback_overhead(self, d: VirtualDuration) -> Self {
+        self.rollback_overhead(d)
+    }
+
+    /// Replace the per-message tracking overhead (alias of
+    /// [`SimConfig::tracking_overhead`]).
+    pub fn with_tracking_overhead(self, d: VirtualDuration) -> Self {
+        self.tracking_overhead(d)
+    }
+
+    /// Replace the scheduler-event hard stop.
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Replace the virtual-time hard stop.
+    pub fn with_max_virtual_time(mut self, max: VirtualTime) -> Self {
+        self.max_virtual_time = max;
+        self
+    }
+
+    /// Replace the per-process journal-size hard stop.
+    pub fn with_max_journal_entries(mut self, max: usize) -> Self {
+        self.max_journal_entries = max;
+        self
+    }
+
+    /// Replace the reliable-send retransmission timeout.
+    pub fn with_ack_timeout(mut self, d: VirtualDuration) -> Self {
+        self.ack_timeout = d;
+        self
+    }
+
+    /// Replace the reliable-send backoff cap.
+    pub fn with_ack_backoff_cap(mut self, d: VirtualDuration) -> Self {
+        self.ack_backoff_cap = d;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +219,9 @@ mod tests {
         assert_eq!(c.rollback_overhead, VirtualDuration::ZERO);
         assert_eq!(c.max_virtual_time, VirtualTime::MAX);
         assert!(c.max_events > 0);
+        assert!(c.max_journal_entries > 0);
+        assert!(c.faults.is_none());
+        assert!(c.ack_timeout < c.ack_backoff_cap);
     }
 
     #[test]
@@ -156,5 +238,26 @@ mod tests {
             c.topology.sample(0, 1, &mut rng),
             VirtualDuration::from_millis(15)
         );
+    }
+
+    #[test]
+    fn with_builder_methods() {
+        let plan = FaultPlan::new(11).drop_rate(0.2);
+        let c = SimConfig::with_seed(4)
+            .with_topology(Topology::coast_to_coast())
+            .with_rollback_overhead(VirtualDuration::from_micros(5))
+            .with_tracking_overhead(VirtualDuration::from_nanos(1))
+            .with_max_events(123)
+            .with_max_virtual_time(VirtualTime::from_nanos(999))
+            .with_max_journal_entries(77)
+            .with_ack_timeout(VirtualDuration::from_millis(20))
+            .with_ack_backoff_cap(VirtualDuration::from_millis(80))
+            .with_faults(plan.clone());
+        assert_eq!(c.max_events, 123);
+        assert_eq!(c.max_virtual_time, VirtualTime::from_nanos(999));
+        assert_eq!(c.max_journal_entries, 77);
+        assert_eq!(c.ack_timeout, VirtualDuration::from_millis(20));
+        assert_eq!(c.ack_backoff_cap, VirtualDuration::from_millis(80));
+        assert_eq!(c.faults, Some(plan));
     }
 }

@@ -24,8 +24,9 @@ use parking_lot::Mutex;
 use crate::journal::Entry;
 use crate::message::{Message, MsgKind};
 use crate::scheduler::ResumeSignal;
-use crate::shared::{ProcState, Shared};
+use crate::shared::{EventKind, ProcState, Shared};
 use crate::signal::{Hope, Signal};
+use crate::stats::CrashReason;
 use crate::value::Value;
 
 /// The handle a process body uses to interact with the simulated world.
@@ -77,6 +78,20 @@ impl Ctx {
         self.cursor < self.replay_len
     }
 
+    /// `true` when this run has a fault schedule installed
+    /// ([`SimConfig::with_faults`](crate::SimConfig::with_faults)).
+    ///
+    /// Constant for the whole run (so it is safe to branch on without
+    /// journaling). Protocols use it to choose a delivery discipline: on a
+    /// reliable network a plain [`send`](Ctx::send) already delivers, and a
+    /// verifier can stay fully definite; under an unreliable one,
+    /// loss-sensitive messages must ride
+    /// [`send_reliable`](Ctx::send_reliable) at the cost of a brief
+    /// speculative window per send.
+    pub fn faults_enabled(&self) -> bool {
+        self.shared.lock().config.faults.is_some()
+    }
+
     // ------------------------------------------------------------------
     // replay machinery
     // ------------------------------------------------------------------
@@ -94,6 +109,30 @@ impl Ctx {
         drop(sh);
         self.cursor += 1;
         Some(e)
+    }
+
+    /// Replay the next journal entry, or — on the live path — enforce the
+    /// journal budget before the caller appends a new one. A body stuck in
+    /// an unbounded retry loop (e.g. [`Ctx::send_reliable`] to a peer
+    /// partitioned away forever) would otherwise grow its journal without
+    /// bound; crossing [`SimConfig::max_journal_entries`](crate::SimConfig)
+    /// crashes the process with [`CrashReason::LimitExceeded`].
+    fn live_entry(&mut self) -> Hope<Option<Entry>> {
+        if let Some(e) = self.replay_next() {
+            return Ok(Some(e));
+        }
+        let mut sh = self.shared.lock();
+        let limit = sh.config.max_journal_entries;
+        if sh.procs[self.idx].journal.len() >= limit {
+            let pid = self.pid;
+            sh.trace(|| format!("{pid}: journal limit ({limit} entries) exceeded"));
+            sh.procs[self.idx].state = ProcState::Crashed;
+            sh.procs[self.idx].crash = Some(CrashReason::LimitExceeded(format!(
+                "journal grew past {limit} entries"
+            )));
+            return Err(Signal::Shutdown);
+        }
+        Ok(None)
     }
 
     fn diverged(&self, expected: &str, got: &Entry) -> ! {
@@ -136,7 +175,7 @@ impl Ctx {
     ///
     /// Returns a [`Signal`] only on shutdown (never blocks otherwise).
     pub fn aid_init(&mut self) -> Hope<AidId> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::AidInit(aid) => return Ok(aid),
                 other => self.diverged("aid_init", &other),
@@ -159,7 +198,7 @@ impl Ctx {
     /// [`Signal::Rollback`]/[`Signal::Shutdown`] propagated from the
     /// runtime.
     pub fn guess(&mut self, aid: AidId) -> Hope<bool> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Guess { aid: a, value } if a == aid => return Ok(value),
                 other => self.diverged("guess", &other),
@@ -194,7 +233,77 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn affirm(&mut self, aid: AidId) -> Hope<()> {
-        self.primitive(aid, Prim::Affirm)
+        self.try_affirm(aid).map(|_| ())
+    }
+
+    /// Like [`Ctx::affirm`], but reports whether the affirm took effect:
+    /// `false` means the AID was already decided (e.g. denied by a crash
+    /// kill after its message was delivered) and the affirm was a recorded
+    /// no-op. Protocols that use an affirm as a commit acknowledgement
+    /// should check this and fall back to an explicit repair when it
+    /// returns `false`.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn try_affirm(&mut self, aid: AidId) -> Hope<bool> {
+        if let Some(e) = self.live_entry()? {
+            match e {
+                Entry::Affirm { aid: a, applied } if a == aid => return Ok(applied),
+                other => self.diverged("affirm", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let result = sh.engine.affirm(self.pid, aid);
+        let pid = self.pid;
+        let applied = !matches!(result, Err(Error::AidConsumed(_)));
+        sh.trace(|| {
+            format!(
+                "{pid}: affirm({aid}){}",
+                if applied {
+                    ""
+                } else {
+                    " [already decided: no-op]"
+                }
+            )
+        });
+        sh.procs[self.idx]
+            .journal
+            .push(Entry::Affirm { aid, applied });
+        let rolled = match result {
+            Ok(fx) => {
+                let rolled = sh.apply_effects(self.idx, &fx);
+                sh.observe(
+                    pid,
+                    &Action::Affirm {
+                        aid,
+                        speculative: fx.iter().any(|e| {
+                            matches!(e, hope_core::Effect::SpeculativelyAffirmed { aid: a, .. }
+                                     if *a == aid)
+                        }),
+                    },
+                    &fx,
+                );
+                rolled
+            }
+            Err(Error::AidConsumed(_)) => {
+                sh.observe(
+                    pid,
+                    &Action::SkippedDecide {
+                        aid,
+                        kind: DecideKind::Affirm,
+                    },
+                    &[],
+                );
+                false
+            }
+            Err(e) => panic!("engine rejected affirm: {e}"),
+        };
+        drop(sh);
+        if rolled {
+            return Err(Signal::Rollback);
+        }
+        Ok(applied)
     }
 
     /// `deny(x)`: assert the assumption was wrong, rolling back every
@@ -220,13 +329,9 @@ impl Ctx {
     }
 
     fn primitive(&mut self, aid: AidId, prim: Prim) -> Hope<()> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match (&e, prim) {
-                (Entry::Affirm(a), Prim::Affirm)
-                | (Entry::Deny(a), Prim::Deny)
-                | (Entry::FreeOf(a), Prim::FreeOf)
-                    if *a == aid =>
-                {
+                (Entry::Deny(a), Prim::Deny) | (Entry::FreeOf(a), Prim::FreeOf) if *a == aid => {
                     return Ok(());
                 }
                 _ => self.diverged(prim.name(), &e),
@@ -234,12 +339,10 @@ impl Ctx {
         }
         let mut sh = self.shared.lock();
         let result = match prim {
-            Prim::Affirm => sh.engine.affirm(self.pid, aid),
             Prim::Deny => sh.engine.deny(self.pid, aid),
             Prim::FreeOf => sh.engine.free_of(self.pid, aid),
         };
         let entry = match prim {
-            Prim::Affirm => Entry::Affirm(aid),
             Prim::Deny => Entry::Deny(aid),
             Prim::FreeOf => Entry::FreeOf(aid),
         };
@@ -261,13 +364,6 @@ impl Ctx {
             Ok(fx) => {
                 let rolled = sh.apply_effects(self.idx, &fx);
                 let action = match prim {
-                    Prim::Affirm => Action::Affirm {
-                        aid,
-                        speculative: fx.iter().any(|e| {
-                            matches!(e, hope_core::Effect::SpeculativelyAffirmed { aid: a, .. }
-                                     if *a == aid)
-                        }),
-                    },
                     Prim::Deny => Action::Deny {
                         aid,
                         speculative: fx.iter().any(|e| {
@@ -307,7 +403,7 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn is_speculative(&mut self) -> Hope<bool> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Flag(v) => return Ok(v),
                 other => self.diverged("is_speculative", &other),
@@ -332,7 +428,7 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn compute(&mut self, d: VirtualDuration) -> Hope<()> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Compute(_) => return Ok(()),
                 other => self.diverged("compute", &other),
@@ -353,7 +449,7 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn now(&mut self) -> Hope<VirtualTime> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Now(t) => return Ok(t),
                 other => self.diverged("now", &other),
@@ -371,7 +467,7 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn random_u64(&mut self) -> Hope<u64> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Rand(v) => return Ok(v),
                 other => self.diverged("rand", &other),
@@ -402,7 +498,7 @@ impl Ctx {
     /// [`Signal`]s propagated from the runtime.
     pub fn output(&mut self, line: impl Into<String>) -> Hope<()> {
         let line = line.into();
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Output => return Ok(()),
                 other => self.diverged("output", &other),
@@ -440,6 +536,95 @@ impl Ctx {
     /// [`Signal`]s propagated from the runtime.
     pub fn send_request(&mut self, to: ProcessId, payload: impl Into<Value>) -> Hope<u64> {
         self.send_kind(to, MsgKind::Request, payload.into())
+    }
+
+    /// Send `payload` to `to` reliably, built from HOPE's own primitives:
+    /// each attempt guesses "this copy was delivered", the runtime's
+    /// delivery ack affirms the guess, and a deterministic timeout
+    /// ([`SimConfig::ack_timeout`](crate::SimConfig), doubling per retry up
+    /// to [`SimConfig::ack_backoff_cap`](crate::SimConfig)) denies it,
+    /// rolling the sender back into this loop to retransmit. The logical
+    /// sequence number (returned) is journaled once, so every
+    /// retransmission carries the same one and the receiver deduplicates;
+    /// the sender's dependence tag flows through retries unchanged.
+    ///
+    /// The call does not block: the guess succeeds speculatively and the
+    /// body runs ahead; only a timeout deny rewinds it here. With no fault
+    /// plan the first attempt's ack always lands, so this degrades to a
+    /// plain send plus one assumption and its ack. The copy is sent
+    /// *before* the guess, so its tag excludes the attempt's own
+    /// "delivered" AID — a timed-out-but-merely-slow copy still arrives
+    /// (deduplicated by sequence) instead of ghosting itself.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn send_reliable(&mut self, to: ProcessId, payload: impl Into<Value>) -> Hope<u64> {
+        let payload = payload.into();
+        let seq = self.next_reliable_seq()?;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let aid = self.aid_init()?;
+            self.send_reliable_attempt(to, seq, aid, attempt, payload.clone())?;
+            if self.guess(aid)? {
+                return Ok(seq);
+            }
+            // Denied (timeout, or a fault kill): re-execution replayed the
+            // journal back to this loop; go around for the next attempt.
+        }
+    }
+
+    /// Allocate the logical sequence number for a `send_reliable`. The
+    /// allocation is journaled *before* the retry loop, so re-executions
+    /// rolled back into the loop reuse the recorded number — which is what
+    /// makes receiver-side deduplication sound.
+    fn next_reliable_seq(&mut self) -> Hope<u64> {
+        if let Some(e) = self.live_entry()? {
+            match e {
+                Entry::ReliableSeq(s) => return Ok(s),
+                other => self.diverged("reliable_seq", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        let seq = sh.procs[self.idx].next_reliable;
+        sh.procs[self.idx].next_reliable += 1;
+        sh.procs[self.idx].journal.push(Entry::ReliableSeq(seq));
+        Ok(seq)
+    }
+
+    /// One `send_reliable` attempt: dispatch the copy and arm its
+    /// retransmission deadline. Replayed attempts re-arm nothing — their
+    /// fate was already decided.
+    fn send_reliable_attempt(
+        &mut self,
+        to: ProcessId,
+        seq: u64,
+        aid: AidId,
+        attempt: u32,
+        payload: Value,
+    ) -> Hope<u64> {
+        if let Some(e) = self.live_entry()? {
+            match e {
+                Entry::Send { msg_id } => return Ok(msg_id),
+                other => self.diverged("send", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        if attempt > 1 {
+            sh.stats.faults.retries += 1;
+        }
+        let id = sh.send_message_with(self.idx, to, |_| MsgKind::Reliable { seq, aid }, payload);
+        let shift = (attempt - 1).min(16);
+        let deadline = (sh.config.ack_timeout * (1u64 << shift)).min(sh.config.ack_backoff_cap);
+        let at = sh.now + deadline;
+        sh.pending_system += 1;
+        sh.queue.push(at, EventKind::AckTimeout { aid });
+        let pid = self.pid;
+        sh.trace(|| format!("{pid}: send m{id} -> {to} [reliable seq={seq} attempt={attempt}]"));
+        sh.procs[self.idx].journal.push(Entry::Send { msg_id: id });
+        sh.observe(pid, &Action::Send { to, msg: id }, &[]);
+        Ok(id)
     }
 
     /// Receive the next deliverable message (blocking). Ghost messages —
@@ -487,7 +672,7 @@ impl Ctx {
     }
 
     fn try_recv_where(&mut self, pred: &dyn Fn(&Message) -> bool) -> Hope<Option<Message>> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Recv(m) => return Ok(Some(*m)),
                 Entry::Flag(false) => return Ok(None),
@@ -519,6 +704,9 @@ impl Ctx {
                     match outcome {
                         ReceiveOutcome::Ghost(denied) => {
                             sh.stats.ghosts_dropped += 1;
+                            if sh.fault_denied.contains(&denied) {
+                                sh.stats.faults.ghosts_from_faults += 1;
+                            }
                             let pid = self.pid;
                             sh.trace(|| {
                                 format!("{pid}: ghost m{} dropped ({denied} denied)", m.id)
@@ -593,7 +781,7 @@ impl Ctx {
         kind_of: impl FnOnce(u64) -> MsgKind,
         payload: Value,
     ) -> Hope<u64> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Send { msg_id } => return Ok(msg_id),
                 other => self.diverged("send", &other),
@@ -609,7 +797,7 @@ impl Ctx {
     }
 
     fn recv_where(&mut self, pred: &dyn Fn(&Message) -> bool) -> Hope<Message> {
-        if let Some(e) = self.replay_next() {
+        if let Some(e) = self.live_entry()? {
             match e {
                 Entry::Recv(m) => return Ok(*m),
                 other => self.diverged("recv", &other),
@@ -636,6 +824,9 @@ impl Ctx {
                     match outcome {
                         ReceiveOutcome::Ghost(denied) => {
                             sh.stats.ghosts_dropped += 1;
+                            if sh.fault_denied.contains(&denied) {
+                                sh.stats.faults.ghosts_from_faults += 1;
+                            }
                             let pid = self.pid;
                             sh.trace(|| {
                                 format!("{pid}: ghost m{} dropped ({denied} denied)", m.id)
@@ -696,7 +887,6 @@ impl Ctx {
 
 #[derive(Debug, Clone, Copy)]
 enum Prim {
-    Affirm,
     Deny,
     FreeOf,
 }
@@ -704,7 +894,6 @@ enum Prim {
 impl Prim {
     fn name(self) -> &'static str {
         match self {
-            Prim::Affirm => "affirm",
             Prim::Deny => "deny",
             Prim::FreeOf => "free_of",
         }
@@ -712,7 +901,6 @@ impl Prim {
 
     fn kind(self) -> DecideKind {
         match self {
-            Prim::Affirm => DecideKind::Affirm,
             Prim::Deny => DecideKind::Deny,
             Prim::FreeOf => DecideKind::FreeOf,
         }

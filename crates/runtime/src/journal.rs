@@ -26,8 +26,15 @@ pub(crate) enum Entry {
     AidInit(AidId),
     /// `guess(aid)` returned `value`.
     Guess { aid: AidId, value: bool },
-    /// `affirm(aid)` was issued (replay: skip).
-    Affirm(AidId),
+    /// `affirm(aid)` was issued; `applied` is `false` when the AID was
+    /// already decided and the affirm was a recorded no-op (replay returns
+    /// `applied` so `try_affirm` branches identically).
+    Affirm {
+        /// The affirmed AID.
+        aid: AidId,
+        /// Whether the affirm took effect (vs. a recorded no-op).
+        applied: bool,
+    },
     /// `deny(aid)` was issued (replay: skip).
     Deny(AidId),
     /// `free_of(aid)` was issued (replay: skip).
@@ -50,6 +57,11 @@ pub(crate) enum Entry {
     /// Journaled because the engine's answer at replay time may differ from
     /// the answer the body originally branched on.
     Flag(bool),
+    /// `send_reliable` allocated this logical sequence number. Journaled
+    /// *before* the retry loop so every retransmission — including
+    /// re-executions after a rollback into the loop — reuses the same
+    /// number, which is what makes receiver-side deduplication sound.
+    ReliableSeq(u64),
 }
 
 impl Entry {
@@ -58,7 +70,7 @@ impl Entry {
         match self {
             Entry::AidInit(_) => "aid_init",
             Entry::Guess { .. } => "guess",
-            Entry::Affirm(_) => "affirm",
+            Entry::Affirm { .. } => "affirm",
             Entry::Deny(_) => "deny",
             Entry::FreeOf(_) => "free_of",
             Entry::Compute(_) => "compute",
@@ -68,6 +80,7 @@ impl Entry {
             Entry::Rand(_) => "rand",
             Entry::Output => "output",
             Entry::Flag(_) => "flag",
+            Entry::ReliableSeq(_) => "reliable_seq",
         }
     }
 }
@@ -132,5 +145,6 @@ mod tests {
         assert_eq!(Entry::Output.kind(), "output");
         assert_eq!(Entry::Compute(VirtualDuration::ZERO).kind(), "compute");
         assert_eq!(Entry::Send { msg_id: 0 }.kind(), "send");
+        assert_eq!(Entry::ReliableSeq(1).kind(), "reliable_seq");
     }
 }

@@ -58,6 +58,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 mod config;
 mod ctx;
 mod journal;
@@ -68,16 +69,19 @@ mod signal;
 mod stats;
 mod value;
 
+pub use chaos::{chaos_sweep, committed_outputs, ChaosFailure, ChaosOutcome};
 pub use config::SimConfig;
 pub use ctx::Ctx;
 pub use message::{Message, MsgKind};
 pub use scheduler::Simulation;
 pub use signal::{Hope, Signal};
-pub use stats::{OutputLine, RunReport, RunStats};
+pub use stats::{CrashReason, FaultStats, OutputLine, RunReport, RunStats};
 pub use value::Value;
 
 // Re-export the identifier types users need to talk about processes and
-// assumptions, so simple programs need not depend on hope-core directly.
+// assumptions, so simple programs need not depend on hope-core directly —
+// and the fault-plan vocabulary, so chaos tests need not depend on
+// hope-sim.
 pub use hope_analysis::dynamic::{RaceKind, RaceReport};
 pub use hope_core::{AidId, AidState, ProcessId};
-pub use hope_sim::{VirtualDuration, VirtualTime};
+pub use hope_sim::{FaultPlan, Kill, LinkVerdict, Partition, VirtualDuration, VirtualTime};

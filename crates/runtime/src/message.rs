@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use hope_core::{ProcessId, Tag};
+use hope_core::{AidId, ProcessId, Tag};
 use hope_sim::VirtualTime;
 
 use crate::value::Value;
@@ -23,13 +23,24 @@ pub enum MsgKind {
     Request(u64),
     /// An RPC reply to the request with the same call id.
     Reply(u64),
+    /// A [`Ctx::send_reliable`](crate::Ctx::send_reliable) message: `seq`
+    /// is the sender's per-process logical sequence number (stable across
+    /// retransmissions, used for receiver-side deduplication) and `aid` is
+    /// the sender's "delivered" assumption, which the runtime's ack
+    /// affirms on delivery.
+    Reliable {
+        /// Per-sender logical sequence number.
+        seq: u64,
+        /// The sender's "delivered" assumption for this attempt.
+        aid: AidId,
+    },
 }
 
 impl MsgKind {
     /// The call id, for requests and replies.
     pub fn call_id(&self) -> Option<u64> {
         match self {
-            MsgKind::Plain => None,
+            MsgKind::Plain | MsgKind::Reliable { .. } => None,
             MsgKind::Request(id) | MsgKind::Reply(id) => Some(*id),
         }
     }
@@ -84,6 +95,20 @@ impl Message {
     pub fn is_reply_to(&self, call_id: u64) -> bool {
         self.kind == MsgKind::Reply(call_id)
     }
+
+    /// The sender's logical sequence number, for messages sent with
+    /// [`Ctx::send_reliable`](crate::Ctx::send_reliable). Retransmissions
+    /// of one logical send keep their number (the deduplication key), but
+    /// numbers are *not* dense: a send rolled back by a cascade re-executes
+    /// under a fresh number (reuse would collide with the receiver's dedup
+    /// memory of the dead copy). Receivers expecting in-order data should
+    /// therefore match on an index carried in the payload, not on this.
+    pub fn reliable_seq(&self) -> Option<u64> {
+        match self.kind {
+            MsgKind::Reliable { seq, .. } => Some(seq),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Message {
@@ -136,6 +161,18 @@ mod tests {
         m.kind = MsgKind::Reply(9);
         assert!(m.is_reply_to(9));
         assert!(!m.is_reply_to(8));
+    }
+
+    #[test]
+    fn reliable_kind_exposes_seq_but_no_call_id() {
+        let mut m = msg(1, 1, 0);
+        assert_eq!(m.reliable_seq(), None);
+        m.kind = MsgKind::Reliable {
+            seq: 42,
+            aid: hope_core::AidId::from_index(3),
+        };
+        assert_eq!(m.reliable_seq(), Some(42));
+        assert_eq!(m.kind.call_id(), None);
     }
 
     #[test]

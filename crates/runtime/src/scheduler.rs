@@ -28,7 +28,7 @@ use crate::journal::Journal;
 use crate::message::Mailbox;
 use crate::shared::{EventKind, ObserverSlot, ProcShared, ProcState, Shared};
 use crate::signal::{Hope, Signal};
-use crate::stats::RunReport;
+use crate::stats::{CrashReason, RunReport};
 
 /// What the scheduler tells a parked process thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,7 +127,8 @@ impl Simulation {
             wake_epoch: 0,
             rng: hope_sim::SimRng::new(seed).fork(idx as u64),
             finish_time: None,
-            error: None,
+            crash: None,
+            next_reliable: 0,
         });
         self.bodies.push(Arc::new(body));
         pid
@@ -212,8 +213,9 @@ impl Simulation {
                 let mut sh = shared.lock();
                 if sh.procs[proc].state == ProcState::Running {
                     sh.procs[proc].state = ProcState::Crashed;
-                    sh.procs[proc].error =
-                        Some("process thread exited without yielding".to_string());
+                    sh.procs[proc].crash = Some(CrashReason::Panic(
+                        "process thread exited without yielding".to_string(),
+                    ));
                 }
             }
         };
@@ -239,7 +241,9 @@ impl Simulation {
                     .iter()
                     .all(|p| matches!(p.state, ProcState::Finished | ProcState::Crashed));
                 let any_pending = sh.procs.iter().any(|p| p.rollback_pending);
-                if all_done && !any_pending {
+                // Acks, retransmission deadlines and restarts still change
+                // outcomes after every body has returned; drain them first.
+                if all_done && !any_pending && sh.pending_system == 0 {
                     Step::Quiesced
                 } else {
                     match sh.queue.pop() {
@@ -254,6 +258,24 @@ impl Simulation {
                                 } else {
                                     if t > sh.now {
                                         sh.now = t;
+                                    }
+                                    // Process faults fire between events:
+                                    // "crash at the Nth scheduler step"
+                                    // means just before the Nth dispatch.
+                                    let kills: Vec<(usize, Option<VirtualDuration>)> = sh
+                                        .config
+                                        .faults
+                                        .as_ref()
+                                        .map(|plan| {
+                                            plan.kills_at(events)
+                                                .map(|k| (k.node as usize, k.restart_after))
+                                                .collect()
+                                        })
+                                        .unwrap_or_default();
+                                    for (victim, restart_after) in kills {
+                                        if victim < sh.procs.len() {
+                                            sh.kill_process(victim, restart_after);
+                                        }
                                     }
                                     Step::Run(ev)
                                 }
@@ -287,7 +309,7 @@ impl Simulation {
                     let live = {
                         let sh = shared.lock();
                         sh.procs[proc].wake_epoch == epoch
-                            && sh.procs[proc].state != ProcState::Crashed
+                            && !matches!(sh.procs[proc].state, ProcState::Crashed | ProcState::Down)
                     };
                     if live {
                         resume(proc);
@@ -296,20 +318,26 @@ impl Simulation {
                 EventKind::Deliver { msg } => {
                     let resume_target = {
                         let mut sh = shared.lock();
-                        let p = sh.idx_of(msg.to);
-                        if sh.procs[p].state == ProcState::Crashed {
-                            None
-                        } else {
-                            sh.stats.messages_delivered += 1;
-                            let (id, from, to) = (msg.id, msg.from, msg.to);
-                            sh.trace(|| format!("deliver m{id} {from} -> {to}"));
-                            sh.procs[p].mailbox.insert(msg.mail_key(), msg);
-                            (sh.procs[p].state == ProcState::BlockedRecv).then_some(p)
-                        }
+                        sh.handle_delivery(msg)
                     };
                     if let Some(p) = resume_target {
                         resume(p);
                     }
+                }
+                EventKind::Ack { aid } => {
+                    let mut sh = shared.lock();
+                    sh.pending_system = sh.pending_system.saturating_sub(1);
+                    sh.ack_fire(aid);
+                }
+                EventKind::AckTimeout { aid } => {
+                    let mut sh = shared.lock();
+                    sh.pending_system = sh.pending_system.saturating_sub(1);
+                    sh.timeout_fire(aid);
+                }
+                EventKind::Restart { proc } => {
+                    let mut sh = shared.lock();
+                    sh.pending_system = sh.pending_system.saturating_sub(1);
+                    sh.restart_fire(proc);
                 }
             }
         }
@@ -327,6 +355,7 @@ impl Simulation {
         let mut finish_times = BTreeMap::new();
         let mut unfinished = Vec::new();
         let mut errors = BTreeMap::new();
+        let mut crashes = BTreeMap::new();
         for p in &sh.procs {
             match p.state {
                 ProcState::Finished => {
@@ -335,10 +364,12 @@ impl Simulation {
                     }
                 }
                 ProcState::Crashed => {
-                    errors.insert(
-                        p.pid,
-                        p.error.clone().unwrap_or_else(|| "crashed".to_string()),
-                    );
+                    let reason = p
+                        .crash
+                        .clone()
+                        .unwrap_or_else(|| CrashReason::Panic("crashed".to_string()));
+                    errors.insert(p.pid, reason.to_string());
+                    crashes.insert(p.pid, reason);
                 }
                 _ => unfinished.push(p.pid),
             }
@@ -354,6 +385,7 @@ impl Simulation {
             finish_times,
             unfinished,
             errors,
+            crashes,
             trace: std::mem::take(&mut sh.trace_log),
             races: sh
                 .race_detector
@@ -438,7 +470,7 @@ fn process_wrapper(
                     {
                         let mut sh = shared.lock();
                         sh.procs[idx].state = ProcState::Crashed;
-                        sh.procs[idx].error = Some(msg);
+                        sh.procs[idx].crash = Some(CrashReason::Panic(msg));
                     }
                     let _ = yield_tx.send(());
                     return;
@@ -749,10 +781,7 @@ mod tests {
 
     #[test]
     fn max_events_limit_stops_runaway() {
-        let cfg = SimConfig {
-            max_events: 50,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::default().with_max_events(50);
         let mut sim = Simulation::new(cfg);
         sim.spawn("spinner", |ctx| loop {
             ctx.compute(ms(1))?;

@@ -5,16 +5,16 @@
 //! [`Shared`] is uncontended; it exists to satisfy the borrow checker
 //! across threads, not to provide parallelism.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use hope_analysis::dynamic::RaceDetector;
-use hope_core::{Action, Effect, Engine, IntervalId, ProcessId, RuntimeObserver};
-use hope_sim::{EventQueue, SimRng, VirtualTime};
+use hope_core::{Action, AidId, AidState, Effect, Engine, IntervalId, ProcessId, RuntimeObserver};
+use hope_sim::{EventQueue, LinkVerdict, SimRng, VirtualDuration, VirtualTime};
 
 use crate::config::SimConfig;
 use crate::journal::{Entry, Journal};
 use crate::message::{Mailbox, Message, MsgKind};
-use crate::stats::{OutputLine, RunStats};
+use crate::stats::{CrashReason, OutputLine, RunStats};
 use crate::value::Value;
 
 /// What a scheduler event does when it fires.
@@ -28,6 +28,15 @@ pub(crate) enum EventKind {
     Wake { proc: usize, epoch: u64 },
     /// Place a message into its destination mailbox.
     Deliver { msg: Message },
+    /// A reliable delivery reached its destination: affirm the sender's
+    /// "delivered" assumption (if still undecided).
+    Ack { aid: AidId },
+    /// A reliable send's retransmission deadline: deny the "delivered"
+    /// assumption (if still undecided), rolling the sender back into its
+    /// retry loop.
+    AckTimeout { aid: AidId },
+    /// Bring a fault-killed process back up (journal-prefix recovery).
+    Restart { proc: usize },
 }
 
 /// Scheduler-visible process state.
@@ -43,6 +52,9 @@ pub(crate) enum ProcState {
     Finished,
     /// Body panicked; the process is dead.
     Crashed,
+    /// Fault-killed with a scheduled restart: deliveries are lost and
+    /// wakes suppressed until the `Restart` event brings it back.
+    Down,
 }
 
 #[derive(Debug)]
@@ -60,7 +72,10 @@ pub(crate) struct ProcShared {
     pub(crate) wake_epoch: u64,
     pub(crate) rng: SimRng,
     pub(crate) finish_time: Option<VirtualTime>,
-    pub(crate) error: Option<String>,
+    pub(crate) crash: Option<CrashReason>,
+    /// Next logical sequence number for `send_reliable` (allocation is
+    /// journaled, so replays reuse the recorded number).
+    pub(crate) next_reliable: u64,
 }
 
 /// The boxed form of an installed observer callback.
@@ -106,11 +121,32 @@ pub(crate) struct Shared {
     /// set; drained into [`RunReport::races`](crate::RunReport::races) at
     /// run end.
     pub(crate) race_detector: Option<RaceDetector>,
+    /// Dedicated RNG stream for fault verdicts, seeded from the plan's own
+    /// seed so a given plan injects the same faults under any master seed.
+    pub(crate) fault_rng: SimRng,
+    /// Engine process id of the fault injector (acks, timeouts, kills),
+    /// lazily registered like the quiescence oracle. It guesses nothing,
+    /// so its affirms and denies are always definite.
+    pub(crate) injector: Option<ProcessId>,
+    /// Reliable deliveries already accepted, keyed by (sender, logical
+    /// seq); duplicates are suppressed (but still acked).
+    pub(crate) seen_reliable: HashSet<(ProcessId, u64)>,
+    /// AIDs denied *by fault injection* (timeouts and kills) — consulted by
+    /// the ghost-drop paths to attribute ghosts to faults.
+    pub(crate) fault_denied: BTreeSet<AidId>,
+    /// Queued `Ack`/`AckTimeout`/`Restart` events not yet fired. Unlike
+    /// `Wake`/`Deliver`, these change outcomes even after every body has
+    /// returned (an ack commits buffered output; a timeout rolls a
+    /// finished sender back), so the scheduler must not declare quiescence
+    /// while any remain.
+    pub(crate) pending_system: u64,
 }
 
 impl Shared {
     pub(crate) fn new(config: SimConfig) -> Self {
         let net_rng = SimRng::new(config.seed).fork(u64::MAX);
+        let fault_seed = config.faults.as_ref().map_or(config.seed, |p| p.seed());
+        let fault_rng = SimRng::new(fault_seed).fork(0xFA17);
         let mut engine = Engine::new();
         engine.set_invariant_checking(config.check_engine_invariants);
         let race_detector = config.detect_races.then(RaceDetector::new);
@@ -131,6 +167,11 @@ impl Shared {
             oracle: None,
             observer: ObserverSlot(None),
             race_detector,
+            fault_rng,
+            injector: None,
+            seen_reliable: HashSet::new(),
+            fault_denied: BTreeSet::new(),
+            pending_system: 0,
         }
     }
 
@@ -183,6 +224,191 @@ impl Shared {
         any
     }
 
+    /// The fault injector's engine process id (registered on first use).
+    /// Like the oracle it guesses nothing, so its decisions are definite
+    /// and it can never be a rollback victim.
+    pub(crate) fn injector(&mut self) -> ProcessId {
+        *self
+            .injector
+            .get_or_insert_with(|| self.engine.register_process())
+    }
+
+    /// Place `msg` into its destination mailbox (reliable messages are
+    /// deduplicated and acked first); returns the destination index if it
+    /// was blocked on `recv` and should be resumed.
+    pub(crate) fn handle_delivery(&mut self, msg: Message) -> Option<usize> {
+        let p = self.idx_of(msg.to);
+        if matches!(self.procs[p].state, ProcState::Crashed | ProcState::Down) {
+            if self.config.faults.is_some() {
+                self.stats.faults.lost_to_down += 1;
+                let (id, to) = (msg.id, msg.to);
+                self.trace(|| format!("FAULT m{id} lost: {to} is down"));
+            }
+            return None;
+        }
+        if let MsgKind::Reliable { seq, aid } = msg.kind {
+            let fresh = self.seen_reliable.insert((msg.from, seq));
+            // Ack even duplicates: the original's ack may have been lost,
+            // and the retransmitting sender needs its assumption affirmed.
+            self.schedule_ack(&msg, aid);
+            if !fresh {
+                self.stats.faults.dupes_suppressed += 1;
+                let (id, from, to) = (msg.id, msg.from, msg.to);
+                self.trace(|| format!("dedup: reliable m{id} {from} -> {to} suppressed"));
+                return None;
+            }
+        }
+        self.stats.messages_delivered += 1;
+        let (id, from, to) = (msg.id, msg.from, msg.to);
+        self.trace(|| format!("deliver m{id} {from} -> {to}"));
+        self.procs[p].mailbox.insert(msg.mail_key(), msg);
+        (self.procs[p].state == ProcState::BlockedRecv).then_some(p)
+    }
+
+    /// Schedule the delivery ack for a reliable message: an engine-level
+    /// affirm of the sender's "delivered" assumption, travelling the
+    /// reverse link (and subject to its faults — minus duplication, which
+    /// is harmless for an idempotent affirm and therefore not modelled).
+    fn schedule_ack(&mut self, msg: &Message, aid: AidId) {
+        let (src, dst) = (msg.to, msg.from);
+        let verdict = match &self.config.faults {
+            Some(plan) => plan.verdict(src.0, dst.0, self.now, &mut self.fault_rng),
+            None => LinkVerdict::Deliver {
+                extra_delay: VirtualDuration::ZERO,
+                duplicate: false,
+            },
+        };
+        let extra = match verdict {
+            LinkVerdict::Drop => {
+                self.stats.faults.ack_drops += 1;
+                let id = msg.id;
+                self.trace(|| format!("FAULT ack for m{id} dropped"));
+                return;
+            }
+            LinkVerdict::Deliver { extra_delay, .. } => extra_delay,
+        };
+        let latency = self.config.topology.sample(src.0, dst.0, &mut self.net_rng);
+        self.stats.faults.acks += 1;
+        let at = self.now + latency + extra;
+        self.pending_system += 1;
+        self.queue.push(at, EventKind::Ack { aid });
+    }
+
+    /// An ack arrived: affirm the "delivered" assumption if still open.
+    pub(crate) fn ack_fire(&mut self, aid: AidId) {
+        if self.engine.aid_state(aid).ok() != Some(AidState::Undecided) {
+            return;
+        }
+        let injector = self.injector();
+        match self.engine.affirm(injector, aid) {
+            Ok(fx) => {
+                self.trace(|| format!("ack: delivered({aid}) affirmed"));
+                let rolled = self.apply_effects(usize::MAX, &fx);
+                debug_assert!(!rolled);
+            }
+            Err(hope_core::Error::AidConsumed(_)) => {}
+            Err(e) => unreachable!("injector affirm cannot fail otherwise: {e}"),
+        }
+    }
+
+    /// A reliable send's retransmission deadline passed with the
+    /// "delivered" assumption still open: deny it, rolling the sender back
+    /// into its retry loop.
+    pub(crate) fn timeout_fire(&mut self, aid: AidId) {
+        if self.engine.aid_state(aid).ok() != Some(AidState::Undecided) {
+            return;
+        }
+        let injector = self.injector();
+        match self.engine.deny(injector, aid) {
+            Ok(fx) => {
+                self.stats.faults.timeout_denies += 1;
+                self.fault_denied.insert(aid);
+                self.trace(|| format!("FAULT timeout: delivered({aid}) denied"));
+                let rolled = self.apply_effects(usize::MAX, &fx);
+                debug_assert!(!rolled);
+            }
+            // A speculative affirm consumed it; its fate now rides on the
+            // affirmer's own assumptions, which is strictly better informed
+            // than a timeout.
+            Err(hope_core::Error::AidConsumed(_)) => {}
+            Err(e) => unreachable!("injector deny cannot fail otherwise: {e}"),
+        }
+    }
+
+    /// Apply a fault-plan kill: deny the victim's own still-open
+    /// assumptions (its in-flight guesses die with it — dependents roll
+    /// back, its unsent suffix becomes ghosts), then freeze it. With
+    /// `restart_after` the process comes back [`ProcState::Down`]-time
+    /// later and recovers by replaying its surviving journal prefix — the
+    /// paper's recovery story executed by the semantics. Assumptions the
+    /// victim merely *inherited* stay with their owners: killing a
+    /// dependent must not forge a deny of someone else's guess.
+    pub(crate) fn kill_process(&mut self, victim: usize, restart_after: Option<VirtualDuration>) {
+        if matches!(
+            self.procs[victim].state,
+            ProcState::Crashed | ProcState::Down
+        ) {
+            return;
+        }
+        self.stats.faults.kills += 1;
+        let pid = self.procs[victim].pid;
+        self.trace(|| format!("FAULT kill {pid} (restart after {restart_after:?})"));
+        let mut own: Vec<AidId> = Vec::new();
+        for i in 0..self.procs[victim].journal.len() {
+            if let Some(Entry::AidInit(a)) = self.procs[victim].journal.get(i) {
+                own.push(*a);
+            }
+        }
+        let injector = self.injector();
+        for aid in own {
+            if self.engine.aid_state(aid).ok() != Some(AidState::Undecided) {
+                continue;
+            }
+            match self.engine.deny(injector, aid) {
+                Ok(fx) => {
+                    self.stats.faults.crash_denies += 1;
+                    self.fault_denied.insert(aid);
+                    let rolled = self.apply_effects(usize::MAX, &fx);
+                    debug_assert!(!rolled);
+                }
+                Err(hope_core::Error::AidConsumed(_)) => {}
+                Err(e) => unreachable!("injector deny cannot fail otherwise: {e}"),
+            }
+        }
+        // Freeze the victim. The epoch bump invalidates any wake the deny
+        // cascade just scheduled for it; a fully-definite victim suffers
+        // pure downtime (its journal doubles as a stable log).
+        self.procs[victim].wake_epoch += 1;
+        match restart_after {
+            Some(delay) => {
+                self.procs[victim].state = ProcState::Down;
+                let at = self.now + delay;
+                self.pending_system += 1;
+                self.queue.push(at, EventKind::Restart { proc: victim });
+            }
+            None => {
+                self.procs[victim].state = ProcState::Crashed;
+                self.procs[victim].crash = Some(CrashReason::FaultKill);
+            }
+        }
+    }
+
+    /// Bring a killed process back up: crash-restart recovery. The body
+    /// re-runs from the top with the surviving journal prefix replayed
+    /// (free and deterministic); the engine already treated the lost
+    /// suffix as a rollback when the kill's denies cascaded.
+    pub(crate) fn restart_fire(&mut self, proc: usize) {
+        if self.procs[proc].state != ProcState::Down {
+            return;
+        }
+        self.stats.faults.restarts += 1;
+        let pid = self.procs[proc].pid;
+        self.trace(|| format!("FAULT restart {pid}: recovering from journal prefix"));
+        self.procs[proc].state = ProcState::Holding;
+        let now = self.now;
+        self.schedule_wake(proc, now);
+    }
+
     /// Append a trace line (no-op unless tracing is configured).
     pub(crate) fn trace(&mut self, line: impl FnOnce() -> String) {
         if self.config.trace {
@@ -222,21 +448,46 @@ impl Shared {
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         let kind = kind_of(id);
-        let seq = self.next_mail_seq;
-        self.next_mail_seq += 1;
+        self.stats.messages_sent += 1;
+        // The fault plan rules on every send; a plan-free run always
+        // delivers cleanly. Note the verdict draws from `fault_rng`, not
+        // `net_rng`, so injecting faults never perturbs latency sampling.
+        let verdict = match &self.config.faults {
+            Some(plan) => plan.verdict(from_pid.0, to.0, self.now, &mut self.fault_rng),
+            None => LinkVerdict::Deliver {
+                extra_delay: VirtualDuration::ZERO,
+                duplicate: false,
+            },
+        };
         let latency = self
             .config
             .topology
             .sample(from_pid.0, to.0, &mut self.net_rng)
             + self.config.tracking_overhead;
+        let (extra_delay, duplicate) = match verdict {
+            LinkVerdict::Drop => {
+                self.stats.faults.drops += 1;
+                self.trace(|| format!("FAULT drop m{id} {from_pid} -> {to}"));
+                return id; // sent, never delivered
+            }
+            LinkVerdict::Deliver {
+                extra_delay,
+                duplicate,
+            } => (extra_delay, duplicate),
+        };
+        if !extra_delay.is_zero() {
+            self.stats.faults.delay_spikes += 1;
+        }
         let link = (from_pid.0, to.0);
-        let mut t_d = self.now + latency;
+        let mut t_d = self.now + latency + extra_delay;
         if let Some(&last) = self.link_last.get(&link) {
             if t_d < last {
                 t_d = last; // per-link FIFO: never overtake
             }
         }
         self.link_last.insert(link, t_d);
+        let seq = self.next_mail_seq;
+        self.next_mail_seq += 1;
         let msg = Message {
             id,
             from: from_pid,
@@ -247,7 +498,28 @@ impl Shared {
             delivered_at: t_d,
             seq,
         };
-        self.stats.messages_sent += 1;
+        if duplicate {
+            // The injected copy travels independently (own latency draw)
+            // but still respects per-link FIFO.
+            self.stats.faults.dupes += 1;
+            let extra_latency = self
+                .config
+                .topology
+                .sample(from_pid.0, to.0, &mut self.net_rng)
+                + self.config.tracking_overhead;
+            let mut t_dup = self.now + extra_latency + extra_delay;
+            if t_dup < t_d {
+                t_dup = t_d;
+            }
+            self.link_last.insert(link, t_dup.max(t_d));
+            let dup_seq = self.next_mail_seq;
+            self.next_mail_seq += 1;
+            let mut dup = msg.clone();
+            dup.delivered_at = t_dup;
+            dup.seq = dup_seq;
+            self.trace(|| format!("FAULT duplicate m{id} {from_pid} -> {to}"));
+            self.queue.push(t_dup, EventKind::Deliver { msg: dup });
+        }
         self.queue.push(t_d, EventKind::Deliver { msg });
         id
     }
@@ -312,6 +584,10 @@ impl Shared {
                     self.procs[victim].rollback_pending = true;
                     if victim == self_idx {
                         self_rolled_back = true;
+                    } else if self.procs[victim].state == ProcState::Down {
+                        // A down process cannot resume yet; its pending
+                        // Restart event will wake it, and the pending flag
+                        // makes that re-execution a recovery replay.
                     } else {
                         let now = self.now;
                         self.schedule_wake(victim, now);
@@ -368,7 +644,8 @@ mod tests {
                 wake_epoch: 0,
                 rng: SimRng::new(i as u64),
                 finish_time: None,
-                error: None,
+                crash: None,
+                next_reliable: 0,
             });
         }
         s
@@ -460,6 +737,168 @@ mod tests {
         assert_eq!(s.stats.outputs_discarded, 1);
         assert_eq!(s.stats.rollback_events, 1);
         assert!(!s.queue.is_empty(), "victim wake scheduled");
+    }
+
+    #[test]
+    fn faulty_send_can_drop_and_duplicate() {
+        use hope_sim::FaultPlan;
+        let mut s = Shared::new(
+            SimConfig::default()
+                .topology(Topology::lan())
+                .with_faults(FaultPlan::new(12).drop_rate(0.5).dupe_rate(0.5)),
+        );
+        for i in 0..2 {
+            let pid = s.engine.register_process();
+            s.procs.push(ProcShared {
+                pid,
+                name: format!("p{i}"),
+                state: ProcState::Holding,
+                mailbox: Mailbox::new(),
+                journal: Journal::default(),
+                rollback_pending: false,
+                wake_epoch: 0,
+                rng: SimRng::new(i as u64),
+                finish_time: None,
+                crash: None,
+                next_reliable: 0,
+            });
+        }
+        for i in 0..64 {
+            s.send_message_with(0, ProcessId(1), |_| MsgKind::Plain, Value::Int(i));
+        }
+        assert_eq!(s.stats.messages_sent, 64);
+        assert!(s.stats.faults.drops > 0, "{:?}", s.stats.faults);
+        assert!(s.stats.faults.dupes > 0, "{:?}", s.stats.faults);
+        // Every surviving message queued exactly once, plus one extra
+        // Deliver per duplicate.
+        let expected = 64 - s.stats.faults.drops + s.stats.faults.dupes;
+        assert_eq!(s.queue.len() as u64, expected);
+    }
+
+    #[test]
+    fn down_destination_loses_deliveries() {
+        use hope_sim::FaultPlan;
+        let mut s = Shared::new(SimConfig::default().with_faults(FaultPlan::new(0)));
+        for i in 0..2 {
+            let pid = s.engine.register_process();
+            s.procs.push(ProcShared {
+                pid,
+                name: format!("p{i}"),
+                state: ProcState::Holding,
+                mailbox: Mailbox::new(),
+                journal: Journal::default(),
+                rollback_pending: false,
+                wake_epoch: 0,
+                rng: SimRng::new(i as u64),
+                finish_time: None,
+                crash: None,
+                next_reliable: 0,
+            });
+        }
+        s.procs[1].state = ProcState::Down;
+        let msg = Message {
+            id: 1,
+            from: ProcessId(0),
+            to: ProcessId(1),
+            kind: MsgKind::Plain,
+            payload: Value::Unit,
+            tag: hope_core::Tag::new(),
+            delivered_at: VirtualTime::from_nanos(5),
+            seq: 0,
+        };
+        assert_eq!(s.handle_delivery(msg), None);
+        assert_eq!(s.stats.faults.lost_to_down, 1);
+        assert!(s.procs[1].mailbox.is_empty());
+        assert_eq!(s.stats.messages_delivered, 0);
+    }
+
+    #[test]
+    fn reliable_duplicates_are_suppressed_but_acked() {
+        let mut s = shared_with_procs(2);
+        let aid = s.engine.aid_init(s.procs[0].pid);
+        let mk = |seq: u64, id: u64| Message {
+            id,
+            from: ProcessId(0),
+            to: ProcessId(1),
+            kind: MsgKind::Reliable { seq, aid },
+            payload: Value::Unit,
+            tag: hope_core::Tag::new(),
+            delivered_at: VirtualTime::from_nanos(5),
+            seq: id,
+        };
+        assert_eq!(s.handle_delivery(mk(7, 1)), None); // Holding, not BlockedRecv
+        assert_eq!(s.procs[1].mailbox.len(), 1);
+        assert_eq!(s.handle_delivery(mk(7, 2)), None);
+        assert_eq!(s.procs[1].mailbox.len(), 1, "duplicate suppressed");
+        assert_eq!(s.stats.faults.dupes_suppressed, 1);
+        assert_eq!(s.stats.faults.acks, 2, "both copies acked");
+        assert_eq!(s.stats.messages_delivered, 1);
+    }
+
+    #[test]
+    fn kill_denies_own_open_aids_and_restart_revives() {
+        let mut s = shared_with_procs(2);
+        let pid0 = s.procs[0].pid;
+        let own = s.engine.aid_init(pid0);
+        s.procs[0].journal.push(Entry::AidInit(own));
+        s.engine.guess(pid0, &[own], Checkpoint(1)).unwrap();
+        s.procs[0].journal.push(Entry::Guess {
+            aid: own,
+            value: true,
+        });
+        s.kill_process(0, Some(VirtualDuration::from_millis(3)));
+        assert_eq!(s.procs[0].state, ProcState::Down);
+        assert_eq!(s.stats.faults.kills, 1);
+        assert_eq!(s.stats.faults.crash_denies, 1);
+        assert!(s.fault_denied.contains(&own));
+        assert!(s.procs[0].rollback_pending, "own guess denied => rollback");
+        assert_eq!(
+            s.engine.aid_state(own).unwrap(),
+            hope_core::AidState::Denied
+        );
+        // The queue holds the Restart event (any wakes are stale-epoch).
+        let restart = std::iter::from_fn(|| s.queue.pop())
+            .find(|(_, e)| matches!(e, EventKind::Restart { .. }))
+            .expect("restart scheduled");
+        assert_eq!(
+            restart.0,
+            VirtualTime::ZERO + VirtualDuration::from_millis(3)
+        );
+        s.restart_fire(0);
+        assert_eq!(s.procs[0].state, ProcState::Holding);
+        assert_eq!(s.stats.faults.restarts, 1);
+    }
+
+    #[test]
+    fn kill_without_restart_is_a_fault_crash() {
+        let mut s = shared_with_procs(1);
+        s.kill_process(0, None);
+        assert_eq!(s.procs[0].state, ProcState::Crashed);
+        assert_eq!(s.procs[0].crash, Some(CrashReason::FaultKill));
+        assert_eq!(s.stats.faults.crash_denies, 0, "no open aids to deny");
+        // A second kill of a dead process is a no-op.
+        s.kill_process(0, None);
+        assert_eq!(s.stats.faults.kills, 1);
+    }
+
+    #[test]
+    fn timeout_denies_open_aid_and_ack_affirms() {
+        let mut s = shared_with_procs(2);
+        let pid0 = s.procs[0].pid;
+        let a = s.engine.aid_init(pid0);
+        let b = s.engine.aid_init(pid0);
+        s.ack_fire(a);
+        assert_eq!(
+            s.engine.aid_state(a).unwrap(),
+            hope_core::AidState::Affirmed
+        );
+        // A later timeout for the same aid is a no-op.
+        s.timeout_fire(a);
+        assert_eq!(s.stats.faults.timeout_denies, 0);
+        s.timeout_fire(b);
+        assert_eq!(s.engine.aid_state(b).unwrap(), hope_core::AidState::Denied);
+        assert_eq!(s.stats.faults.timeout_denies, 1);
+        assert!(s.fault_denied.contains(&b));
     }
 
     #[test]

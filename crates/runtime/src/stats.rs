@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use hope_analysis::dynamic::RaceReport;
 use hope_core::{EngineStats, ProcessId};
@@ -58,6 +59,89 @@ pub struct RunStats {
     pub outputs_discarded: u64,
     /// Engine counters (guesses, affirms, denies, finalizations, …).
     pub engine: EngineStats,
+    /// Fault-injection counters (all zero without a
+    /// [`FaultPlan`](hope_sim::FaultPlan)).
+    pub faults: FaultStats,
+}
+
+/// Counters for injected faults and the recovery machinery they trigger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct FaultStats {
+    /// Data messages dropped by the plan (random drops and partitions).
+    pub drops: u64,
+    /// Duplicate copies of data messages injected by the plan.
+    pub dupes: u64,
+    /// Duplicate reliable deliveries suppressed by receiver-side dedup.
+    pub dupes_suppressed: u64,
+    /// Deliveries that drew extra latency from a delay spike.
+    pub delay_spikes: u64,
+    /// Messages (of any kind) lost because the destination was crashed or
+    /// down when delivery fired.
+    pub lost_to_down: u64,
+    /// Delivery acks scheduled (one per reliable delivery, dupes included).
+    pub acks: u64,
+    /// Delivery acks the plan dropped on the reverse link.
+    pub ack_drops: u64,
+    /// Reliable-send retransmissions (attempts beyond the first).
+    pub retries: u64,
+    /// "Delivered" assumptions denied by a retransmission timeout.
+    pub timeout_denies: u64,
+    /// Assumptions denied because their owning process was killed.
+    pub crash_denies: u64,
+    /// Fault-injected process kills applied.
+    pub kills: u64,
+    /// Killed processes brought back (journal-prefix recovery).
+    pub restarts: u64,
+    /// Ghost messages dropped whose doomed AID was denied *by fault
+    /// injection* (a timeout or a kill), as opposed to program logic.
+    pub ghosts_from_faults: u64,
+}
+
+impl FaultStats {
+    /// Accumulate `other` into `self` (used by chaos sweeps to aggregate
+    /// counters across runs).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.drops += other.drops;
+        self.dupes += other.dupes;
+        self.dupes_suppressed += other.dupes_suppressed;
+        self.delay_spikes += other.delay_spikes;
+        self.lost_to_down += other.lost_to_down;
+        self.acks += other.acks;
+        self.ack_drops += other.ack_drops;
+        self.retries += other.retries;
+        self.timeout_denies += other.timeout_denies;
+        self.crash_denies += other.crash_denies;
+        self.kills += other.kills;
+        self.restarts += other.restarts;
+        self.ghosts_from_faults += other.ghosts_from_faults;
+    }
+}
+
+/// Why a process died, surfaced through [`RunReport::crash_reasons`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CrashReason {
+    /// The body panicked; the payload is the panic message.
+    Panic(String),
+    /// A [`FaultPlan`](hope_sim::FaultPlan) kill with no restart (kills
+    /// *with* a restart recover and never appear here).
+    FaultKill,
+    /// A per-process limit was exceeded (see
+    /// [`SimConfig::max_journal_entries`](crate::SimConfig)); the payload
+    /// describes which.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for CrashReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Bare message: `RunReport::errors` keeps its historical shape.
+            CrashReason::Panic(msg) => f.write_str(msg),
+            CrashReason::FaultKill => f.write_str("killed by fault injection"),
+            CrashReason::LimitExceeded(what) => f.write_str(what),
+        }
+    }
 }
 
 /// The result of [`Simulation::run`](crate::Simulation::run).
@@ -71,6 +155,7 @@ pub struct RunReport {
     pub(crate) finish_times: BTreeMap<ProcessId, VirtualTime>,
     pub(crate) unfinished: Vec<ProcessId>,
     pub(crate) errors: BTreeMap<ProcessId, String>,
+    pub(crate) crashes: BTreeMap<ProcessId, CrashReason>,
     pub(crate) trace: Vec<String>,
     pub(crate) races: Vec<RaceReport>,
 }
@@ -143,9 +228,41 @@ impl RunReport {
         }
     }
 
-    /// Panic messages of crashed process bodies, if any.
+    /// Panic messages of crashed process bodies, if any (the rendered form
+    /// of [`RunReport::crash_reasons`]).
     pub fn errors(&self) -> &BTreeMap<ProcessId, String> {
         &self.errors
+    }
+
+    /// Typed reasons for every crashed process: a body panic, a
+    /// fault-injected kill, or an exceeded per-process limit. Chaos tests
+    /// use this to assert *why* a process died, not just that it did.
+    pub fn crash_reasons(&self) -> &BTreeMap<ProcessId, CrashReason> {
+        &self.crashes
+    }
+
+    /// A deterministic digest of everything observable about the run —
+    /// committed outputs, counters, finish times, crashes, races — but not
+    /// the (optional, verbose) trace. Two runs of the same program under
+    /// the same [`SimConfig`](crate::SimConfig) (fault plan included) must
+    /// produce equal fingerprints; the chaos oracle asserts exactly that
+    /// to prove failing seeds replay bit-identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.end_time,
+            self.events,
+            self.hit_limits,
+            self.outputs,
+            self.stats,
+            self.finish_times,
+            self.unfinished,
+            self.crashes,
+            self.races,
+        )
+        .hash(&mut h);
+        h.finish()
     }
 
     /// `true` if every process finished and nothing crashed or hit limits.
@@ -208,6 +325,7 @@ mod tests {
             finish_times: [(ProcessId(0), VirtualTime::from_nanos(9))].into(),
             unfinished: vec![],
             errors: BTreeMap::new(),
+            crashes: BTreeMap::new(),
             trace: Vec::new(),
             races: Vec::new(),
         };
@@ -244,15 +362,79 @@ mod tests {
             finish_times: BTreeMap::new(),
             unfinished: vec![ProcessId(1)],
             errors: BTreeMap::new(),
+            crashes: BTreeMap::new(),
             trace: Vec::new(),
             races: Vec::new(),
         };
         assert!(!r.completed());
         r.unfinished.clear();
         r.errors.insert(ProcessId(0), "boom".into());
+        r.crashes
+            .insert(ProcessId(0), CrashReason::Panic("boom".into()));
         assert!(!r.completed());
+        assert_eq!(
+            r.crash_reasons().get(&ProcessId(0)),
+            Some(&CrashReason::Panic("boom".into()))
+        );
         r.errors.clear();
+        r.crashes.clear();
         r.hit_limits = true;
         assert!(!r.completed());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_observable_changes_but_not_trace() {
+        let base = RunReport {
+            end_time: VirtualTime::from_nanos(10),
+            events: 3,
+            hit_limits: false,
+            outputs: vec![],
+            stats: RunStats::default(),
+            finish_times: BTreeMap::new(),
+            unfinished: vec![],
+            errors: BTreeMap::new(),
+            crashes: BTreeMap::new(),
+            trace: Vec::new(),
+            races: Vec::new(),
+        };
+        let mut traced = base.clone();
+        traced.trace.push("[0] noise".into());
+        assert_eq!(base.fingerprint(), traced.fingerprint());
+        let mut other = base.clone();
+        other.events = 4;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn crash_reason_display_shapes() {
+        assert_eq!(CrashReason::Panic("oops".into()).to_string(), "oops");
+        assert_eq!(
+            CrashReason::FaultKill.to_string(),
+            "killed by fault injection"
+        );
+        assert_eq!(
+            CrashReason::LimitExceeded("journal limit".into()).to_string(),
+            "journal limit"
+        );
+    }
+
+    #[test]
+    fn fault_stats_merge_accumulates() {
+        let mut a = FaultStats {
+            drops: 1,
+            retries: 2,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            drops: 3,
+            kills: 1,
+            restarts: 1,
+            ..FaultStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.drops, 4);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.kills, 1);
+        assert_eq!(a.restarts, 1);
     }
 }

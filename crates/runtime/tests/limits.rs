@@ -5,10 +5,8 @@ use hope_sim::{VirtualDuration, VirtualTime};
 
 #[test]
 fn max_virtual_time_stops_the_clock() {
-    let cfg = SimConfig {
-        max_virtual_time: VirtualTime::ZERO + VirtualDuration::from_millis(10),
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::default()
+        .with_max_virtual_time(VirtualTime::ZERO + VirtualDuration::from_millis(10));
     let mut sim = Simulation::new(cfg);
     sim.spawn("ticker", |ctx| loop {
         ctx.compute(VirtualDuration::from_millis(1))?;
@@ -27,10 +25,7 @@ fn max_virtual_time_stops_the_clock() {
 fn limits_do_not_corrupt_partial_results() {
     // Two processes ping-pong forever; stopping at the event cap must
     // still leave consistent, committed prefixes.
-    let cfg = SimConfig {
-        max_events: 40,
-        ..SimConfig::with_seed(5)
-    };
+    let cfg = SimConfig::with_seed(5).with_max_events(40);
     let mut sim = Simulation::new(cfg);
     let b = hope_runtime::ProcessId(1);
     sim.spawn("a", move |ctx| {
@@ -56,11 +51,7 @@ fn limits_do_not_corrupt_partial_results() {
 
 #[test]
 fn zero_process_simulation_with_limits_is_trivially_complete() {
-    let cfg = SimConfig {
-        max_events: 1,
-        ..SimConfig::default()
-    };
-    let report = Simulation::new(cfg).run();
+    let report = Simulation::new(SimConfig::default().with_max_events(1)).run();
     assert!(report.completed());
     assert_eq!(report.events(), 0);
 }

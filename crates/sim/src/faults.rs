@@ -1,0 +1,362 @@
+//! Deterministic fault injection: seeded link and process faults.
+//!
+//! A [`FaultPlan`] is a *schedule*, not a random process: given the same
+//! plan (seed included) and the same sequence of queries, it produces the
+//! same faults, so a faulty run of a deterministic simulation is
+//! bit-identical under replay. Link faults (drop, duplication, delay
+//! spikes) are drawn from the plan's own [`SimRng`] stream — one fixed
+//! number of draws per query, so adding a fault class never perturbs the
+//! others — while partitions and process kills are explicit windows and
+//! step numbers, deterministic by construction.
+//!
+//! The plan is policy only. The runtime decides *mechanism*: what a
+//! dropped delivery or a killed process means for the semantics engine
+//! (ghosts, rollback, journal-prefix replay) lives in `hope-runtime`.
+
+use crate::rng::SimRng;
+use crate::time::{VirtualDuration, VirtualTime};
+use crate::topology::NodeId;
+
+/// What the plan decided about one attempted message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkVerdict {
+    /// Deliver the message, possibly late and possibly twice.
+    Deliver {
+        /// Extra latency added on top of the topology's sample
+        /// (`VirtualDuration::ZERO` when no spike fired).
+        extra_delay: VirtualDuration,
+        /// Deliver a second copy of the message as well.
+        duplicate: bool,
+    },
+    /// Lose the message entirely.
+    Drop,
+}
+
+/// A temporary partition window: deliveries crossing the cut are dropped
+/// for `from <= now < until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: NodeId,
+    /// The other side; `None` isolates `a` from *every* other node.
+    pub b: Option<NodeId>,
+    /// First instant at which the cut is in force.
+    pub from: VirtualTime,
+    /// First instant at which the cut has healed.
+    pub until: VirtualTime,
+}
+
+impl Partition {
+    /// `true` if a message `src -> dst` sent at `now` crosses the cut.
+    pub fn blocks(&self, src: NodeId, dst: NodeId, now: VirtualTime) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        match self.b {
+            Some(b) => (src == self.a && dst == b) || (src == b && dst == self.a),
+            None => src == self.a || dst == self.a,
+        }
+    }
+}
+
+/// A scheduled process kill: the process on `node` is crashed just before
+/// the `at_step`-th scheduler event is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kill {
+    /// The victim (runtime process ids double as node ids).
+    pub node: NodeId,
+    /// 1-based scheduler event count at which the kill fires.
+    pub at_step: u64,
+    /// If set, the process comes back after this much downtime and
+    /// recovers from its surviving journal prefix; if `None` the crash is
+    /// permanent.
+    pub restart_after: Option<VirtualDuration>,
+}
+
+/// A seeded, deterministic schedule of link and process faults.
+///
+/// Construct with [`FaultPlan::new`] and layer faults on with the builder
+/// methods; the zero plan injects nothing (but still consumes its RNG
+/// draws, so toggling one fault class does not reshuffle another).
+///
+/// # Examples
+///
+/// ```
+/// use hope_sim::{FaultPlan, SimRng, VirtualDuration, VirtualTime};
+///
+/// let plan = FaultPlan::new(7)
+///     .drop_rate(0.1)
+///     .dupe_rate(0.05)
+///     .delay_spikes(0.2, VirtualDuration::from_millis(3))
+///     .partition_between(0, 1, VirtualTime::from_nanos(0), VirtualTime::from_nanos(100))
+///     .kill(2, 40, Some(VirtualDuration::from_millis(5)));
+///
+/// // Same plan + same rng stream + same queries => same verdicts.
+/// let mut a = SimRng::new(plan.seed()).fork(1);
+/// let mut b = SimRng::new(plan.seed()).fork(1);
+/// let t = VirtualTime::from_nanos(500);
+/// assert_eq!(plan.verdict(0, 1, t, &mut a), plan.verdict(0, 1, t, &mut b));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_rate: f64,
+    dupe_rate: f64,
+    delay_rate: f64,
+    delay_spike: VirtualDuration,
+    partitions: Vec<Partition>,
+    kills: Vec<Kill>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            dupe_rate: 0.0,
+            delay_rate: 0.0,
+            delay_spike: VirtualDuration::ZERO,
+            partitions: Vec::new(),
+            kills: Vec::new(),
+        }
+    }
+
+    /// The plan's seed (feeds the runtime's dedicated fault RNG stream).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drop each delivery independently with probability `p`.
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        self.drop_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Duplicate each (surviving) delivery with probability `p`.
+    pub fn dupe_rate(mut self, p: f64) -> Self {
+        self.dupe_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// With probability `p`, add `spike` of extra latency to a delivery.
+    pub fn delay_spikes(mut self, p: f64, spike: VirtualDuration) -> Self {
+        self.delay_rate = p.clamp(0.0, 1.0);
+        self.delay_spike = spike;
+        self
+    }
+
+    /// Cut the (bidirectional) link between `a` and `b` for
+    /// `from <= now < until`.
+    pub fn partition_between(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        from: VirtualTime,
+        until: VirtualTime,
+    ) -> Self {
+        self.partitions.push(Partition {
+            a,
+            b: Some(b),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Isolate `node` from every other node for `from <= now < until`.
+    pub fn isolate(mut self, node: NodeId, from: VirtualTime, until: VirtualTime) -> Self {
+        self.partitions.push(Partition {
+            a: node,
+            b: None,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Crash the process on `node` just before the `at_step`-th scheduler
+    /// event (1-based); with `restart_after` set it recovers after that
+    /// much downtime.
+    pub fn kill(
+        mut self,
+        node: NodeId,
+        at_step: u64,
+        restart_after: Option<VirtualDuration>,
+    ) -> Self {
+        self.kills.push(Kill {
+            node,
+            at_step,
+            restart_after,
+        });
+        self
+    }
+
+    /// The configured partition windows.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The configured kill schedule.
+    pub fn kills(&self) -> &[Kill] {
+        &self.kills
+    }
+
+    /// Kills scheduled to fire just before scheduler event `step`.
+    pub fn kills_at(&self, step: u64) -> impl Iterator<Item = &Kill> {
+        self.kills.iter().filter(move |k| k.at_step == step)
+    }
+
+    /// `true` if the plan can inject anything at all.
+    pub fn is_zero(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.dupe_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.partitions.is_empty()
+            && self.kills.is_empty()
+    }
+
+    /// Decide the fate of one `src -> dst` delivery attempted at `now`.
+    ///
+    /// Always consumes exactly three draws from `rng` (drop, dupe, delay),
+    /// whether or not the corresponding rate is zero and even when a
+    /// partition already doomed the message — so the verdict stream for
+    /// every later delivery is unperturbed by the rates chosen for earlier
+    /// ones. This is what makes two runs of the same plan bit-identical.
+    pub fn verdict(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        now: VirtualTime,
+        rng: &mut SimRng,
+    ) -> LinkVerdict {
+        let dropped = rng.chance(self.drop_rate);
+        let duplicate = rng.chance(self.dupe_rate);
+        let spiked = rng.chance(self.delay_rate);
+        if self.partitions.iter().any(|p| p.blocks(src, dst, now)) || dropped {
+            return LinkVerdict::Drop;
+        }
+        LinkVerdict::Deliver {
+            extra_delay: if spiked {
+                self.delay_spike
+            } else {
+                VirtualDuration::ZERO
+            },
+            duplicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ns: u64) -> VirtualTime {
+        VirtualTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn zero_plan_always_delivers_cleanly() {
+        let plan = FaultPlan::new(1);
+        assert!(plan.is_zero());
+        let mut rng = SimRng::new(plan.seed()).fork(9);
+        for i in 0..100 {
+            assert_eq!(
+                plan.verdict(0, 1, at(i), &mut rng),
+                LinkVerdict::Deliver {
+                    extra_delay: VirtualDuration::ZERO,
+                    duplicate: false
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn verdicts_are_reproducible_per_seed() {
+        let plan = FaultPlan::new(33)
+            .drop_rate(0.3)
+            .dupe_rate(0.2)
+            .delay_spikes(0.25, VirtualDuration::from_millis(2));
+        let run = || {
+            let mut rng = SimRng::new(plan.seed()).fork(4);
+            (0..200)
+                .map(|i| plan.verdict(i % 3, (i + 1) % 3, at(i as u64), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        let verdicts = run();
+        assert!(verdicts.contains(&LinkVerdict::Drop));
+        assert!(verdicts.iter().any(|v| matches!(
+            v,
+            LinkVerdict::Deliver {
+                duplicate: true,
+                ..
+            }
+        )));
+        assert!(verdicts.iter().any(
+            |v| matches!(v, LinkVerdict::Deliver { extra_delay, .. } if !extra_delay.is_zero())
+        ));
+    }
+
+    #[test]
+    fn rates_do_not_perturb_each_others_draws() {
+        // Same seed, drop rate toggled: the *dupe* decisions must be
+        // identical because every verdict consumes a fixed number of draws.
+        let base = FaultPlan::new(5).dupe_rate(0.5);
+        let with_drops = base.clone().drop_rate(0.0); // same draws, same stream
+        let mut r1 = SimRng::new(5).fork(0);
+        let mut r2 = SimRng::new(5).fork(0);
+        for i in 0..50 {
+            let a = base.verdict(0, 1, at(i), &mut r1);
+            let b = with_drops.verdict(0, 1, at(i), &mut r2);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_within_window() {
+        let plan = FaultPlan::new(0).partition_between(0, 1, at(10), at(20));
+        let mut rng = SimRng::new(0);
+        assert_eq!(plan.verdict(0, 1, at(15), &mut rng), LinkVerdict::Drop);
+        assert_eq!(plan.verdict(1, 0, at(19), &mut rng), LinkVerdict::Drop);
+        assert!(matches!(
+            plan.verdict(0, 1, at(9), &mut rng),
+            LinkVerdict::Deliver { .. }
+        ));
+        assert!(matches!(
+            plan.verdict(0, 1, at(20), &mut rng),
+            LinkVerdict::Deliver { .. }
+        ));
+        // An unrelated pair is unaffected.
+        assert!(matches!(
+            plan.verdict(2, 3, at(15), &mut rng),
+            LinkVerdict::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn isolation_cuts_every_link_of_the_node() {
+        let plan = FaultPlan::new(0).isolate(2, at(0), at(100));
+        let mut rng = SimRng::new(0);
+        assert_eq!(plan.verdict(2, 0, at(5), &mut rng), LinkVerdict::Drop);
+        assert_eq!(plan.verdict(1, 2, at(5), &mut rng), LinkVerdict::Drop);
+        assert!(matches!(
+            plan.verdict(0, 1, at(5), &mut rng),
+            LinkVerdict::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn kill_schedule_is_queryable_by_step() {
+        let plan = FaultPlan::new(0)
+            .kill(1, 40, None)
+            .kill(2, 40, Some(VirtualDuration::from_millis(1)))
+            .kill(1, 90, None);
+        assert_eq!(plan.kills().len(), 3);
+        let at40: Vec<_> = plan.kills_at(40).collect();
+        assert_eq!(at40.len(), 2);
+        assert_eq!(at40[0].node, 1);
+        assert_eq!(at40[1].restart_after, Some(VirtualDuration::from_millis(1)));
+        assert_eq!(plan.kills_at(41).count(), 0);
+    }
+}

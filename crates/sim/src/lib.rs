@@ -34,12 +34,14 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+mod faults;
 mod latency;
 mod rng;
 mod time;
 mod topology;
 
 pub use event::EventQueue;
+pub use faults::{FaultPlan, Kill, LinkVerdict, Partition};
 pub use latency::{CpuModel, LatencyModel};
 pub use rng::SimRng;
 pub use time::{VirtualDuration, VirtualTime};

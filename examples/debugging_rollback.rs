@@ -5,9 +5,11 @@
 //! tools the reproduction provides. `SimConfig::traced()` records every
 //! primitive, delivery, ghost and rollback with virtual timestamps;
 //! `SimConfig::detect_races(true)` runs the vector-clock race detector
-//! online and surfaces its findings through `RunReport::races`; and
+//! online and surfaces its findings through `RunReport::races`;
 //! `hope::core::trace::render_dependency_graph` exports the engine's live
-//! IDO/DOM graph as Graphviz DOT.
+//! IDO/DOM graph as Graphviz DOT; and `SimConfig::with_faults` injects
+//! deterministic network/crash faults whose effects show up in
+//! `RunReport::faults`.
 //!
 //! Run with:
 //!
@@ -17,7 +19,7 @@
 
 use hope::core::trace::render_dependency_graph;
 use hope::core::{Checkpoint, Engine};
-use hope::runtime::{SimConfig, Simulation, Value};
+use hope::runtime::{FaultPlan, SimConfig, Simulation, Value};
 use hope::sim::VirtualDuration;
 use hope::{AidId, ProcessId};
 
@@ -87,4 +89,34 @@ fn main() {
     println!("{dot}");
     assert!(dot.contains("digraph hope"));
     println!("(pipe this into `dot -Tsvg` to see the IDO edges)");
+
+    // --- Part 3: deterministic fault injection --------------------------
+    // A lossy link forces `send_reliable` into its timeout/deny/retry
+    // loop; `RunReport::faults` itemises everything the plan injected and
+    // everything the protocol did to ride it out.
+    let plan = FaultPlan::new(42).drop_rate(0.3);
+    let mut sim = Simulation::new(SimConfig::with_seed(7).with_faults(plan));
+    let receiver = ProcessId(1);
+    sim.spawn("sender", move |ctx| {
+        for i in 0..5i64 {
+            ctx.send_reliable(receiver, Value::Int(i))?;
+        }
+        ctx.output("sender: all five delivered")?;
+        Ok(())
+    });
+    sim.spawn("receiver", |ctx| {
+        for expected in 0..5i64 {
+            ctx.recv_matching(move |m| m.payload == Value::Int(expected))?;
+        }
+        Ok(())
+    });
+    let report = sim.run();
+    let f = &report.stats().faults;
+    println!("\n=== fault counters under a 30% lossy link ===");
+    println!(
+        "  drops: {}, retries: {}, timeout denies: {}",
+        f.drops, f.retries, f.timeout_denies
+    );
+    assert_eq!(report.output_lines(), vec!["sender: all five delivered"]);
+    assert!(f.drops > 0 && f.retries > 0);
 }

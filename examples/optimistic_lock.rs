@@ -25,7 +25,7 @@ fn ms(v: u64) -> VirtualDuration {
 
 fn main() {
     let topo = Topology::uniform(LatencyModel::Fixed(ms(10)));
-    let mut sim = Simulation::new(SimConfig::with_seed(5).topology(topo));
+    let mut sim = Simulation::new(SimConfig::with_seed(5).with_topology(topo));
     let manager = ProcessId(2);
 
     for w in 0..2u32 {

@@ -23,7 +23,7 @@ fn ms(v: u64) -> VirtualDuration {
 }
 
 fn figure1(start_line: i64) -> RunReport {
-    let mut sim = Simulation::new(SimConfig::with_seed(1).topology(paper_topology(ms(15))));
+    let mut sim = Simulation::new(SimConfig::with_seed(1).with_topology(paper_topology(ms(15))));
     let printer = ProcessId(1);
     sim.spawn("worker", move |ctx| {
         worker_pessimistic(ctx, printer, 1234, PAGE_SIZE)
@@ -35,7 +35,7 @@ fn figure1(start_line: i64) -> RunReport {
 }
 
 fn figure2(start_line: i64) -> RunReport {
-    let mut sim = Simulation::new(SimConfig::with_seed(1).topology(paper_topology(ms(15))));
+    let mut sim = Simulation::new(SimConfig::with_seed(1).with_topology(paper_topology(ms(15))));
     let printer = ProcessId(1);
     let wart = ProcessId(2);
     sim.spawn("worker", move |ctx| {

@@ -24,7 +24,7 @@ fn ms(v: u64) -> VirtualDuration {
 fn run(amount: i64) -> hope::runtime::RunReport {
     // A 20ms round trip between worker and ledger.
     let topo = Topology::uniform(LatencyModel::Fixed(ms(10)));
-    let mut sim = Simulation::new(SimConfig::with_seed(7).topology(topo));
+    let mut sim = Simulation::new(SimConfig::with_seed(7).with_topology(topo));
     let ledger = ProcessId(1);
 
     sim.spawn("worker", move |ctx| {

@@ -24,7 +24,7 @@ const INCREMENTS_PER_CLIENT: u64 = 4;
 
 fn main() {
     let topo = Topology::uniform(LatencyModel::Fixed(VirtualDuration::from_millis(5)));
-    let mut sim = Simulation::new(SimConfig::with_seed(9).topology(topo));
+    let mut sim = Simulation::new(SimConfig::with_seed(9).with_topology(topo));
     let primary = ProcessId(CLIENTS);
 
     for c in 0..CLIENTS {

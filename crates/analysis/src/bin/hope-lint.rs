@@ -8,9 +8,11 @@ use std::process::ExitCode;
 use hope_analysis::cost::{self, CostWeights};
 use hope_analysis::{render_json, render_text, Analyzer, Severity, DEFAULT_CASCADE_THRESHOLD};
 use hope_core::program::Program;
+use hope_mc::{check, Completeness, McConfig, McReport};
 
-const USAGE: &str = "usage: hope-lint [--json] [--print] [--rank | --cost] \
-                     [--cascade-threshold N] <FILE | - | --generate SEED,PROCS,LEN,AIDS>";
+const USAGE: &str = "usage: hope-lint [--json] [--print] [--rank | --cost] [--mc] \
+                     [--mc-states N] [--cascade-threshold N] \
+                     <FILE | - | --generate SEED,PROCS,LEN,AIDS>";
 
 /// The `--help` text: options plus the exit-status contract scripts rely
 /// on.
@@ -32,6 +34,10 @@ Options:
                            damage (highest first) instead of diagnostics
   --cost                   like --rank, but in program order and without
                            rank numbers
+  --mc                     also model-check the full schedule space
+                           (hope-mc) and report whether it confirms the
+                           static verdict; cannot combine with --rank/--cost
+  --mc-states N            state budget for --mc (default 200000)
   -h, --help               show this help and exit 0
 
 Exit status:
@@ -40,7 +46,10 @@ Exit status:
      (they swap the *output*, not the verdict — the lints still run)
   1  at least one error-severity diagnostic fired: no schedule lets the
      program run to full finalization
-  2  usage error, unreadable input, or program parse failure
+  2  usage error, unreadable input, or program parse failure — or, under
+     --mc, the model checker exhausted the schedule space and found a
+     pristine schedule for an error-flagged program (an analyzer
+     soundness bug: report it)
 ";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -55,6 +64,7 @@ struct Options {
     print: bool,
     mode: Mode,
     threshold: usize,
+    mc: Option<McConfig>,
     source: Source,
 }
 
@@ -74,12 +84,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut print = false;
     let mut mode = Mode::Lint;
     let mut threshold = DEFAULT_CASCADE_THRESHOLD;
+    let mut mc: Option<McConfig> = None;
     let mut source: Option<Source> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--print" => print = true,
+            "--mc" => mc = Some(mc.unwrap_or_default()),
+            "--mc-states" => {
+                let value = it.next().ok_or("--mc-states needs a value")?;
+                let max_states = value
+                    .parse()
+                    .map_err(|_| format!("bad --mc-states value `{value}`"))?;
+                let cfg = mc.get_or_insert_with(McConfig::default);
+                cfg.max_states = max_states;
+            }
             "--rank" | "--cost" => {
                 let wanted = if arg == "--rank" {
                     Mode::Rank
@@ -124,13 +144,95 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
         }
     }
+    if mc.is_some() && mode != Mode::Lint {
+        return Err("--mc cannot be combined with --rank/--cost".into());
+    }
     Ok(Options {
         json,
         print,
         mode,
         threshold,
+        mc,
         source: source.ok_or("no program source given")?,
     })
+}
+
+/// How the model-checking run relates to the static verdict.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum McAgreement {
+    /// Exhausted and consistent with the diagnostics.
+    Confirmed,
+    /// Budget ran out before the space was exhausted: no proof either way.
+    Unverified,
+    /// Exhausted and a pristine schedule exists despite an error
+    /// diagnostic — an analyzer soundness bug.
+    Refuted,
+}
+
+fn mc_agreement(report: &McReport, has_error: bool) -> McAgreement {
+    match report.completeness {
+        Completeness::BudgetExceeded(_) => McAgreement::Unverified,
+        Completeness::Exhausted if has_error && report.pristine_witness.is_some() => {
+            McAgreement::Refuted
+        }
+        Completeness::Exhausted => McAgreement::Confirmed,
+    }
+}
+
+fn render_mc_json(report: &McReport, agreement: McAgreement) -> String {
+    let verdict = match report.completeness {
+        Completeness::Exhausted => "exhausted",
+        Completeness::BudgetExceeded(_) => "budget-exceeded",
+    };
+    let agreement = match agreement {
+        McAgreement::Confirmed => "confirmed",
+        McAgreement::Unverified => "unverified",
+        McAgreement::Refuted => "refuted",
+    };
+    format!(
+        "{{\"verdict\":\"{verdict}\",\"states\":{},\"transitions\":{},\
+         \"cache_hits\":{},\"sleep_pruned\":{},\
+         \"pristine_schedule_exists\":{},\"proves_no_pristine_schedule\":{},\
+         \"agreement\":\"{agreement}\"}}",
+        report.states,
+        report.transitions,
+        report.cache_hits,
+        report.sleep_pruned,
+        report.pristine_witness.is_some(),
+        report.proves_no_pristine_schedule(),
+    )
+}
+
+fn render_mc_text(report: &McReport, agreement: McAgreement, has_error: bool) -> String {
+    let mut out = String::new();
+    let verdict = match report.completeness {
+        Completeness::Exhausted => "exhausted the schedule space",
+        Completeness::BudgetExceeded(_) => "budget exceeded (incomplete)",
+    };
+    out.push_str(&format!(
+        "mc: {verdict} — {} states, {} transitions ({} cache hits, {} sleep-pruned)\n",
+        report.states, report.transitions, report.cache_hits, report.sleep_pruned
+    ));
+    out.push_str(match agreement {
+        McAgreement::Refuted => {
+            "mc: REFUTED — a pristine schedule exists despite an error diagnostic \
+             (analyzer soundness bug)\n"
+        }
+        McAgreement::Unverified => "mc: unverified — raise --mc-states for a proof\n",
+        McAgreement::Confirmed if has_error => {
+            "mc: confirmed — no schedule finalizes pristinely, proven over the \
+             full reduced interleaving space\n"
+        }
+        McAgreement::Confirmed if report.pristine_witness.is_some() => {
+            "mc: confirmed — a pristine schedule exists, consistent with the \
+             clean verdict\n"
+        }
+        McAgreement::Confirmed => {
+            "mc: confirmed — no pristine schedule, but no error claimed one \
+             (warnings do not promise finalization)\n"
+        }
+    });
+    out
 }
 
 fn load(source: &Source) -> Result<Program, String> {
@@ -196,9 +298,31 @@ fn main() -> ExitCode {
     }
     let analyzer = Analyzer::new().with_cascade_threshold(options.threshold);
     let (diagnostics, flow) = analyzer.analyze_with_flow(&program);
+    let has_error = diagnostics.iter().any(|d| d.severity == Severity::Error);
+    let mc_outcome = options.mc.as_ref().map(|cfg| {
+        let report = check(&program, cfg);
+        let agreement = mc_agreement(&report, has_error);
+        (report, agreement)
+    });
     let rendered = match options.mode {
-        Mode::Lint if options.json => render_json(&diagnostics),
-        Mode::Lint => render_text(&diagnostics),
+        Mode::Lint if options.json => match &mc_outcome {
+            Some((report, agreement)) => format!(
+                "{{\"diagnostics\":{},\n \"mc\":{}}}\n",
+                render_json(&diagnostics).trim_end(),
+                render_mc_json(report, *agreement)
+            ),
+            None => render_json(&diagnostics),
+        },
+        Mode::Lint => match &mc_outcome {
+            Some((report, agreement)) => {
+                format!(
+                    "{}{}",
+                    render_text(&diagnostics),
+                    render_mc_text(report, *agreement, has_error)
+                )
+            }
+            None => render_text(&diagnostics),
+        },
         Mode::Rank | Mode::Cost => {
             let mut costs = cost::rank_with(&program, &flow, &CostWeights::default());
             if options.mode == Mode::Cost {
@@ -218,7 +342,14 @@ fn main() -> ExitCode {
     if let Err(code) = emit(&rendered) {
         return code;
     }
-    if diagnostics.iter().any(|d| d.severity == Severity::Error) {
+    if let Some((_, McAgreement::Refuted)) = mc_outcome {
+        eprintln!(
+            "hope-lint: model checker refutes the static verdict — \
+             a pristine schedule exists despite an error diagnostic"
+        );
+        return ExitCode::from(2);
+    }
+    if has_error {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -8,15 +8,21 @@
 //! Contrapositively, any program observed to finalize fully on some
 //! schedule must be free of error diagnostics.
 //!
-//! Checked two ways: exhaustively over every small program in two
-//! fixed shapes (all 7⁴ two-process programs of length 2 over one AID, and
-//! all 7³ one-process programs of length 3), and over seeded random large
-//! programs from [`Program::generate`]. Each program is executed under a
-//! round-robin schedule plus several seeded random schedules.
+//! Checked two ways: **schedule-completely** over every small program in
+//! two fixed shapes (all 7⁴ two-process programs of length 2 over one AID,
+//! and all 7³ one-process programs of length 3) using the [`hope_mc`]
+//! exhaustive scheduler — so an error diagnostic is checked against *every*
+//! inequivalent schedule, not a sample — and over seeded random large
+//! programs from [`Program::generate`], which exceed the model-checking
+//! budget and fall back to a round-robin schedule plus several seeded
+//! random schedules (the fallback can establish "pristine on some
+//! schedule" but never prove "no schedule"; each suite logs which path
+//! ran for how many programs).
 
 use hope_analysis::{cost, covered_by, Analyzer, RaceDetector, RaceKind};
 use hope_core::machine::{Event, Machine};
 use hope_core::program::{Program, Stmt};
+use hope_mc::{check, McConfig};
 
 const SCHEDULE_SEEDS: u64 = 12;
 
@@ -44,9 +50,64 @@ fn pristine_under(program: &Program, seed: Option<u64>, fuel: u64) -> bool {
     })
 }
 
-fn pristine_on_some_schedule(program: &Program, fuel: u64) -> bool {
-    pristine_under(program, None, fuel)
-        || (0..SCHEDULE_SEEDS).any(|s| pristine_under(program, Some(s), fuel))
+/// What schedule exploration established about a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PristineVerdict {
+    /// Some schedule runs to full finalization (witnessed).
+    Pristine,
+    /// **No** schedule finalizes — proven over the full reduced
+    /// interleaving space by an `Exhausted` model-checking run.
+    NoSchedule,
+    /// The model-checking budget ran out and no sampled schedule
+    /// finalized: absence of evidence, not a proof. The pre-`hope-mc`
+    /// suite conflated this with [`PristineVerdict::NoSchedule`].
+    Unknown,
+}
+
+/// Tallies of which exploration path decided each program, so the suites
+/// can log (and, on the exhaustive corpora, assert) coverage.
+#[derive(Debug, Default)]
+struct PathStats {
+    model_checked: usize,
+    fell_back: usize,
+}
+
+impl PathStats {
+    fn log(&self, context: &str) {
+        eprintln!(
+            "{context}: {} programs schedule-complete via hope-mc, \
+             {} over budget (seeded-schedule fallback)",
+            self.model_checked, self.fell_back
+        );
+    }
+}
+
+/// Decide [`PristineVerdict`] for `program`: exhaustive model checking
+/// first; seeded-schedule sampling only when the budget runs out.
+fn pristine_verdict(
+    program: &Program,
+    cfg: &McConfig,
+    fuel: u64,
+    stats: &mut PathStats,
+) -> PristineVerdict {
+    let report = check(program, cfg);
+    if report.completeness.is_exhausted() {
+        stats.model_checked += 1;
+        return if report.pristine_witness.is_some() {
+            PristineVerdict::Pristine
+        } else {
+            debug_assert!(report.proves_no_pristine_schedule());
+            PristineVerdict::NoSchedule
+        };
+    }
+    stats.fell_back += 1;
+    let sampled = pristine_under(program, None, fuel)
+        || (0..SCHEDULE_SEEDS).any(|s| pristine_under(program, Some(s), fuel));
+    if sampled {
+        PristineVerdict::Pristine
+    } else {
+        PristineVerdict::Unknown
+    }
 }
 
 /// The statement alphabet for the exhaustive sweeps: every statement form,
@@ -63,16 +124,22 @@ fn alphabet(peer: usize) -> [Stmt; 7] {
     ]
 }
 
-fn check_agreement(program: &Program, fuel: u64, context: &str) -> (bool, bool) {
+fn check_agreement(
+    program: &Program,
+    cfg: &McConfig,
+    fuel: u64,
+    context: &str,
+    stats: &mut PathStats,
+) -> (bool, bool) {
     let errors = Analyzer::new().errors(program);
-    let pristine = pristine_on_some_schedule(program, fuel);
+    let verdict = pristine_verdict(program, cfg, fuel, stats);
     assert!(
-        errors.is_empty() || !pristine,
+        errors.is_empty() || verdict != PristineVerdict::Pristine,
         "{context}: static verdict disagrees with execution\n\
          program:\n{program}\nerrors: {errors:?}\n\
          but some schedule ran to full finalization"
     );
-    (!errors.is_empty(), pristine)
+    (!errors.is_empty(), verdict == PristineVerdict::Pristine)
 }
 
 #[test]
@@ -80,6 +147,8 @@ fn exhaustive_two_process_agreement() {
     let mut flagged = 0usize;
     let mut pristine_count = 0usize;
     let mut total = 0usize;
+    let mut stats = PathStats::default();
+    let cfg = McConfig::default();
     for a in alphabet(1) {
         for b in alphabet(1) {
             for c in alphabet(0) {
@@ -88,7 +157,8 @@ fn exhaustive_two_process_agreement() {
                         code: vec![vec![a, b], vec![c, d]],
                         aid_count: 1,
                     };
-                    let (err, pristine) = check_agreement(&program, 500, "two-process exhaustive");
+                    let (err, pristine) =
+                        check_agreement(&program, &cfg, 500, "two-process exhaustive", &mut stats);
                     flagged += usize::from(err);
                     pristine_count += usize::from(pristine);
                     total += 1;
@@ -96,7 +166,11 @@ fn exhaustive_two_process_agreement() {
             }
         }
     }
+    stats.log("two-process exhaustive (7^4)");
     assert_eq!(total, 7usize.pow(4));
+    // Every program in the envelope is small enough to model-check: the
+    // agreement above is schedule-complete, not sampled.
+    assert_eq!(stats.fell_back, 0, "7^4 envelope must stay in budget");
     // The sweep must exercise both sides of the contract heavily, or the
     // agreement claim would be vacuous.
     assert!(flagged > total / 10, "only {flagged}/{total} flagged");
@@ -112,6 +186,8 @@ fn exhaustive_single_process_agreement() {
     // the self-send warning's territory — still legal to execute.
     let mut flagged = 0usize;
     let mut pristine_count = 0usize;
+    let mut stats = PathStats::default();
+    let cfg = McConfig::default();
     for a in alphabet(0) {
         for b in alphabet(0) {
             for c in alphabet(0) {
@@ -119,21 +195,67 @@ fn exhaustive_single_process_agreement() {
                     code: vec![vec![a, b, c]],
                     aid_count: 1,
                 };
-                let (err, pristine) = check_agreement(&program, 500, "single-process exhaustive");
+                let (err, pristine) =
+                    check_agreement(&program, &cfg, 500, "single-process exhaustive", &mut stats);
                 flagged += usize::from(err);
                 pristine_count += usize::from(pristine);
             }
         }
     }
+    stats.log("single-process exhaustive (7^3)");
+    assert_eq!(stats.fell_back, 0, "7^3 envelope must stay in budget");
     assert!(flagged > 0 && pristine_count > 0);
+}
+
+#[test]
+fn error_lints_are_proven_over_the_full_schedule_space() {
+    // The sharpest form of the zero-false-positive contract: for every
+    // error-flagged program in the 7⁴ envelope, the model checker must
+    // *prove* — an `Exhausted` run of the full reduced interleaving
+    // space with no pristine terminal — that no schedule finalizes.
+    let cfg = McConfig::default();
+    let mut proven = 0usize;
+    for a in alphabet(1) {
+        for b in alphabet(1) {
+            for c in alphabet(0) {
+                for d in alphabet(0) {
+                    let program = Program {
+                        code: vec![vec![a, b], vec![c, d]],
+                        aid_count: 1,
+                    };
+                    if Analyzer::new().errors(&program).is_empty() {
+                        continue;
+                    }
+                    let report = check(&program, &cfg);
+                    assert!(
+                        report.proves_no_pristine_schedule(),
+                        "error lint not proven over the full space:\n{program}\n\
+                         completeness: {:?}, witness: {:?}",
+                        report.completeness,
+                        report.pristine_witness
+                    );
+                    proven += 1;
+                }
+            }
+        }
+    }
+    eprintln!("error-lint claims proven schedule-completely: {proven}");
+    assert!(proven > 200, "only {proven} error programs in the envelope");
 }
 
 #[test]
 fn generated_large_program_agreement() {
     let mut flagged = 0usize;
+    let mut stats = PathStats::default();
+    // Generated programs mostly exceed an exhaustive search; cap the
+    // budget so the suite stays fast and the fallback path is exercised.
+    let cfg = McConfig {
+        max_states: 1_000,
+        ..McConfig::default()
+    };
     for seed in 0..40u64 {
         let program = Program::generate(seed, 4, 25, 4);
-        let (err, _) = check_agreement(&program, 50_000, "generated 4x25");
+        let (err, _) = check_agreement(&program, &cfg, 50_000, "generated 4x25", &mut stats);
         flagged += usize::from(err);
     }
     // Random programs re-decide AIDs constantly; most must be flagged.
@@ -141,8 +263,54 @@ fn generated_large_program_agreement() {
 
     for seed in 100..110u64 {
         let program = Program::generate(seed, 6, 40, 6);
-        check_agreement(&program, 100_000, "generated 6x40");
+        check_agreement(&program, &cfg, 100_000, "generated 6x40", &mut stats);
     }
+    stats.log("generated programs");
+}
+
+#[test]
+fn budget_exhaustion_is_not_a_no_schedule_proof() {
+    // Regression: the pre-`hope-mc` suite returned a single bool from
+    // schedule sampling, conflating "the budget/fuel ran out" with "no
+    // schedule finalizes". The two must stay distinguishable.
+    let pristine_but_long = Program {
+        code: vec![{
+            let mut v = vec![Stmt::Guess(0), Stmt::Affirm(0)];
+            v.extend(std::iter::repeat_n(Stmt::Compute, 40));
+            v
+        }],
+        aid_count: 1,
+    };
+    let doomed: Program = "process P0:\n guess(x0)\n deny(x0)\n".parse().unwrap();
+
+    // Starved of both model-checking budget and execution fuel, the
+    // pristine program must come back Unknown — not NoSchedule.
+    let starved = McConfig {
+        max_states: 1,
+        ..McConfig::default()
+    };
+    let mut stats = PathStats::default();
+    assert_eq!(
+        pristine_verdict(&pristine_but_long, &starved, 5, &mut stats),
+        PristineVerdict::Unknown
+    );
+    assert_eq!(stats.fell_back, 1);
+
+    // With a real budget the same program is witnessed pristine...
+    assert_eq!(
+        pristine_verdict(&pristine_but_long, &McConfig::default(), 500, &mut stats),
+        PristineVerdict::Pristine
+    );
+    // ...while the doomed program earns an actual proof, which starving
+    // the checker must *lose* (Unknown), never fabricate.
+    assert_eq!(
+        pristine_verdict(&doomed, &McConfig::default(), 500, &mut stats),
+        PristineVerdict::NoSchedule
+    );
+    assert_eq!(
+        pristine_verdict(&doomed, &starved, 5, &mut stats),
+        PristineVerdict::Unknown
+    );
 }
 
 /// Run `program` under the round-robin schedule plus every seeded schedule

@@ -13,6 +13,7 @@ pub mod e13_coedit;
 pub mod e14_costmodel;
 pub mod e15_depset;
 pub mod e16_chaos;
+pub mod e17_mc;
 pub mod e1_callstream;
 pub mod e2_chain;
 pub mod e3_arithmetic;

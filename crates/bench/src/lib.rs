@@ -39,7 +39,8 @@ pub use table::{fmt_ms, fmt_pct, tables_to_json, Table};
 
 /// All experiment ids known to the `tables` binary, in order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16", "e17",
 ];
 
 /// Produce the table for one experiment id.
@@ -64,6 +65,7 @@ pub fn table_for(id: &str) -> Table {
         "e14" => experiments::e14_costmodel::table(),
         "e15" => experiments::e15_depset::table(),
         "e16" => experiments::e16_chaos::table(),
+        "e17" => experiments::e17_mc::table(),
         other => panic!("unknown experiment id {other:?} (known: {EXPERIMENT_IDS:?})"),
     }
 }

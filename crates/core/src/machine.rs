@@ -323,6 +323,98 @@ impl Machine {
         self.procs[p].pid
     }
 
+    /// The program being interpreted.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of machine processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Program counter of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn pc(&self, p: usize) -> usize {
+        self.procs[p].pc
+    }
+
+    /// The next statement process `p` would execute, or `None` when done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn next_stmt(&self, p: usize) -> Option<Stmt> {
+        self.program.code[p].get(self.procs[p].pc).copied()
+    }
+
+    /// What [`Machine::step`] *would* do for process `p`, without mutating
+    /// anything.
+    ///
+    /// Unlike stepping a blocked process (which pops and records ghost
+    /// messages before reporting [`StepOutcome::Blocked`]), this probe
+    /// leaves ghosts queued: a `recv` counts as enabled iff the mailbox
+    /// holds at least one message none of whose tag AIDs is definitively
+    /// denied. Model checkers use this to enumerate enabled transitions
+    /// from a state they intend to snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn poll(&self, p: usize) -> StepOutcome {
+        match self.next_stmt(p) {
+            None => StepOutcome::Done,
+            Some(Stmt::Recv) => {
+                let deliverable = self.procs[p].mailbox.iter().any(|m| {
+                    !m.tag
+                        .iter()
+                        .any(|x| matches!(self.engine.aid_state(x), Ok(crate::AidState::Denied)))
+                });
+                if deliverable {
+                    StepOutcome::Executed
+                } else {
+                    StepOutcome::Blocked
+                }
+            }
+            Some(_) => StepOutcome::Executed,
+        }
+    }
+
+    /// Pending (undelivered) messages of process `p`, front of queue first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn mailbox(&self, p: usize) -> impl Iterator<Item = &Msg> {
+        self.procs[p].mailbox.iter()
+    }
+
+    /// Messages already delivered to process `p`, in delivery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn delivered(&self, p: usize) -> &[Msg] {
+        &self.procs[p].delivered
+    }
+
+    /// The resume mark recorded when live interval `interval` of process
+    /// `p` opened: `(pc, history_len, delivered_len)` — where the process
+    /// would restart if the interval rolled back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn resume_mark(&self, p: usize, interval: IntervalId) -> Option<(usize, usize, usize)> {
+        self.procs[p]
+            .marks
+            .get(&interval)
+            .map(|m| (m.pc, m.hist_len, m.delivered_len))
+    }
+
     /// Execute one statement of process `p`.
     ///
     /// # Errors

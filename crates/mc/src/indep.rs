@@ -1,0 +1,512 @@
+//! Conditional independence between enabled steps, derived from the
+//! engine's own control variables.
+//!
+//! Two steps commute — and one order of them need not be explored — unless
+//! they can touch overlapping state. "Touch" is approximated by a
+//! [`Footprint`]: the AIDs a step reads or writes (including everything a
+//! cascading finalize/rollback closure can reach through `DOM`, `IHD` and
+//! `IHA`), the processes whose histories it can truncate, and the mailbox
+//! it appends to. Footprints are deliberately conservative: an over-large
+//! footprint only costs exploration, an under-small one would lose
+//! interleavings, so every closure walks `DOM` transitively and assumes
+//! any discharged interval *might* finalize.
+//!
+//! The same machinery powers the persistent-singleton rule
+//! ([`invisible_singleton`]): a definite process whose next step's
+//! footprint cannot intersect anything any *other* process could still do
+//! (judged against per-process dynamic [`Reach`] over-approximations) can
+//! be scheduled alone, without branching — the classic persistent-set
+//! reduction with a sound, cheap membership test.
+
+use std::collections::BTreeSet;
+
+use hope_core::machine::Machine;
+use hope_core::program::Stmt;
+use hope_core::{AidId, AidState, IntervalId};
+
+/// What one enabled step can read or write.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Footprint {
+    /// AIDs whose decision state, `DOM`, consumption flag or speculative
+    /// ties the step may *mutate* (cascade closure included).
+    pub writes: BTreeSet<AidId>,
+    /// AIDs the step only *observes*: a one-shot violation reads the
+    /// consumed flag and skips, and a `recv` reads the decision state of
+    /// ghost-candidate tags. Two reads of the same AID commute.
+    pub reads: BTreeSet<AidId>,
+    /// Processes whose history / pc / mailbox the step may rewrite —
+    /// always includes the stepping process; grows with rollback victims.
+    pub procs: BTreeSet<usize>,
+    /// Mailbox this step appends to, for `send`.
+    pub send_to: Option<usize>,
+}
+
+impl Footprint {
+    /// `true` when the two steps commute: disjoint process sets, no
+    /// write-write or read-write overlap on AIDs, and neither appends to
+    /// a mailbox the other touches. Read-read overlap is fine — that is
+    /// the point of splitting the sets.
+    pub fn independent(&self, other: &Footprint) -> bool {
+        self.procs.iter().all(|p| !other.procs.contains(p))
+            && self
+                .writes
+                .iter()
+                .all(|x| !other.writes.contains(x) && !other.reads.contains(x))
+            && other.writes.iter().all(|x| !self.reads.contains(x))
+            && self
+                .send_to
+                .is_none_or(|t| !other.procs.contains(&t) && other.send_to != Some(t))
+            && other.send_to.is_none_or(|t| !self.procs.contains(&t))
+    }
+}
+
+enum Decision {
+    Affirm(AidId),
+    Deny(AidId),
+}
+
+/// Follow everything a definite affirm/deny of the seed AIDs can cascade
+/// into: discharged intervals may finalize (promoting their `IHA`/`IHD`),
+/// rolled-back suffixes conservatively deny their `IHA` and release their
+/// `IHD`. All touched AIDs and all processes whose history can be
+/// truncated land in `fp`.
+fn decision_closure(m: &Machine, seeds: Vec<Decision>, fp: &mut Footprint) {
+    let engine = m.engine();
+    let proc_of = |interval: IntervalId| -> usize {
+        let pid = engine.interval(interval).expect("live interval").process();
+        (0..m.process_count())
+            .find(|&p| m.pid(p) == pid)
+            .expect("interval belongs to a machine process")
+    };
+    let mut wl = seeds;
+    let mut seen_affirm: BTreeSet<AidId> = BTreeSet::new();
+    let mut seen_deny: BTreeSet<AidId> = BTreeSet::new();
+    let mut rolled: BTreeSet<IntervalId> = BTreeSet::new();
+    while let Some(d) = wl.pop() {
+        match d {
+            Decision::Affirm(x) => {
+                if !seen_affirm.insert(x) {
+                    continue;
+                }
+                fp.writes.insert(x);
+                let Ok(v) = engine.aid(x) else { continue };
+                for b in v.dom() {
+                    // Discharging x from b.IDO may finalize b, promoting
+                    // its speculative affirms and denies.
+                    let itv = engine.interval(b).expect("DOM member is live");
+                    fp.procs.insert(proc_of(b));
+                    for y in itv.iha() {
+                        wl.push(Decision::Affirm(y));
+                    }
+                    for y in itv.ihd() {
+                        wl.push(Decision::Deny(y));
+                    }
+                }
+            }
+            Decision::Deny(x) => {
+                if !seen_deny.insert(x) {
+                    continue;
+                }
+                fp.writes.insert(x);
+                let Ok(v) = engine.aid(x) else { continue };
+                // A pending speculative deny of x is released if its
+                // holder rolls back; the tie itself is per-AID state.
+                if let Some(holder) = v.speculatively_denied_by() {
+                    fp.procs.insert(proc_of(holder));
+                }
+                for b in v.dom() {
+                    // Rollback truncates the owner's live history from b
+                    // onward; every interval in that suffix is a victim.
+                    let owner = proc_of(b);
+                    fp.procs.insert(owner);
+                    let seq = engine.interval(b).expect("DOM member is live").seq();
+                    let history = engine.history(m.pid(owner)).expect("machine process");
+                    for &c in history.iter().skip(seq) {
+                        if !rolled.insert(c) {
+                            continue;
+                        }
+                        let itv = engine.interval(c).expect("live interval");
+                        // Withdrawing c from DOM sets touches its IDO's AIDs.
+                        for y in itv.ido() {
+                            fp.writes.insert(y);
+                        }
+                        // Speculative affirms become conservative denies.
+                        for y in itv.iha() {
+                            wl.push(Decision::Deny(y));
+                        }
+                        // Speculative denies are released (consumed reset).
+                        for y in itv.ihd() {
+                            fp.writes.insert(y);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AIDs a fresh guess on `named` would read/write right now: the named
+/// AIDs, their speculative-affirm resolutions, and the inherited parent
+/// `IDO` (every member's `DOM` gains the new interval). A guess is subject
+/// to the one-shot rule like any other primitive: a consumed AID makes it
+/// a recorded skip, which only *reads* the flag.
+fn guess_footprint(m: &Machine, p: usize, named: &[AidId], fp: &mut Footprint) {
+    let engine = m.engine();
+    let mut live = false;
+    for &x in named {
+        if engine.aid(x).map(|a| a.is_consumed()).unwrap_or(false) {
+            fp.reads.insert(x);
+            continue;
+        }
+        live = true;
+        fp.writes.insert(x);
+        if let Ok(v) = engine.aid(x) {
+            if let Some(a) = v.speculatively_affirmed_by() {
+                for y in engine.interval(a).expect("affirmer is live").ido() {
+                    fp.writes.insert(y);
+                }
+            }
+        }
+    }
+    // The parent IDO is inherited only if a new interval actually opens.
+    if live {
+        if let Ok(Some(a)) = engine.current_interval(m.pid(p)) {
+            for y in engine.interval(a).expect("current interval is live").ido() {
+                fp.writes.insert(y);
+            }
+        }
+    }
+}
+
+/// Footprint of a *speculative* affirm (Equations 10–14): dependence on
+/// `x` is rewired onto the affirmer's remaining `IDO`; every interval in
+/// `x.DOM` has its `IDO` rewritten and may finalize.
+fn spec_affirm_footprint(m: &Machine, p: usize, x: AidId, fp: &mut Footprint) {
+    let engine = m.engine();
+    fp.writes.insert(x);
+    if let Ok(Some(a)) = engine.current_interval(m.pid(p)) {
+        for y in engine.interval(a).expect("current interval is live").ido() {
+            fp.writes.insert(y);
+        }
+    }
+    let mut follow = Vec::new();
+    if let Ok(v) = engine.aid(x) {
+        for b in v.dom() {
+            let itv = engine.interval(b).expect("DOM member is live");
+            let pid = itv.process();
+            let owner = (0..m.process_count())
+                .find(|&q| m.pid(q) == pid)
+                .expect("machine process");
+            fp.procs.insert(owner);
+            // b may finalize if the rewiring empties its IDO.
+            for y in itv.iha() {
+                follow.push(Decision::Affirm(y));
+            }
+            for y in itv.ihd() {
+                follow.push(Decision::Deny(y));
+            }
+        }
+    }
+    decision_closure(m, follow, fp);
+}
+
+/// Compute the footprint of the step process `p` would take from the
+/// current state of `m`. `p` must be enabled (its `poll` is `Executed`)
+/// or done-free; a blocked `recv` gets the footprint of the probe itself.
+pub(crate) fn footprint(m: &Machine, p: usize) -> Footprint {
+    let mut fp = Footprint {
+        procs: BTreeSet::from([p]),
+        ..Footprint::default()
+    };
+    let engine = m.engine();
+    let Some(stmt) = m.next_stmt(p) else {
+        return fp;
+    };
+    match stmt {
+        Stmt::Compute => {}
+        Stmt::Send { to } => fp.send_to = Some(to),
+        Stmt::Guess(v) => {
+            let x = m.aids()[v];
+            guess_footprint(m, p, &[x], &mut fp);
+        }
+        Stmt::Recv => {
+            // The step pops the ghost prefix and delivers the first live
+            // message: deliverability of everything up to and including
+            // it depends on those tags' decision states.
+            let mut named: Vec<AidId> = Vec::new();
+            for msg in m.mailbox(p) {
+                let ghost = msg
+                    .tag
+                    .iter()
+                    .any(|x| matches!(engine.aid_state(x), Ok(AidState::Denied)));
+                for x in msg.tag.iter() {
+                    fp.reads.insert(x);
+                }
+                if !ghost {
+                    named.extend(msg.tag.iter());
+                    break;
+                }
+            }
+            guess_footprint(m, p, &named, &mut fp);
+        }
+        Stmt::Affirm(v) | Stmt::Deny(v) | Stmt::FreeOf(v) => {
+            let x = m.aids()[v];
+            let consumed = engine.aid(x).map(|a| a.is_consumed()).unwrap_or(false);
+            if consumed {
+                // One-shot violation: the step records Skipped into p's own
+                // history and only *reads* x's consumed flag. Two skips of
+                // the same consumed AID commute — this is the read set's
+                // main payoff on the exhaustive envelopes.
+                fp.reads.insert(x);
+                return fp;
+            }
+            fp.writes.insert(x);
+            let cur = engine.current_interval(m.pid(p)).expect("registered");
+            let in_ido = cur.map(|a| {
+                engine
+                    .interval(a)
+                    .expect("current interval is live")
+                    .ido()
+                    .contains(&x)
+            });
+            // Mirror the engine's dispatch: free_of is an affirm unless
+            // x ∈ IDO (then a definite deny); affirm is speculative iff
+            // the process is; deny is definite unless speculative and
+            // x ∉ IDO.
+            let effective = match (stmt, in_ido) {
+                (Stmt::Deny(_), None) => Decision::Deny(x),
+                (Stmt::Deny(_), Some(true)) => Decision::Deny(x),
+                (Stmt::Deny(_), Some(false)) => {
+                    // Speculative deny: records into own IHD only.
+                    return fp;
+                }
+                (Stmt::FreeOf(_), Some(true)) => Decision::Deny(x),
+                (_, None) => Decision::Affirm(x),
+                (_, Some(_)) => {
+                    spec_affirm_footprint(m, p, x, &mut fp);
+                    return fp;
+                }
+            };
+            decision_closure(m, vec![effective], &mut fp);
+        }
+    }
+    fp
+}
+
+/// Over-approximation of everything process `q` could still touch from
+/// the *current* state: the statement suffix from the earliest pc any
+/// rollback could rewind `q` to, plus the dependence sets of `q`'s live
+/// speculative intervals (the AIDs a cascade through `q` can reach).
+///
+/// This is deliberately dynamic where the obvious choice would be static.
+/// A whole-program approximation is coarser — a process past its last use
+/// of an AID would block singletons on it forever — and, worse, a
+/// *statement-only* approximation is unsound: a decision's cascade can
+/// touch AIDs that appear in no statement of the deciding process,
+/// reaching them through a third process's interval `IDO`. Those AIDs are
+/// exactly the ones in some live interval's dependence sets, so including
+/// each process's interval sets here closes that path: any cascade route
+/// to an AID runs through *some* live process whose reach then contains it.
+#[derive(Debug, Default)]
+struct Reach {
+    /// AIDs `q` could still decide, guess, skip over, or cascade into.
+    aids: BTreeSet<AidId>,
+    /// Mailboxes `q` could still append to.
+    sends: BTreeSet<usize>,
+    /// A `recv` is still reachable: tags can carry arbitrary dependence
+    /// into `q`, so every AID must be assumed touchable.
+    everything: bool,
+}
+
+impl Reach {
+    fn touches(&self, x: AidId) -> bool {
+        self.everything || self.aids.contains(&x)
+    }
+}
+
+fn reach(m: &Machine, q: usize) -> Reach {
+    let engine = m.engine();
+    let mut r = Reach::default();
+    // Rollback can rewind q's pc to any live speculative interval's
+    // resume mark: the reachable statement suffix starts at the earliest.
+    let mut pc = m.pc(q);
+    let history = engine.history(m.pid(q)).expect("machine process");
+    for &a in history {
+        let itv = engine.interval(a).expect("live interval");
+        if itv.status() == hope_core::IntervalStatus::Speculative {
+            if let Some((mark_pc, _, _)) = m.resume_mark(q, a) {
+                pc = pc.min(mark_pc);
+            }
+            // Cascades through q's own speculation reach every AID its
+            // live intervals depend on, speculatively decided, or guessed.
+            for set in [itv.ido(), itv.ihd(), itv.iha(), itv.guessed()] {
+                r.aids.extend(set);
+            }
+        }
+    }
+    for stmt in m.program().code[q].iter().skip(pc) {
+        match *stmt {
+            Stmt::Guess(v) | Stmt::Affirm(v) | Stmt::Deny(v) | Stmt::FreeOf(v) => {
+                r.aids.insert(m.aids()[v]);
+            }
+            Stmt::Send { to } => {
+                r.sends.insert(to);
+            }
+            Stmt::Recv => r.everything = true,
+            Stmt::Compute => {}
+        }
+    }
+    r
+}
+
+/// Pick a process that can be scheduled as a singleton persistent set: its
+/// next step must be invisible to every other still-live process's
+/// [`Reach`]. Returns the lowest such index so the choice is
+/// deterministic across revisits of the same canonical state.
+///
+/// Soundness conditions, checked in order:
+/// * the process is definite — nobody can roll it back, and its own step
+///   cannot become speculative without it moving;
+/// * the step is not a `recv` (delivery order couples it to senders);
+/// * its dynamic footprint stays within the process itself;
+/// * no other live process's reach meets the footprint, and nobody else
+///   can still send to the footprint's `send_to` target.
+pub(crate) fn invisible_singleton(m: &Machine, enabled: &[usize]) -> Option<usize> {
+    let engine = m.engine();
+    let finished = |q: usize| -> bool {
+        // Permanently finished: out of statements *and* definite (a
+        // speculative done process can be rolled back and run again).
+        m.next_stmt(q).is_none() && !engine.is_speculative(m.pid(q)).unwrap_or(true)
+    };
+    let mut reaches: Vec<Option<Reach>> = (0..m.process_count()).map(|_| None).collect();
+    'candidates: for &p in enabled {
+        if engine.is_speculative(m.pid(p)).unwrap_or(true) {
+            continue;
+        }
+        if matches!(m.next_stmt(p), Some(Stmt::Recv) | None) {
+            continue;
+        }
+        let fp = footprint(m, p);
+        if fp.procs.len() != 1 || !fp.procs.contains(&p) {
+            continue;
+        }
+        // A decided AID is frozen: `consumed` is only ever reset while the
+        // state is still `Undecided`, and a definite decision is permanent
+        // (Theorem 5.2), so every later primitive on it — in any process —
+        // is a one-shot skip that merely reads the flag. Reads of frozen
+        // AIDs therefore cannot conflict with anything.
+        let frozen = |x: AidId| -> bool { !matches!(engine.aid_state(x), Ok(AidState::Undecided)) };
+        for (q, slot) in reaches.iter_mut().enumerate() {
+            if q == p || finished(q) {
+                continue;
+            }
+            let r = slot.get_or_insert_with(|| reach(m, q));
+            if fp.writes.iter().any(|&x| r.touches(x)) {
+                continue 'candidates;
+            }
+            if fp.reads.iter().any(|&x| !frozen(x) && r.touches(x)) {
+                continue 'candidates;
+            }
+            if let Some(t) = fp.send_to {
+                if r.sends.contains(&t) {
+                    continue 'candidates;
+                }
+            }
+        }
+        return Some(p);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_core::program::Program;
+
+    fn fresh(program: &str) -> Machine {
+        Machine::new(program.parse::<Program>().unwrap())
+    }
+
+    #[test]
+    fn disjoint_guesses_are_independent() {
+        let m = fresh("process P0:\n guess(x0)\nprocess P1:\n guess(x1)\n");
+        let a = footprint(&m, 0);
+        let b = footprint(&m, 1);
+        assert!(a.independent(&b));
+        assert!(b.independent(&a));
+    }
+
+    #[test]
+    fn same_aid_decisions_conflict() {
+        let m = fresh("process P0:\n affirm(x0)\nprocess P1:\n deny(x0)\n");
+        let a = footprint(&m, 0);
+        let b = footprint(&m, 1);
+        assert!(!a.independent(&b));
+    }
+
+    #[test]
+    fn send_conflicts_with_receiver() {
+        let m = fresh("process P0:\n send(P1)\nprocess P1:\n recv\n");
+        let s = footprint(&m, 0);
+        let r = footprint(&m, 1);
+        assert_eq!(s.send_to, Some(1));
+        assert!(!s.independent(&r));
+    }
+
+    #[test]
+    fn deny_footprint_includes_rollback_victims() {
+        // P0 guesses x0 (speculative interval), P1 will deny x0: P1's
+        // step must claim P0 as a victim once the dependence exists.
+        let mut m = fresh("process P0:\n guess(x0)\n compute\nprocess P1:\n deny(x0)\n");
+        m.step(0).unwrap();
+        let fp = footprint(&m, 1);
+        assert!(fp.procs.contains(&0), "rollback victim missing: {fp:?}");
+        assert!(fp.writes.contains(&m.aids()[0]));
+    }
+
+    #[test]
+    fn skipped_decisions_on_a_consumed_aid_commute() {
+        // P0 consumes x0; afterwards both remaining decisions are one-shot
+        // violations that merely read the consumed flag — they commute.
+        let mut m = fresh("process P0:\n affirm(x0)\n deny(x0)\nprocess P1:\n free_of(x0)\n");
+        let before = footprint(&m, 1);
+        assert!(before.writes.contains(&m.aids()[0]), "live decision writes");
+        m.step(0).unwrap();
+        let a = footprint(&m, 0);
+        let b = footprint(&m, 1);
+        assert!(a.reads.contains(&m.aids()[0]) && a.writes.is_empty());
+        assert!(a.independent(&b), "skip vs skip must commute: {a:?} {b:?}");
+    }
+
+    #[test]
+    fn compute_is_invisible_for_definite_process() {
+        let m = fresh("process P0:\n compute\n compute\nprocess P1:\n guess(x0)\n");
+        let pick = invisible_singleton(&m, &[0, 1]);
+        assert_eq!(pick, Some(0));
+    }
+
+    #[test]
+    fn guess_is_not_invisible_when_another_proc_touches_the_aid() {
+        let m = fresh("process P0:\n guess(x0)\nprocess P1:\n affirm(x0)\n");
+        assert_eq!(invisible_singleton(&m, &[0, 1]), None);
+    }
+
+    #[test]
+    fn reach_shrinks_once_a_process_passes_its_last_use() {
+        // Before P1 moves, its reach covers x0 and guess(x0) cannot be a
+        // singleton; after P1's deny(x0) lands (and the engine settles),
+        // only `compute` remains, so P0's next aid-free step is invisible.
+        let mut m = fresh("process P0:\n compute\n guess(x0)\nprocess P1:\n deny(x0)\n compute\n");
+        assert_eq!(invisible_singleton(&m, &[0, 1]), Some(0), "compute is free");
+        m.step(0).unwrap();
+        assert_eq!(
+            invisible_singleton(&m, &[0, 1]),
+            None,
+            "guess(x0) races P1's deny(x0)"
+        );
+        m.step(1).unwrap();
+        // P1's remaining suffix is aid-free and both processes are
+        // definite: the guess no longer interleaves with anything.
+        assert_eq!(invisible_singleton(&m, &[0, 1]), Some(0));
+    }
+}

@@ -1,0 +1,609 @@
+//! # hope-mc — schedule-space model checking for HOPE machine programs
+//!
+//! The theorem and agreement suites in this workspace execute programs
+//! under a *sample* of schedules (round-robin plus a handful of seeded
+//! random runs). That leaves every "on some schedule" / "on no schedule"
+//! claim schedule-incomplete. This crate closes the gap: [`check`]
+//! explores **every inequivalent interleaving** of a small
+//! [`Program`] under `Machine::step`, and returns a verdict that is
+//! either [`Completeness::Exhausted`] — the claim now quantifies over the
+//! full schedule space — or an explicit [`Completeness::BudgetExceeded`].
+//!
+//! Three cooperating reductions keep the space tractable without losing
+//! any reachable terminal state:
+//!
+//! 1. **Canonical-state memoization** ([`mod@canon`]): states reached by
+//!    commuting independent steps are renamed onto schedule-independent
+//!    coordinates and cached, so each inequivalent state is expanded once.
+//! 2. **Sleep sets**: after exploring step `a` from a state, sibling
+//!    branches need not re-run `a`-first interleavings of independent
+//!    steps; independence comes from engine-derived footprints
+//!    (same-AID contact, DOM/IDO interaction, rollback victims, mailbox
+//!    order — see `indep`).
+//! 3. **Persistent singletons**: a definite process whose next step is
+//!    provably invisible to every other live process is scheduled alone —
+//!    no branching at all at that state.
+//!
+//! Reductions 2–3 preserve all reachable *terminal* states (and the
+//! sin flags that decide pristineness travel inside the canonical state),
+//! so every verdict this crate reports — "some schedule finalizes
+//! pristinely", "no schedule can finalize", "all schedules commit the
+//! same outputs" — holds over the unreduced space. A [`Mode::Naive`]
+//! comparator (plain bounded DFS, no cache, no reduction) exists so the
+//! test-suite can cross-check verdicts and the E17 experiment can
+//! measure what the reduction buys.
+//!
+//! ```
+//! use hope_core::program::Program;
+//! use hope_mc::{check, Completeness, McConfig};
+//!
+//! let program: Program = "process P0:\n guess(x0)\nprocess P1:\n affirm(x0)\n"
+//!     .parse()
+//!     .unwrap();
+//! let report = check(&program, &McConfig::default());
+//! assert_eq!(report.completeness, Completeness::Exhausted);
+//! assert!(report.pristine_witness.is_some());
+//! assert_eq!(report.distinct_outputs(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hope_core::machine::{Event, Machine, StepOutcome};
+use hope_core::observer::RuntimeObserver;
+use hope_core::program::Program;
+
+pub mod canon;
+mod indep;
+
+pub use canon::commit_fingerprint;
+
+use indep::invisible_singleton;
+
+/// Exploration strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Plain bounded DFS over the full interleaving tree: no state cache,
+    /// no reduction. The comparator for measuring what DPOR buys; its
+    /// `transitions` count is the naive interleaving cost.
+    Naive,
+    /// Canonical-state memoization only (no sleep sets, no persistent
+    /// singletons). Isolates how much the cache alone prunes.
+    Stateful,
+    /// The full reduction: memoization + sleep sets + persistent
+    /// singletons. The default.
+    Dpor,
+}
+
+/// Budget and strategy for one [`check`] run.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Stop after this many states (canonical states in `Stateful`/`Dpor`,
+    /// visited nodes in `Naive`).
+    pub max_states: usize,
+    /// Prune any branch deeper than this many steps (guards against
+    /// rollback-re-execution livelock in adversarial programs).
+    pub max_depth: usize,
+    /// Exploration strategy.
+    pub mode: Mode,
+    /// Keep at most this many terminal schedules as replayable witnesses.
+    pub max_witnesses: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            max_states: 200_000,
+            max_depth: 2_000,
+            mode: Mode::Dpor,
+            max_witnesses: 16,
+        }
+    }
+}
+
+impl McConfig {
+    /// A small-budget configuration for smoke tests and CI.
+    pub fn smoke() -> Self {
+        McConfig {
+            max_states: 20_000,
+            max_depth: 500,
+            ..McConfig::default()
+        }
+    }
+}
+
+/// Why a [`check`] run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// The state budget ran out; unexplored interleavings remain.
+    MaxStates,
+    /// Some branch exceeded the depth bound and was pruned.
+    MaxDepth,
+}
+
+/// Whether the verdict quantifies over the full reduced schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every inequivalent interleaving was explored: existential and
+    /// universal schedule claims from this report are exact.
+    Exhausted,
+    /// The budget ran out first: "found" results (a pristine witness, a
+    /// reached output) are still sound, but absence proves nothing.
+    BudgetExceeded(BudgetReason),
+}
+
+impl Completeness {
+    /// `true` when the full reduced space was explored.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Completeness::Exhausted)
+    }
+}
+
+/// One terminal state's schedule, kept for replay.
+#[derive(Debug, Clone)]
+pub struct TerminalWitness {
+    /// Process indices in execution order; replay with [`replay`].
+    pub schedule: Vec<usize>,
+    /// `true` if every process ran to completion (else: deadlock).
+    pub completed: bool,
+    /// `true` if the run finalized pristinely — completed with no
+    /// rollback, no ghost, no skipped primitive and no leaked
+    /// speculation.
+    pub pristine: bool,
+}
+
+/// The result of exploring a program's schedule space.
+#[derive(Debug, Clone)]
+pub struct McReport {
+    /// Whether the whole reduced space was covered.
+    pub completeness: Completeness,
+    /// Unique canonical states visited (`Naive`: DFS nodes visited).
+    pub states: usize,
+    /// Machine steps executed across all explored branches.
+    pub transitions: usize,
+    /// Re-arrivals at an already-expanded canonical state.
+    pub cache_hits: usize,
+    /// Enabled transitions skipped because a sleep set proved an
+    /// equivalent interleaving already explored.
+    pub sleep_pruned: usize,
+    /// States where a persistent singleton removed all branching.
+    pub singleton_states: usize,
+    /// Terminal states where every process completed.
+    pub completed_terminals: usize,
+    /// Terminal states where some process was blocked forever.
+    pub deadlock_terminals: usize,
+    /// A schedule that finalizes pristinely, if any explored one does.
+    pub pristine_witness: Option<Vec<usize>>,
+    /// Up to `max_witnesses` terminal schedules for replay.
+    pub witnesses: Vec<TerminalWitness>,
+    outputs: BTreeSet<Vec<u8>>,
+}
+
+impl McReport {
+    /// Number of distinct committed outcomes (commit fingerprints) across
+    /// all completed terminals. `1` here with
+    /// [`Completeness::Exhausted`] is the Theorem 6.x determinism claim,
+    /// verified over every inequivalent schedule.
+    pub fn distinct_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// `true` if some completed explored schedule commits exactly this
+    /// outcome (a [`commit_fingerprint`] of a finished machine).
+    pub fn contains_output(&self, fingerprint: &[u8]) -> bool {
+        self.outputs.contains(fingerprint)
+    }
+
+    /// The set of committed outcomes reached by explored schedules.
+    pub fn outputs(&self) -> &BTreeSet<Vec<u8>> {
+        &self.outputs
+    }
+
+    /// Exhaustively proven: *no* schedule finalizes pristinely. `false`
+    /// when a witness exists **or** the budget ran out first.
+    pub fn proves_no_pristine_schedule(&self) -> bool {
+        self.pristine_witness.is_none() && self.completeness.is_exhausted()
+    }
+}
+
+/// `true` if this finished machine state is pristine: completed, no
+/// rollback ever, no ghost ever, no skipped primitive in any surviving
+/// history, and no leaked speculation. Matches the agreement suite's
+/// dynamic notion of "finalizes on this schedule".
+fn is_pristine(m: &Machine) -> bool {
+    let stats = m.engine().stats();
+    if stats.rollback_events > 0 || stats.ghosts > 0 {
+        return false;
+    }
+    for p in 0..m.process_count() {
+        if m.poll(p) != StepOutcome::Done {
+            return false;
+        }
+        if m.engine().is_speculative(m.pid(p)).unwrap_or(true) {
+            return false;
+        }
+        if m.history(p)
+            .states()
+            .iter()
+            .any(|s| matches!(s.event, Event::Skipped { .. }))
+        {
+            return false;
+        }
+    }
+    true
+}
+
+struct Explorer {
+    cfg: McConfig,
+    visited: BTreeMap<Vec<u8>, BTreeSet<usize>>,
+    path: Vec<usize>,
+    report: McReport,
+    stopped: bool,
+}
+
+impl Explorer {
+    fn budget_left(&mut self) -> bool {
+        if self.report.states >= self.cfg.max_states {
+            self.report.completeness = Completeness::BudgetExceeded(BudgetReason::MaxStates);
+            self.stopped = true;
+        }
+        !self.stopped
+    }
+
+    fn terminal(&mut self, m: &Machine) {
+        let completed = (0..m.process_count()).all(|p| m.poll(p) == StepOutcome::Done);
+        let pristine = completed && is_pristine(m);
+        if completed {
+            self.report.completed_terminals += 1;
+            self.report.outputs.insert(canon::commit_fingerprint(m));
+        } else {
+            self.report.deadlock_terminals += 1;
+        }
+        if pristine && self.report.pristine_witness.is_none() {
+            self.report.pristine_witness = Some(self.path.clone());
+        }
+        if self.report.witnesses.len() < self.cfg.max_witnesses {
+            self.report.witnesses.push(TerminalWitness {
+                schedule: self.path.clone(),
+                completed,
+                pristine,
+            });
+        }
+    }
+
+    fn explore(&mut self, m: &Machine, sleep: Vec<usize>, depth: usize) {
+        if !self.budget_left() {
+            return;
+        }
+        let n = m.process_count();
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&p| m.poll(p) == StepOutcome::Executed)
+            .collect();
+
+        // Visited-state handling. Terminals are cached too, so each
+        // inequivalent terminal is counted and recorded exactly once.
+        let mut state_key = Vec::new();
+        let explored_before: BTreeSet<usize> = if self.cfg.mode == Mode::Naive {
+            self.report.states += 1;
+            BTreeSet::new()
+        } else {
+            state_key = canon::state_key(m);
+            match self.visited.get(&state_key) {
+                Some(done) => {
+                    self.report.cache_hits += 1;
+                    if enabled.is_empty() {
+                        return; // terminal already recorded
+                    }
+                    done.clone()
+                }
+                None => {
+                    self.report.states += 1;
+                    self.visited.insert(state_key.clone(), BTreeSet::new());
+                    BTreeSet::new()
+                }
+            }
+        };
+
+        if enabled.is_empty() {
+            self.terminal(m);
+            return;
+        }
+        if depth >= self.cfg.max_depth {
+            self.report.completeness = Completeness::BudgetExceeded(BudgetReason::MaxDepth);
+            return;
+        }
+
+        // Persistent singleton: a provably invisible step needs no
+        // branching — and by persistence, no sibling either.
+        let candidates: Vec<usize> = if self.cfg.mode == Mode::Dpor {
+            match invisible_singleton(m, &enabled) {
+                Some(p) => {
+                    self.report.singleton_states += 1;
+                    vec![p]
+                }
+                None => enabled,
+            }
+        } else {
+            enabled
+        };
+
+        // Sleep-set filter: steps whose `candidate`-first interleavings a
+        // sibling branch already covers.
+        let allowed: Vec<usize> = if self.cfg.mode == Mode::Dpor {
+            let before = candidates.len();
+            let kept: Vec<usize> = candidates
+                .into_iter()
+                .filter(|p| !sleep.contains(p))
+                .collect();
+            self.report.sleep_pruned += before - kept.len();
+            kept
+        } else {
+            candidates
+        };
+
+        let footprints: BTreeMap<usize, indep::Footprint> = if self.cfg.mode == Mode::Dpor {
+            allowed
+                .iter()
+                .chain(sleep.iter())
+                .map(|&p| (p, indep::footprint(m, p)))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
+
+        let mut taken: Vec<usize> = Vec::new();
+        for &p in &allowed {
+            if explored_before.contains(&p) {
+                continue;
+            }
+            if self.cfg.mode != Mode::Naive {
+                // Mark pre-order so cycles (rollback livelocks) cut off.
+                self.visited.entry(state_key.clone()).or_default().insert(p);
+            }
+            if self.stopped {
+                return;
+            }
+            let mut child = m.clone();
+            child.step(p).expect("machine-built programs cannot err");
+            self.report.transitions += 1;
+            let child_sleep: Vec<usize> = if self.cfg.mode == Mode::Dpor {
+                let fp_p = &footprints[&p];
+                sleep
+                    .iter()
+                    .chain(taken.iter())
+                    .copied()
+                    .filter(|u| {
+                        footprints
+                            .get(u)
+                            .map(|fp_u| fp_u.independent(fp_p))
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            self.path.push(p);
+            self.explore(&child, child_sleep, depth + 1);
+            self.path.pop();
+            if self.cfg.mode == Mode::Dpor {
+                taken.push(p);
+            }
+        }
+    }
+}
+
+/// Explore the schedule space of `program` under `cfg`.
+///
+/// Clones the machine at every branch point (snapshot-based exploration;
+/// `Machine` is a pure value). The returned [`McReport`] carries the
+/// verdict, the exploration counters the E17 experiment records, a
+/// pristine witness schedule if one exists, and the set of committed
+/// outcomes across all completed terminals.
+pub fn check(program: &Program, cfg: &McConfig) -> McReport {
+    let machine = Machine::new(program.clone());
+    let mut explorer = Explorer {
+        cfg: cfg.clone(),
+        visited: BTreeMap::new(),
+        path: Vec::new(),
+        report: McReport {
+            completeness: Completeness::Exhausted,
+            states: 0,
+            transitions: 0,
+            cache_hits: 0,
+            sleep_pruned: 0,
+            singleton_states: 0,
+            completed_terminals: 0,
+            deadlock_terminals: 0,
+            pristine_witness: None,
+            witnesses: Vec::new(),
+            outputs: BTreeSet::new(),
+        },
+        stopped: false,
+    };
+    explorer.explore(&machine, Vec::new(), 0);
+    explorer.report
+}
+
+/// Re-execute a witness schedule step by step, reporting every executed
+/// action to `observer` (e.g. `hope_analysis::dynamic::RaceDetector`),
+/// and return the finished machine for inspection.
+///
+/// Steps that poll as blocked or done are skipped rather than executed,
+/// so any recorded schedule replays safely.
+pub fn replay(
+    program: &Program,
+    schedule: &[usize],
+    observer: &mut dyn RuntimeObserver,
+) -> Machine {
+    let mut m = Machine::new(program.clone());
+    for &p in schedule {
+        if p < m.process_count() && m.poll(p) == StepOutcome::Executed {
+            m.step_observed(p, observer)
+                .expect("machine-built programs cannot err");
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_core::observer::NullObserver;
+
+    fn parse(src: &str) -> Program {
+        src.parse().unwrap()
+    }
+
+    #[test]
+    fn single_process_has_one_schedule() {
+        let p = parse("process P0:\n guess(x0)\n free_of(x1)\n compute\n");
+        let r = check(&p, &McConfig::default());
+        assert!(r.completeness.is_exhausted());
+        assert_eq!(r.completed_terminals, 1);
+        assert_eq!(r.deadlock_terminals, 0);
+    }
+
+    #[test]
+    fn affirm_race_yields_witness_and_exhausts() {
+        let p = parse("process P0:\n guess(x0)\n compute\nprocess P1:\n affirm(x0)\n");
+        let r = check(&p, &McConfig::default());
+        assert!(r.completeness.is_exhausted());
+        assert!(r.pristine_witness.is_some(), "{r:?}");
+    }
+
+    #[test]
+    fn doomed_self_deny_has_no_pristine_schedule() {
+        // guess(x0); deny(x0) self-deny always rolls back: no schedule
+        // finalizes pristinely, and the checker proves it.
+        let p = parse("process P0:\n guess(x0)\n deny(x0)\n");
+        let r = check(&p, &McConfig::default());
+        assert!(r.proves_no_pristine_schedule(), "{r:?}");
+        assert!(r.completed_terminals > 0);
+    }
+
+    #[test]
+    fn naive_and_dpor_agree_on_verdicts() {
+        for seed in 0..60u64 {
+            let p = Program::generate(seed, 2, 3, 2);
+            let dpor = check(&p, &McConfig::default());
+            let naive = check(
+                &p,
+                &McConfig {
+                    mode: Mode::Naive,
+                    ..McConfig::default()
+                },
+            );
+            if !dpor.completeness.is_exhausted() || !naive.completeness.is_exhausted() {
+                continue;
+            }
+            assert_eq!(
+                dpor.pristine_witness.is_some(),
+                naive.pristine_witness.is_some(),
+                "seed {seed}: pristine disagreement\n{p}"
+            );
+            assert_eq!(
+                dpor.outputs, naive.outputs,
+                "seed {seed}: committed outcomes disagree\n{p}"
+            );
+            assert_eq!(
+                dpor.deadlock_terminals > 0,
+                naive.deadlock_terminals > 0,
+                "seed {seed}: deadlock disagreement\n{p}"
+            );
+            assert!(dpor.transitions <= naive.transitions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stateful_and_dpor_agree_and_dpor_is_no_larger() {
+        for seed in 100..140u64 {
+            let p = Program::generate(seed, 3, 3, 2);
+            let dpor = check(&p, &McConfig::default());
+            let stateful = check(
+                &p,
+                &McConfig {
+                    mode: Mode::Stateful,
+                    ..McConfig::default()
+                },
+            );
+            if !dpor.completeness.is_exhausted() || !stateful.completeness.is_exhausted() {
+                continue;
+            }
+            assert_eq!(dpor.outputs, stateful.outputs, "seed {seed}\n{p}");
+            assert_eq!(
+                dpor.pristine_witness.is_some(),
+                stateful.pristine_witness.is_some(),
+                "seed {seed}\n{p}"
+            );
+            assert!(dpor.states <= stateful.states, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        let p = Program::generate(7, 3, 10, 3);
+        let r = check(
+            &p,
+            &McConfig {
+                max_states: 10,
+                ..McConfig::default()
+            },
+        );
+        assert_eq!(
+            r.completeness,
+            Completeness::BudgetExceeded(BudgetReason::MaxStates)
+        );
+        assert!(!r.proves_no_pristine_schedule());
+    }
+
+    #[test]
+    fn depth_budget_is_reported() {
+        let p = parse("process P0:\n compute\n compute\n compute\n compute\n");
+        let r = check(
+            &p,
+            &McConfig {
+                max_depth: 2,
+                ..McConfig::default()
+            },
+        );
+        assert_eq!(
+            r.completeness,
+            Completeness::BudgetExceeded(BudgetReason::MaxDepth)
+        );
+    }
+
+    #[test]
+    fn witness_replays_to_pristine_state() {
+        let p = parse("process P0:\n guess(x0)\n send(P1)\nprocess P1:\n recv\n affirm(x0)\n");
+        let r = check(&p, &McConfig::default());
+        let w = r
+            .pristine_witness
+            .clone()
+            .expect("pristine schedule exists");
+        let m = replay(&p, &w, &mut NullObserver);
+        assert!(super::is_pristine(&m));
+        assert!(r.contains_output(&commit_fingerprint(&m)));
+    }
+
+    #[test]
+    fn empty_program_is_trivially_pristine() {
+        let r = check(&Program::new(vec![]), &McConfig::default());
+        assert!(r.completeness.is_exhausted());
+        assert_eq!(r.completed_terminals, 1);
+        assert_eq!(r.pristine_witness, Some(vec![]));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = Program::generate(42, 2, 4, 2);
+        let a = check(&p, &McConfig::default());
+        let b = check(&p, &McConfig::default());
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.pristine_witness, b.pristine_witness);
+    }
+}

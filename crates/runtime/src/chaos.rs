@@ -208,6 +208,89 @@ pub fn chaos_sweep(
     }
 }
 
+/// Run `scenario` under every scheduler seed in `seeds` and assert each
+/// run commits exactly the same output lines as the run under
+/// `base.seed` — the schedule-space counterpart to [`chaos_sweep`]'s
+/// fault-space oracle, with the same replayability check per seed.
+///
+/// The scheduler's seed decides every interleaving choice the simulation
+/// makes, so sweeping it samples distinct schedules of the same program.
+/// This is deliberately a *sampled* complement to the `hope-mc` model
+/// checker: machine programs are plain data and can be forked state-by-
+/// state for exhaustive DPOR exploration, but a [`Simulation`]'s process
+/// bodies are closures that cannot be cloned mid-run, so the runtime's
+/// schedule coverage comes from seeds. Programs whose committed output is
+/// schedule-dependent by design (racing outputs with no HOPE protocol
+/// around them) will — and should — fail this sweep.
+///
+/// If `base` carries a [`FaultPlan`], every seeded run keeps it: the sweep
+/// then checks schedule-independence *under* that fixed fault load.
+pub fn schedule_sweep(
+    base: SimConfig,
+    seeds: impl IntoIterator<Item = u64>,
+    scenario: impl Fn(SimConfig) -> Simulation,
+) -> ChaosOutcome {
+    let baseline_report = scenario(base.clone()).run();
+    let baseline = committed_outputs(&baseline_report);
+    let mut failures = Vec::new();
+    if baseline_report.hit_limits() {
+        failures.push(ChaosFailure {
+            seed: base.seed,
+            detail: "baseline schedule hit simulation limits".to_string(),
+        });
+    }
+    let baseline_replay = scenario(base.clone()).run();
+    if baseline_replay.fingerprint() != baseline_report.fingerprint() {
+        failures.push(ChaosFailure {
+            seed: base.seed,
+            detail: "baseline schedule is not replayable — the scenario \
+                     closure does not build the same program every call"
+                .to_string(),
+        });
+    }
+    let mut faults = FaultStats::default();
+    let mut seed_count = 0;
+    for seed in seeds {
+        seed_count += 1;
+        let mut cfg = base.clone();
+        cfg.seed = seed;
+        let report = scenario(cfg.clone()).run();
+        faults.merge(&report.stats().faults);
+        if report.hit_limits() {
+            failures.push(ChaosFailure {
+                seed,
+                detail: "seeded schedule hit simulation limits".to_string(),
+            });
+            continue;
+        }
+        let got = committed_outputs(&report);
+        if got != baseline {
+            failures.push(ChaosFailure {
+                seed,
+                detail: format!(
+                    "committed output diverged across schedules:\n  \
+                     baseline: {baseline:?}\n  got:      {got:?}"
+                ),
+            });
+        }
+        let replay = scenario(cfg).run();
+        if replay.fingerprint() != report.fingerprint() {
+            failures.push(ChaosFailure {
+                seed,
+                detail: "same-seed replay produced a different RunReport \
+                         fingerprint — determinism violated"
+                    .to_string(),
+            });
+        }
+    }
+    ChaosOutcome {
+        plans: seed_count,
+        failures,
+        faults,
+        baseline,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +379,58 @@ mod tests {
             outcome.faults
         );
         assert!(outcome.failures[0].detail.contains("diverged"));
+    }
+
+    #[test]
+    fn schedule_sweep_holds_for_protocol_respecting_programs() {
+        // The echo protocol totally orders its commits (receiver matches
+        // payloads in sequence), so every scheduler seed must commit the
+        // same lines.
+        let outcome = schedule_sweep(SimConfig::with_seed(3), 10..18, echo_scenario);
+        outcome.assert_ok();
+        assert_eq!(outcome.plans, 8);
+        assert_eq!(
+            outcome
+                .baseline
+                .get(&hope_core::ProcessId(1))
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn schedule_sweep_catches_schedule_dependent_output() {
+        // Two senders race into one unordered receiver: commit order is
+        // the scheduler's choice, so some seed must disagree with the
+        // baseline — and the sweep must say so.
+        let scenario = |cfg: SimConfig| {
+            let mut sim = Simulation::new(cfg);
+            let receiver = hope_core::ProcessId(2);
+            for i in 0..2u32 {
+                sim.spawn(format!("sender{i}"), move |ctx| {
+                    // A seed-dependent delay before sending: which sender
+                    // wins the race is the scheduler's coin flip.
+                    let jitter = ctx.random_u64()? % 10;
+                    ctx.compute(VirtualDuration::from_millis(jitter))?;
+                    ctx.send_reliable(receiver, Value::Int(i64::from(i)))?;
+                    Ok(())
+                });
+            }
+            sim.spawn("receiver", |ctx| {
+                for _ in 0..2 {
+                    let m = ctx.recv()?;
+                    ctx.output(format!("saw {}", m.payload))?;
+                }
+                Ok(())
+            });
+            sim
+        };
+        let outcome = schedule_sweep(SimConfig::with_seed(0), 0..32, scenario);
+        assert!(
+            !outcome.is_ok(),
+            "an order-racy program must diverge somewhere in 32 seeds"
+        );
+        assert!(outcome.failures[0].detail.contains("across schedules"));
     }
 }

@@ -27,6 +27,9 @@
 //! * [`analysis`] (`hope-analysis`) — static speculation-flow analysis and
 //!   lints over machine programs, plus the `hope-lint` binary; statically
 //!   doomed programs can be rejected before they run.
+//! * [`mc`] (`hope-mc`) — a DPOR exhaustive scheduler over the abstract
+//!   machine, plus the `hope-mc` binary: verdicts over *every*
+//!   inequivalent schedule of a small program, not a sampled handful.
 //! * [`sim`] (`hope-sim`) — the deterministic distributed-system substrate
 //!   (virtual time, latency models, topologies, seeded RNG).
 //! * [`runtime`] (`hope-runtime`) — processes as plain closures with the
@@ -87,6 +90,7 @@ pub use hope_analysis as analysis;
 pub use hope_callstream as callstream;
 pub use hope_coedit as coedit;
 pub use hope_core as core;
+pub use hope_mc as mc;
 pub use hope_numeric as numeric;
 pub use hope_recovery as recovery;
 pub use hope_replication as replication;

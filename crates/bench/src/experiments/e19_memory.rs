@@ -1,0 +1,167 @@
+//! **E19 — memory vs commit horizon**: bounded-memory open-loop runs
+//! under GVT-style fossil collection.
+//!
+//! A guesser iterates `aid_init → send → guess → compute`, checkpointing
+//! its loop counter every iteration; a definite verifier affirms each
+//! announced assumption. The affirm stream drags the engine's commit
+//! horizon a short, latency-bound distance behind the guesser, so with
+//! [`SimConfig::with_fossil_collection`] everything at or below the
+//! horizon — interval records, AID records, journal prefixes — is
+//! reclaimed as the run proceeds. The table sweeps run length over an
+//! order of magnitude (plus a collection-off baseline at the smallest
+//! size): live counts must stay flat while the horizon and the reclaimed
+//! totals grow linearly. This is Time Warp's fossil collection recast on
+//! the paper's semantics: the horizon is exactly the prefix Theorem 5.2
+//! puts beyond any rollback's reach, so reclaiming it is transparent.
+
+use hope_core::AidId;
+use hope_runtime::{MemoryStats, ProcessId, SimConfig, Simulation, Value};
+use hope_sim::{LatencyModel, Topology};
+
+use super::us;
+use crate::table::Table;
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct E19Row {
+    /// Total guesses issued (iterations of the open loop).
+    pub guesses: u64,
+    /// Whether fossil collection ran.
+    pub collect: bool,
+    /// End-of-run memory footprint.
+    pub memory: MemoryStats,
+    /// Scheduler events processed.
+    pub events: u64,
+}
+
+/// Run the open loop for `guesses` iterations and report the footprint.
+///
+/// # Panics
+///
+/// Panics if the run does not complete (both bodies finished, outputs
+/// committed, no limits hit).
+pub fn run(guesses: u64, collect: bool, seed: u64) -> E19Row {
+    let n = guesses as i64;
+    let cfg = SimConfig::with_seed(seed)
+        .with_topology(Topology::uniform(LatencyModel::Fixed(us(50))))
+        .with_max_events(8 * guesses.max(1_000))
+        .with_fossil_collection(collect);
+    let mut sim = Simulation::new(cfg);
+    let verifier = ProcessId(1);
+    sim.spawn("guesser", move |ctx| {
+        let mut i = match ctx.restore()? {
+            Some(v) => v.expect_int(),
+            None => 0,
+        };
+        while i < n {
+            ctx.checkpoint(Value::Int(i))?;
+            let aid = ctx.aid_init()?;
+            ctx.send(verifier, Value::Int(aid.index() as i64))?;
+            let _ = ctx.guess(aid)?;
+            ctx.compute(us(100))?;
+            i += 1;
+        }
+        ctx.output(format!("guessed {n}"))?;
+        Ok(())
+    });
+    sim.spawn("verifier", move |ctx| {
+        let mut seen = match ctx.restore()? {
+            Some(v) => v.expect_int(),
+            None => 0,
+        };
+        while seen < n {
+            ctx.checkpoint(Value::Int(seen))?;
+            let m = ctx.recv()?;
+            ctx.affirm(AidId::from_index(m.payload.expect_int() as u64))?;
+            seen += 1;
+        }
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.completed(), "E19 run must complete: {report}");
+    assert_eq!(report.output_lines(), vec![format!("guessed {n}")]);
+    E19Row {
+        guesses,
+        collect,
+        memory: report.stats().memory,
+        events: report.events(),
+    }
+}
+
+/// Build the E19 table for the given run lengths (collection on), prefixed
+/// by a collection-off baseline at the smallest length.
+pub fn table_with_sizes(sizes: &[u64]) -> Table {
+    let mut t = Table::new(
+        "E19: live memory vs commit horizon (open loop, fossil collection, 100µs/step, 50µs link)",
+        &[
+            "guesses",
+            "collection",
+            "live intervals",
+            "live aids",
+            "live journal",
+            "interval horizon",
+            "reclaimed journal",
+        ],
+    );
+    let smallest = *sizes.iter().min().expect("at least one size");
+    let mut push = |r: E19Row| {
+        t.push(vec![
+            r.guesses.to_string(),
+            if r.collect { "on" } else { "off" }.to_string(),
+            r.memory.live_intervals.to_string(),
+            r.memory.live_aids.to_string(),
+            r.memory.live_journal_entries.to_string(),
+            r.memory.interval_horizon.to_string(),
+            r.memory.reclaimed_journal_entries.to_string(),
+        ]);
+    };
+    push(run(smallest, false, 19));
+    for &g in sizes {
+        push(run(g, true, 19));
+    }
+    t.note(
+        "live counts stay flat while the horizon tracks run length: memory is \
+         O(speculation window), not O(run)",
+    );
+    t
+}
+
+/// The default E19 table: 100k → 1M guesses (the acceptance-criterion
+/// sustained run), collection on, with a 100k collection-off baseline.
+pub fn table() -> Table {
+    table_with_sizes(&[100_000, 250_000, 500_000, 1_000_000])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_footprint_is_flat_while_horizon_grows() {
+        let a = run(4_000, true, 19);
+        let b = run(16_000, true, 19);
+        // 4× the work: the horizon and reclaimed totals scale…
+        assert!(b.memory.interval_horizon > 3 * a.memory.interval_horizon);
+        assert!(
+            b.memory.reclaimed_journal_entries > 3 * a.memory.reclaimed_journal_entries,
+            "{a:?}\n{b:?}"
+        );
+        // …while live state does not (flat within a small factor).
+        assert!(
+            b.memory.live_intervals < 2 * a.memory.live_intervals.max(512),
+            "{a:?}\n{b:?}"
+        );
+        assert!(
+            b.memory.live_journal_entries < 2 * a.memory.live_journal_entries.max(2048),
+            "{a:?}\n{b:?}"
+        );
+    }
+
+    #[test]
+    fn collection_off_keeps_everything() {
+        let r = run(4_000, false, 19);
+        assert_eq!(r.memory.reclaimed_intervals, 0);
+        assert_eq!(r.memory.interval_horizon, 0);
+        assert!(r.memory.live_intervals >= 4_000, "{r:?}");
+    }
+}

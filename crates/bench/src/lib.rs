@@ -20,6 +20,8 @@
 //! | E14 | cost-model calibration | [`experiments::e14_costmodel`] |
 //! | E15 | DepSet vs BTreeSet hot paths | [`experiments::e15_depset`] |
 //! | E16 | chaos: throughput vs fault rate | [`experiments::e16_chaos`] |
+//! | E17 | model checking: DPOR reduction, schedule-complete verdicts | [`experiments::e17_mc`] |
+//! | E19 | memory vs commit horizon (fossil collection) | [`experiments::e19_memory`] |
 //!
 //! (E9, the theorem suite, runs under `cargo test` — see `tests/theorems.rs`
 //! at the workspace root.)
@@ -40,7 +42,7 @@ pub use table::{fmt_ms, fmt_pct, tables_to_json, Table};
 /// All experiment ids known to the `tables` binary, in order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e19",
 ];
 
 /// Produce the table for one experiment id.
@@ -66,6 +68,7 @@ pub fn table_for(id: &str) -> Table {
         "e15" => experiments::e15_depset::table(),
         "e16" => experiments::e16_chaos::table(),
         "e17" => experiments::e17_mc::table(),
+        "e19" => experiments::e19_memory::table(),
         other => panic!("unknown experiment id {other:?} (known: {EXPERIMENT_IDS:?})"),
     }
 }

@@ -29,6 +29,7 @@ use std::cell::Cell;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[cfg(any(test, feature = "shadow-oracle"))]
@@ -50,6 +51,11 @@ thread_local! {
     /// Per-thread count of inline→bitset spills (see [`spills`]).
     static SPILLS: Cell<u64> = const { Cell::new(0) };
 }
+
+/// Process-wide running total behind [`cow_copies_total`].
+static COW_COPIES_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Process-wide running total behind [`spills_total`].
+static SPILLS_TOTAL: AtomicU64 = AtomicU64::new(0);
 
 /// Number of **copy-on-write duplications** performed by this thread since
 /// it started: the word vector of a *shared* spilled set had to be copied
@@ -76,12 +82,30 @@ pub fn materializations() -> u64 {
     cow_copies() + spills()
 }
 
+/// Process-wide total of copy-on-write duplications across **all**
+/// threads, monotone since process start. The multi-threaded runtime runs
+/// engine transitions on per-process body threads, so per-run memory
+/// accounting ([`RunStats::stats().memory`] in `hope-runtime`) samples this
+/// aggregate; single-threaded tests wanting exact deltas should keep using
+/// the thread-local [`cow_copies`].
+pub fn cow_copies_total() -> u64 {
+    COW_COPIES_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Process-wide total of inline→bitset spills across all threads; the
+/// aggregate sibling of the thread-local [`spills`].
+pub fn spills_total() -> u64 {
+    SPILLS_TOTAL.load(Ordering::Relaxed)
+}
+
 fn note_cow_copy() {
     COW_COPIES.with(|c| c.set(c.get() + 1));
+    COW_COPIES_TOTAL.fetch_add(1, Ordering::Relaxed);
 }
 
 fn note_spill() {
     SPILLS.with(|c| c.set(c.get() + 1));
+    SPILLS_TOTAL.fetch_add(1, Ordering::Relaxed);
 }
 
 mod sealed {

@@ -35,7 +35,7 @@
 //!   `tests/theorems.rs`. (Mutual speculative *denies* can still
 //!   livelock; the test suite documents that as a finding.)
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::aid::{Aid, AidState, AidView};
 use crate::depset::DepSet;
@@ -103,14 +103,42 @@ pub struct EngineStats {
     pub free_ofs: u64,
     /// Ghost messages detected by [`Engine::implicit_guess`].
     pub ghosts: u64,
+    /// Intervals reclaimed by [`Engine::collect_fossils`].
+    pub fossil_intervals: u64,
+    /// AIDs reclaimed by [`Engine::collect_fossils`].
+    pub fossil_aids: u64,
+}
+
+/// What one [`Engine::collect_fossils`] sweep reclaimed, and where the
+/// commit horizon now stands.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FossilSweep {
+    /// Intervals reclaimed by this sweep.
+    pub intervals: u64,
+    /// AIDs reclaimed by this sweep.
+    pub aids: u64,
+    /// The interval commit horizon after the sweep: every interval with a
+    /// smaller id is finalized (or was rolled back) on every process and
+    /// its storage has been reclaimed.
+    pub interval_horizon: u64,
+    /// The AID commit horizon after the sweep: every AID with a smaller id
+    /// is definitively decided and its storage has been reclaimed.
+    pub aid_horizon: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Proc {
-    /// Live intervals, chronological. Rollback truncates a suffix.
+    /// Live intervals, chronological. Rollback truncates a suffix; fossil
+    /// collection truncates a definite prefix.
     history: Vec<IntervalId>,
     /// Total intervals ever discarded from this process (for stats/tests).
     discarded: u64,
+    /// Definite intervals reclaimed from the front of `history` by fossil
+    /// collection. Added to `history.len()` wherever a position in the
+    /// *full* live history is needed (interval `seq` numbers), so a
+    /// collecting engine assigns exactly the values an uncollected twin
+    /// would.
+    collected: u64,
 }
 
 /// Internal cascade work items.
@@ -146,12 +174,35 @@ enum Task {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
+    /// Live AIDs: id `aid_base + i` lives at index `i`. Ids below
+    /// `aid_base` were reclaimed by fossil collection (ids are never
+    /// reused; "recycling" reclaims storage, not numbers — in-flight tags
+    /// would otherwise alias).
     aids: Vec<Aid>,
+    aid_base: u64,
+    /// Reclaimed AIDs that were *denied*: a late `guess` or inbound tag
+    /// naming one must still answer `AlreadyFalse`/ghost exactly as an
+    /// uncollected engine would. Reclaimed AIDs absent from this set were
+    /// affirmed. Affirm-heavy workloads keep this near-empty; it is the
+    /// only per-fossil state retained.
+    fossil_denied: BTreeSet<AidId>,
+    /// Live intervals: id `interval_base + i` lives at index `i`.
     intervals: Vec<Interval>,
+    interval_base: u64,
     procs: BTreeMap<ProcessId, Proc>,
     next_pid: u32,
     stats: EngineStats,
     check_invariants: bool,
+}
+
+/// Where an id lands relative to the commit horizon.
+enum Slot {
+    /// Alive: index into the live store.
+    Live(usize),
+    /// At or below the horizon: reclaimed by fossil collection.
+    Fossil,
+    /// Never allocated by this engine.
+    Unknown,
 }
 
 impl Default for Engine {
@@ -167,11 +218,70 @@ impl Engine {
     pub fn new() -> Self {
         Engine {
             aids: Vec::new(),
+            aid_base: 0,
+            fossil_denied: BTreeSet::new(),
             intervals: Vec::new(),
+            interval_base: 0,
             procs: BTreeMap::new(),
             next_pid: 0,
             stats: EngineStats::default(),
             check_invariants: cfg!(debug_assertions),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // live-store addressing (ids below the commit horizon are fossils)
+    // ------------------------------------------------------------------
+
+    fn aid_slot(&self, x: AidId) -> Slot {
+        if x.0 < self.aid_base {
+            Slot::Fossil
+        } else if ((x.0 - self.aid_base) as usize) < self.aids.len() {
+            Slot::Live((x.0 - self.aid_base) as usize)
+        } else {
+            Slot::Unknown
+        }
+    }
+
+    fn itv_slot(&self, a: IntervalId) -> Slot {
+        if a.0 < self.interval_base {
+            Slot::Fossil
+        } else if ((a.0 - self.interval_base) as usize) < self.intervals.len() {
+            Slot::Live((a.0 - self.interval_base) as usize)
+        } else {
+            Slot::Unknown
+        }
+    }
+
+    /// Live AID record. Panics on fossils/unknowns: internal callers only
+    /// ever hold references to live AIDs (IDO members are undecided, DOM
+    /// owners likewise).
+    fn aid_ref(&self, x: AidId) -> &Aid {
+        &self.aids[(x.0 - self.aid_base) as usize]
+    }
+
+    fn aid_mut(&mut self, x: AidId) -> &mut Aid {
+        &mut self.aids[(x.0 - self.aid_base) as usize]
+    }
+
+    /// Live interval record. Panics on fossils/unknowns: internal callers
+    /// only reach intervals above the horizon (DOM members are
+    /// speculative, histories are truncated at collection time).
+    fn itv_ref(&self, a: IntervalId) -> &Interval {
+        &self.intervals[(a.0 - self.interval_base) as usize]
+    }
+
+    fn itv_mut(&mut self, a: IntervalId) -> &mut Interval {
+        &mut self.intervals[(a.0 - self.interval_base) as usize]
+    }
+
+    /// Decision state of a reclaimed AID — exactly what an uncollected
+    /// engine would report (fossils are decided by construction).
+    fn fossil_aid_state(&self, x: AidId) -> AidState {
+        if self.fossil_denied.contains(&x) {
+            AidState::Denied
+        } else {
+            AidState::Affirmed
         }
     }
 
@@ -192,6 +302,7 @@ impl Engine {
             Proc {
                 history: Vec::new(),
                 discarded: 0,
+                collected: 0,
             },
         );
         pid
@@ -203,19 +314,52 @@ impl Engine {
     /// apply primitives to the AID (§4: "Any process in the system can apply
     /// HOPE primitives to any assumption identifier").
     pub fn aid_init(&mut self, creator: ProcessId) -> AidId {
-        let id = AidId(self.aids.len() as u64);
+        let id = AidId(self.aid_base + self.aids.len() as u64);
         self.aids.push(Aid::new(id, creator));
         id
     }
 
-    /// Number of AIDs created so far.
+    /// Number of AIDs created so far, including reclaimed fossils.
     pub fn aid_count(&self) -> usize {
+        (self.aid_base as usize) + self.aids.len()
+    }
+
+    /// Number of intervals created so far (live, definite, rolled back and
+    /// reclaimed fossils).
+    pub fn interval_count(&self) -> usize {
+        (self.interval_base as usize) + self.intervals.len()
+    }
+
+    /// Number of AIDs currently held in live storage (above the commit
+    /// horizon). This — not [`aid_count`](Engine::aid_count) — is what
+    /// bounds memory on a long run with fossil collection.
+    pub fn live_aid_count(&self) -> usize {
         self.aids.len()
     }
 
-    /// Number of intervals created so far (live, definite and rolled back).
-    pub fn interval_count(&self) -> usize {
+    /// Number of intervals currently held in live storage (above the
+    /// commit horizon).
+    pub fn live_interval_count(&self) -> usize {
         self.intervals.len()
+    }
+
+    /// The interval commit horizon: every interval with a smaller id is
+    /// decided (finalized or rolled back) on every process and has been
+    /// reclaimed. `0` until the first sweep reclaims something.
+    pub fn interval_horizon(&self) -> u64 {
+        self.interval_base
+    }
+
+    /// The AID commit horizon: every AID with a smaller id is definitively
+    /// decided and has been reclaimed.
+    pub fn aid_horizon(&self) -> u64 {
+        self.aid_base
+    }
+
+    /// Number of reclaimed AIDs retained as *denied* markers (the only
+    /// per-fossil state kept; see [`Engine::collect_fossils`]).
+    pub fn fossil_denied_count(&self) -> usize {
+        self.fossil_denied.len()
     }
 
     /// Cumulative activity counters.
@@ -232,6 +376,8 @@ impl Engine {
     /// never finalize anything on their own, so some environment-level
     /// agent must eventually issue definite decisions.
     pub fn open_aids(&self) -> Vec<AidId> {
+        // Fossils are decided by construction, so iterating live storage
+        // answers exactly what a full scan of an uncollected engine would.
         self.aids
             .iter()
             .filter(|a| a.state == AidState::Undecided && !a.consumed)
@@ -243,37 +389,57 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// [`Error::UnknownAid`] if the AID was not created by this engine.
+    /// * [`Error::UnknownAid`] if the AID was not created by this engine.
+    /// * [`Error::FossilAid`] if its storage was reclaimed by
+    ///   [`collect_fossils`](Engine::collect_fossils) (use
+    ///   [`aid_state`](Engine::aid_state), which answers for fossils too).
     pub fn aid(&self, x: AidId) -> Result<AidView<'_>> {
-        self.aids
-            .get(x.0 as usize)
-            .map(|inner| AidView { inner })
-            .ok_or(Error::UnknownAid(x))
+        match self.aid_slot(x) {
+            Slot::Live(i) => Ok(AidView {
+                inner: &self.aids[i],
+            }),
+            Slot::Fossil => Err(Error::FossilAid(x)),
+            Slot::Unknown => Err(Error::UnknownAid(x)),
+        }
     }
 
-    /// Decision state of an AID.
+    /// Decision state of an AID. Unlike the [`aid`](Engine::aid) view this
+    /// answers for reclaimed fossils too (they are decided by
+    /// construction), so late referers observe exactly what an uncollected
+    /// engine would report.
     ///
     /// # Errors
     ///
     /// [`Error::UnknownAid`] if the AID was not created by this engine.
     pub fn aid_state(&self, x: AidId) -> Result<AidState> {
-        Ok(self.aid(x)?.state())
+        match self.aid_slot(x) {
+            Slot::Live(i) => Ok(self.aids[i].state),
+            Slot::Fossil => Ok(self.fossil_aid_state(x)),
+            Slot::Unknown => Err(Error::UnknownAid(x)),
+        }
     }
 
     /// Read-only view of an interval's control variables.
     ///
     /// # Errors
     ///
-    /// [`Error::UnknownInterval`] if the id does not exist.
+    /// * [`Error::UnknownInterval`] if the id does not exist.
+    /// * [`Error::FossilInterval`] if its storage was reclaimed by
+    ///   [`collect_fossils`](Engine::collect_fossils).
     pub fn interval(&self, a: IntervalId) -> Result<IntervalView<'_>> {
-        self.intervals
-            .get(a.0 as usize)
-            .map(|inner| IntervalView { inner })
-            .ok_or(Error::UnknownInterval(a))
+        match self.itv_slot(a) {
+            Slot::Live(i) => Ok(IntervalView {
+                inner: &self.intervals[i],
+            }),
+            Slot::Fossil => Err(Error::FossilInterval(a)),
+            Slot::Unknown => Err(Error::UnknownInterval(a)),
+        }
     }
 
     /// The live interval history of a process (definite prefix followed by
-    /// speculative suffix), earliest first.
+    /// speculative suffix), earliest first. Fossil collection truncates the
+    /// definite prefix, so after a sweep only intervals above the commit
+    /// horizon appear here.
     ///
     /// # Errors
     ///
@@ -283,6 +449,29 @@ impl Engine {
             .get(&pid)
             .map(|p| p.history.as_slice())
             .ok_or(Error::UnknownProcess(pid))
+    }
+
+    /// The checkpoint of `pid`'s earliest **speculative** interval — the
+    /// farthest back a rollback could ever rewind this process — or `None`
+    /// if its history is fully definite (no rollback can touch it at all).
+    ///
+    /// This is the per-process ingredient a substrate needs to reclaim its
+    /// *own* checkpoint storage in step with
+    /// [`collect_fossils`](Engine::collect_fossils): anything older than
+    /// the returned checkpoint (journal prefix, snapshot files, …) can
+    /// never be replayed into.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownProcess`] if `pid` was never registered.
+    pub fn speculative_frontier(&self, pid: ProcessId) -> Result<Option<Checkpoint>> {
+        let proc = self.procs.get(&pid).ok_or(Error::UnknownProcess(pid))?;
+        Ok(proc
+            .history
+            .iter()
+            .copied()
+            .find(|&a| self.itv_ref(a).status == IntervalStatus::Speculative)
+            .map(|a| self.itv_ref(a).ps))
     }
 
     /// The process's current interval if it is speculative (the paper's
@@ -297,7 +486,7 @@ impl Engine {
             .history
             .last()
             .copied()
-            .filter(|&a| self.intervals[a.0 as usize].status == IntervalStatus::Speculative))
+            .filter(|&a| self.itv_ref(a).status == IntervalStatus::Speculative))
     }
 
     /// `true` if the process is currently speculative.
@@ -318,7 +507,7 @@ impl Engine {
     pub fn dependence_tag(&self, pid: ProcessId) -> Result<Tag> {
         Ok(match self.current_interval(pid)? {
             // O(1): the sender's IDO is shared into the tag by refcount bump.
-            Some(a) => Tag::from_depset(self.intervals[a.0 as usize].ido.clone()),
+            Some(a) => Tag::from_depset(self.itv_ref(a).ido.clone()),
             None => Tag::new(),
         })
     }
@@ -361,14 +550,18 @@ impl Engine {
             return Err(Error::UnknownProcess(pid));
         }
         for &x in aids {
-            if x.0 as usize >= self.aids.len() {
+            if matches!(self.aid_slot(x), Slot::Unknown) {
                 return Err(Error::UnknownAid(x));
             }
         }
-        if let Some(&denied) = aids
-            .iter()
-            .find(|&&x| self.aids[x.0 as usize].state == AidState::Denied)
-        {
+        // A reclaimed AID answers from the fossil record, exactly as the
+        // live record would: denied fossils fail the guess, affirmed ones
+        // contribute no dependence.
+        if let Some(&denied) = aids.iter().find(|&&x| match self.aid_slot(x) {
+            Slot::Live(i) => self.aids[i].state == AidState::Denied,
+            Slot::Fossil => self.fossil_aid_state(x) == AidState::Denied,
+            Slot::Unknown => unreachable!("validated above"),
+        }) {
             self.stats.failed_guesses += 1;
             return Ok((GuessOutcome::AlreadyFalse(denied), Vec::new()));
         }
@@ -382,7 +575,12 @@ impl Engine {
         // nothing.
         let mut guessed: DepSet<AidId> = DepSet::new();
         for &x in aids {
-            let aid = &self.aids[x.0 as usize];
+            let aid = match self.aid_slot(x) {
+                Slot::Live(i) => &self.aids[i],
+                // Fossils are decided: no dependence, like any decided AID.
+                Slot::Fossil => continue,
+                Slot::Unknown => unreachable!("validated above"),
+            };
             if aid.state != AidState::Undecided {
                 continue;
             }
@@ -392,7 +590,7 @@ impl Engine {
                         aid.dom.is_empty(),
                         "a speculatively affirmed AID has no direct dependents"
                     );
-                    guessed.union_with(&self.intervals[a.0 as usize].ido);
+                    guessed.union_with(&self.itv_ref(a).ido);
                 }
                 None => {
                     guessed.insert(x);
@@ -402,18 +600,18 @@ impl Engine {
         // Inherit the parent's IDO by refcount bump (Eq. 4–5): the set is
         // built once and moved into the new interval — no per-node clone.
         let mut ido = match self.current_interval(pid)? {
-            Some(a) => self.intervals[a.0 as usize].ido.clone(),
+            Some(a) => self.itv_ref(a).ido.clone(),
             None => DepSet::new(),
         };
         ido.union_with(&guessed);
 
-        let id = IntervalId(self.intervals.len() as u64);
+        let id = IntervalId(self.interval_base + self.intervals.len() as u64);
         for x in &ido {
-            self.aids[x.0 as usize].dom.insert(id);
+            self.aid_mut(x).dom.insert(id);
         }
         let ido_empty = ido.is_empty();
         let proc = self.procs.get_mut(&pid).expect("validated above");
-        let seq = proc.history.len();
+        let seq = proc.collected as usize + proc.history.len();
         proc.history.push(id);
         self.intervals.push(Interval {
             id,
@@ -463,20 +661,27 @@ impl Engine {
             return Err(Error::UnknownProcess(pid));
         }
         for x in tag.iter() {
-            if x.0 as usize >= self.aids.len() {
+            if matches!(self.aid_slot(x), Slot::Unknown) {
                 return Err(Error::UnknownAid(x));
             }
         }
-        if let Some(denied) = tag
-            .iter()
-            .find(|&x| self.aids[x.0 as usize].state == AidState::Denied)
-        {
+        // In-flight tags can outlive a collection sweep; the fossil record
+        // keeps ghost filtering exact for them.
+        if let Some(denied) = tag.iter().find(|&x| match self.aid_slot(x) {
+            Slot::Live(i) => self.aids[i].state == AidState::Denied,
+            Slot::Fossil => self.fossil_aid_state(x) == AidState::Denied,
+            Slot::Unknown => unreachable!("validated above"),
+        }) {
             self.stats.ghosts += 1;
             return Ok((ReceiveOutcome::Ghost(denied), Vec::new()));
         }
         let undecided: Vec<AidId> = tag
             .iter()
-            .filter(|&x| self.aids[x.0 as usize].state == AidState::Undecided)
+            .filter(|&x| match self.aid_slot(x) {
+                Slot::Live(i) => self.aids[i].state == AidState::Undecided,
+                // Fossils are decided (and not denied, per the check above).
+                _ => false,
+            })
             .collect();
         if undecided.is_empty() {
             return Ok((ReceiveOutcome::Clean, Vec::new()));
@@ -568,10 +773,9 @@ impl Engine {
         self.stats.free_ofs += 1;
         let mut effects = Vec::new();
         let mut wl = VecDeque::new();
-        let depends = match self.current_interval(pid)? {
-            None => None,
-            Some(a) => Some(self.intervals[a.0 as usize].ido.contains(&x)),
-        };
+        let depends = self
+            .current_interval(pid)?
+            .map(|a| self.itv_ref(a).ido.contains(&x));
         match depends {
             // Eq. 17 (definite) and Eq. 18 (speculative): affirm.
             None | Some(false) => self.affirm_inner(pid, x, &mut effects, &mut wl),
@@ -596,13 +800,16 @@ impl Engine {
     /// # Errors
     ///
     /// * [`Error::UnknownInterval`] for foreign ids.
+    /// * [`Error::FossilInterval`] for intervals reclaimed by
+    ///   [`collect_fossils`](Engine::collect_fossils).
     /// * [`Error::FinalizePrecondition`] if the interval is speculative
     ///   (its `IDO` is non-empty) or was rolled back.
     pub fn finalize(&mut self, a: IntervalId) -> Result<Vec<Effect>> {
-        let itv = self
-            .intervals
-            .get(a.0 as usize)
-            .ok_or(Error::UnknownInterval(a))?;
+        let itv = match self.itv_slot(a) {
+            Slot::Live(i) => &self.intervals[i],
+            Slot::Fossil => return Err(Error::FossilInterval(a)),
+            Slot::Unknown => return Err(Error::UnknownInterval(a)),
+        };
         match itv.status {
             IntervalStatus::Definite => Ok(Vec::new()),
             IntervalStatus::RolledBack => Err(Error::FinalizePrecondition(a)),
@@ -625,6 +832,97 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
+    // fossil collection — the GVT commit horizon (Time Warp, ref [17])
+    // ------------------------------------------------------------------
+
+    /// Advance the commit horizon and reclaim everything below it.
+    ///
+    /// The **interval horizon** is the minimum, over all processes, of the
+    /// first *speculative* interval id in that process's history (Time
+    /// Warp's GVT computed from per-process finalized frontiers). Every
+    /// interval below it is definite (Theorem 5.2: it can never roll back)
+    /// or already rolled back, appears in no `DOM` set (the Lemma 5.1
+    /// invariant keeps `DOM`s speculative-only) and is referenced by no
+    /// live AID's `spec_affirmed_by`/`spec_denied_by` tie (those are
+    /// cleared on finalize and rollback) — so its storage, including its
+    /// `IDO`/`IHD`/`IHA`/`guessed` dependence sets, is unreachable and is
+    /// dropped. The **AID horizon** advances over the leading run of
+    /// definitively decided AIDs; an undecided AID pins it, exactly as an
+    /// unacknowledged message pins GVT.
+    ///
+    /// Collection is *transparent* to the programming model: ids are never
+    /// reused, `guess`/`implicit_guess`/`aid_state` answer for reclaimed
+    /// AIDs from a retained denied-fossil record exactly as the live
+    /// records would, and a second decider on a fossil reports
+    /// [`Error::AidConsumed`] just as on any decided AID. Only the
+    /// debugging views ([`aid`](Engine::aid)/[`interval`](Engine::interval)
+    /// and [`finalize`](Engine::finalize)) distinguish fossils, via
+    /// [`Error::FossilAid`]/[`Error::FossilInterval`]. See DESIGN.md for
+    /// why this preserves the §5.5 finalize semantics.
+    ///
+    /// Safe to call at any time, from any embedding, at any frequency;
+    /// sweeps are idempotent until new intervals finalize.
+    pub fn collect_fossils(&mut self) -> FossilSweep {
+        // Interval horizon: min over processes of the first speculative
+        // interval's id; a fully definite process imposes no bound.
+        let total = self.interval_base + self.intervals.len() as u64;
+        let mut horizon = total;
+        for proc in self.procs.values() {
+            let frontier = proc
+                .history
+                .iter()
+                .copied()
+                .find(|&a| self.itv_ref(a).status == IntervalStatus::Speculative)
+                .map_or(total, |a| a.0);
+            horizon = horizon.min(frontier);
+        }
+        let n_itv = (horizon - self.interval_base) as usize;
+        if n_itv > 0 {
+            for proc in self.procs.values_mut() {
+                // History ids are strictly increasing, so the collectable
+                // entries form a prefix.
+                let keep = proc
+                    .history
+                    .iter()
+                    .position(|&a| a.0 >= horizon)
+                    .unwrap_or(proc.history.len());
+                proc.history.drain(..keep);
+                proc.collected += keep as u64;
+            }
+            debug_assert!(self.intervals[..n_itv]
+                .iter()
+                .all(|i| i.status != IntervalStatus::Speculative));
+            self.intervals.drain(..n_itv);
+            self.interval_base = horizon;
+            self.stats.fossil_intervals += n_itv as u64;
+        }
+
+        // AID horizon: the leading run of definitively decided AIDs.
+        let mut n_aid = 0;
+        for a in &self.aids {
+            if a.state == AidState::Undecided {
+                break;
+            }
+            if a.state == AidState::Denied {
+                self.fossil_denied.insert(a.id);
+            }
+            n_aid += 1;
+        }
+        if n_aid > 0 {
+            self.aids.drain(..n_aid);
+            self.aid_base += n_aid as u64;
+            self.stats.fossil_aids += n_aid as u64;
+        }
+        self.post_check();
+        FossilSweep {
+            intervals: n_itv as u64,
+            aids: n_aid as u64,
+            interval_horizon: self.interval_base,
+            aid_horizon: self.aid_base,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
 
@@ -633,10 +931,13 @@ impl Engine {
         if !self.procs.contains_key(&pid) {
             return Err(Error::UnknownProcess(pid));
         }
-        let aid = self
-            .aids
-            .get_mut(x.0 as usize)
-            .ok_or(Error::UnknownAid(x))?;
+        let aid = match self.aid_slot(x) {
+            Slot::Live(i) => &mut self.aids[i],
+            // Fossils were decided, hence consumed: a second decider gets
+            // the same error an uncollected engine would produce.
+            Slot::Fossil => return Err(Error::AidConsumed(x)),
+            Slot::Unknown => return Err(Error::UnknownAid(x)),
+        };
         if aid.consumed {
             return Err(Error::AidConsumed(x));
         }
@@ -661,27 +962,26 @@ impl Engine {
             Some(a) => {
                 // Speculative affirm (Equations 10–14).
                 self.stats.speculative_affirms += 1;
-                let a_idx = a.0 as usize;
                 // The affirmer's IDO minus x: a COW share plus one removal.
-                let mut a_ido = self.intervals[a_idx].ido.clone();
+                let mut a_ido = self.itv_ref(a).ido.clone();
                 a_ido.remove(&x);
-                let x_dom = std::mem::take(&mut self.aids[x.0 as usize].dom);
+                let x_dom = std::mem::take(&mut self.aid_mut(x).dom);
                 // Eq. 10: every AID the affirmer depends on inherits x's
                 // dependents (word-parallel union).
                 for y in &a_ido {
-                    self.aids[y.0 as usize].dom.union_with(&x_dom);
+                    self.aid_mut(y).dom.union_with(&x_dom);
                 }
                 // Eqs. 11–14: dependents swap x for the affirmer's IDO.
                 for b in &x_dom {
-                    let b_idx = b.0 as usize;
-                    self.intervals[b_idx].ido.remove(&x);
-                    self.intervals[b_idx].ido.union_with(&a_ido);
-                    if self.intervals[b_idx].ido.is_empty() {
+                    let itv = self.itv_mut(b);
+                    itv.ido.remove(&x);
+                    itv.ido.union_with(&a_ido);
+                    if itv.ido.is_empty() {
                         wl.push_back(Task::Finalize(b));
                     }
                 }
-                self.aids[x.0 as usize].spec_affirmed_by = Some(a);
-                self.intervals[a_idx].iha.insert(x);
+                self.aid_mut(x).spec_affirmed_by = Some(a);
+                self.itv_mut(a).iha.insert(x);
                 effects.push(Effect::SpeculativelyAffirmed { aid: x, by: a });
             }
         }
@@ -698,7 +998,7 @@ impl Engine {
         let cur = self.current_interval(pid).expect("validated");
         let definite = match cur {
             None => true,
-            Some(a) => self.intervals[a.0 as usize].ido.contains(&x),
+            Some(a) => self.itv_ref(a).ido.contains(&x),
         };
         if definite {
             // Eq. 15.
@@ -708,8 +1008,8 @@ impl Engine {
             // Eq. 16.
             let a = cur.expect("speculative deny requires a current interval");
             self.stats.speculative_denies += 1;
-            self.intervals[a.0 as usize].ihd.insert(x);
-            self.aids[x.0 as usize].spec_denied_by = Some(a);
+            self.itv_mut(a).ihd.insert(x);
+            self.aid_mut(x).spec_denied_by = Some(a);
             effects.push(Effect::SpeculativelyDenied { aid: x, by: a });
         }
     }
@@ -723,15 +1023,15 @@ impl Engine {
         wl: &mut VecDeque<Task>,
     ) {
         self.stats.definite_affirms += 1;
-        let aid = &mut self.aids[x.0 as usize];
+        let aid = self.aid_mut(x);
         aid.state = AidState::Affirmed;
         aid.spec_affirmed_by = None;
         aid.consumed = true;
         let dom = std::mem::take(&mut aid.dom);
         for b in &dom {
-            let b_idx = b.0 as usize;
-            self.intervals[b_idx].ido.remove(&x);
-            if self.intervals[b_idx].ido.is_empty() {
+            let itv = self.itv_mut(b);
+            itv.ido.remove(&x);
+            if itv.ido.is_empty() {
                 wl.push_back(Task::Finalize(b));
             }
         }
@@ -741,7 +1041,7 @@ impl Engine {
     /// (Equation 15's universal rollback).
     fn definite_deny_aid(&mut self, x: AidId, _effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
         self.stats.definite_denies += 1;
-        let aid = &mut self.aids[x.0 as usize];
+        let aid = self.aid_mut(x);
         aid.state = AidState::Denied;
         aid.spec_affirmed_by = None;
         aid.spec_denied_by = None;
@@ -766,33 +1066,32 @@ impl Engine {
     /// 20) — guaranteed by callers; intervals that lost the race to a
     /// rollback are skipped.
     fn do_finalize(&mut self, a: IntervalId, effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
-        let idx = a.0 as usize;
-        if self.intervals[idx].status != IntervalStatus::Speculative {
+        if self.itv_ref(a).status != IntervalStatus::Speculative {
             return;
         }
         debug_assert!(
-            self.intervals[idx].ido.is_empty(),
+            self.itv_ref(a).ido.is_empty(),
             "finalize precondition (Eq. 20) violated for {a}"
         );
-        self.intervals[idx].status = IntervalStatus::Definite;
+        self.itv_mut(a).status = IntervalStatus::Definite;
         self.stats.finalized += 1;
         effects.push(Effect::Finalized {
             interval: a,
-            process: self.intervals[idx].pid,
+            process: self.itv_ref(a).pid,
         });
         // Speculative affirms issued in `a` become definite (Lemma 6.1):
         // promote the AIDs so later guessers observe `Affirmed`.
-        let iha = self.intervals[idx].iha.clone();
+        let iha = self.itv_ref(a).iha.clone();
         for x in &iha {
-            if self.aids[x.0 as usize].state == AidState::Undecided {
+            if self.aid_ref(x).state == AidState::Undecided {
                 effects.push(Effect::AidAffirmed { aid: x });
                 self.definite_affirm_aid(x, effects, wl);
             }
         }
         // Speculative denies issued in `a` become definite (Equation 22).
-        let ihd = self.intervals[idx].ihd.clone();
+        let ihd = self.itv_ref(a).ihd.clone();
         for x in &ihd {
-            if self.aids[x.0 as usize].state == AidState::Undecided {
+            if self.aid_ref(x).state == AidState::Undecided {
                 effects.push(Effect::AidDenied { aid: x });
                 self.definite_deny_aid(x, effects, wl);
             }
@@ -802,8 +1101,7 @@ impl Engine {
     /// Roll back interval `a` (§5.6): truncate its process's history from
     /// `a` onward (Theorem 5.1) and undo speculative primitives.
     fn do_rollback(&mut self, a: IntervalId, effects: &mut Vec<Effect>, wl: &mut VecDeque<Task>) {
-        let idx = a.0 as usize;
-        match self.intervals[idx].status {
+        match self.itv_ref(a).status {
             IntervalStatus::RolledBack => return,
             IntervalStatus::Definite => {
                 debug_assert!(false, "Theorem 5.2 violated: rollback of definite {a}");
@@ -811,7 +1109,7 @@ impl Engine {
             }
             IntervalStatus::Speculative => {}
         }
-        let pid = self.intervals[idx].pid;
+        let pid = self.itv_ref(a).pid;
         let proc = self.procs.get_mut(&pid).expect("interval has valid pid");
         let pos = match proc.history.iter().position(|&i| i == a) {
             Some(p) => p,
@@ -821,28 +1119,27 @@ impl Engine {
         proc.discarded += discarded.len() as u64;
         self.stats.rolled_back_intervals += discarded.len() as u64;
         self.stats.rollback_events += 1;
-        let checkpoint = self.intervals[idx].ps;
+        let checkpoint = self.itv_ref(a).ps;
 
         // Unwind latest-first, as an implementation would.
         for &c in discarded.iter().rev() {
-            let c_idx = c.0 as usize;
             debug_assert_ne!(
-                self.intervals[c_idx].status,
+                self.itv_ref(c).status,
                 IntervalStatus::Definite,
                 "definite interval {c} in a rolled-back suffix"
             );
-            self.intervals[c_idx].status = IntervalStatus::RolledBack;
+            self.itv_mut(c).status = IntervalStatus::RolledBack;
             // Withdraw from every DOM set (keeps Lemma 5.1 symmetric).
-            let ido = self.intervals[c_idx].ido.clone();
+            let ido = self.itv_ref(c).ido.clone();
             for x in &ido {
-                self.aids[x.0 as usize].dom.remove(&c);
+                self.aid_mut(x).dom.remove(&c);
             }
             // Speculative affirms become conservative definite denies
             // (§5.6, footnote 2).
-            let iha = self.intervals[c_idx].iha.clone();
+            let iha = self.itv_ref(c).iha.clone();
             for x in &iha {
-                self.aids[x.0 as usize].spec_affirmed_by = None;
-                if self.aids[x.0 as usize].state == AidState::Undecided {
+                self.aid_mut(x).spec_affirmed_by = None;
+                if self.aid_ref(x).state == AidState::Undecided {
                     effects.push(Effect::AidDenied { aid: x });
                     self.definite_deny_aid(x, effects, wl);
                 }
@@ -851,12 +1148,12 @@ impl Engine {
             // with the interval inside the IHD set"). The deny never took
             // effect, so the AID is released for the re-execution to decide
             // again — the one-shot rule counts only surviving primitives.
-            let ihd = self.intervals[c_idx].ihd.clone();
+            let ihd = self.itv_ref(c).ihd.clone();
             for x in &ihd {
-                if self.aids[x.0 as usize].spec_denied_by == Some(c) {
-                    self.aids[x.0 as usize].spec_denied_by = None;
-                    if self.aids[x.0 as usize].state == AidState::Undecided {
-                        self.aids[x.0 as usize].consumed = false;
+                if self.aid_ref(x).spec_denied_by == Some(c) {
+                    self.aid_mut(x).spec_denied_by = None;
+                    if self.aid_ref(x).state == AidState::Undecided {
+                        self.aid_mut(x).consumed = false;
                     }
                 }
             }
@@ -902,7 +1199,7 @@ impl Engine {
                         return Err(format!("{} speculative with empty IDO", itv.id));
                     }
                     for x in &itv.ido {
-                        if !self.aids[x.0 as usize].dom.contains(&itv.id) {
+                        if !self.aid_ref(x).dom.contains(&itv.id) {
                             return Err(format!(
                                 "Lemma 5.1: {} ∈ {}.IDO but {} ∉ {}.DOM",
                                 x, itv.id, itv.id, x
@@ -925,7 +1222,7 @@ impl Engine {
         // 1: AID-side symmetry.
         for aid in &self.aids {
             for a in &aid.dom {
-                let itv = &self.intervals[a.0 as usize];
+                let itv = self.itv_ref(a);
                 if !itv.ido.contains(&aid.id) {
                     return Err(format!(
                         "Lemma 5.1: {} ∈ {}.DOM but {} ∉ {}.IDO",
@@ -955,7 +1252,7 @@ impl Engine {
             let mut seen_speculative = false;
             let mut prev: Option<&Interval> = None;
             for &a in &proc.history {
-                let itv = &self.intervals[a.0 as usize];
+                let itv = self.itv_ref(a);
                 if itv.status == IntervalStatus::RolledBack {
                     return Err(format!("rolled-back {} still in {}'s history", a, pid));
                 }
@@ -1559,6 +1856,178 @@ mod tests {
         e.deny(p[2], y).unwrap(); // speculative
         e.affirm(p[0], z).unwrap(); // speculative (p0 still spec on... x was
                                     // spec-affirmed; p0's interval IDO now {y})
+        assert!(e.verify_invariants().is_ok());
+    }
+
+    #[test]
+    fn collect_fossils_reclaims_decided_prefix() {
+        let (mut e, p) = engine_with(2);
+        for i in 0..4 {
+            let x = e.aid_init(p[0]);
+            e.guess(p[0], &[x], Checkpoint(i)).unwrap();
+            e.affirm(p[1], x).unwrap();
+        }
+        let sweep = e.collect_fossils();
+        assert_eq!(sweep.intervals, 4);
+        assert_eq!(sweep.aids, 4);
+        assert_eq!(sweep.interval_horizon, 4);
+        assert_eq!(sweep.aid_horizon, 4);
+        assert_eq!(e.live_interval_count(), 0);
+        assert_eq!(e.live_aid_count(), 0);
+        // Totals keep counting from the beginning of time.
+        assert_eq!(e.interval_count(), 4);
+        assert_eq!(e.aid_count(), 4);
+        assert_eq!(e.stats().fossil_intervals, 4);
+        assert_eq!(e.stats().fossil_aids, 4);
+        // Affirmed fossils leave no residue.
+        assert_eq!(e.fossil_denied_count(), 0);
+        // New ids continue above the horizon; seq stays history-absolute.
+        let y = e.aid_init(p[0]);
+        assert_eq!(y, AidId(4));
+        let (out, _) = e.guess(p[0], &[y], Checkpoint(9)).unwrap();
+        let a = out.interval().unwrap();
+        assert_eq!(a, IntervalId(4));
+        assert_eq!(e.interval(a).unwrap().seq(), 4);
+    }
+
+    #[test]
+    fn collection_is_idempotent_and_pinned_by_speculation() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        e.affirm(p[1], x).unwrap();
+        let y = e.aid_init(p[0]);
+        e.guess(p[0], &[y], Checkpoint(1)).unwrap(); // still speculative
+        let s1 = e.collect_fossils();
+        assert_eq!((s1.intervals, s1.aids), (1, 1));
+        // The open speculation pins both horizons; a second sweep is a no-op.
+        let s2 = e.collect_fossils();
+        assert_eq!((s2.intervals, s2.aids), (0, 0));
+        assert_eq!(s2.interval_horizon, 1);
+        assert_eq!(s2.aid_horizon, 1);
+        // Deciding y unblocks the remainder on the next sweep.
+        e.affirm(p[0], y).unwrap(); // self-affirm of the sole dependent finalizes
+        let s3 = e.collect_fossils();
+        assert_eq!((s3.intervals, s3.aids), (1, 1));
+        // An undecided AID pins the horizon for every AID created after it.
+        let pin = e.aid_init(p[0]);
+        let z = e.aid_init(p[0]);
+        e.deny(p[1], z).unwrap();
+        assert_eq!(e.collect_fossils().aids, 0);
+        let _ = pin;
+    }
+
+    #[test]
+    fn fossil_denied_aids_stay_visible_to_primitives() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let tag = e.dependence_tag(p[0]).unwrap();
+        e.deny(p[1], x).unwrap();
+        let sweep = e.collect_fossils();
+        assert_eq!(sweep.aids, 1);
+        assert_eq!(e.fossil_denied_count(), 1);
+        // aid_state answers transparently from the fossil record.
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Denied);
+        // A late guess on the reclaimed denied AID is still already-false.
+        let (out, _) = e.guess(p[0], &[x], Checkpoint(1)).unwrap();
+        assert_eq!(out, GuessOutcome::AlreadyFalse(x));
+        // A stale in-flight tag naming it is still a ghost message.
+        let (out, _) = e.implicit_guess(p[1], &tag, Checkpoint(0)).unwrap();
+        assert_eq!(out, ReceiveOutcome::Ghost(x));
+        // A second decider still trips the one-shot rule.
+        assert_eq!(e.affirm(p[1], x), Err(Error::AidConsumed(x)));
+        assert_eq!(e.deny(p[1], x), Err(Error::AidConsumed(x)));
+    }
+
+    #[test]
+    fn fossil_affirmed_aids_stay_visible_to_primitives() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let tag = e.dependence_tag(p[0]).unwrap();
+        e.affirm(p[1], x).unwrap();
+        e.collect_fossils();
+        assert_eq!(e.aid_state(x).unwrap(), AidState::Affirmed);
+        // Guessing on an affirmed fossil proceeds definitely, as on a live
+        // affirmed AID.
+        let (out, _) = e.guess(p[0], &[x], Checkpoint(1)).unwrap();
+        let a = out.interval().unwrap();
+        assert_eq!(e.interval(a).unwrap().status(), IntervalStatus::Definite);
+        // An affirmed fossil in a tag creates no dependence.
+        let (out, _) = e.implicit_guess(p[1], &tag, Checkpoint(0)).unwrap();
+        assert_eq!(out, ReceiveOutcome::Clean);
+        assert_eq!(e.affirm(p[0], x), Err(Error::AidConsumed(x)));
+    }
+
+    #[test]
+    fn fossil_views_report_reclamation() {
+        let (mut e, p) = engine_with(2);
+        let x = e.aid_init(p[0]);
+        let (out, _) = e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        let a = out.interval().unwrap();
+        e.affirm(p[1], x).unwrap();
+        e.collect_fossils();
+        assert_eq!(e.aid(x).map(|_| ()), Err(Error::FossilAid(x)));
+        assert_eq!(e.interval(a).map(|_| ()), Err(Error::FossilInterval(a)));
+        assert_eq!(e.finalize(a), Err(Error::FossilInterval(a)));
+        // Genuinely unknown ids are still distinguished from fossils.
+        assert_eq!(
+            e.aid(AidId(99)).map(|_| ()),
+            Err(Error::UnknownAid(AidId(99)))
+        );
+    }
+
+    #[test]
+    fn collection_is_transparent_to_a_twin_engine() {
+        // Drive two engines through an identical op sequence, sweeping one
+        // of them aggressively, and compare every observable outcome.
+        let run = |collect: bool| -> Vec<String> {
+            let (mut e, p) = engine_with(3);
+            let mut obs = Vec::new();
+            let mut aids = Vec::new();
+            for round in 0..12u64 {
+                let x = e.aid_init(p[(round % 3) as usize]);
+                aids.push(x);
+                let (out, fx) = e
+                    .guess(p[(round % 3) as usize], &[x], Checkpoint(round))
+                    .unwrap();
+                obs.push(format!("{out:?} {fx:?}"));
+                let decider = p[((round + 1) % 3) as usize];
+                let fx = if round % 3 == 0 {
+                    e.deny(decider, x).unwrap()
+                } else {
+                    e.affirm(decider, x).unwrap()
+                };
+                obs.push(format!("{fx:?}"));
+                if collect {
+                    e.collect_fossils();
+                }
+                for &seen in &aids {
+                    obs.push(format!("{:?}", e.aid_state(seen)));
+                }
+            }
+            obs
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn history_survives_collection_for_live_suffix() {
+        let (mut e, p) = engine_with(2);
+        // One definite interval, then an open speculative one.
+        let x = e.aid_init(p[0]);
+        e.guess(p[0], &[x], Checkpoint(0)).unwrap();
+        e.affirm(p[1], x).unwrap();
+        let y = e.aid_init(p[0]);
+        let (out, _) = e.guess(p[0], &[y], Checkpoint(1)).unwrap();
+        let b = out.interval().unwrap();
+        e.collect_fossils();
+        let hist = e.history(p[0]).unwrap();
+        assert_eq!(hist, vec![b]);
+        // Rollback of the live suffix still works after truncation.
+        e.deny(p[1], y).unwrap();
+        assert!(e.history(p[0]).unwrap().is_empty());
         assert!(e.verify_invariants().is_ok());
     }
 }

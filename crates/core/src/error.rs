@@ -40,6 +40,22 @@ pub enum Error {
     /// Only reachable through the low-level testing surface; the engine's own
     /// cascades always respect the precondition.
     FinalizePrecondition(IntervalId),
+    /// The given AID was reclaimed by
+    /// [`collect_fossils`](crate::Engine::collect_fossils).
+    ///
+    /// Its decision is still answered transparently by
+    /// [`aid_state`](crate::Engine::aid_state) and honoured by every
+    /// program-facing primitive; only the record itself (the
+    /// [`AidView`](crate::AidView) debugging surface) is gone.
+    FossilAid(AidId),
+    /// The given interval was reclaimed by
+    /// [`collect_fossils`](crate::Engine::collect_fossils).
+    ///
+    /// Fossil intervals were definite (or rolled back) below the commit
+    /// horizon; no primitive can name them again, so only the
+    /// [`IntervalView`](crate::IntervalView) debugging surface and the
+    /// low-level `finalize` entry point observe this error.
+    FossilInterval(IntervalId),
     /// A program was rejected before execution by a
     /// [`ProgramValidator`](crate::machine::ProgramValidator).
     ///
@@ -63,6 +79,13 @@ impl fmt::Display for Error {
             Error::EmptyGuess => write!(f, "guess requires at least one assumption identifier"),
             Error::FinalizePrecondition(a) => {
                 write!(f, "interval {a} cannot finalize: its IDO set is not empty")
+            }
+            Error::FossilAid(x) => write!(
+                f,
+                "assumption identifier {x} was reclaimed by fossil collection"
+            ),
+            Error::FossilInterval(a) => {
+                write!(f, "interval {a} was reclaimed by fossil collection")
             }
             Error::ProgramRejected { reasons } => {
                 write!(f, "program rejected by static validation: ")?;
@@ -96,6 +119,8 @@ mod tests {
             Error::AidConsumed(AidId(4)).to_string(),
             Error::EmptyGuess.to_string(),
             Error::FinalizePrecondition(IntervalId(5)).to_string(),
+            Error::FossilAid(AidId(6)).to_string(),
+            Error::FossilInterval(IntervalId(7)).to_string(),
             Error::ProgramRejected {
                 reasons: vec!["first reason".into(), "second reason".into()],
             }

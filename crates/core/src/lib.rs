@@ -85,7 +85,7 @@ pub mod trace;
 pub use aid::{AidState, AidView};
 pub use depset::DepSet;
 pub use effect::Effect;
-pub use engine::{Engine, EngineStats, GuessOutcome};
+pub use engine::{Engine, EngineStats, FossilSweep, GuessOutcome};
 pub use error::{Error, Result};
 pub use ids::{AidId, IntervalId, ProcessId};
 pub use interval::{Checkpoint, IntervalStatus, IntervalView};

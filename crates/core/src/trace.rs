@@ -131,12 +131,14 @@ pub fn render_history(label: &str, history: &History) -> String {
 /// Render the engine's live dependency graph in Graphviz DOT format:
 /// interval nodes (boxes, colored by status), AID nodes (ellipses, colored
 /// by state), and `IDO`/`DOM` edges. Paste into `dot -Tsvg` when a
-/// rollback cascade needs staring at.
+/// rollback cascade needs staring at. Fossil-collected records (below
+/// [`Engine::interval_horizon`](crate::Engine::interval_horizon)) are
+/// skipped — they hold no dependence edges by construction.
 pub fn render_dependency_graph(engine: &crate::Engine) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("digraph hope {\n  rankdir=LR;\n");
-    for i in 0..engine.interval_count() {
-        let id = crate::IntervalId::from_index(i as u64);
+    for i in engine.interval_horizon()..engine.interval_count() as u64 {
+        let id = crate::IntervalId::from_index(i);
         let v = engine.interval(id).expect("index in range");
         let color = match v.status() {
             crate::IntervalStatus::Speculative => "orange",
@@ -152,8 +154,8 @@ pub fn render_dependency_graph(engine: &crate::Engine) -> String {
             let _ = writeln!(out, "  \"{id}\" -> \"{x}\" [label=\"IDO\"];");
         }
     }
-    for i in 0..engine.aid_count() {
-        let x = crate::AidId::from_index(i as u64);
+    for i in engine.aid_horizon()..engine.aid_count() as u64 {
+        let x = crate::AidId::from_index(i);
         let v = engine.aid(x).expect("index in range");
         let color = match v.state() {
             crate::AidState::Undecided => "orange",

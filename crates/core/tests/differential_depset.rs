@@ -579,6 +579,129 @@ fn play(ops: &[Op]) {
     engine.verify_invariants().unwrap();
 }
 
+/// Twin-engine fossil-collection oracle: the same op stream drives two
+/// real engines, one sweeping [`Engine::collect_fossils`] after *every*
+/// step (the most hostile cadence) and one never. Every primitive result,
+/// effect stream, dependence tag and AID state must stay bit-identical —
+/// collection is storage reclamation, not semantics — and the collected
+/// engine's surviving history must be exactly the uncollected one's
+/// suffix above the horizon.
+fn play_collected_twin(ops: &[Op]) {
+    let mut plain = Engine::new();
+    let mut collected = Engine::new();
+    collected.set_invariant_checking(true);
+    for _ in 0..N_PROCS {
+        assert_eq!(plain.register_process(), collected.register_process());
+    }
+    for _ in 0..N_AIDS {
+        assert_eq!(
+            plain.aid_init(ProcessId(0)),
+            collected.aid_init(ProcessId(0))
+        );
+    }
+    let mut tags: Vec<(Tag, Tag)> = Vec::new();
+    let mut ck = 0u64;
+    for (step, &op) in ops.iter().enumerate() {
+        ck += 1;
+        match op {
+            Op::Guess(p, x) => {
+                let (pid, x) = (ProcessId(p), AidId::from_index(x));
+                let a = plain.guess(pid, &[x], Checkpoint(ck));
+                let b = collected.guess(pid, &[x], Checkpoint(ck));
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "guess diverged at step {step}"
+                );
+            }
+            Op::Affirm(p, x) => {
+                let (pid, x) = (ProcessId(p), AidId::from_index(x));
+                let a = plain.affirm(pid, x);
+                let b = collected.affirm(pid, x);
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "affirm diverged at step {step}"
+                );
+            }
+            Op::Deny(p, x) => {
+                let (pid, x) = (ProcessId(p), AidId::from_index(x));
+                let a = plain.deny(pid, x);
+                let b = collected.deny(pid, x);
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "deny diverged at step {step}"
+                );
+            }
+            Op::FreeOf(p, x) => {
+                let (pid, x) = (ProcessId(p), AidId::from_index(x));
+                let a = plain.free_of(pid, x);
+                let b = collected.free_of(pid, x);
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "free_of diverged at step {step}"
+                );
+            }
+            Op::Send(p) => {
+                let pid = ProcessId(p);
+                let a = plain.dependence_tag(pid).unwrap();
+                let b = collected.dependence_tag(pid).unwrap();
+                assert!(a.iter().eq(b.iter()), "send tag diverged at step {step}");
+                tags.push((a, b));
+            }
+            Op::Recv(p, i) => {
+                if tags.is_empty() {
+                    continue;
+                }
+                let pid = ProcessId(p);
+                let idx = (i as usize) % tags.len();
+                let a = plain.implicit_guess(pid, &tags[idx].0, Checkpoint(ck));
+                let b = collected.implicit_guess(pid, &tags[idx].1, Checkpoint(ck));
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "recv diverged at step {step}"
+                );
+            }
+        }
+        collected.collect_fossils();
+        // Program-facing state stays identical despite reclamation…
+        for x in 0..N_AIDS {
+            let id = AidId::from_index(x);
+            assert_eq!(
+                plain.aid_state(id).unwrap(),
+                collected.aid_state(id).unwrap(),
+                "aid_state of {id} diverged at step {step}"
+            );
+        }
+        for p in 0..N_PROCS {
+            let pid = ProcessId(p);
+            let a: Vec<AidId> = plain.dependence_tag(pid).unwrap().iter().collect();
+            let b: Vec<AidId> = collected.dependence_tag(pid).unwrap().iter().collect();
+            assert_eq!(a, b, "tag of {pid} diverged at step {step}");
+            // …and the surviving history is exactly the uncollected
+            // suffix above the horizon.
+            let horizon = collected.interval_horizon();
+            let suffix: Vec<IntervalId> = plain
+                .history(pid)
+                .unwrap()
+                .iter()
+                .copied()
+                .filter(|id| id.index() >= horizon)
+                .collect();
+            assert_eq!(
+                suffix,
+                collected.history(pid).unwrap(),
+                "history of {pid} diverged at step {step}"
+            );
+        }
+    }
+    plain.verify_invariants().unwrap();
+    collected.verify_invariants().unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(300))]
 
@@ -587,6 +710,13 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..40),
     ) {
         play(&ops);
+    }
+
+    #[test]
+    fn fossil_collected_twin_agrees_with_uncollected(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        play_collected_twin(&ops);
     }
 }
 
@@ -605,4 +735,5 @@ fn deep_chain_agrees_with_reference() {
     }
     ops.push(Op::Deny(2, N_AIDS - 1));
     play(&ops);
+    play_collected_twin(&ops);
 }

@@ -26,12 +26,25 @@ pub struct SimConfig {
     pub max_virtual_time: VirtualTime,
     /// Hard stop: maximum number of scheduler events.
     pub max_events: u64,
-    /// Hard stop per process: a body whose journal grows beyond this many
-    /// entries is crashed with
-    /// [`CrashReason::LimitExceeded`](crate::CrashReason) (a runaway retry
-    /// loop under a hostile [`FaultPlan`] would otherwise spin until
-    /// `max_events`).
+    /// Hard stop per process: a body whose journal holds more than this
+    /// many **live** entries is crashed with the typed
+    /// [`CrashReason::JournalOverflow`](crate::CrashReason) (a runaway
+    /// retry loop under a hostile [`FaultPlan`] would otherwise spin until
+    /// `max_events`). Entries reclaimed by horizon prefix truncation (see
+    /// [`fossil_collection`](SimConfig::fossil_collection)) do not count,
+    /// so checkpointing bodies sustain arbitrarily long runs without
+    /// tripping it.
     pub max_journal_entries: usize,
+    /// Run GVT-style fossil collection: periodically compute the engine's
+    /// commit horizon, reclaim every interval/AID record at or below it
+    /// ([`hope_core::Engine::collect_fossils`]) and truncate each
+    /// checkpointing process's journal prefix back to its newest safe
+    /// [`Ctx::checkpoint`](crate::Ctx::checkpoint) snapshot — bounding
+    /// memory on open-ended runs and letting crash-restart replay from the
+    /// snapshot instead of step zero. Collection is *transparent*: it never
+    /// changes committed outputs, only storage. Off by default so short
+    /// runs keep complete histories for tracing and post-mortems.
+    pub fossil_collection: bool,
     /// Run the engine's O(intervals × AIDs) structural invariant check
     /// after every transition. Invaluable when debugging a protocol,
     /// ruinous for long simulations; the engine's own test suite covers
@@ -120,6 +133,7 @@ impl Default for SimConfig {
             max_virtual_time: VirtualTime::MAX,
             max_events: 10_000_000,
             max_journal_entries: 1_000_000,
+            fossil_collection: false,
             check_engine_invariants: false,
             trace: false,
             commit_at_quiescence: false,
@@ -194,6 +208,13 @@ impl SimConfig {
         self
     }
 
+    /// Enable or disable fossil collection (see
+    /// [`SimConfig::fossil_collection`]).
+    pub fn with_fossil_collection(mut self, on: bool) -> Self {
+        self.fossil_collection = on;
+        self
+    }
+
     /// Replace the reliable-send retransmission timeout.
     pub fn with_ack_timeout(mut self, d: VirtualDuration) -> Self {
         self.ack_timeout = d;
@@ -220,6 +241,7 @@ mod tests {
         assert_eq!(c.max_virtual_time, VirtualTime::MAX);
         assert!(c.max_events > 0);
         assert!(c.max_journal_entries > 0);
+        assert!(!c.fossil_collection);
         assert!(c.faults.is_none());
         assert!(c.ack_timeout < c.ack_backoff_cap);
     }
@@ -250,12 +272,14 @@ mod tests {
             .with_max_events(123)
             .with_max_virtual_time(VirtualTime::from_nanos(999))
             .with_max_journal_entries(77)
+            .with_fossil_collection(true)
             .with_ack_timeout(VirtualDuration::from_millis(20))
             .with_ack_backoff_cap(VirtualDuration::from_millis(80))
             .with_faults(plan.clone());
         assert_eq!(c.max_events, 123);
         assert_eq!(c.max_virtual_time, VirtualTime::from_nanos(999));
         assert_eq!(c.max_journal_entries, 77);
+        assert!(c.fossil_collection);
         assert_eq!(c.ack_timeout, VirtualDuration::from_millis(20));
         assert_eq!(c.ack_backoff_cap, VirtualDuration::from_millis(80));
         assert_eq!(c.faults, Some(plan));

@@ -53,7 +53,12 @@ impl Ctx {
         yield_tx: Sender<()>,
         replay_len: usize,
     ) -> Self {
-        let pid = shared.lock().procs[idx].pid;
+        let (pid, base) = {
+            let sh = shared.lock();
+            // Fossil collection may have reclaimed a journal prefix; replay
+            // resumes at the surviving snapshot, not at step zero.
+            (sh.procs[idx].pid, sh.procs[idx].journal.base())
+        };
         Ctx {
             shared,
             idx,
@@ -61,7 +66,7 @@ impl Ctx {
             resume_rx,
             yield_tx,
             replay_len,
-            cursor: 0,
+            cursor: base,
         }
     }
 
@@ -116,20 +121,27 @@ impl Ctx {
     /// an unbounded retry loop (e.g. [`Ctx::send_reliable`] to a peer
     /// partitioned away forever) would otherwise grow its journal without
     /// bound; crossing [`SimConfig::max_journal_entries`](crate::SimConfig)
-    /// crashes the process with [`CrashReason::LimitExceeded`].
+    /// **live** entries crashes the process with the typed
+    /// [`CrashReason::JournalOverflow`]. Entries reclaimed by fossil
+    /// collection don't count, so checkpointing bodies never trip the
+    /// limit merely by running long.
     fn live_entry(&mut self) -> Hope<Option<Entry>> {
         if let Some(e) = self.replay_next() {
             return Ok(Some(e));
         }
         let mut sh = self.shared.lock();
         let limit = sh.config.max_journal_entries;
-        if sh.procs[self.idx].journal.len() >= limit {
+        if sh.procs[self.idx].journal.live_len() >= limit && sh.config.fossil_collection {
+            // Last-ditch sweep before declaring overflow: the limit bounds
+            // *irreducible* live entries, not entries the horizon has
+            // already passed but the periodic sweep hasn't reclaimed yet.
+            sh.fossil_sweep();
+        }
+        if sh.procs[self.idx].journal.live_len() >= limit {
             let pid = self.pid;
-            sh.trace(|| format!("{pid}: journal limit ({limit} entries) exceeded"));
+            sh.trace(|| format!("{pid}: journal limit ({limit} live entries) exceeded"));
             sh.procs[self.idx].state = ProcState::Crashed;
-            sh.procs[self.idx].crash = Some(CrashReason::LimitExceeded(format!(
-                "journal grew past {limit} entries"
-            )));
+            sh.procs[self.idx].crash = Some(CrashReason::JournalOverflow { limit });
             return Err(Signal::Shutdown);
         }
         Ok(None)
@@ -183,7 +195,12 @@ impl Ctx {
         }
         let mut sh = self.shared.lock();
         let aid = sh.engine.aid_init(self.pid);
+        let pos = sh.procs[self.idx].journal.len();
         sh.procs[self.idx].journal.push(Entry::AidInit(aid));
+        // Mirror the journal's AidInit entries so a fault kill can deny
+        // this process's open assumptions without scanning the journal
+        // (whose prefix fossil collection may have reclaimed).
+        sh.procs[self.idx].own_aids.push((pos, aid));
         Ok(aid)
     }
 
@@ -416,6 +433,108 @@ impl Ctx {
             .expect("process is registered");
         sh.procs[self.idx].journal.push(Entry::Flag(v));
         Ok(v)
+    }
+
+    // ------------------------------------------------------------------
+    // truncation-safe resume (snapshot/restore protocol)
+    // ------------------------------------------------------------------
+
+    /// Declare this body **restorable** and fetch its resume state, if any.
+    ///
+    /// Must be the body's *first* `Ctx` call. Together with
+    /// [`checkpoint`](Ctx::checkpoint) this is the opt-in protocol that
+    /// lets fossil collection reclaim journal prefixes: a restorable body
+    /// re-executed after a rollback or a crash-restart replays from its
+    /// newest safe snapshot instead of from step zero.
+    ///
+    /// * On a fresh journal this records a marker and returns `None`: run
+    ///   the body's initialization.
+    /// * After fossil collection has truncated the journal's prefix back to
+    ///   a snapshot, re-execution returns `Some(state)` — the exact
+    ///   [`Value`] the corresponding [`checkpoint`](Ctx::checkpoint)
+    ///   recorded. Rebuild your state from it and proceed to the statement
+    ///   *after* that checkpoint call; the journal replays the rest.
+    ///
+    /// Bodies that never call this simply keep their whole journal — fossil
+    /// collection still reclaims engine records, just not their journals.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    pub fn restore(&mut self) -> Hope<Option<Value>> {
+        if self.cursor < self.replay_len {
+            let mut sh = self.shared.lock();
+            let base = sh.procs[self.idx].journal.base();
+            let e = sh.procs[self.idx]
+                .journal
+                .get(self.cursor)
+                .expect("replay cursor within journal")
+                .clone();
+            match e {
+                // The reclaimed-prefix case: replay begins at the snapshot
+                // itself. Peek, don't consume — the body's own `checkpoint`
+                // call at the top of its loop replays this entry.
+                Entry::Snapshot(v) if self.cursor == base => {
+                    sh.procs[self.idx].restorable = true;
+                    return Ok(Some(v));
+                }
+                Entry::Restore => {
+                    sh.procs[self.idx].restorable = true;
+                    drop(sh);
+                    self.cursor += 1;
+                    return Ok(None);
+                }
+                other => {
+                    drop(sh);
+                    self.cursor += 1;
+                    self.diverged("restore", &other)
+                }
+            }
+        }
+        let mut sh = self.shared.lock();
+        sh.procs[self.idx].restorable = true;
+        sh.procs[self.idx].journal.push(Entry::Restore);
+        Ok(None)
+    }
+
+    /// Record a resumable snapshot of the body's state.
+    ///
+    /// Call at a point the body can reconstruct itself from `state` alone —
+    /// typically the top of its main loop. Once the engine's commit horizon
+    /// passes this point, fossil collection may truncate everything before
+    /// the snapshot; a later re-execution then resumes here via
+    /// [`restore`](Ctx::restore). Cheap enough to call every iteration:
+    /// one journal entry per call, and superseded snapshots are reclaimed
+    /// with the prefix they close over.
+    ///
+    /// # Errors
+    ///
+    /// [`Signal`]s propagated from the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body did not call [`restore`](Ctx::restore) first:
+    /// a truncated journal must resume *somewhere*, and only `restore`
+    /// gives it an entry point.
+    pub fn checkpoint(&mut self, state: impl Into<Value>) -> Hope<()> {
+        let state = state.into();
+        if let Some(e) = self.live_entry()? {
+            match e {
+                Entry::Snapshot(_) => return Ok(()),
+                other => self.diverged("checkpoint", &other),
+            }
+        }
+        let mut sh = self.shared.lock();
+        assert!(
+            sh.procs[self.idx].restorable,
+            "{}: Ctx::checkpoint requires the body to call Ctx::restore first \
+             (the truncation-safe resume protocol needs an entry point)",
+            self.pid
+        );
+        let pos = sh.procs[self.idx].journal.len();
+        sh.procs[self.idx].journal.push(Entry::Snapshot(state));
+        sh.procs[self.idx].snapshots.push(pos);
+        Ok(())
     }
 
     // ------------------------------------------------------------------

@@ -13,11 +13,24 @@
 //!
 //! This places one obligation on process bodies: **determinism given `Ctx`
 //! results**. All time, randomness and communication must go through `Ctx`.
+//!
+//! # Prefix truncation (fossil collection)
+//!
+//! Journal positions are **absolute** — they never shift. When the engine's
+//! commit horizon guarantees no rollback can ever reach back past a
+//! journaled [`Entry::Snapshot`], the prefix before it can be reclaimed
+//! with [`Journal::truncate_prefix`]: live storage shrinks, `base()` rises,
+//! and replay (after a rollback *or* a crash-restart) starts at the
+//! snapshot instead of at step zero. Bodies opt in via
+//! [`Ctx::restore`](crate::Ctx::restore) /
+//! [`Ctx::checkpoint`](crate::Ctx::checkpoint); a body that never
+//! checkpoints simply keeps its whole journal.
 
 use hope_core::AidId;
 use hope_sim::VirtualDuration;
 
 use crate::message::Message;
+use crate::value::Value;
 
 /// One journaled interaction.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +75,17 @@ pub(crate) enum Entry {
     /// re-executions after a rollback into the loop — reuses the same
     /// number, which is what makes receiver-side deduplication sound.
     ReliableSeq(u64),
+    /// `restore()` found no snapshot to resume from (the journal still
+    /// starts at step zero). Always the first entry of a restorable body's
+    /// journal; fossil collection may later replace the prefix up to some
+    /// [`Entry::Snapshot`], after which `restore()` replays that snapshot
+    /// instead of this marker.
+    Restore,
+    /// `checkpoint(state)` recorded the body's resumable state. A journal
+    /// prefix may be truncated exactly at a snapshot: re-execution then
+    /// resumes here via [`Ctx::restore`](crate::Ctx::restore) rather than
+    /// replaying from step zero.
+    Snapshot(Value),
 }
 
 impl Entry {
@@ -81,40 +105,84 @@ impl Entry {
             Entry::Output => "output",
             Entry::Flag(_) => "flag",
             Entry::ReliableSeq(_) => "reliable_seq",
+            Entry::Restore => "restore",
+            Entry::Snapshot(_) => "snapshot",
         }
     }
 }
 
 /// A process's interaction journal.
+///
+/// Positions are **absolute**: entry `i` keeps the index it was pushed at
+/// for the journal's whole lifetime, so `Checkpoint` tokens stay valid
+/// across [prefix truncation](Journal::truncate_prefix). Only
+/// `base() ..= len()` is live storage.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Journal {
     entries: Vec<Entry>,
-    /// Total entries ever truncated (for statistics).
+    /// Absolute position of `entries[0]`: everything below was reclaimed by
+    /// fossil collection.
+    base: usize,
+    /// Total entries ever truncated by rollback (for statistics).
     pub(crate) truncated_entries: u64,
+    /// Total prefix entries reclaimed by fossil collection.
+    pub(crate) reclaimed_entries: u64,
 }
 
 impl Journal {
+    /// Absolute end position (total entries ever pushed and not rolled
+    /// back), *including* the reclaimed prefix.
     pub(crate) fn len(&self) -> usize {
+        self.base + self.entries.len()
+    }
+
+    /// Entries currently held live (post-truncation) — what
+    /// [`SimConfig::max_journal_entries`](crate::SimConfig) bounds.
+    pub(crate) fn live_len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Absolute position of the oldest live entry. Replay starts here.
+    pub(crate) fn base(&self) -> usize {
+        self.base
     }
 
     pub(crate) fn push(&mut self, e: Entry) {
         self.entries.push(e);
     }
 
+    /// The entry at absolute position `i` (`None` below `base()` or past
+    /// the end).
     pub(crate) fn get(&self, i: usize) -> Option<&Entry> {
-        self.entries.get(i)
+        i.checked_sub(self.base).and_then(|k| self.entries.get(k))
     }
 
-    /// Truncate to `pos`, returning the discarded suffix (oldest first) so
-    /// the caller can re-enqueue its received messages.
+    /// Truncate to absolute position `pos`, returning the discarded suffix
+    /// (oldest first) so the caller can re-enqueue its received messages.
+    /// Rollback never reaches below the commit horizon, so `pos >= base()`.
     pub(crate) fn truncate(&mut self, pos: usize) -> Vec<Entry> {
-        if pos >= self.entries.len() {
+        debug_assert!(pos >= self.base, "rollback below the commit horizon");
+        let k = pos.saturating_sub(self.base);
+        if k >= self.entries.len() {
             return Vec::new();
         }
-        let suffix = self.entries.split_off(pos);
+        let suffix = self.entries.split_off(k);
         self.truncated_entries += suffix.len() as u64;
         suffix
+    }
+
+    /// Reclaim every entry below absolute position `new_base`, returning
+    /// how many were dropped. The caller must guarantee no rollback or
+    /// replay will ever need them — i.e. `new_base` is the position of a
+    /// [`Entry::Snapshot`] at or below the process's speculative frontier.
+    pub(crate) fn truncate_prefix(&mut self, new_base: usize) -> usize {
+        let n = new_base.saturating_sub(self.base).min(self.entries.len());
+        if n > 0 {
+            self.entries.drain(..n);
+            self.base += n;
+            self.reclaimed_entries += n as u64;
+        }
+        n
     }
 }
 
@@ -140,11 +208,37 @@ mod tests {
     }
 
     #[test]
+    fn prefix_truncation_keeps_positions_absolute() {
+        let mut j = Journal::default();
+        j.push(Entry::Restore);
+        j.push(Entry::Rand(1));
+        j.push(Entry::Snapshot(Value::Int(7)));
+        j.push(Entry::Rand(2));
+        assert_eq!(j.truncate_prefix(2), 2);
+        assert_eq!(j.base(), 2);
+        assert_eq!(j.len(), 4, "absolute end does not move");
+        assert_eq!(j.live_len(), 2);
+        // Absolute addressing survives: the snapshot is still entry 2.
+        assert_eq!(j.get(1), None, "reclaimed prefix is gone");
+        assert_eq!(j.get(2), Some(&Entry::Snapshot(Value::Int(7))));
+        assert_eq!(j.get(3), Some(&Entry::Rand(2)));
+        assert_eq!(j.reclaimed_entries, 2);
+        // Idempotent at the same base; rollback still truncates the suffix
+        // at absolute positions.
+        assert_eq!(j.truncate_prefix(2), 0);
+        let cut = j.truncate(3);
+        assert_eq!(cut, vec![Entry::Rand(2)]);
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
     fn kinds() {
         assert_eq!(Entry::Rand(0).kind(), "rand");
         assert_eq!(Entry::Output.kind(), "output");
         assert_eq!(Entry::Compute(VirtualDuration::ZERO).kind(), "compute");
         assert_eq!(Entry::Send { msg_id: 0 }.kind(), "send");
         assert_eq!(Entry::ReliableSeq(1).kind(), "reliable_seq");
+        assert_eq!(Entry::Restore.kind(), "restore");
+        assert_eq!(Entry::Snapshot(Value::Unit).kind(), "snapshot");
     }
 }

@@ -75,7 +75,7 @@ pub use ctx::Ctx;
 pub use message::{Message, MsgKind};
 pub use scheduler::Simulation;
 pub use signal::{Hope, Signal};
-pub use stats::{CrashReason, FaultStats, OutputLine, RunReport, RunStats};
+pub use stats::{CrashReason, FaultStats, MemoryStats, OutputLine, RunReport, RunStats};
 pub use value::Value;
 
 // Re-export the identifier types users need to talk about processes and

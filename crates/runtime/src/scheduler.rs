@@ -129,6 +129,9 @@ impl Simulation {
             finish_time: None,
             crash: None,
             next_reliable: 0,
+            own_aids: Vec::new(),
+            snapshots: Vec::new(),
+            restorable: false,
         });
         self.bodies.push(Arc::new(body));
         pid
@@ -174,6 +177,11 @@ impl Simulation {
     /// process finished) or a configured limit, and report what happened.
     pub fn run(self) -> RunReport {
         let Simulation { shared, bodies } = self;
+        // The DepSet counters are process-global; report this run's delta.
+        let depset_base = (
+            hope_core::depset::cow_copies_total(),
+            hope_core::depset::spills_total(),
+        );
         let n = bodies.len();
         let mut resume_txs: Vec<Sender<ResumeSignal>> = Vec::with_capacity(n);
         let mut yield_rxs: Vec<Receiver<()>> = Vec::with_capacity(n);
@@ -228,6 +236,10 @@ impl Simulation {
             Quiesced,
             Limits,
         }
+        // Fossil-collection cadence: sweeping is transparent (it can only
+        // reclaim storage, never change outputs), so any period works; 256
+        // keeps the amortized cost per event negligible.
+        const FOSSIL_SWEEP_PERIOD: u64 = 256;
         let mut events: u64 = 0;
         let mut hit_limits = false;
         loop {
@@ -340,6 +352,12 @@ impl Simulation {
                     sh.restart_fire(proc);
                 }
             }
+            if events.is_multiple_of(FOSSIL_SWEEP_PERIOD) {
+                let mut sh = shared.lock();
+                if sh.config.fossil_collection {
+                    sh.fossil_sweep();
+                }
+            }
         }
 
         for tx in &resume_txs {
@@ -376,6 +394,21 @@ impl Simulation {
         }
         let mut stats = sh.stats;
         stats.engine = sh.engine.stats();
+        stats.memory.live_intervals = sh.engine.live_interval_count() as u64;
+        stats.memory.live_aids = sh.engine.live_aid_count() as u64;
+        stats.memory.interval_horizon = sh.engine.interval_horizon();
+        stats.memory.aid_horizon = sh.engine.aid_horizon();
+        stats.memory.reclaimed_intervals = stats.engine.fossil_intervals;
+        stats.memory.reclaimed_aids = stats.engine.fossil_aids;
+        stats.memory.fossil_denied = sh.engine.fossil_denied_count() as u64;
+        for p in &sh.procs {
+            stats.memory.live_journal_entries += p.journal.live_len() as u64;
+            stats.memory.reclaimed_journal_entries += p.journal.reclaimed_entries;
+        }
+        stats.memory.depset_cow_copies =
+            hope_core::depset::cow_copies_total().saturating_sub(depset_base.0);
+        stats.memory.depset_spills =
+            hope_core::depset::spills_total().saturating_sub(depset_base.1);
         RunReport {
             end_time: sh.now,
             events,

@@ -76,6 +76,20 @@ pub(crate) struct ProcShared {
     /// Next logical sequence number for `send_reliable` (allocation is
     /// journaled, so replays reuse the recorded number).
     pub(crate) next_reliable: u64,
+    /// `(journal position of the AidInit entry, aid)` for every AID this
+    /// body created, in journal order. The kill path denies open ones from
+    /// here instead of scanning the journal — whose prefix fossil
+    /// collection may have reclaimed. Suffix-pruned on rollback in step
+    /// with the journal; decided entries are dropped at collection time
+    /// (a kill only ever denies undecided AIDs), so it stays bounded.
+    pub(crate) own_aids: Vec<(usize, AidId)>,
+    /// Absolute journal positions of live [`Entry::Snapshot`]s, ascending.
+    /// Fossil collection truncates the journal prefix back to the newest
+    /// one at or below the process's speculative frontier.
+    pub(crate) snapshots: Vec<usize>,
+    /// The body called [`Ctx::restore`](crate::Ctx::restore), so its
+    /// journal has a resume entry point and prefix truncation is safe.
+    pub(crate) restorable: bool,
 }
 
 /// The boxed form of an installed observer callback.
@@ -353,12 +367,14 @@ impl Shared {
         self.stats.faults.kills += 1;
         let pid = self.procs[victim].pid;
         self.trace(|| format!("FAULT kill {pid} (restart after {restart_after:?})"));
-        let mut own: Vec<AidId> = Vec::new();
-        for i in 0..self.procs[victim].journal.len() {
-            if let Some(Entry::AidInit(a)) = self.procs[victim].journal.get(i) {
-                own.push(*a);
-            }
-        }
+        // The victim's created AIDs in journal order (the mirror survives
+        // journal-prefix truncation; collection already dropped decided
+        // ones, which the loop below would skip anyway).
+        let own: Vec<AidId> = self.procs[victim]
+            .own_aids
+            .iter()
+            .map(|&(_, a)| a)
+            .collect();
         let injector = self.injector();
         for aid in own {
             if self.engine.aid_state(aid).ok() != Some(AidState::Undecided) {
@@ -407,6 +423,61 @@ impl Shared {
         self.procs[proc].state = ProcState::Holding;
         let now = self.now;
         self.schedule_wake(proc, now);
+    }
+
+    /// One fossil-collection sweep (see
+    /// [`SimConfig::fossil_collection`](crate::SimConfig)): reclaim every
+    /// engine record at or below the commit horizon, truncate each
+    /// restorable process's journal prefix back to its newest snapshot at
+    /// or below its speculative frontier, and prune the per-process
+    /// bookkeeping that mirrors the journal. Transparent by construction —
+    /// committed outputs, rollbacks and fault statistics are bit-identical
+    /// with collection on or off (the chaos and differential suites assert
+    /// it) — so *when* the scheduler calls this can never change a run's
+    /// outcome, only its memory footprint.
+    pub(crate) fn fossil_sweep(&mut self) {
+        let sweep = self.engine.collect_fossils();
+        if sweep.intervals > 0 || sweep.aids > 0 {
+            self.trace(|| {
+                format!(
+                    "fossil sweep: {} interval(s) and {} aid(s) reclaimed \
+                     (horizon A{}/X{})",
+                    sweep.intervals, sweep.aids, sweep.interval_horizon, sweep.aid_horizon
+                )
+            });
+        }
+        for p in 0..self.procs.len() {
+            // A kill only denies *undecided* AIDs, so decided ones can
+            // leave the mirror; this is what keeps it bounded on long runs.
+            let mut own = std::mem::take(&mut self.procs[p].own_aids);
+            own.retain(|&(_, a)| self.engine.aid_state(a).ok() == Some(AidState::Undecided));
+            self.procs[p].own_aids = own;
+
+            if !self.procs[p].restorable || self.procs[p].snapshots.is_empty() {
+                continue; // no resume entry point: keep the whole journal
+            }
+            // The farthest back any rollback can rewind this process; a
+            // fully definite history frees the whole journal for
+            // truncation (up to its newest snapshot).
+            let pid = self.procs[p].pid;
+            let frontier = self
+                .engine
+                .speculative_frontier(pid)
+                .expect("process is registered");
+            let safe = frontier.map_or(self.procs[p].journal.len(), |c| c.0 as usize);
+            let target = self.procs[p].snapshots.iter().rev().find(|&&s| s <= safe);
+            if let Some(&t) = target {
+                let n = self.procs[p].journal.truncate_prefix(t);
+                if n > 0 {
+                    // The snapshot at `t` is the new base entry; older
+                    // snapshot positions now point into reclaimed space.
+                    self.procs[p].snapshots.retain(|&s| s >= t);
+                    self.trace(|| {
+                        format!("{pid}: journal prefix reclaimed ({n} entries, base now {t})")
+                    });
+                }
+            }
+        }
     }
 
     /// Append a trace line (no-op unless tracing is configured).
@@ -576,6 +647,11 @@ impl Shared {
                             self.procs[victim].mailbox.insert(msg.mail_key(), *msg);
                         }
                     }
+                    // Keep the journal mirrors in step with the truncation:
+                    // AidInit and Snapshot entries in the discarded suffix
+                    // are gone (re-execution re-records live ones).
+                    self.procs[victim].own_aids.retain(|&(p, _)| p < pos);
+                    self.procs[victim].snapshots.retain(|&p| p < pos);
                     self.procs[victim].finish_time = None;
                     // The pending flag is observed (and cleared) by the
                     // victim's wrapper when the re-execution begins; for the
@@ -646,6 +722,9 @@ mod tests {
                 finish_time: None,
                 crash: None,
                 next_reliable: 0,
+                own_aids: Vec::new(),
+                snapshots: Vec::new(),
+                restorable: false,
             });
         }
         s
@@ -761,6 +840,9 @@ mod tests {
                 finish_time: None,
                 crash: None,
                 next_reliable: 0,
+                own_aids: Vec::new(),
+                snapshots: Vec::new(),
+                restorable: false,
             });
         }
         for i in 0..64 {
@@ -793,6 +875,9 @@ mod tests {
                 finish_time: None,
                 crash: None,
                 next_reliable: 0,
+                own_aids: Vec::new(),
+                snapshots: Vec::new(),
+                restorable: false,
             });
         }
         s.procs[1].state = ProcState::Down;
@@ -841,6 +926,7 @@ mod tests {
         let pid0 = s.procs[0].pid;
         let own = s.engine.aid_init(pid0);
         s.procs[0].journal.push(Entry::AidInit(own));
+        s.procs[0].own_aids.push((0, own));
         s.engine.guess(pid0, &[own], Checkpoint(1)).unwrap();
         s.procs[0].journal.push(Entry::Guess {
             aid: own,

@@ -62,6 +62,55 @@ pub struct RunStats {
     /// Fault-injection counters (all zero without a
     /// [`FaultPlan`](hope_sim::FaultPlan)).
     pub faults: FaultStats,
+    /// End-of-run memory footprint: what fossil collection left live (see
+    /// [`SimConfig::fossil_collection`](crate::SimConfig)).
+    pub memory: MemoryStats,
+}
+
+/// End-of-run memory footprint of the engine and the per-process journals.
+///
+/// With [`SimConfig::fossil_collection`](crate::SimConfig) enabled these
+/// stay bounded by the work in flight between sweeps, however long the run;
+/// with it disabled (the default) the `live_*` numbers equal the totals and
+/// the `reclaimed_*`/horizon numbers are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MemoryStats {
+    /// Interval records held live by the engine.
+    pub live_intervals: u64,
+    /// AID records held live by the engine.
+    pub live_aids: u64,
+    /// Journal entries held live across all processes (what
+    /// [`SimConfig::max_journal_entries`](crate::SimConfig) bounds).
+    pub live_journal_entries: u64,
+    /// The engine's interval commit horizon: every interval below it was
+    /// finalized (or rolled back) and reclaimed.
+    pub interval_horizon: u64,
+    /// The engine's AID commit horizon: every AID below it was decided and
+    /// reclaimed.
+    pub aid_horizon: u64,
+    /// Interval records reclaimed over the whole run.
+    pub reclaimed_intervals: u64,
+    /// AID records reclaimed over the whole run.
+    pub reclaimed_aids: u64,
+    /// Journal entries reclaimed by horizon prefix truncation (distinct
+    /// from [`RunStats::truncated_entries`], which counts rollback
+    /// truncations).
+    pub reclaimed_journal_entries: u64,
+    /// Reclaimed-but-denied AIDs the engine remembers (the sparse residue
+    /// that keeps fossil collection transparent to ghost filtering).
+    pub fossil_denied: u64,
+    /// Dependence-set copy-on-write duplications over this run, measured
+    /// as the delta of [`hope_core::depset::cow_copies_total`] across
+    /// [`Simulation::run`](crate::Simulation::run). The underlying counter
+    /// is process-global, so simulations running *concurrently* (parallel
+    /// test threads) bleed into each other's delta; diagnostics only, and
+    /// excluded from [`RunReport::fingerprint`].
+    pub depset_cow_copies: u64,
+    /// Dependence-set inline→bitset spills over this run (delta of
+    /// [`hope_core::depset::spills_total`]; same caveat as
+    /// [`depset_cow_copies`](MemoryStats::depset_cow_copies)).
+    pub depset_spills: u64,
 }
 
 /// Counters for injected faults and the recovery machinery they trigger.
@@ -127,10 +176,20 @@ pub enum CrashReason {
     /// A [`FaultPlan`](hope_sim::FaultPlan) kill with no restart (kills
     /// *with* a restart recover and never appear here).
     FaultKill,
-    /// A per-process limit was exceeded (see
-    /// [`SimConfig::max_journal_entries`](crate::SimConfig)); the payload
-    /// describes which.
+    /// A per-process limit was exceeded; the payload describes which.
     LimitExceeded(String),
+    /// The process's journal exceeded
+    /// [`SimConfig::max_journal_entries`](crate::SimConfig) **live**
+    /// (post-truncation) entries. Recoverable in the sense that the run
+    /// continues and the report records exactly which process overflowed
+    /// and at what bound; with
+    /// [`SimConfig::fossil_collection`](crate::SimConfig) enabled and a
+    /// body that [`checkpoint`](crate::Ctx::checkpoint)s, long runs do not
+    /// trip it spuriously.
+    JournalOverflow {
+        /// The configured live-entry bound that was crossed.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CrashReason {
@@ -140,6 +199,9 @@ impl fmt::Display for CrashReason {
             CrashReason::Panic(msg) => f.write_str(msg),
             CrashReason::FaultKill => f.write_str("killed by fault injection"),
             CrashReason::LimitExceeded(what) => f.write_str(what),
+            CrashReason::JournalOverflow { limit } => {
+                write!(f, "journal grew past {limit} live entries")
+            }
         }
     }
 }
@@ -248,6 +310,13 @@ impl RunReport {
     /// produce equal fingerprints; the chaos oracle asserts exactly that
     /// to prove failing seeds replay bit-identically.
     pub fn fingerprint(&self) -> u64 {
+        // The DepSet deltas are measured against process-global counters,
+        // which concurrent simulations (parallel test threads) pollute, so
+        // they are the one pair of counters a replay may legitimately
+        // change: mask them out of the digest.
+        let mut stats = self.stats;
+        stats.memory.depset_cow_copies = 0;
+        stats.memory.depset_spills = 0;
         let mut h = std::collections::hash_map::DefaultHasher::new();
         format!(
             "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
@@ -255,7 +324,7 @@ impl RunReport {
             self.events,
             self.hit_limits,
             self.outputs,
-            self.stats,
+            stats,
             self.finish_times,
             self.unfinished,
             self.crashes,
@@ -415,6 +484,10 @@ mod tests {
         assert_eq!(
             CrashReason::LimitExceeded("journal limit".into()).to_string(),
             "journal limit"
+        );
+        assert_eq!(
+            CrashReason::JournalOverflow { limit: 64 }.to_string(),
+            "journal grew past 64 live entries"
         );
     }
 

@@ -23,8 +23,10 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod horizon;
 mod lp;
 pub mod phold;
 
 pub use event::Event;
+pub use horizon::ChannelHorizon;
 pub use lp::{run_lp, LpConfig};

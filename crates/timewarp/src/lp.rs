@@ -24,6 +24,7 @@ use hope_runtime::{Ctx, Hope, ProcessId};
 use hope_sim::VirtualDuration;
 
 use crate::event::Event;
+use crate::horizon::ChannelHorizon;
 
 /// Configuration of one logical process.
 #[derive(Debug, Clone)]
@@ -93,7 +94,7 @@ pub fn run_lp(ctx: &mut Ctx, cfg: &LpConfig) -> Hope<()> {
     let me = ctx.pid();
     // Model state, rebuilt deterministically by journal replay on rollback.
     let mut pending: BTreeSet<(Event, u64)> = BTreeSet::new(); // (event, msg id)
-    let mut last_seen: BTreeMap<ProcessId, u64> = BTreeMap::new();
+    let mut horizon = ChannelHorizon::new(cfg.senders.clone());
     let mut last_sent: BTreeMap<ProcessId, u64> = BTreeMap::new();
     let mut guards: Vec<(u64, AidId)> = Vec::new(); // (ts, guard), unaffirmed
     let mut last_processed: u64 = 0;
@@ -112,21 +113,14 @@ pub fn run_lp(ctx: &mut Ctx, cfg: &LpConfig) -> Hope<()> {
             Some(ev) => ev,
             None => continue, // not an event; ignore
         };
-        last_seen.insert(msg.from, ev.ts);
+        horizon.observe(msg.from, ev.ts);
         pending.insert((ev, msg.id));
 
         // Fossil-collect: once every commit channel has delivered something
-        // at least as new, guards below the minimum can never be straggled.
-        if cfg.senders.iter().all(|s| last_seen.contains_key(s)) {
-            let safe = cfg.senders.iter().map(|s| last_seen[s]).min().unwrap_or(0);
-            while let Some(&(ts, guard)) = guards.first() {
-                if ts < safe {
-                    guards.remove(0);
-                    ctx.affirm(guard)?;
-                } else {
-                    break;
-                }
-            }
+        // at least as new, guards below the channel minimum can never be
+        // straggled ([`ChannelHorizon`], the local GVT computation).
+        for guard in horizon.drain_safe(&mut guards) {
+            ctx.affirm(guard)?;
         }
 
         // Process everything pending, eagerly and optimistically.
@@ -184,7 +178,7 @@ pub fn run_lp(ctx: &mut Ctx, cfg: &LpConfig) -> Hope<()> {
                 pending.insert((ev, mid));
                 while let Some(m) = ctx.try_recv()? {
                     if let Some(e2) = Event::from_value(&m.payload) {
-                        last_seen.insert(m.from, e2.ts);
+                        horizon.observe(m.from, e2.ts);
                         pending.insert((e2, m.id));
                     }
                 }

@@ -65,19 +65,40 @@ enum PristineVerdict {
 }
 
 /// Tallies of which exploration path decided each program, so the suites
-/// can log (and, on the exhaustive corpora, assert) coverage.
+/// can log (and, on the exhaustive corpora, assert) coverage. For
+/// over-budget programs the checker's [`explored_fraction`] is
+/// accumulated, so the fallback log says how much of the reduced space
+/// the aborted exhaustive runs did cover — "sampled" with a number
+/// attached, never a bare shrug.
+///
+/// [`explored_fraction`]: hope_mc::McReport::explored_fraction
 #[derive(Debug, Default)]
 struct PathStats {
     model_checked: usize,
     fell_back: usize,
+    /// Sum of explored fractions over the `fell_back` programs.
+    fallback_fraction_sum: f64,
+    /// Smallest explored fraction seen among fallbacks.
+    fallback_fraction_min: Option<f64>,
 }
 
 impl PathStats {
     fn log(&self, context: &str) {
+        if self.fell_back == 0 {
+            eprintln!(
+                "{context}: {} programs schedule-complete via hope-mc, 0 over budget",
+                self.model_checked
+            );
+            return;
+        }
         eprintln!(
             "{context}: {} programs schedule-complete via hope-mc, \
-             {} over budget (seeded-schedule fallback)",
-            self.model_checked, self.fell_back
+             {} over budget (seeded-schedule fallback; exhaustive runs \
+             covered {:.1}% of the reduced space on average, min {:.1}%)",
+            self.model_checked,
+            self.fell_back,
+            100.0 * self.fallback_fraction_sum / self.fell_back as f64,
+            100.0 * self.fallback_fraction_min.unwrap_or(0.0),
         );
     }
 }
@@ -101,6 +122,12 @@ fn pristine_verdict(
         };
     }
     stats.fell_back += 1;
+    let fraction = report.explored_fraction();
+    stats.fallback_fraction_sum += fraction;
+    stats.fallback_fraction_min = Some(match stats.fallback_fraction_min {
+        Some(m) => m.min(fraction),
+        None => fraction,
+    });
     let sampled = pristine_under(program, None, fuel)
         || (0..SCHEDULE_SEEDS).any(|s| pristine_under(program, Some(s), fuel));
     if sampled {

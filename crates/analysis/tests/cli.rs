@@ -190,6 +190,12 @@ fn help_documents_the_exit_code_contract() {
             "no error-severity diagnostic",
             "at least one error-severity diagnostic",
             "usage error, unreadable input, or program parse failure",
+            // The --mc refutation clause of the exit-2 contract: an
+            // exhausted checker finding a pristine schedule for an
+            // error-flagged program is an analyzer soundness bug.
+            "pristine schedule for an error-flagged program",
+            "analyzer",
+            "soundness bug",
             "--rank",
             "--cost",
             "--cascade-threshold N",
@@ -197,6 +203,47 @@ fn help_documents_the_exit_code_contract() {
             assert!(stdout.contains(needle), "missing {needle:?}: {stdout}");
         }
     }
+}
+
+#[test]
+fn mc_json_emits_agreement_counts_and_fraction() {
+    // The aggregation contract: --json --mc reports confirmed/unverified/
+    // refuted as 0/1 *counts* (so multi-run scripts can sum fields) plus
+    // the explored fraction of the reduced schedule space.
+    let out = run_on_stdin(
+        &["--json", "--mc", "-"],
+        "process P0:\n  guess(x0)\nprocess P1:\n  affirm(x0)\n",
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"agreement\":\"confirmed\""), "{stdout}");
+    assert!(
+        stdout.contains("\"confirmed\":1,\"unverified\":0,\"refuted\":0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"explored_fraction\":1.0000"), "{stdout}");
+}
+
+#[test]
+fn mc_budget_fallback_logs_explored_fraction() {
+    // Starved of states, the checker must say *how much* of the reduced
+    // space it covered before giving up — in text and in JSON — and an
+    // unverified run must not change the lint exit code.
+    let program = "process P0:\n  guess(x0)\nprocess P1:\n  affirm(x0)\n";
+    let out = run_on_stdin(&["--mc", "--mc-states", "1", "-"], program);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("mc: unverified"), "{stdout}");
+    assert!(stdout.contains("% of the reduced space"), "{stdout}");
+
+    let out = run_on_stdin(&["--json", "--mc", "--mc-states", "1", "-"], program);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.contains("\"confirmed\":0,\"unverified\":1,\"refuted\":0"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("\"explored_fraction\":1.0000"), "{stdout}");
 }
 
 #[test]

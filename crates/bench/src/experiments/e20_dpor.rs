@@ -1,0 +1,379 @@
+//! **E20 — full Flanagan–Godefroid DPOR with symmetry reduction, and
+//! exhaustive schedule checking at the `Simulation`/`Ctx` layer.**
+//!
+//! Two measurements in one table:
+//!
+//! 1. **Machine-program reduction ladder.** Every program in each corpus
+//!    is explored under four modes — `Naive` (no cache, no reduction),
+//!    `SleepSet` (the PR-5 baseline: canonical-state cache + sleep sets +
+//!    persistent singletons), `Dpor` (per-state dynamic backtracking sets
+//!    with vector-clock happens-before filtering), and `DporSym` (DPOR
+//!    plus symmetry reduction over process renamings, the default every
+//!    consumer uses). Per mode: total transitions and wall time. All four
+//!    modes must agree on every program's observable verdict (pristine
+//!    witness existence and distinct committed outcomes) — disagreement
+//!    panics. DPOR+symmetry must reduce strictly harder than the sleep-set
+//!    baseline on the generated corpus, i.e. beat the 18.8× recorded in
+//!    `BENCH_e17.json`.
+//!
+//! 2. **Simulation-layer exhaustion.** Three closure-bodied scenarios —
+//!    real [`hope_runtime::Ctx`] bodies under the event-driven scheduler,
+//!    including `send_reliable` retransmission timers — are exhaustively
+//!    schedule-checked with [`hope_runtime::mc::check_scenario`]. Each row
+//!    must come back [`Exhausted`](hope_runtime::SimCompleteness): the
+//!    outcome set is proven complete, not sampled.
+
+use std::time::Instant;
+
+use hope_core::program::Program;
+use hope_mc::{check, McConfig, McReport, Mode};
+use hope_runtime::mc::{check_scenario, SimMcConfig, SimMcReport};
+use hope_runtime::{ProcessId, SimConfig, Simulation, Value};
+use hope_sim::VirtualTime;
+
+use crate::table::Table;
+
+use super::e17_mc::{corpus_7_4, corpus_generated};
+use super::ms;
+
+/// One mode's aggregate over a corpus.
+#[derive(Debug, Clone)]
+pub struct ModeTotals {
+    /// Mode measured.
+    pub mode: Mode,
+    /// Transitions summed over the corpus.
+    pub transitions: u64,
+    /// Canonical states summed over the corpus.
+    pub states: u64,
+    /// Wall time for the whole corpus under this mode.
+    pub wall_ms: f64,
+}
+
+/// The reduction ladder for one corpus: totals for each mode, in the
+/// order naive, sleep-set, DPOR, DPOR+symmetry.
+#[derive(Debug, Clone)]
+pub struct E20Row {
+    /// Corpus label.
+    pub corpus: String,
+    /// Programs explored.
+    pub programs: usize,
+    /// Per-mode totals, index-aligned with [`LADDER`].
+    pub totals: Vec<ModeTotals>,
+}
+
+/// The four modes of the ladder, weakest reduction first.
+pub const LADDER: [Mode; 4] = [Mode::Naive, Mode::SleepSet, Mode::Dpor, Mode::DporSym];
+
+impl E20Row {
+    /// naive transitions / `mode` transitions.
+    pub fn prune_ratio(&self, mode: Mode) -> f64 {
+        let naive = self.totals[0].transitions;
+        let m = self
+            .totals
+            .iter()
+            .find(|t| t.mode == mode)
+            .expect("mode in ladder");
+        naive as f64 / m.transitions.max(1) as f64
+    }
+}
+
+/// The facts every mode must agree on for one program.
+fn verdict_digest(report: &McReport, program: &Program, mode: Mode) -> (bool, usize) {
+    assert!(
+        report.completeness.is_exhausted(),
+        "E20 corpus program exceeded the budget under {mode:?}:\n{program}"
+    );
+    (report.pristine_witness.is_some(), report.distinct_outputs())
+}
+
+/// Explore `programs` under the whole ladder, asserting verdict agreement
+/// between all four modes on every program.
+///
+/// # Panics
+///
+/// Panics if any mode's verdict digest (pristine-witness existence,
+/// distinct committed outcomes) differs from `Naive`'s on any program, or
+/// if any exploration exceeds its budget.
+pub fn measure_ladder(corpus: &str, programs: &[Program]) -> E20Row {
+    let mut totals = Vec::with_capacity(LADDER.len());
+    let mut digests: Vec<Vec<(bool, usize)>> = Vec::with_capacity(LADDER.len());
+    for mode in LADDER {
+        let cfg = McConfig {
+            mode,
+            ..McConfig::default()
+        };
+        let start = Instant::now();
+        let mut transitions = 0u64;
+        let mut states = 0u64;
+        let mut digest = Vec::with_capacity(programs.len());
+        for program in programs {
+            let report = check(program, &cfg);
+            transitions += report.transitions as u64;
+            states += report.states as u64;
+            digest.push(verdict_digest(&report, program, mode));
+        }
+        totals.push(ModeTotals {
+            mode,
+            transitions,
+            states,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        });
+        digests.push(digest);
+    }
+    for (i, program) in programs.iter().enumerate() {
+        for (mode, digest) in LADDER.iter().zip(&digests).skip(1) {
+            assert_eq!(
+                digests[0][i], digest[i],
+                "{mode:?} verdict disagrees with Naive on:\n{program}"
+            );
+        }
+    }
+    E20Row {
+        corpus: corpus.to_string(),
+        programs: programs.len(),
+        totals,
+    }
+}
+
+/// Scenario 1: two senders racing into one receiver — the canonical
+/// cross-link delivery nondeterminism; exactly two committed outcomes.
+pub fn sim_two_sender_race() -> Simulation {
+    let mut sim = Simulation::new(SimConfig::with_seed(7));
+    sim.spawn("receiver", |ctx| {
+        let a = ctx.recv()?;
+        let b = ctx.recv()?;
+        ctx.output(format!(
+            "got {} then {}",
+            a.payload.expect_int(),
+            b.payload.expect_int()
+        ))?;
+        Ok(())
+    });
+    let receiver = ProcessId(0);
+    sim.spawn("alice", move |ctx| {
+        ctx.send(receiver, Value::Int(1))?;
+        Ok(())
+    });
+    sim.spawn("bob", move |ctx| {
+        ctx.send(receiver, Value::Int(2))?;
+        Ok(())
+    });
+    sim
+}
+
+/// Scenario 2: the paper's Figure-2 skeleton — a worker that guesses and
+/// speculatively outputs, and a worrywart that affirms. Schedule-invariant
+/// by the HOPE semantics: every interleaving must commit the same line.
+pub fn sim_guess_affirm() -> Simulation {
+    let mut sim = Simulation::new(SimConfig::with_seed(1));
+    let worrywart = ProcessId(1);
+    sim.spawn("worker", move |ctx| {
+        let aid = ctx.aid_init()?;
+        ctx.send(worrywart, Value::Int(i64::from(aid.index() as u32)))?;
+        if ctx.guess(aid)? {
+            ctx.output("summary printed on current page")?;
+        } else {
+            ctx.output("new page forced")?;
+        }
+        Ok(())
+    });
+    sim.spawn("worrywart", |ctx| {
+        let msg = ctx.recv()?;
+        let aid = hope_core::AidId::from_index(msg.payload.expect_int() as u64);
+        ctx.compute(ms(1))?;
+        ctx.affirm(aid)?;
+        Ok(())
+    });
+    sim
+}
+
+/// Scenario 3: `send_reliable` under its retransmission timers — the
+/// ack/deadline race branches, and a virtual-time horizon bounds the
+/// otherwise-infinite retry tree so exhaustion is reachable.
+pub fn sim_reliable_retransmit() -> Simulation {
+    let mut sim = Simulation::new(
+        SimConfig::with_seed(11)
+            .with_ack_timeout(ms(10))
+            .with_max_virtual_time(VirtualTime::from_nanos(ms(35).as_nanos())),
+    );
+    sim.spawn("receiver", |ctx| {
+        let m = ctx.recv()?;
+        ctx.output(format!("received {}", m.payload.expect_int()))?;
+        Ok(())
+    });
+    let receiver = ProcessId(0);
+    sim.spawn("sender", move |ctx| {
+        ctx.send_reliable(receiver, Value::Int(9))?;
+        Ok(())
+    });
+    sim
+}
+
+/// Exhaustively check one simulation scenario, panicking unless the whole
+/// reduced schedule space was covered.
+pub fn exhaust_scenario(name: &str, build: impl Fn() -> Simulation) -> (SimMcReport, f64) {
+    let start = Instant::now();
+    let report = check_scenario(&SimMcConfig::default(), build);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.completeness.is_exhausted(),
+        "scenario {name:?} not exhausted: {report:?}"
+    );
+    (report, wall_ms)
+}
+
+fn mode_cell(t: &ModeTotals) -> String {
+    format!("{} ({:.0}ms)", t.transitions, t.wall_ms)
+}
+
+fn push_ladder_row(t: &mut Table, r: &E20Row) {
+    t.push(vec![
+        r.corpus.clone(),
+        r.programs.to_string(),
+        mode_cell(&r.totals[0]),
+        mode_cell(&r.totals[1]),
+        mode_cell(&r.totals[2]),
+        mode_cell(&r.totals[3]),
+        format!("{:.1}x", r.prune_ratio(Mode::SleepSet)),
+        format!("{:.1}x", r.prune_ratio(Mode::DporSym)),
+        "agree (4 modes)".to_string(),
+    ]);
+}
+
+fn push_sim_row(t: &mut Table, name: &str, report: &SimMcReport, wall_ms: f64) {
+    t.push(vec![
+        format!("sim: {name}"),
+        format!("{} schedules", report.schedules),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        format!("{} choice pts ({wall_ms:.0}ms)", report.choice_points),
+        "—".to_string(),
+        "—".to_string(),
+        format!(
+            "exhausted, {} outcome(s){}",
+            report.outcomes.len(),
+            if report.limit_runs > 0 {
+                format!(" [{} hit horizon]", report.limit_runs)
+            } else {
+                String::new()
+            }
+        ),
+    ]);
+}
+
+/// The default E20 table: the reduction ladder on the 7⁴ envelope and two
+/// generated corpora, plus the three exhausted simulation scenarios.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E20: DPOR + symmetry reduction ladder, and exhaustive Simulation-layer schedule checking",
+        &[
+            "corpus",
+            "items",
+            "naive tr",
+            "sleepset tr",
+            "dpor tr",
+            "dpor+sym tr",
+            "sleep prune",
+            "sym prune",
+            "verdicts",
+        ],
+    );
+    let r4 = measure_ladder("7^4 two-proc", &corpus_7_4());
+    let rg40 = measure_ladder("generated 2x4x2 (40 seeds)", &corpus_generated(40));
+    let rg_big = measure_ladder("generated 2x4x2 (2750 seeds)", &corpus_generated(2750));
+
+    // The acceptance bar: full DPOR + symmetry must reduce strictly harder
+    // than the PR-5 sleep-set baseline on the generated corpus — the
+    // baseline's 18.8x is recorded in BENCH_e17.json.
+    assert!(
+        rg40.prune_ratio(Mode::DporSym) > rg40.prune_ratio(Mode::SleepSet),
+        "DPOR+symmetry must beat the sleep-set baseline: {:.2}x vs {:.2}x",
+        rg40.prune_ratio(Mode::DporSym),
+        rg40.prune_ratio(Mode::SleepSet),
+    );
+    assert!(
+        rg40.prune_ratio(Mode::DporSym) > 18.8,
+        "DPOR+symmetry must beat the recorded 18.8x baseline: {:.2}x",
+        rg40.prune_ratio(Mode::DporSym),
+    );
+    assert!(
+        rg_big.prune_ratio(Mode::DporSym) > rg_big.prune_ratio(Mode::SleepSet),
+        "the win must survive scale: {:.2}x vs {:.2}x on 2750 seeds",
+        rg_big.prune_ratio(Mode::DporSym),
+        rg_big.prune_ratio(Mode::SleepSet),
+    );
+
+    push_ladder_row(&mut t, &r4);
+    push_ladder_row(&mut t, &rg40);
+    push_ladder_row(&mut t, &rg_big);
+
+    let (race, race_ms) = exhaust_scenario("two-sender race", sim_two_sender_race);
+    assert_eq!(race.outcomes.len(), 2, "both receive orders: {race:?}");
+    let (fig2, fig2_ms) = exhaust_scenario("guess/affirm (Fig. 2)", sim_guess_affirm);
+    assert!(fig2.agreed(), "Fig. 2 must be schedule-invariant: {fig2:?}");
+    let (rel, rel_ms) = exhaust_scenario("send_reliable retransmit", sim_reliable_retransmit);
+    assert!(rel.schedules >= 2, "ack/deadline race must branch: {rel:?}");
+    push_sim_row(&mut t, "two-sender race", &race, race_ms);
+    push_sim_row(&mut t, "guess/affirm (Fig. 2)", &fig2, fig2_ms);
+    push_sim_row(&mut t, "send_reliable retransmit", &rel, rel_ms);
+
+    t.note(
+        "ladder rows: per-mode total transitions (wall ms); prune = naive transitions / mode \
+         transitions. All four modes are asserted to agree on every program's pristine-witness \
+         existence and distinct committed outcomes",
+    );
+    t.note(format!(
+        "acceptance: DPOR+symmetry {:.1}x > sleep-set baseline {:.1}x (BENCH_e17 recorded 18.8x) \
+         on the 40-seed generated corpus; {:.1}x vs {:.1}x on 2750 seeds",
+        rg40.prune_ratio(Mode::DporSym),
+        rg40.prune_ratio(Mode::SleepSet),
+        rg_big.prune_ratio(Mode::DporSym),
+        rg_big.prune_ratio(Mode::SleepSet),
+    ));
+    t.note(
+        "sim rows: closure-bodied scenarios exhaustively schedule-checked at the Ctx layer via \
+         hope_runtime::mc (CHESS-style stateless replay over the scheduler's reduced ready \
+         sets); 'exhausted' means the outcome set is proven complete, not sampled. The \
+         retransmit scenario bounds its unbounded retry tree with a 35ms virtual-time horizon",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_agrees_and_orders_on_a_small_generated_corpus() {
+        let r = measure_ladder("gen smoke", &corpus_generated(8));
+        assert_eq!(r.programs, 8);
+        let tr: Vec<u64> = r.totals.iter().map(|t| t.transitions).collect();
+        // Naive dominates everything; the reductions only remove work.
+        assert!(tr[1] <= tr[0] && tr[2] <= tr[0] && tr[3] <= tr[0], "{tr:?}");
+    }
+
+    #[test]
+    fn dpor_sym_beats_sleepset_on_the_40_seed_corpus() {
+        // The E20 acceptance bar, cheap enough for the test suite: the
+        // corpus behind BENCH_e17's 18.8x row.
+        let r = measure_ladder("gen 40", &corpus_generated(40));
+        assert!(
+            r.prune_ratio(Mode::DporSym) > r.prune_ratio(Mode::SleepSet),
+            "{:.2}x vs {:.2}x",
+            r.prune_ratio(Mode::DporSym),
+            r.prune_ratio(Mode::SleepSet),
+        );
+        assert!(r.prune_ratio(Mode::DporSym) > 18.8);
+    }
+
+    #[test]
+    fn all_three_sim_scenarios_exhaust() {
+        let (race, _) = exhaust_scenario("race", sim_two_sender_race);
+        assert_eq!(race.outcomes.len(), 2);
+        let (fig2, _) = exhaust_scenario("fig2", sim_guess_affirm);
+        assert!(fig2.agreed());
+        let (rel, _) = exhaust_scenario("rel", sim_reliable_retransmit);
+        assert!(rel.schedules >= 2);
+    }
+}

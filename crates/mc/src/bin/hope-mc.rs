@@ -4,16 +4,19 @@
 //! usage: hope-mc [OPTIONS] <FILE | ->
 //!        hope-mc [OPTIONS] --generate SEED,PROCS,LEN,AIDS
 //!
-//! Explores every inequivalent interleaving of the program (DPOR:
-//! canonical-state memoization + sleep sets + persistent singletons)
-//! and reports whether any schedule finalizes pristinely, whether all
-//! completed schedules commit the same outcome, and what the reduction
-//! pruned.
+//! Explores every inequivalent interleaving of the program (full
+//! Flanagan–Godefroid DPOR: canonical-state memoization + sleep sets +
+//! dynamic backtracking sets + symmetry reduction) and reports whether
+//! any schedule finalizes pristinely, whether all completed schedules
+//! commit the same outcome, and what the reduction pruned. Over-budget
+//! runs report the fraction of the reduced space they covered.
 //!
 //! options:
 //!   --json             machine-readable report on stdout
 //!   --naive            no cache, no reduction (comparator)
 //!   --stateful         canonical-state cache only
+//!   --sleepset         cache + sleep sets + persistent singletons (PR-5)
+//!   --dpor             full FG DPOR without symmetry reduction
 //!   --max-states N     state budget (default 200000)
 //!   --max-depth N      per-branch depth bound (default 2000)
 //!   --quiet            verdict line only
@@ -47,7 +50,7 @@ enum Source {
 }
 
 fn usage() -> &'static str {
-    "usage: hope-mc [--json] [--quiet] [--naive|--stateful] \
+    "usage: hope-mc [--json] [--quiet] [--naive|--stateful|--sleepset|--dpor] \
      [--max-states N] [--max-depth N] <FILE | - | --generate S,P,L,A>"
 }
 
@@ -63,6 +66,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--quiet" => quiet = true,
             "--naive" => cfg.mode = Mode::Naive,
             "--stateful" => cfg.mode = Mode::Stateful,
+            "--sleepset" => cfg.mode = Mode::SleepSet,
+            "--dpor" => cfg.mode = Mode::Dpor,
             "--max-states" => {
                 let v = it.next().ok_or("--max-states needs a value")?;
                 cfg.max_states = v.parse().map_err(|_| format!("bad --max-states `{v}`"))?;
@@ -134,7 +139,9 @@ fn mode_name(mode: Mode) -> &'static str {
     match mode {
         Mode::Naive => "naive",
         Mode::Stateful => "stateful",
+        Mode::SleepSet => "sleepset",
         Mode::Dpor => "dpor",
+        Mode::DporSym => "dpor+sym",
     }
 }
 
@@ -161,6 +168,13 @@ fn render_json(r: &McReport, mode: Mode) -> String {
     let _ = writeln!(out, "  \"cache_hits\": {},", r.cache_hits);
     let _ = writeln!(out, "  \"sleep_pruned\": {},", r.sleep_pruned);
     let _ = writeln!(out, "  \"singleton_states\": {},", r.singleton_states);
+    let _ = writeln!(out, "  \"sym_group\": {},", r.sym_group);
+    let _ = writeln!(out, "  \"frontier_remaining\": {},", r.frontier_remaining);
+    let _ = writeln!(
+        out,
+        "  \"explored_fraction\": {:.4},",
+        r.explored_fraction()
+    );
     let _ = writeln!(out, "  \"completed_terminals\": {},", r.completed_terminals);
     let _ = writeln!(out, "  \"deadlock_terminals\": {},", r.deadlock_terminals);
     let _ = writeln!(out, "  \"distinct_outputs\": {},", r.distinct_outputs());
@@ -188,7 +202,10 @@ fn render_text(r: &McReport, mode: Mode, quiet: bool) -> String {
         None if r.completeness.is_exhausted() => {
             "no schedule finalizes pristinely (proven over the full reduced space)".to_string()
         }
-        None => "no pristine schedule found (budget exceeded: not a proof)".to_string(),
+        None => format!(
+            "no pristine schedule found (budget exceeded at {:.1}% of the reduced space: not a proof)",
+            r.explored_fraction() * 100.0
+        ),
     };
     let _ = writeln!(
         out,

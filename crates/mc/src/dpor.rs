@@ -1,0 +1,532 @@
+//! Full Flanagan–Godefroid DPOR: per-state *dynamic backtracking sets*
+//! computed from cascade-closure footprints, sleep sets, canonical-state
+//! caching with subtree-summary replay, and optional symmetry reduction.
+//!
+//! The PR-5 engine explored **every** enabled transition at every state
+//! and relied on persistent singletons + sleep sets to prune. This engine
+//! inverts the control: a state's `backtrack` set starts with a *single*
+//! transition (the persistent singleton when one exists, else the first
+//! enabled process) and grows only when a race demands it — the
+//! Flanagan–Godefroid insertion rule:
+//!
+//! > when a new state is pushed, for every process `p` that still has a
+//! > pending transition, find the **deepest** stack frame whose taken
+//! > transition is dependent with `p`'s next step and was taken by a
+//! > different process; add `p` to that frame's backtrack set if `p` was
+//! > enabled there, else add every enabled process of that frame.
+//!
+//! Dependence comes from the same cascade-closure [`Footprint`]s the
+//! sleep sets use, so a deny's rollback victims and an affirm's
+//! finalization cascade count as contact. Treating every pair as
+//! potentially co-enabled is the sound (coarse) instantiation of FG's
+//! may-be-co-enabled side condition.
+//!
+//! **State caching** makes plain FG unsound: a cache hit cuts a subtree
+//! whose internal transitions never get the chance to insert backtrack
+//! points against the *current* stack. The standard stateful-DPOR repair
+//! is applied: every cache entry carries a per-process union of the
+//! footprints its subtree executed ([`Summary`]), and a hit replays those
+//! summaries against the live stack — inserting at **every** dependent
+//! frame, because a union cannot localize the deepest one. Sleep-set
+//! subsumption guards the hit itself: a cached exploration only covers a
+//! re-arrival whose sleep set is a superset of one it was explored under
+//! (smaller sleep sets explore more), so entries record the antichain of
+//! sleep sets they are complete for. Re-arrivals through a *cycle* (the
+//! state is still open on the stack) conservatively force the open
+//! ancestor to full expansion and taint the frames in between so their
+//! completeness is never recorded.
+//!
+//! **Symmetry reduction** ([`Mode::DporSym`]): states are keyed by the
+//! minimum of [`canon::state_key_perm`] over the program's automorphism
+//! group ([`canon::symmetries`]), so mirrored interleavings of
+//! program-identical processes collapse. All cache bookkeeping (sleep
+//! sets, summaries) is stored in canonical coordinates and translated
+//! through the minimizing permutation on the way in and out. Committed
+//! outcomes are recorded orbit-closed — every permutation's fingerprint
+//! is inserted — so the report's output set equals the unreduced one and
+//! cross-mode agreement checks compare directly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hope_core::machine::{Machine, StepOutcome};
+use hope_core::program::Program;
+
+use crate::canon::{self, ProcPerm};
+use crate::indep::{footprint, invisible_singleton, Footprint, Summary};
+use crate::{is_pristine, BudgetReason, Completeness, McConfig, McReport, Mode, TerminalWitness};
+
+/// Cache record for one canonical state.
+#[derive(Debug, Default)]
+struct CacheEntry {
+    /// Antichain of canonical-coordinate sleep sets under which this
+    /// state's subtree was *completely* explored. Bounded: sleep sets are
+    /// subsets of the process indices.
+    explored_under: Vec<BTreeSet<usize>>,
+    /// Per-canonical-process union of the footprints of every transition
+    /// executed in the state's explored subtree.
+    summary: BTreeMap<usize, Summary>,
+    /// `Some(stack index)` while the state is open on the DFS stack.
+    on_stack: Option<usize>,
+}
+
+/// One open state on the DFS stack.
+struct Frame {
+    machine: Machine,
+    key: Vec<u8>,
+    /// Program coordinate → canonical coordinate (identity unless
+    /// symmetry reduction picked a nontrivial minimizing permutation).
+    perm: ProcPerm,
+    enabled: Vec<usize>,
+    /// Next-step footprint of every process that still has a statement —
+    /// including blocked ones: FG's race scan covers disabled transitions
+    /// (a blocked `recv` races the send that would enable it).
+    next_fp: BTreeMap<usize, Footprint>,
+    /// The dynamic backtracking set: transitions this state must explore.
+    backtrack: BTreeSet<usize>,
+    done: BTreeSet<usize>,
+    sleep: BTreeSet<usize>,
+    /// Transition taken to the currently open child, and its footprint.
+    chosen: Option<usize>,
+    chosen_fp: Option<Footprint>,
+    /// Vector clock of the chosen transition: `clock[c]` is 1 + the
+    /// deepest stack index of a transition by process `c` in its
+    /// dependence-chain past (0 = none). Computed when the transition is
+    /// taken; used for FG's happens-before side condition.
+    chosen_clock: Option<Vec<usize>>,
+    /// Subtree footprint summary accumulated in program coordinates.
+    acc: BTreeMap<usize, Summary>,
+    /// A cycle was cut below this frame: its completeness must not be
+    /// recorded (its summary would under-approximate the subtree).
+    tainted: bool,
+    /// The proven persistent singleton at this state, if any. The
+    /// [`Reach`]-based invisibility proof is strictly finer than pairwise
+    /// footprint independence, so when the chosen transition *is* the
+    /// singleton, any race the footprint scan reports against it is a
+    /// false positive: the scan skips the frame and keeps looking deeper
+    /// (skipping — not stopping — preserves the insertion the real,
+    /// deeper race needs). This is the static+dynamic hybrid that lets
+    /// full DPOR recover the baseline's singleton-chain linearity.
+    ///
+    /// [`Reach`]: crate::indep::Reach
+    invisible: Option<usize>,
+}
+
+/// How an arrival at a (possibly cached) state is handled.
+enum Arrival {
+    /// First visit: allocate a cache entry and expand.
+    New,
+    /// The state is still open at this stack index — a cycle.
+    Cycle(usize),
+    /// A recorded exploration subsumes this arrival; replay these
+    /// program-coordinate summaries against the stack and prune.
+    Subsumed(Vec<(usize, Summary)>),
+    /// Cached, but only under incomparable sleep sets: expand again.
+    Reexplore,
+}
+
+struct Engine {
+    cfg: McConfig,
+    perms: Vec<ProcPerm>,
+    cache: BTreeMap<Vec<u8>, CacheEntry>,
+    stack: Vec<Frame>,
+    report: McReport,
+    stopped: bool,
+}
+
+fn invert(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (p, &c) in perm.iter().enumerate() {
+        inv[c] = p;
+    }
+    inv
+}
+
+/// Explore `program`'s schedule space with full FG DPOR
+/// ([`Mode::Dpor`]) or FG DPOR + symmetry reduction ([`Mode::DporSym`]).
+pub(crate) fn explore(program: &Program, cfg: &McConfig) -> McReport {
+    let perms = if cfg.mode == Mode::DporSym {
+        canon::symmetries(program)
+    } else {
+        vec![canon::identity(program.code.len())]
+    };
+    let mut eng = Engine {
+        cfg: cfg.clone(),
+        report: McReport::empty(perms.len()),
+        perms,
+        cache: BTreeMap::new(),
+        stack: Vec::new(),
+        stopped: false,
+    };
+    eng.push_state(Machine::new(program.clone()), BTreeSet::new());
+    while !eng.stopped {
+        let Some(top) = eng.stack.last() else { break };
+        let pick = top
+            .backtrack
+            .iter()
+            .copied()
+            .find(|p| !top.done.contains(p) && !top.sleep.contains(p));
+        match pick {
+            Some(p) => eng.step(p),
+            None => eng.pop_frame(),
+        }
+    }
+    if eng.stopped {
+        // Quantify what the budget left behind: pending backtrack
+        // transitions across the abandoned stack (a lower bound — races
+        // not yet discovered could have added more).
+        for f in &eng.stack {
+            eng.report.frontier_remaining += f
+                .backtrack
+                .iter()
+                .filter(|p| !f.done.contains(p) && !f.sleep.contains(p))
+                .count();
+        }
+    }
+    eng.report
+}
+
+impl Engine {
+    /// Take transition `p` from the top frame and push the successor.
+    fn step(&mut self, p: usize) {
+        let top_idx = self.stack.len() - 1;
+        let fp = self.stack[top_idx]
+            .next_fp
+            .get(&p)
+            .cloned()
+            .expect("backtrack members are enabled and have footprints");
+        // Vector clock of this transition: join the clocks of every path
+        // transition it directly depends on (chains compose through those
+        // clocks) and of `p`'s own program-order past, then stamp its own
+        // 1-based depth. Frames strictly below the top are the current
+        // path; the top's `chosen` is a stale sibling until overwritten.
+        let n = self.stack[top_idx].machine.process_count();
+        let mut clock = vec![0usize; n];
+        for g in &self.stack[..top_idx] {
+            let Some(cp) = g.chosen else { continue };
+            // A proven-invisible singleton commutes with every co-enabled
+            // step of another process, so a footprint hit against it is a
+            // false positive — exactly as in the race scans. Joining its
+            // clock anyway would forge a happens-before edge through it
+            // (e.g. a later `recv` "depending" on an invisible `send`
+            // whose message it never pops), and the inflated clock would
+            // then filter out genuine races deeper in the stack. Skipping
+            // only under-approximates HB, which is always sound here.
+            if cp != p && g.invisible == Some(cp) {
+                continue;
+            }
+            let cfp = g.chosen_fp.as_ref().expect("chosen records a footprint");
+            if cp == p || !cfp.independent(&fp) {
+                let cclk = g.chosen_clock.as_ref().expect("chosen records a clock");
+                for (slot, &v) in clock.iter_mut().zip(cclk) {
+                    *slot = (*slot).max(v);
+                }
+            }
+        }
+        clock[p] = top_idx + 1;
+        let top = &mut self.stack[top_idx];
+        top.done.insert(p);
+        // Sleep inheritance: a sibling explored earlier (or inherited
+        // sleeper) stays asleep in this child iff it commutes with `p`.
+        let child_sleep: BTreeSet<usize> = top
+            .sleep
+            .iter()
+            .chain(top.done.iter())
+            .copied()
+            .filter(|&q| q != p)
+            .filter(|q| {
+                top.next_fp
+                    .get(q)
+                    .map(|fq| fq.independent(&fp))
+                    .unwrap_or(false)
+            })
+            .collect();
+        top.acc.entry(p).or_default().absorb(&fp);
+        top.chosen = Some(p);
+        top.chosen_fp = Some(fp);
+        top.chosen_clock = Some(clock);
+        let mut child = top.machine.clone();
+        child.step(p).expect("machine-built programs cannot err");
+        self.report.transitions += 1;
+        self.push_state(child, child_sleep);
+    }
+
+    /// Arrive at `m` with the given (program-coordinate) sleep set:
+    /// terminal-check, cache-check, race-scan, and frame push.
+    fn push_state(&mut self, m: Machine, sleep: BTreeSet<usize>) {
+        if self.report.states >= self.cfg.max_states {
+            self.report.completeness = Completeness::BudgetExceeded(BudgetReason::MaxStates);
+            self.stopped = true;
+            return;
+        }
+        if self.stack.len() >= self.cfg.max_depth {
+            self.report.completeness = Completeness::BudgetExceeded(BudgetReason::MaxDepth);
+            self.report.frontier_remaining += 1;
+            return;
+        }
+        let (key, perm) = canon::sym_state_key(&m, &self.perms);
+        let n = m.process_count();
+        let enabled: Vec<usize> = (0..n)
+            .filter(|&p| m.poll(p) == StepOutcome::Executed)
+            .collect();
+        let sleep_canon: BTreeSet<usize> = sleep.iter().map(|&q| perm[q]).collect();
+
+        let arrival = match self.cache.get(&key) {
+            None => Arrival::New,
+            Some(e) => {
+                if let Some(idx) = e.on_stack {
+                    Arrival::Cycle(idx)
+                } else if e.explored_under.iter().any(|z| z.is_subset(&sleep_canon)) {
+                    let inv = invert(&perm);
+                    Arrival::Subsumed(
+                        e.summary
+                            .iter()
+                            .map(|(&c, s)| (inv[c], s.rename(&inv)))
+                            .collect(),
+                    )
+                } else {
+                    Arrival::Reexplore
+                }
+            }
+        };
+        match arrival {
+            Arrival::Cycle(idx) => {
+                // The subtree below the repeated state will be cut here;
+                // cover it by fully expanding the still-open ancestor, and
+                // taint the frames in between (their summaries and
+                // completeness claims would miss the cut subtree).
+                self.report.cache_hits += 1;
+                let all: Vec<usize> = self.stack[idx].enabled.clone();
+                self.stack[idx].backtrack.extend(all);
+                for f in self.stack[idx + 1..].iter_mut() {
+                    f.tainted = true;
+                }
+                return;
+            }
+            Arrival::Subsumed(replay) => {
+                self.report.cache_hits += 1;
+                for (q, s) in &replay {
+                    self.replay_races(*q, s);
+                }
+                if let Some(parent) = self.stack.last_mut() {
+                    for (q, s) in replay {
+                        parent.acc.entry(q).or_default().merge(&s);
+                    }
+                }
+                return;
+            }
+            Arrival::New => {
+                self.report.states += 1;
+                self.cache.insert(key.clone(), CacheEntry::default());
+            }
+            Arrival::Reexplore => {}
+        }
+
+        if enabled.is_empty() {
+            self.terminal(&m);
+            let entry = self.cache.get_mut(&key).expect("entry just ensured");
+            // A terminal is complete under any sleep set.
+            if entry.explored_under.is_empty() {
+                entry.explored_under.push(BTreeSet::new());
+            }
+            return;
+        }
+
+        let next_fp: BTreeMap<usize, Footprint> = (0..n)
+            .filter(|&q| m.next_stmt(q).is_some())
+            .map(|q| (q, footprint(&m, q)))
+            .collect();
+
+        // FG backtrack insertion for every pending transition. A
+        // process's happens-before past is the clock of its last path
+        // transition (FG's `i →S p`: some executed transition of `p` is
+        // causally after `S_i`); frames inside that past are not races.
+        for (&q, fq) in &next_fp {
+            let qclock: Option<Vec<usize>> = self
+                .stack
+                .iter()
+                .rev()
+                .find(|f| f.chosen == Some(q))
+                .map(|f| f.chosen_clock.clone().expect("chosen records a clock"));
+            self.insert_race_deepest(q, fq, qclock.as_deref());
+        }
+
+        // Seed the backtrack set: a persistent singleton when one exists
+        // (provably invisible ⇒ {p} is a persistent set), else the first
+        // non-sleeping enabled process. If the only seed sleeps, the
+        // state is already covered by a sibling's exploration.
+        let mut backtrack = BTreeSet::new();
+        let invisible = invisible_singleton(&m, &enabled);
+        match invisible {
+            Some(s) => {
+                self.report.singleton_states += 1;
+                if sleep.contains(&s) {
+                    self.report.sleep_pruned += 1;
+                } else {
+                    backtrack.insert(s);
+                }
+            }
+            None => match enabled.iter().find(|p| !sleep.contains(p)) {
+                Some(&first) => {
+                    backtrack.insert(first);
+                }
+                None => self.report.sleep_pruned += enabled.len(),
+            },
+        }
+
+        let idx = self.stack.len();
+        self.cache
+            .get_mut(&key)
+            .expect("entry exists for pushed state")
+            .on_stack = Some(idx);
+        self.stack.push(Frame {
+            machine: m,
+            key,
+            perm,
+            enabled,
+            next_fp,
+            backtrack,
+            done: BTreeSet::new(),
+            sleep,
+            chosen: None,
+            chosen_fp: None,
+            chosen_clock: None,
+            acc: BTreeMap::new(),
+            tainted: false,
+            invisible,
+        });
+    }
+
+    /// The FG insertion rule: find the deepest stack frame whose taken
+    /// transition is dependent with `fq`, belongs to another process, and
+    /// does not happen-before `q`'s next transition; add `q` to its
+    /// backtrack set (or all its enabled processes if `q` was not enabled
+    /// there). `qclock` is the vector clock of `q`'s last path transition
+    /// (its program-order past), `None` if `q` has not stepped yet.
+    fn insert_race_deepest(&mut self, q: usize, fq: &Footprint, qclock: Option<&[usize]>) {
+        for i in (0..self.stack.len()).rev() {
+            let f = &self.stack[i];
+            let Some(cp) = f.chosen else { continue };
+            if cp == q {
+                continue;
+            }
+            // A chosen proven-invisible singleton cannot really race with
+            // anything — the footprint hit is a false positive; keep
+            // scanning deeper for the genuine racing frame.
+            if f.invisible == Some(cp) {
+                continue;
+            }
+            // Happens-before: `q`'s past already contains process `cp` up
+            // to depth `clock[cp]`; the transition at 1-based depth `i+1`
+            // is inside that past, so it is ordered before `q`'s next
+            // step in every equivalent reordering — not a race.
+            if qclock.is_some_and(|c| c[cp] > i) {
+                continue;
+            }
+            let cfp = f.chosen_fp.as_ref().expect("chosen records a footprint");
+            if !cfp.independent(fq) {
+                self.insert_backtrack(i, q);
+                return;
+            }
+        }
+    }
+
+    /// Summary replay on a cache hit: the cut subtree's per-process
+    /// footprint unions race against the live stack. A union cannot name
+    /// the deepest dependent frame, so insert at *every* dependent one.
+    fn replay_races(&mut self, q: usize, s: &Summary) {
+        for i in 0..self.stack.len() {
+            let f = &self.stack[i];
+            let Some(cp) = f.chosen else { continue };
+            if cp == q || f.invisible == Some(cp) {
+                continue;
+            }
+            let dep = f
+                .chosen_fp
+                .as_ref()
+                .map(|cfp| s.dependent(cfp))
+                .unwrap_or(false);
+            if dep {
+                self.insert_backtrack(i, q);
+            }
+        }
+    }
+
+    fn insert_backtrack(&mut self, i: usize, q: usize) {
+        let f = &mut self.stack[i];
+        if f.enabled.contains(&q) {
+            f.backtrack.insert(q);
+        } else {
+            let all: Vec<usize> = f.enabled.clone();
+            f.backtrack.extend(all);
+        }
+    }
+
+    /// Record a terminal state. Outcomes are inserted orbit-closed so the
+    /// output set matches an unreduced exploration's exactly.
+    fn terminal(&mut self, m: &Machine) {
+        let completed = (0..m.process_count()).all(|p| m.poll(p) == StepOutcome::Done);
+        let pristine = completed && is_pristine(m);
+        let path: Vec<usize> = self
+            .stack
+            .iter()
+            .map(|f| f.chosen.expect("on-path frame took a transition"))
+            .collect();
+        if completed {
+            self.report.completed_terminals += 1;
+            for perm in &self.perms {
+                self.report
+                    .outputs
+                    .insert(canon::commit_fingerprint_perm(m, perm));
+            }
+        } else {
+            self.report.deadlock_terminals += 1;
+        }
+        if pristine && self.report.pristine_witness.is_none() {
+            self.report.pristine_witness = Some(path.clone());
+        }
+        if self.report.witnesses.len() < self.cfg.max_witnesses {
+            self.report.witnesses.push(TerminalWitness {
+                schedule: path,
+                completed,
+                pristine,
+            });
+        }
+    }
+
+    /// Close the top frame: record its completeness (unless tainted or
+    /// budget-stopped), fold its subtree summary into the cache entry and
+    /// the parent frame.
+    fn pop_frame(&mut self) {
+        let f = self.stack.pop().expect("pop on nonempty stack");
+        self.report.sleep_pruned += f
+            .backtrack
+            .iter()
+            .filter(|p| f.sleep.contains(p) && !f.done.contains(p))
+            .count();
+        let entry = self
+            .cache
+            .get_mut(&f.key)
+            .expect("open frame has a cache entry");
+        entry.on_stack = None;
+        for (q, s) in &f.acc {
+            entry
+                .summary
+                .entry(f.perm[*q])
+                .or_default()
+                .merge(&s.rename(&f.perm));
+        }
+        if !f.tainted && !self.stopped {
+            let z: BTreeSet<usize> = f.sleep.iter().map(|&q| f.perm[q]).collect();
+            let dominated = entry.explored_under.iter().any(|z0| z0.is_subset(&z));
+            if !dominated {
+                entry.explored_under.retain(|z0| !z.is_subset(z0));
+                entry.explored_under.push(z);
+            }
+        }
+        if let Some(parent) = self.stack.last_mut() {
+            for (q, s) in f.acc {
+                parent.acc.entry(q).or_default().merge(&s);
+            }
+        }
+    }
+}

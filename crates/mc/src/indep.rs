@@ -39,13 +39,27 @@ pub(crate) struct Footprint {
     pub procs: BTreeSet<usize>,
     /// Mailbox this step appends to, for `send`.
     pub send_to: Option<usize>,
+    /// The stepping process, distinguished from rollback victims inside
+    /// [`procs`](Self::procs): a send to `t` commutes with `t`'s own
+    /// non-`recv` steps (an append does not touch `t`'s pc, history or
+    /// queue head) but not with a step that may *rewind* `t`.
+    pub stepper: usize,
+    /// Mailbox this step pops from, for `recv` (always the stepper's).
+    pub recv_mailbox: Option<usize>,
 }
 
 impl Footprint {
     /// `true` when the two steps commute: disjoint process sets, no
-    /// write-write or read-write overlap on AIDs, and neither appends to
-    /// a mailbox the other touches. Read-read overlap is fine — that is
-    /// the point of splitting the sets.
+    /// write-write or read-write overlap on AIDs, and no mailbox contact.
+    /// Read-read overlap is fine — that is the point of splitting the
+    /// sets.
+    ///
+    /// Mailbox contact is queue-granular, mirroring the [`Reach`] rules
+    /// the singleton prover uses: an append to `t` conflicts with another
+    /// append (queue order), with a pop by `t` (`recv` observes the
+    /// queue), and with anything that may rewind `t` (rollback restores
+    /// `t`'s consumption point) — but *not* with `t`'s own decision or
+    /// send steps, which never look at their inbound queue.
     pub fn independent(&self, other: &Footprint) -> bool {
         self.procs.iter().all(|p| !other.procs.contains(p))
             && self
@@ -53,10 +67,85 @@ impl Footprint {
                 .iter()
                 .all(|x| !other.writes.contains(x) && !other.reads.contains(x))
             && other.writes.iter().all(|x| !self.reads.contains(x))
-            && self
-                .send_to
-                .is_none_or(|t| !other.procs.contains(&t) && other.send_to != Some(t))
-            && other.send_to.is_none_or(|t| !self.procs.contains(&t))
+            && self.mailbox_clear_of(other)
+            && other.mailbox_clear_of(self)
+    }
+
+    /// `true` when this step's append (if any) cannot contact `other`.
+    fn mailbox_clear_of(&self, other: &Footprint) -> bool {
+        let Some(t) = self.send_to else { return true };
+        other.send_to != Some(t)
+            && other.recv_mailbox != Some(t)
+            && !other.procs.iter().any(|&v| v == t && v != other.stepper)
+    }
+}
+
+/// Union of the footprints of every transition one process executed
+/// inside an explored subtree — the per-canonical-state cache record the
+/// full-DPOR engine replays on re-arrivals, so races between the *current*
+/// DFS stack and transitions buried in an already-explored subtree still
+/// insert their backtrack points (the stateful-DPOR soundness fix).
+///
+/// A union is coarser than the individual footprints, which only ever
+/// *adds* backtrack points; to avoid losing depth information the replay
+/// inserts at every dependent stack frame, not just the deepest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Summary {
+    /// Union of the transitions' write sets.
+    pub writes: BTreeSet<AidId>,
+    /// Union of the transitions' read sets.
+    pub reads: BTreeSet<AidId>,
+    /// Union of the transitions' process sets.
+    pub procs: BTreeSet<usize>,
+    /// Every mailbox some summarized transition appended to.
+    pub sends: BTreeSet<usize>,
+}
+
+impl Summary {
+    /// Fold one transition's footprint into the summary.
+    pub fn absorb(&mut self, fp: &Footprint) {
+        self.writes.extend(fp.writes.iter().copied());
+        self.reads.extend(fp.reads.iter().copied());
+        self.procs.extend(fp.procs.iter().copied());
+        if let Some(t) = fp.send_to {
+            self.sends.insert(t);
+        }
+    }
+
+    /// Fold another subtree summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.writes.extend(other.writes.iter().copied());
+        self.reads.extend(other.reads.iter().copied());
+        self.procs.extend(other.procs.iter().copied());
+        self.sends.extend(other.sends.iter().copied());
+    }
+
+    /// The summary with every process index renamed through `map`
+    /// (`map[p]` replaces `p`). AID sets are symmetry-invariant — program
+    /// symmetries permute processes over a globally shared AID array.
+    pub fn rename(&self, map: &[usize]) -> Summary {
+        Summary {
+            writes: self.writes.clone(),
+            reads: self.reads.clone(),
+            procs: self.procs.iter().map(|&p| map[p]).collect(),
+            sends: self.sends.iter().map(|&t| map[t]).collect(),
+        }
+    }
+
+    /// Conservative dependence against a single step's footprint: the
+    /// negation of [`Footprint::independent`] lifted to the union.
+    pub fn dependent(&self, fp: &Footprint) -> bool {
+        self.procs.iter().any(|p| fp.procs.contains(p))
+            || self
+                .writes
+                .iter()
+                .any(|x| fp.writes.contains(x) || fp.reads.contains(x))
+            || self.reads.iter().any(|x| fp.writes.contains(x))
+            || self
+                .sends
+                .iter()
+                .any(|t| fp.procs.contains(t) || fp.send_to == Some(*t))
+            || fp.send_to.is_some_and(|t| self.procs.contains(&t))
     }
 }
 
@@ -216,6 +305,7 @@ fn spec_affirm_footprint(m: &Machine, p: usize, x: AidId, fp: &mut Footprint) {
 pub(crate) fn footprint(m: &Machine, p: usize) -> Footprint {
     let mut fp = Footprint {
         procs: BTreeSet::from([p]),
+        stepper: p,
         ..Footprint::default()
     };
     let engine = m.engine();
@@ -230,6 +320,7 @@ pub(crate) fn footprint(m: &Machine, p: usize) -> Footprint {
             guess_footprint(m, p, &[x], &mut fp);
         }
         Stmt::Recv => {
+            fp.recv_mailbox = Some(p);
             // The step pops the ghost prefix and delivers the first live
             // message: deliverability of everything up to and including
             // it depends on those tags' decision states.

@@ -9,7 +9,7 @@
 //! either [`Completeness::Exhausted`] — the claim now quantifies over the
 //! full schedule space — or an explicit [`Completeness::BudgetExceeded`].
 //!
-//! Three cooperating reductions keep the space tractable without losing
+//! Four cooperating reductions keep the space tractable without losing
 //! any reachable terminal state:
 //!
 //! 1. **Canonical-state memoization** ([`mod@canon`]): states reached by
@@ -20,18 +20,27 @@
 //!    steps; independence comes from engine-derived footprints
 //!    (same-AID contact, DOM/IDO interaction, rollback victims, mailbox
 //!    order — see `indep`).
-//! 3. **Persistent singletons**: a definite process whose next step is
-//!    provably invisible to every other live process is scheduled alone —
-//!    no branching at all at that state.
+//! 3. **Dynamic backtracking sets** (full Flanagan–Godefroid DPOR, the
+//!    `dpor` engine): each state explores a single seed transition — the
+//!    persistent singleton when one is provable, else the first enabled
+//!    process — and further transitions only when a discovered race
+//!    inserts a backtrack point at the deepest state where the racing
+//!    pair was co-enabled. Cache hits replay per-process subtree
+//!    footprint summaries so races crossing a cut subtree still insert.
+//! 4. **Symmetry reduction** ([`Mode::DporSym`], the default): states are
+//!    canonicalized modulo the program's process-renaming automorphisms
+//!    ([`canon::symmetries`]), collapsing mirrored interleavings of
+//!    program-identical processes. Outcome sets are recorded
+//!    orbit-closed, so reports compare directly across modes.
 //!
-//! Reductions 2–3 preserve all reachable *terminal* states (and the
+//! All reductions preserve every reachable *terminal* state (and the
 //! sin flags that decide pristineness travel inside the canonical state),
 //! so every verdict this crate reports — "some schedule finalizes
 //! pristinely", "no schedule can finalize", "all schedules commit the
 //! same outputs" — holds over the unreduced space. A [`Mode::Naive`]
-//! comparator (plain bounded DFS, no cache, no reduction) exists so the
-//! test-suite can cross-check verdicts and the E17 experiment can
-//! measure what the reduction buys.
+//! comparator (plain bounded DFS, no cache, no reduction) and the PR-5
+//! [`Mode::SleepSet`] baseline exist so the test-suite can cross-check
+//! verdicts and the E20 experiment can measure what each rung buys.
 //!
 //! ```
 //! use hope_core::program::Program;
@@ -57,6 +66,7 @@ use hope_core::observer::RuntimeObserver;
 use hope_core::program::Program;
 
 pub mod canon;
+mod dpor;
 mod indep;
 
 pub use canon::commit_fingerprint;
@@ -73,9 +83,16 @@ pub enum Mode {
     /// Canonical-state memoization only (no sleep sets, no persistent
     /// singletons). Isolates how much the cache alone prunes.
     Stateful,
-    /// The full reduction: memoization + sleep sets + persistent
-    /// singletons. The default.
+    /// The PR-5 baseline: memoization + sleep sets + persistent
+    /// singletons, with every enabled transition explored at every state.
+    SleepSet,
+    /// Full Flanagan–Godefroid DPOR: memoization + sleep sets + per-state
+    /// *dynamic backtracking sets* grown from discovered races, with
+    /// persistent singletons only seeding the initial backtrack choice.
     Dpor,
+    /// [`Mode::Dpor`] plus symmetry reduction over process renamings that
+    /// preserve program text. The default.
+    DporSym,
 }
 
 /// Budget and strategy for one [`check`] run.
@@ -98,7 +115,7 @@ impl Default for McConfig {
         McConfig {
             max_states: 200_000,
             max_depth: 2_000,
-            mode: Mode::Dpor,
+            mode: Mode::DporSym,
             max_witnesses: 16,
         }
     }
@@ -179,6 +196,13 @@ pub struct McReport {
     pub pristine_witness: Option<Vec<usize>>,
     /// Up to `max_witnesses` terminal schedules for replay.
     pub witnesses: Vec<TerminalWitness>,
+    /// Pending-but-unexplored transitions left behind when a budget
+    /// stopped the run (a lower bound: races not yet discovered could
+    /// have demanded more). `0` when [`Completeness::Exhausted`].
+    pub frontier_remaining: usize,
+    /// Size of the symmetry group used for canonicalization (`1` unless
+    /// [`Mode::DporSym`] found nontrivial program automorphisms).
+    pub sym_group: usize,
     outputs: BTreeSet<Vec<u8>>,
 }
 
@@ -206,6 +230,40 @@ impl McReport {
     /// when a witness exists **or** the budget ran out first.
     pub fn proves_no_pristine_schedule(&self) -> bool {
         self.pristine_witness.is_none() && self.completeness.is_exhausted()
+    }
+
+    /// Fraction of the reduced space covered: `1.0` when exhausted, else
+    /// visited states over visited-plus-pending-frontier. Over-budget
+    /// consumers log this instead of a bare boolean, so a run that died
+    /// at 98% reads differently from one that died at 3%. A budget-ended
+    /// run always reports strictly below `1.0`: the frontier is a lower
+    /// bound and can be 0 when the budget died before any race was
+    /// discovered, so at least one pending unit is charged.
+    pub fn explored_fraction(&self) -> f64 {
+        if self.completeness.is_exhausted() {
+            return 1.0;
+        }
+        let total = self.states + self.frontier_remaining.max(1);
+        self.states as f64 / total as f64
+    }
+
+    /// An empty report assuming exhaustion, filled in by the explorers.
+    pub(crate) fn empty(sym_group: usize) -> McReport {
+        McReport {
+            completeness: Completeness::Exhausted,
+            states: 0,
+            transitions: 0,
+            cache_hits: 0,
+            sleep_pruned: 0,
+            singleton_states: 0,
+            completed_terminals: 0,
+            deadlock_terminals: 0,
+            pristine_witness: None,
+            witnesses: Vec::new(),
+            frontier_remaining: 0,
+            sym_group,
+            outputs: BTreeSet::new(),
+        }
     }
 }
 
@@ -313,12 +371,13 @@ impl Explorer {
         }
         if depth >= self.cfg.max_depth {
             self.report.completeness = Completeness::BudgetExceeded(BudgetReason::MaxDepth);
+            self.report.frontier_remaining += enabled.len();
             return;
         }
 
         // Persistent singleton: a provably invisible step needs no
         // branching — and by persistence, no sibling either.
-        let candidates: Vec<usize> = if self.cfg.mode == Mode::Dpor {
+        let candidates: Vec<usize> = if self.cfg.mode == Mode::SleepSet {
             match invisible_singleton(m, &enabled) {
                 Some(p) => {
                     self.report.singleton_states += 1;
@@ -332,7 +391,7 @@ impl Explorer {
 
         // Sleep-set filter: steps whose `candidate`-first interleavings a
         // sibling branch already covers.
-        let allowed: Vec<usize> = if self.cfg.mode == Mode::Dpor {
+        let allowed: Vec<usize> = if self.cfg.mode == Mode::SleepSet {
             let before = candidates.len();
             let kept: Vec<usize> = candidates
                 .into_iter()
@@ -344,7 +403,7 @@ impl Explorer {
             candidates
         };
 
-        let footprints: BTreeMap<usize, indep::Footprint> = if self.cfg.mode == Mode::Dpor {
+        let footprints: BTreeMap<usize, indep::Footprint> = if self.cfg.mode == Mode::SleepSet {
             allowed
                 .iter()
                 .chain(sleep.iter())
@@ -355,7 +414,7 @@ impl Explorer {
         };
 
         let mut taken: Vec<usize> = Vec::new();
-        for &p in &allowed {
+        for (i, &p) in allowed.iter().enumerate() {
             if explored_before.contains(&p) {
                 continue;
             }
@@ -364,12 +423,16 @@ impl Explorer {
                 self.visited.entry(state_key.clone()).or_default().insert(p);
             }
             if self.stopped {
+                self.report.frontier_remaining += allowed[i..]
+                    .iter()
+                    .filter(|q| !explored_before.contains(q))
+                    .count();
                 return;
             }
             let mut child = m.clone();
             child.step(p).expect("machine-built programs cannot err");
             self.report.transitions += 1;
-            let child_sleep: Vec<usize> = if self.cfg.mode == Mode::Dpor {
+            let child_sleep: Vec<usize> = if self.cfg.mode == Mode::SleepSet {
                 let fp_p = &footprints[&p];
                 sleep
                     .iter()
@@ -388,7 +451,7 @@ impl Explorer {
             self.path.push(p);
             self.explore(&child, child_sleep, depth + 1);
             self.path.pop();
-            if self.cfg.mode == Mode::Dpor {
+            if self.cfg.mode == Mode::SleepSet {
                 taken.push(p);
             }
         }
@@ -403,24 +466,15 @@ impl Explorer {
 /// pristine witness schedule if one exists, and the set of committed
 /// outcomes across all completed terminals.
 pub fn check(program: &Program, cfg: &McConfig) -> McReport {
+    if matches!(cfg.mode, Mode::Dpor | Mode::DporSym) {
+        return dpor::explore(program, cfg);
+    }
     let machine = Machine::new(program.clone());
     let mut explorer = Explorer {
         cfg: cfg.clone(),
         visited: BTreeMap::new(),
         path: Vec::new(),
-        report: McReport {
-            completeness: Completeness::Exhausted,
-            states: 0,
-            transitions: 0,
-            cache_hits: 0,
-            sleep_pruned: 0,
-            singleton_states: 0,
-            completed_terminals: 0,
-            deadlock_terminals: 0,
-            pristine_witness: None,
-            witnesses: Vec::new(),
-            outputs: BTreeSet::new(),
-        },
+        report: McReport::empty(1),
         stopped: false,
     };
     explorer.explore(&machine, Vec::new(), 0);
@@ -518,6 +572,40 @@ mod tests {
     }
 
     #[test]
+    fn invisible_sends_do_not_forge_happens_before_edges() {
+        // Regression: both processes race on affirm(x1), but the only HB
+        // path from P0's affirm to P1's is affirm → send(P1) → recv —
+        // and that send is a proven-invisible singleton (single-sender
+        // append onto a non-empty queue; the recv pops the *earlier*
+        // message). If the vector-clock join treats the invisible send as
+        // a real dependence, the forged edge filters out the affirm race
+        // and DPOR silently drops the schedule where P1 decides x1 first.
+        let p = parse(
+            "process P0:\n recv\n send(P1)\n affirm(x1)\n send(P1)\n\
+             process P1:\n send(P0)\n recv\n affirm(x1)\n send(P0)\n",
+        );
+        let naive = check(
+            &p,
+            &McConfig {
+                mode: Mode::Naive,
+                ..McConfig::default()
+            },
+        );
+        let dpor = check(
+            &p,
+            &McConfig {
+                mode: Mode::Dpor,
+                ..McConfig::default()
+            },
+        );
+        assert!(naive.completeness.is_exhausted());
+        assert!(dpor.completeness.is_exhausted());
+        assert_eq!(naive.distinct_outputs(), 2, "{naive:?}");
+        assert_eq!(dpor.outputs, naive.outputs, "{p}");
+        assert!(dpor.states < naive.states, "reduction must survive the fix");
+    }
+
+    #[test]
     fn stateful_and_dpor_agree_and_dpor_is_no_larger() {
         for seed in 100..140u64 {
             let p = Program::generate(seed, 3, 3, 2);
@@ -539,6 +627,144 @@ mod tests {
                 "seed {seed}\n{p}"
             );
             assert!(dpor.states <= stateful.states, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_five_modes_agree_on_generated_programs() {
+        let modes = [
+            Mode::Naive,
+            Mode::Stateful,
+            Mode::SleepSet,
+            Mode::Dpor,
+            Mode::DporSym,
+        ];
+        for seed in 0..30u64 {
+            let p = Program::generate(seed, 2, 4, 2);
+            let reports: Vec<McReport> = modes
+                .iter()
+                .map(|&mode| {
+                    check(
+                        &p,
+                        &McConfig {
+                            mode,
+                            ..McConfig::default()
+                        },
+                    )
+                })
+                .collect();
+            if reports.iter().any(|r| !r.completeness.is_exhausted()) {
+                continue;
+            }
+            let base = &reports[0];
+            for (r, &mode) in reports.iter().zip(&modes).skip(1) {
+                assert_eq!(
+                    r.pristine_witness.is_some(),
+                    base.pristine_witness.is_some(),
+                    "seed {seed}, mode {mode:?}: pristine disagreement\n{p}"
+                );
+                // Outputs are orbit-closed under symmetry reduction and a
+                // naive exploration's output set is orbit-closed by
+                // construction, so the sets compare directly.
+                assert_eq!(
+                    r.outputs, base.outputs,
+                    "seed {seed}, mode {mode:?}: committed outcomes disagree\n{p}"
+                );
+                assert_eq!(
+                    r.deadlock_terminals > 0,
+                    base.deadlock_terminals > 0,
+                    "seed {seed}, mode {mode:?}: deadlock disagreement\n{p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_reduces_twin_programs() {
+        // Two program-identical processes racing on a shared AID: every
+        // state has a mirror, so DporSym must visit strictly fewer states
+        // than Dpor while agreeing on the verdict.
+        let p = parse(
+            "process P0:\n guess(x0)\n compute\n affirm(x0)\n\
+             process P1:\n guess(x0)\n compute\n affirm(x0)\n",
+        );
+        let dpor = check(
+            &p,
+            &McConfig {
+                mode: Mode::Dpor,
+                ..McConfig::default()
+            },
+        );
+        let sym = check(&p, &McConfig::default());
+        assert!(dpor.completeness.is_exhausted());
+        assert!(sym.completeness.is_exhausted());
+        assert_eq!(sym.sym_group, 2);
+        assert!(
+            sym.states < dpor.states,
+            "symmetry bought nothing: {} vs {}",
+            sym.states,
+            dpor.states
+        );
+        assert_eq!(sym.outputs, dpor.outputs);
+        assert_eq!(
+            sym.pristine_witness.is_some(),
+            dpor.pristine_witness.is_some()
+        );
+    }
+
+    #[test]
+    fn dpor_explores_no_more_than_sleepset_on_the_envelope() {
+        // Aggregate over the 2-process envelope: dynamic backtracking
+        // sets must beat (or match) the PR-5 persistent-singleton
+        // baseline overall — this is the E20 headline, pinned here in
+        // miniature.
+        let mut sleepset_total = 0usize;
+        let mut dpor_total = 0usize;
+        for seed in 0..40u64 {
+            let p = Program::generate(seed, 2, 3, 2);
+            let ss = check(
+                &p,
+                &McConfig {
+                    mode: Mode::SleepSet,
+                    ..McConfig::default()
+                },
+            );
+            let d = check(
+                &p,
+                &McConfig {
+                    mode: Mode::Dpor,
+                    ..McConfig::default()
+                },
+            );
+            assert!(ss.completeness.is_exhausted());
+            assert!(d.completeness.is_exhausted());
+            sleepset_total += ss.transitions;
+            dpor_total += d.transitions;
+        }
+        assert!(
+            dpor_total <= sleepset_total,
+            "full DPOR regressed: {dpor_total} vs {sleepset_total} transitions"
+        );
+    }
+
+    #[test]
+    fn budget_reports_explored_fraction() {
+        let p = Program::generate(7, 3, 10, 3);
+        let r = check(
+            &p,
+            &McConfig {
+                max_states: 10,
+                ..McConfig::default()
+            },
+        );
+        assert!(!r.completeness.is_exhausted());
+        let f = r.explored_fraction();
+        assert!(f > 0.0 && f < 1.0, "fraction {f} not in (0, 1)");
+        assert!(r.frontier_remaining > 0);
+        let done = check(&p, &McConfig::default());
+        if done.completeness.is_exhausted() {
+            assert_eq!(done.explored_fraction(), 1.0);
+            assert_eq!(done.frontier_remaining, 0);
         }
     }
 

@@ -62,7 +62,9 @@ pub mod chaos;
 mod config;
 mod ctx;
 mod journal;
+pub mod mc;
 mod message;
+mod oracle;
 mod scheduler;
 mod shared;
 mod signal;
@@ -72,6 +74,7 @@ mod value;
 pub use chaos::{chaos_sweep, committed_outputs, ChaosFailure, ChaosOutcome};
 pub use config::SimConfig;
 pub use ctx::Ctx;
+pub use mc::{check_scenario, SimCompleteness, SimMcConfig, SimMcReport, SimOutcome};
 pub use message::{Message, MsgKind};
 pub use scheduler::Simulation;
 pub use signal::{Hope, Signal};

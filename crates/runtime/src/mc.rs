@@ -1,0 +1,497 @@
+//! Exhaustive schedule checking at the [`Simulation`]/[`Ctx`] layer.
+//!
+//! [`check_scenario`] enumerates every inequivalent dispatch order of a
+//! closure-bodied scenario and reports the set of committed outcomes it
+//! can produce. This is the runtime-level counterpart of the `hope-mc`
+//! machine-program checker: instead of abstract machine steps, the choice
+//! points are the scheduler's own dispatch decisions — which pending
+//! `Deliver`/`Wake`/`Ack`/`AckTimeout`/`Restart` event fires next — so
+//! `send_reliable` retransmission races, cross-link delivery orders and
+//! restart timing are all in scope, with real process bodies (closures
+//! over [`Ctx`]) executing under each schedule.
+//!
+//! # Search strategy
+//!
+//! Process bodies are closures whose control state cannot be forked
+//! mid-run (see [`crate::chaos`]), so the search is stateless in the
+//! CHESS style: each schedule re-executes the scenario from scratch under
+//! a [`ScheduleOracle`] that replays a recorded prefix of choices and
+//! defaults to the first alternative beyond it. After each run the driver
+//! advances the deepest choice point with an untried sibling (an odometer
+//! over the schedule tree, i.e. iterative depth-first search). Scenarios
+//! must therefore be deterministic given the schedule: build the same
+//! `Simulation` (same seed, same bodies) on every call.
+//!
+//! # Reductions
+//!
+//! The raw ready set is reduced before it counts as a choice point, so the
+//! enumeration covers only *realizable, inequivalent* orders:
+//!
+//! - **No-op events auto-drain.** Stale wakes (superseded epoch, or the
+//!   process is crashed/down), deliveries to permanently crashed
+//!   processes, acks and retransmission deadlines whose assumption is
+//!   already decided, and restarts of non-down processes all dispatch
+//!   without recording a choice — they change no state, so ordering them
+//!   is irrelevant.
+//! - **Per-link FIFO heads.** Only the earliest pending delivery on each
+//!   directed link is eligible: the production network never reorders a
+//!   link (`link_last` clamping), so a non-head delivery firing first is
+//!   unrealizable.
+//! - **Singleton ready sets** dispatch without recording a choice.
+//!
+//! Fire times are clamped monotone when the oracle picks out of deadline
+//! order (see `Shared::next_event`), so every explored schedule
+//! corresponds to a genuine latency assignment. Outcome fingerprints
+//! deliberately exclude virtual-time values for the same reason.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use hope_core::{AidState, ProcessId};
+use hope_sim::VirtualTime;
+use parking_lot::Mutex;
+
+use crate::oracle::ScheduleOracle;
+use crate::scheduler::Simulation;
+use crate::shared::{EventKind, ProcState, Shared};
+use crate::stats::RunReport;
+
+/// Budget for [`check_scenario`].
+#[derive(Debug, Clone)]
+pub struct SimMcConfig {
+    /// Maximum number of schedules (full scenario re-executions) to run
+    /// before giving up with [`SimCompleteness::BudgetExceeded`].
+    pub max_schedules: usize,
+}
+
+impl Default for SimMcConfig {
+    fn default() -> Self {
+        SimMcConfig {
+            max_schedules: 4096,
+        }
+    }
+}
+
+/// Did the search cover the whole reduced schedule space?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimCompleteness {
+    /// Every reduced schedule was executed: the reported outcome set is
+    /// exactly the set of outcomes the scenario can produce (under the
+    /// scenario's fixed latency seed, modulo the documented reductions).
+    Exhausted,
+    /// The schedule budget ran out with untried branches remaining; the
+    /// outcome set is a sample, not a proof.
+    BudgetExceeded,
+}
+
+impl SimCompleteness {
+    /// `true` for [`SimCompleteness::Exhausted`].
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, SimCompleteness::Exhausted)
+    }
+}
+
+/// What one schedule committed, with timing deliberately excluded: the
+/// oracle re-times events (see `Shared::next_event`), so only
+/// schedule-independent facts — which lines were committed by whom, who
+/// finished — are comparable across schedules.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimOutcome {
+    /// Committed output lines per process, in commit order.
+    pub outputs: BTreeMap<ProcessId, Vec<String>>,
+    /// Processes whose body returned an error, with the error text.
+    pub errors: BTreeMap<ProcessId, String>,
+    /// Processes that panicked or were killed without recovery.
+    pub crashed: Vec<ProcessId>,
+    /// Processes still blocked or down at the end of the run.
+    pub unfinished: Vec<ProcessId>,
+    /// The run stopped at `max_events`/`max_virtual_time` instead of
+    /// quiescing (always a red flag under model checking).
+    pub hit_limits: bool,
+}
+
+impl SimOutcome {
+    fn of(report: &RunReport) -> Self {
+        let mut outputs: BTreeMap<ProcessId, Vec<String>> = BTreeMap::new();
+        for o in report.outputs() {
+            outputs.entry(o.process).or_default().push(o.line.clone());
+        }
+        SimOutcome {
+            outputs,
+            errors: report.errors().clone(),
+            crashed: report.crash_reasons().keys().copied().collect(),
+            unfinished: report.unfinished().to_vec(),
+            hit_limits: report.hit_limits(),
+        }
+    }
+}
+
+/// Result of [`check_scenario`].
+#[derive(Debug, Clone)]
+pub struct SimMcReport {
+    /// Schedules executed (scenario re-runs).
+    pub schedules: usize,
+    /// Branching choice points encountered, summed over all runs.
+    pub choice_points: usize,
+    /// Deepest number of branching choice points in any single run.
+    pub max_depth: usize,
+    /// Every distinct committed outcome observed.
+    pub outcomes: BTreeSet<SimOutcome>,
+    /// Whether the reduced schedule space was exhausted.
+    pub completeness: SimCompleteness,
+    /// On budget exhaustion: a lower bound on the unexplored branches
+    /// still on the decision stack (0 when exhausted).
+    pub frontier_remaining: usize,
+    /// Runs that hit `max_events`/`max_virtual_time` instead of quiescing.
+    pub limit_runs: usize,
+}
+
+impl SimMcReport {
+    /// `true` if every explored schedule quiesced with the same committed
+    /// outcome — the schedule-space agreement the HOPE semantics promises
+    /// for fault-free runs of well-formed scenarios.
+    pub fn agreed(&self) -> bool {
+        self.outcomes.len() <= 1 && self.limit_runs == 0
+    }
+
+    /// Fraction of the reduced schedule space explored: 1.0 when
+    /// exhausted, otherwise `schedules / (schedules + frontier)` — an
+    /// upper bound, since the frontier is itself a lower bound.
+    pub fn explored_fraction(&self) -> f64 {
+        if self.completeness.is_exhausted() {
+            return 1.0;
+        }
+        let total = self.schedules + self.frontier_remaining;
+        if total == 0 {
+            return 1.0;
+        }
+        self.schedules as f64 / total as f64
+    }
+}
+
+/// Choice state shared between the driver and the oracle of one run.
+struct Trail {
+    /// Decisions to replay: `prescribed[k]` is the alternative to take at
+    /// the `k`-th branching choice point; beyond the end, take the first.
+    prescribed: Vec<usize>,
+    /// Fan-out actually observed at each branching choice point this run.
+    fanout: Vec<usize>,
+}
+
+struct ReplayOracle {
+    trail: Arc<Mutex<Trail>>,
+}
+
+/// An event that provably changes no state when dispatched now, so
+/// ordering it against anything is irrelevant and it drains for free.
+fn is_noop(sh: &Shared, ev: &EventKind) -> bool {
+    match *ev {
+        EventKind::Wake { proc, epoch } => {
+            sh.procs[proc].wake_epoch != epoch
+                || matches!(sh.procs[proc].state, ProcState::Crashed | ProcState::Down)
+        }
+        // Only a *permanently* crashed destination makes a delivery a sure
+        // loss. A `Down` process may restart first, so ordering a delivery
+        // against its `Restart` stays a genuine choice.
+        EventKind::Deliver { ref msg } => sh.procs[sh.idx_of(msg.to)].state == ProcState::Crashed,
+        EventKind::Ack { aid } | EventKind::AckTimeout { aid } => {
+            sh.engine.aid_state(aid).ok() != Some(AidState::Undecided)
+        }
+        EventKind::Restart { proc } => sh.procs[proc].state != ProcState::Down,
+    }
+}
+
+/// The reduced ready set: seqs eligible to fire next, in deadline order.
+/// Deliveries keep only the head of each directed link (the network never
+/// reorders a link, so firing a non-head first is unrealizable).
+fn reduced_ready(pending: &[(VirtualTime, u64, &EventKind)]) -> Vec<u64> {
+    let mut links_seen: BTreeSet<(ProcessId, ProcessId)> = BTreeSet::new();
+    let mut ready = Vec::new();
+    for &(_, seq, ev) in pending {
+        match ev {
+            EventKind::Deliver { msg } => {
+                if links_seen.insert((msg.from, msg.to)) {
+                    ready.push(seq);
+                }
+            }
+            _ => ready.push(seq),
+        }
+    }
+    ready
+}
+
+impl ScheduleOracle for ReplayOracle {
+    fn choose(&mut self, sh: &Shared) -> Option<u64> {
+        let pending = sh.queue.pending_sorted();
+        // Drain no-ops first, without recording a choice.
+        for &(_, seq, ev) in &pending {
+            if is_noop(sh, ev) {
+                return Some(seq);
+            }
+        }
+        let ready = reduced_ready(&pending);
+        match ready.len() {
+            0 => None,
+            1 => Some(ready[0]),
+            n => {
+                let mut tr = self.trail.lock();
+                let k = tr.fanout.len();
+                let pick = tr.prescribed.get(k).copied().unwrap_or(0).min(n - 1);
+                tr.fanout.push(n);
+                Some(ready[pick])
+            }
+        }
+    }
+}
+
+/// Exhaustively run every reduced schedule of `scenario`, or as many as
+/// the budget allows. `scenario` must build the same `Simulation` on
+/// every call (same config/seed, same spawn order, same bodies): each
+/// schedule is a fresh re-execution, deviating only in dispatch order.
+pub fn check_scenario(cfg: &SimMcConfig, scenario: impl Fn() -> Simulation) -> SimMcReport {
+    let mut prescribed: Vec<usize> = Vec::new();
+    let mut outcomes = BTreeSet::new();
+    let mut schedules = 0usize;
+    let mut choice_points = 0usize;
+    let mut max_depth = 0usize;
+    let mut limit_runs = 0usize;
+    loop {
+        let trail = Arc::new(Mutex::new(Trail {
+            prescribed: prescribed.clone(),
+            fanout: Vec::new(),
+        }));
+        let mut sim = scenario();
+        sim.set_schedule_oracle(Box::new(ReplayOracle {
+            trail: trail.clone(),
+        }));
+        let report = sim.run();
+        schedules += 1;
+        if report.hit_limits() {
+            limit_runs += 1;
+        }
+        outcomes.insert(SimOutcome::of(&report));
+        let fanout = std::mem::take(&mut trail.lock().fanout);
+        choice_points += fanout.len();
+        max_depth = max_depth.max(fanout.len());
+
+        // Odometer: this run's decisions are `prescribed` padded with 0s;
+        // advance the deepest one with an untried sibling and truncate.
+        let mut decisions: Vec<usize> = (0..fanout.len())
+            .map(|k| prescribed.get(k).copied().unwrap_or(0))
+            .collect();
+        let next = loop {
+            let Some(d) = decisions.pop() else { break None };
+            if d + 1 < fanout[decisions.len()] {
+                decisions.push(d + 1);
+                break Some(decisions);
+            }
+        };
+        match next {
+            None => {
+                return SimMcReport {
+                    schedules,
+                    choice_points,
+                    max_depth,
+                    outcomes,
+                    completeness: SimCompleteness::Exhausted,
+                    frontier_remaining: 0,
+                    limit_runs,
+                };
+            }
+            Some(d) => {
+                if schedules >= cfg.max_schedules {
+                    // `d` itself plus every untried sibling above it.
+                    let frontier = 1 + d
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &v)| fanout[k] - 1 - v)
+                        .sum::<usize>();
+                    return SimMcReport {
+                        schedules,
+                        choice_points,
+                        max_depth,
+                        outcomes,
+                        completeness: SimCompleteness::BudgetExceeded,
+                        frontier_remaining: frontier,
+                        limit_runs,
+                    };
+                }
+                prescribed = d;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::value::Value;
+    use hope_sim::VirtualDuration;
+
+    fn ms(v: u64) -> VirtualDuration {
+        VirtualDuration::from_millis(v)
+    }
+
+    /// Two senders racing into one receiver: the cross-link delivery
+    /// order is genuinely nondeterministic, so the checker must branch
+    /// and find both receive orders — and nothing else.
+    fn two_sender_race(config: SimConfig) -> Simulation {
+        let mut sim = Simulation::new(config);
+        sim.spawn("receiver", |ctx| {
+            let a = ctx.recv()?;
+            let b = ctx.recv()?;
+            ctx.output(format!(
+                "got {} then {}",
+                a.payload.expect_int(),
+                b.payload.expect_int()
+            ))?;
+            Ok(())
+        });
+        let receiver = ProcessId(0);
+        sim.spawn("alice", move |ctx| {
+            ctx.send(receiver, Value::Int(1))?;
+            Ok(())
+        });
+        sim.spawn("bob", move |ctx| {
+            ctx.send(receiver, Value::Int(2))?;
+            Ok(())
+        });
+        sim
+    }
+
+    #[test]
+    fn exhausts_two_sender_race_and_finds_both_orders() {
+        let report = check_scenario(&SimMcConfig::default(), || {
+            two_sender_race(SimConfig::with_seed(7))
+        });
+        assert!(report.completeness.is_exhausted(), "{report:?}");
+        assert_eq!(report.limit_runs, 0);
+        assert!(report.schedules >= 2, "must branch: {report:?}");
+        let lines: BTreeSet<String> = report
+            .outcomes
+            .iter()
+            .flat_map(|o| o.outputs.values().flatten().cloned())
+            .collect();
+        assert!(
+            lines.contains("got 1 then 2") && lines.contains("got 2 then 1"),
+            "both receive orders must be reachable: {lines:?}"
+        );
+        assert_eq!(report.frontier_remaining, 0);
+        assert!((report.explored_fraction() - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// A single-link pipeline still branches on the initial wake order
+    /// (which body starts first is a real interleaving), but the per-link
+    /// FIFO-head reduction guarantees messages cannot be reordered, so
+    /// every schedule must commit the identical outcome.
+    #[test]
+    fn single_link_pipeline_agrees_across_all_schedules() {
+        let report = check_scenario(&SimMcConfig::default(), || {
+            let mut sim = Simulation::new(SimConfig::with_seed(3));
+            sim.spawn("receiver", |ctx| {
+                assert_eq!(ctx.recv()?.payload, Value::Int(1));
+                assert_eq!(ctx.recv()?.payload, Value::Int(2));
+                ctx.output("in order")?;
+                Ok(())
+            });
+            let receiver = ProcessId(0);
+            sim.spawn("sender", move |ctx| {
+                ctx.send(receiver, Value::Int(1))?;
+                ctx.send(receiver, Value::Int(2))?;
+                Ok(())
+            });
+            sim
+        });
+        assert!(report.completeness.is_exhausted(), "{report:?}");
+        assert!(report.agreed(), "{report:?}");
+        let only = report.outcomes.first().expect("one outcome");
+        assert_eq!(
+            only.outputs.get(&ProcessId(0)).map(Vec::as_slice),
+            Some(&["in order".to_string()][..])
+        );
+    }
+
+    /// `send_reliable` schedules an `Ack` and an `AckTimeout` for the same
+    /// assumption: the checker must explore both orders (ack first —
+    /// delivered; deadline first — denied, roll back, retransmit) and the
+    /// retry loop must still converge on every committed outcome being
+    /// "delivered".
+    #[test]
+    fn exhausts_send_reliable_retransmission_race() {
+        // The retransmission tree is unbounded in principle (every
+        // deadline-first branch spawns a fresh attempt with its own
+        // ack/deadline race), so a virtual-time horizon makes it finite:
+        // branches that keep losing the race run out of time and are
+        // recorded as `hit_limits` outcomes rather than explored forever.
+        let report = check_scenario(&SimMcConfig::default(), || {
+            let mut sim = Simulation::new(
+                SimConfig::with_seed(11)
+                    .with_ack_timeout(ms(10))
+                    .with_max_virtual_time(VirtualTime::from_nanos(ms(35).as_nanos())),
+            );
+            sim.spawn("receiver", |ctx| {
+                let m = ctx.recv()?;
+                ctx.output(format!("received {}", m.payload.expect_int()))?;
+                Ok(())
+            });
+            let receiver = ProcessId(0);
+            sim.spawn("sender", move |ctx| {
+                ctx.send_reliable(receiver, Value::Int(9))?;
+                ctx.output("sender done")?;
+                Ok(())
+            });
+            sim
+        });
+        assert!(report.completeness.is_exhausted(), "{report:?}");
+        assert!(
+            report.schedules >= 2,
+            "ack/deadline race must branch: {report:?}"
+        );
+        // Every schedule that quiesced within the horizon must have
+        // converged on exactly one delivery (duplicates suppressed) and a
+        // finished sender — the point of the reliable-send protocol.
+        let mut quiesced = 0;
+        for o in report.outcomes.iter().filter(|o| !o.hit_limits) {
+            quiesced += 1;
+            assert!(o.unfinished.is_empty(), "quiesced schedule: {o:?}");
+            assert_eq!(
+                o.outputs.get(&ProcessId(0)).map(Vec::as_slice),
+                Some(&["received 9".to_string()][..]),
+                "retransmission must converge on delivery: {o:?}"
+            );
+        }
+        assert!(quiesced >= 1, "some schedule must quiesce: {report:?}");
+    }
+
+    /// Model checking composes with fossil collection: collection is
+    /// transparent (it reclaims storage, never outcomes), so the explored
+    /// schedule tree and outcome set must be bit-identical with it on.
+    #[test]
+    fn fossil_collection_preserves_schedule_tree_and_outcomes() {
+        let run = |fossil: bool| {
+            check_scenario(&SimMcConfig::default(), move || {
+                two_sender_race(SimConfig::with_seed(7).with_fossil_collection(fossil))
+            })
+        };
+        let plain = run(false);
+        let collected = run(true);
+        assert_eq!(plain.schedules, collected.schedules);
+        assert_eq!(plain.choice_points, collected.choice_points);
+        assert_eq!(plain.max_depth, collected.max_depth);
+        assert_eq!(plain.outcomes, collected.outcomes);
+        assert!(collected.completeness.is_exhausted());
+    }
+
+    /// The budget path: a scenario with more schedules than allowed
+    /// reports `BudgetExceeded`, a nonzero frontier, and a fraction < 1.
+    #[test]
+    fn budget_exceeded_reports_frontier_fraction() {
+        let cfg = SimMcConfig { max_schedules: 1 };
+        let report = check_scenario(&cfg, || two_sender_race(SimConfig::with_seed(7)));
+        assert_eq!(report.completeness, SimCompleteness::BudgetExceeded);
+        assert_eq!(report.schedules, 1);
+        assert!(report.frontier_remaining >= 1);
+        assert!(report.explored_fraction() < 1.0);
+    }
+}

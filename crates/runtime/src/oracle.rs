@@ -1,0 +1,42 @@
+//! The scheduler choice-point hook: [`ScheduleOracle`].
+//!
+//! The scheduler normally dispatches events in earliest-deadline order
+//! (`queue.pop()`). An installed oracle instead picks *any* pending event
+//! at each dispatch, which is exactly the control a model checker needs:
+//! every nondeterministic outcome of a run — message interleavings across
+//! links, ack-vs-retransmission-deadline races, restart timing — is some
+//! sequence of these picks. Production runs leave the slot empty and pay a
+//! single `Option::is_some` check per event (see `Shared::next_event`).
+//!
+//! The trait is crate-private on purpose: the only consumer is the
+//! [`mc`](crate::mc) module, and keeping the hook internal means the
+//! dispatch loop's invariants (monotone virtual time, per-link FIFO) are
+//! enforced in one place rather than promised to arbitrary callers.
+
+use crate::shared::Shared;
+
+/// Picks the next pending event to dispatch.
+pub(crate) trait ScheduleOracle: Send {
+    /// Return the queue sequence number of the event to fire next, chosen
+    /// from `sh.queue.pending_sorted()`, or `None` to defer to the default
+    /// earliest-deadline pop. The chosen event's fire time is clamped to
+    /// `sh.now`, so picking a later-deadline event early is equivalent to
+    /// the skipped events having drawn longer latencies — every oracle
+    /// schedule is a realizable execution.
+    fn choose(&mut self, sh: &Shared) -> Option<u64>;
+}
+
+/// The installed oracle, if any. A newtype so [`Shared`] can keep deriving
+/// `Debug` around the unprintable trait object (same pattern as
+/// `ObserverSlot`).
+pub(crate) struct SchedOracleSlot(pub(crate) Option<Box<dyn ScheduleOracle>>);
+
+impl std::fmt::Debug for SchedOracleSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "SchedOracleSlot(set)"
+        } else {
+            "SchedOracleSlot(unset)"
+        })
+    }
+}

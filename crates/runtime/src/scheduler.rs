@@ -173,6 +173,14 @@ impl Simulation {
         self.shared.lock().observer = ObserverSlot(Some(Box::new(observer)));
     }
 
+    /// Install a schedule oracle that overrides earliest-deadline dispatch
+    /// (see [`crate::mc`]). Crate-private: the only legitimate driver is
+    /// the model checker, whose oracles preserve the realizability
+    /// invariants documented on `Shared::next_event`.
+    pub(crate) fn set_schedule_oracle(&mut self, oracle: Box<dyn crate::oracle::ScheduleOracle>) {
+        self.shared.lock().sched_oracle = crate::oracle::SchedOracleSlot(Some(oracle));
+    }
+
     /// Run the simulation until quiescence (no events left, or every
     /// process finished) or a configured limit, and report what happened.
     pub fn run(self) -> RunReport {
@@ -258,7 +266,7 @@ impl Simulation {
                 if all_done && !any_pending && sh.pending_system == 0 {
                     Step::Quiesced
                 } else {
-                    match sh.queue.pop() {
+                    match sh.next_event() {
                         None => Step::Quiesced,
                         Some((t, ev)) => {
                             if t > sh.config.max_virtual_time {

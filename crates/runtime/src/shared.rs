@@ -14,6 +14,7 @@ use hope_sim::{EventQueue, LinkVerdict, SimRng, VirtualDuration, VirtualTime};
 use crate::config::SimConfig;
 use crate::journal::{Entry, Journal};
 use crate::message::{Mailbox, Message, MsgKind};
+use crate::oracle::SchedOracleSlot;
 use crate::stats::{CrashReason, OutputLine, RunStats};
 use crate::value::Value;
 
@@ -154,6 +155,10 @@ pub(crate) struct Shared {
     /// finished sender back), so the scheduler must not declare quiescence
     /// while any remain.
     pub(crate) pending_system: u64,
+    /// Schedule oracle intercepting the dispatch-order choice point (model
+    /// checking; see [`crate::mc`]). Empty in production runs, which then
+    /// pay one `Option` check per event in [`Shared::next_event`].
+    pub(crate) sched_oracle: SchedOracleSlot,
 }
 
 impl Shared {
@@ -186,7 +191,35 @@ impl Shared {
             seen_reliable: HashSet::new(),
             fault_denied: BTreeSet::new(),
             pending_system: 0,
+            sched_oracle: SchedOracleSlot(None),
         }
+    }
+
+    /// The next event to dispatch. With no oracle installed this is exactly
+    /// `queue.pop()`. With one, the oracle picks any pending event by
+    /// sequence number and the event's fire time is clamped up to `now`
+    /// (for deliveries the message's `delivered_at` moves with it): firing
+    /// a later-deadline event early is thereby reinterpreted as the event
+    /// always having been due now, i.e. an alternative latency draw, so
+    /// virtual time stays monotone and every oracle schedule is an
+    /// execution the production scheduler could have produced.
+    pub(crate) fn next_event(&mut self) -> Option<(VirtualTime, EventKind)> {
+        if self.sched_oracle.0.is_some() {
+            // Take the oracle out so it can inspect `self` immutably.
+            let mut orc = self.sched_oracle.0.take();
+            let pick = orc.as_mut().and_then(|o| o.choose(self));
+            self.sched_oracle.0 = orc;
+            if let Some(seq) = pick {
+                if let Some((t, mut ev)) = self.queue.remove_by_seq(seq) {
+                    let t = t.max(self.now);
+                    if let EventKind::Deliver { msg } = &mut ev {
+                        msg.delivered_at = t;
+                    }
+                    return Some((t, ev));
+                }
+            }
+        }
+        self.queue.pop()
     }
 
     /// Report one executed action to the race detector (if configured) and

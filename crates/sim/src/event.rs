@@ -83,6 +83,38 @@ impl<T> EventQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Enumerate every pending event as `(time, seq, payload)` in
+    /// deterministic `(time, seq)` order, without removing anything.
+    ///
+    /// This is the model checker's view of a scheduler choice point: the
+    /// full ready set, not just the earliest entry. Costs a sort per call,
+    /// so production paths never use it — only oracle-driven runs do.
+    pub fn pending_sorted(&self) -> Vec<(VirtualTime, u64, &T)> {
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        entries
+            .iter()
+            .map(|e| (e.time, e.seq, &e.payload))
+            .collect()
+    }
+
+    /// Remove and return the event with sequence number `seq`, if pending.
+    ///
+    /// O(n) heap rebuild — acceptable because only oracle-driven
+    /// (model-checking) runs pick non-earliest events.
+    pub fn remove_by_seq(&mut self, seq: u64) -> Option<(VirtualTime, T)> {
+        let mut found = None;
+        let drained = std::mem::take(&mut self.heap);
+        for Reverse(e) in drained {
+            if e.seq == seq && found.is_none() {
+                found = Some((e.time, e.payload));
+            } else {
+                self.heap.push(Reverse(e));
+            }
+        }
+        found
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +166,50 @@ mod tests {
         let a = q.push(t(1), ());
         let b = q.push(t(1), ());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pending_sorted_lists_without_removing() {
+        let mut q = EventQueue::new();
+        let c = q.push(t(5), "c");
+        let a = q.push(t(1), "a");
+        let b = q.push(t(3), "b");
+        let listed: Vec<(VirtualTime, u64, &&str)> = q.pending_sorted();
+        assert_eq!(
+            listed,
+            vec![(t(1), a, &"a"), (t(3), b, &"b"), (t(5), c, &"c")]
+        );
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn remove_by_seq_plucks_one_event() {
+        let mut q = EventQueue::new();
+        q.push(t(5), "c");
+        let a = q.push(t(1), "a");
+        q.push(t(3), "b");
+        assert_eq!(q.remove_by_seq(a), Some((t(1), "a")));
+        assert_eq!(q.remove_by_seq(a), None);
+        assert_eq!(q.pop(), Some((t(3), "b")));
+        assert_eq!(q.pop(), Some((t(5), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn remove_by_seq_agrees_with_pop_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(t(10 - i % 3), i);
+        }
+        loop {
+            let head = q
+                .pending_sorted()
+                .first()
+                .map(|&(time, seq, _)| (time, seq));
+            let Some((time, seq)) = head else { break };
+            let removed = q.remove_by_seq(seq).expect("listed event is pending");
+            assert_eq!(removed.0, time);
+        }
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,340 @@
+//! **E18 — multi-core scaling of the sharded engine**: steps/s vs worker
+//! count on an E15-class deep-inheritance workload.
+//!
+//! Four shards each host one process running a depth-`D` nested guess
+//! chain (interval *k* inherits an IDO of size *k*, Equations 4–5) inside
+//! one [`Engine::run_phase`] phase. The first guess of every chain names a
+//! *foreign* shard's pre-phase AID, so every later interval of that chain
+//! registers a cross-shard `DOM` edge — batched through the per-shard-pair
+//! queues rather than locking the remote shard inline — and each shard
+//! ends its script by affirming its own pre-phase AID, which defers to the
+//! quiescent drain and cascades across the ownership boundary there.
+//!
+//! **Method (single-core container).** The benchmark host exposes one CPU,
+//! so wall-clock time cannot show parallel speedup even though
+//! `run_phase` really does spawn one thread per worker — worse, threads
+//! timed while time-slicing one CPU inflate each other's `busy_ns`.
+//! Instead the speedup is computed from *uncontended* components: the
+//! workers-1 run (shards executed serially on one thread) yields each
+//! shard's script time `busy_ns[si]` and the quiescent drain `drain_ns`.
+//! Workers own shards round-robin (`shard % workers`), so the critical
+//! path at `c` cores is `max over workers of (sum of its shards'
+//! busy_ns) + drain_ns`, and `speedup(c) = serial / critical(c)` with
+//! `serial = busy_total + drain_ns`. This is exact for the phase model —
+//! a shard's execution is a pure function of (shard state, snapshot,
+//! script), so its time does not depend on which thread runs it; the
+//! threaded runs still execute for real and are asserted to perform
+//! identical work. Best-of-five sampling defends against host noise, as
+//! in E15.
+//!
+//! Before any timing, the phase run is checked against the sequential
+//! (1-shard) engine driving the same logical ops: both must agree on
+//! guesses, affirms, and intervals created, so the curve compares equal
+//! work. The committed numbers live in `BENCH_e18.json`, regenerated with
+//! `cargo run -p hope-bench --release --bin tables -- --json BENCH_e18.json e18`.
+
+use hope_core::{AidId, Checkpoint, DrainOrder, Engine, OpAid, ProcessId, ShardOp};
+
+use crate::table::Table;
+
+const NSHARDS: usize = 4;
+
+/// Best (minimum) over this many samples per configuration, as in E15.
+const SAMPLES: u32 = 5;
+
+// ---------------------------------------------------------------------
+// Workload.
+// ---------------------------------------------------------------------
+
+/// Fresh 4-shard engine with one process and one pre-phase AID per shard.
+fn build() -> (Engine, Vec<ProcessId>, Vec<AidId>) {
+    let mut e = Engine::with_shards(NSHARDS);
+    let procs: Vec<ProcessId> = (0..NSHARDS).map(|s| e.register_process_on(s)).collect();
+    let pre: Vec<AidId> = procs.iter().map(|&p| e.aid_init(p)).collect();
+    (e, procs, pre)
+}
+
+/// Shard `s`'s script: a depth-`depth` nested guess chain whose first
+/// interval also guesses the *next* shard's pre-phase AID (every later
+/// interval inherits it, so the chain emits `depth` cross-shard DOM
+/// registrations), closed by a deferred affirm of shard `s`'s own
+/// pre-phase AID.
+fn script(s: usize, procs: &[ProcessId], pre: &[AidId], depth: usize) -> Vec<ShardOp> {
+    let pid = procs[s];
+    let mut ops = Vec::with_capacity(2 * depth + 1);
+    for k in 0..depth {
+        ops.push(ShardOp::AidInit { pid });
+        let mut aids = vec![OpAid::New(k)];
+        if k == 0 {
+            aids.push(OpAid::Id(pre[(s + 1) % NSHARDS]));
+        }
+        ops.push(ShardOp::Guess {
+            pid,
+            aids,
+            ps: Checkpoint(k as u64),
+        });
+    }
+    ops.push(ShardOp::Affirm {
+        pid,
+        aid: OpAid::Id(pre[s]),
+    });
+    ops
+}
+
+/// One phase run: returns `(ops, busy_ns per shard, drain_ns, engine)`.
+fn run_once(depth: usize, workers: usize) -> (u64, Vec<u64>, u64, Engine) {
+    let (mut e, procs, pre) = build();
+    let scripts: Vec<Vec<ShardOp>> = (0..NSHARDS)
+        .map(|s| script(s, &procs, &pre, depth))
+        .collect();
+    let report = e
+        .run_phase(scripts, workers, &DrainOrder::identity(NSHARDS))
+        .expect("well-formed phase");
+    (report.ops, report.busy_ns, report.drain_ns, e)
+}
+
+/// The same logical ops on the sequential 1-shard engine, shard-major —
+/// the work-agreement oracle.
+fn sequential_oracle(depth: usize) -> Engine {
+    let (mut e, procs, pre) = {
+        let mut e = Engine::new();
+        let procs: Vec<ProcessId> = (0..NSHARDS).map(|_| e.register_process()).collect();
+        let pre: Vec<AidId> = procs.iter().map(|&p| e.aid_init(p)).collect();
+        (e, procs, pre)
+    };
+    for s in 0..NSHARDS {
+        let p = procs[s];
+        for k in 0..depth {
+            let a = e.aid_init(p);
+            let mut aids = vec![a];
+            if k == 0 {
+                aids.push(pre[(s + 1) % NSHARDS]);
+            }
+            e.guess(p, &aids, Checkpoint(k as u64))
+                .expect("oracle guess");
+        }
+    }
+    for s in 0..NSHARDS {
+        e.affirm(procs[s], pre[s]).expect("oracle affirm");
+    }
+    e
+}
+
+/// Assert the phase engine performed exactly the oracle's work.
+///
+/// # Panics
+///
+/// Panics on any disagreement — the timing below would then compare
+/// different computations.
+pub fn assert_work_agreement(depth: usize) {
+    let (_ops, _busy, _drain, phase) = run_once(depth, NSHARDS);
+    let oracle = sequential_oracle(depth);
+    assert_eq!(
+        phase.stats().guesses,
+        oracle.stats().guesses,
+        "depth {depth}: phase and sequential engines disagree on guesses"
+    );
+    assert_eq!(
+        phase.stats().definite_affirms,
+        oracle.stats().definite_affirms,
+        "depth {depth}: phase and sequential engines disagree on affirms"
+    );
+    assert_eq!(
+        phase.interval_count(),
+        oracle.interval_count(),
+        "depth {depth}: phase and sequential engines disagree on intervals"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Critical-path arithmetic.
+// ---------------------------------------------------------------------
+
+/// Critical path of a phase at `cores` workers: shards are bucketed
+/// `shard % cores` (the `run_phase` assignment), workers run their
+/// buckets serially, and the drain runs after all workers join.
+pub fn critical_ns(busy_ns: &[u64], drain_ns: u64, cores: usize) -> u64 {
+    let mut per_worker = vec![0u64; cores.max(1)];
+    for (si, &b) in busy_ns.iter().enumerate() {
+        per_worker[si % cores.max(1)] += b;
+    }
+    per_worker.iter().copied().max().unwrap_or(0) + drain_ns
+}
+
+/// One measured point of the scaling curve.
+#[derive(Debug, Clone)]
+pub struct E18Row {
+    /// Chain depth per shard.
+    pub depth: usize,
+    /// Worker threads the phase ran with.
+    pub cores: usize,
+    /// Script ops executed across all shards.
+    pub ops: u64,
+    /// Sum of all shards' script nanoseconds (best sample).
+    pub busy_total_ns: u64,
+    /// Critical-path nanoseconds at this core count (best sample).
+    pub critical_ns: u64,
+    /// `ops / critical_ns`, in operations per second.
+    pub steps_per_s: f64,
+    /// Serial time over this core count's critical path.
+    pub speedup: f64,
+}
+
+/// Measure the full curve for one depth: worker counts 1, 2, 4.
+///
+/// Per-shard busy times come from the **workers = 1** run (best of
+/// `SAMPLES`): with one worker the shards run serially, so each
+/// `busy_ns[si]` is an uncontended measurement. Timing the threaded runs
+/// directly would double-count the single host CPU — concurrent workers
+/// time-slice and inflate each other's wall-clock. The share-nothing
+/// phase model is exactly what licenses this: a shard's script time is a
+/// function of (shard state, snapshot, script), independent of which
+/// thread runs it — so the threaded runs are kept as *validation* (they
+/// must perform identical work) while the curve is the model applied to
+/// uncontended components.
+pub fn measure(depth: usize) -> Vec<E18Row> {
+    assert_work_agreement(depth);
+    // Uncontended components, best (minimum serial total) of SAMPLES.
+    let mut best: Option<(u64, Vec<u64>, u64)> = None;
+    for _ in 0..SAMPLES {
+        let (ops, busy, drain, _e) = run_once(depth, 1);
+        let total = busy.iter().sum::<u64>() + drain;
+        let better = match &best {
+            None => true,
+            Some((_, b, d)) => total < b.iter().sum::<u64>() + d,
+        };
+        if better {
+            best = Some((ops, busy, drain));
+        }
+    }
+    let (ops, busy, drain_ns) = best.expect("SAMPLES > 0");
+    let busy_total: u64 = busy.iter().sum();
+    let serial_ns = busy_total + drain_ns;
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|cores| {
+            // Really spawn `cores` worker threads and check the phase
+            // performs byte-identical work before trusting the model.
+            let (threaded_ops, _b, _d, e) = run_once(depth, cores);
+            assert_eq!(threaded_ops, ops, "worker count changed the work");
+            assert_eq!(e.tracking_stats().phases, 1);
+            let critical = critical_ns(&busy, drain_ns, cores);
+            E18Row {
+                depth,
+                cores,
+                ops,
+                busy_total_ns: busy_total,
+                critical_ns: critical,
+                steps_per_s: ops as f64 / (critical.max(1) as f64 / 1e9),
+                speedup: serial_ns as f64 / critical.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// All measured rows at the default sizes.
+pub fn rows() -> Vec<E18Row> {
+    let mut out = Vec::new();
+    for depth in [256usize, 1024] {
+        out.extend(measure(depth));
+    }
+    out
+}
+
+/// The default E18 table.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "E18: sharded-engine scaling — steps/s vs cores (phase critical path)",
+        &[
+            "depth",
+            "cores",
+            "ops",
+            "busy_total_ns",
+            "critical_ns",
+            "steps_per_s",
+            "speedup",
+        ],
+    );
+    for r in rows() {
+        t.push(vec![
+            r.depth.to_string(),
+            r.cores.to_string(),
+            r.ops.to_string(),
+            r.busy_total_ns.to_string(),
+            r.critical_ns.to_string(),
+            format!("{:.0}", r.steps_per_s),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    t.note(
+        "4 shards, one deep-inheritance guess chain per shard (E15-class); \
+         first guess of each chain names a foreign pre-phase AID, so every \
+         chain interval ships one batched cross-shard DOM registration, and \
+         the closing affirm cascades across shards at the quiescent drain",
+    );
+    t.note(
+        "single-CPU container: speedup = serial / (max per-worker busy + \
+         drain), the exact critical path of the share-nothing phase model, \
+         computed from uncontended workers-1 components (threads timed \
+         while time-slicing one CPU would inflate each other); the \
+         threaded runs still execute and must perform identical work",
+    );
+    t.note(
+        "work agreement with the sequential 1-shard engine (guesses, \
+         affirms, intervals) is asserted before timing; times are \
+         meaningful in --release only — see BENCH_e18.json",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_and_sequential_engines_agree_on_work() {
+        assert_work_agreement(8);
+    }
+
+    #[test]
+    fn phase_emits_cross_shard_traffic() {
+        let depth = 8;
+        let (_ops, _busy, _drain, e) = run_once(depth, NSHARDS);
+        let tr = e.tracking_stats();
+        // Each chain interval carries the foreign pre-AID in its IDO, so
+        // each shard ships `depth` DOM registrations across the boundary,
+        // plus the deferred affirm's cross-shard cascade notifications.
+        assert!(
+            tr.cross_shard_messages >= (NSHARDS * depth) as u64,
+            "expected >= {} cross-shard messages, tracked {:?}",
+            NSHARDS * depth,
+            tr
+        );
+        assert!(tr.batch_flushes > 0);
+        assert_eq!(tr.phases, 1);
+    }
+
+    #[test]
+    fn critical_path_buckets_match_run_phase_assignment() {
+        // Shards 0..4 with busy 10,20,30,40: one core sums to 100; two
+        // cores bucket {0,2} and {1,3} -> max 60; four cores -> max 40.
+        let busy = [10u64, 20, 30, 40];
+        assert_eq!(critical_ns(&busy, 5, 1), 105);
+        assert_eq!(critical_ns(&busy, 5, 2), 65);
+        assert_eq!(critical_ns(&busy, 5, 4), 45);
+    }
+
+    #[test]
+    fn small_curve_has_sane_shape() {
+        // Debug-build times are meaningless for magnitude, but the model
+        // quantities must be internally consistent.
+        let rows = measure(16);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.ops, (NSHARDS * (2 * 16) + NSHARDS) as u64);
+            assert!(r.critical_ns > 0);
+            assert!(r.speedup > 0.0);
+            assert!(r.steps_per_s > 0.0);
+        }
+    }
+}

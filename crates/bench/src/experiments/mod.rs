@@ -14,6 +14,7 @@ pub mod e14_costmodel;
 pub mod e15_depset;
 pub mod e16_chaos;
 pub mod e17_mc;
+pub mod e18_sharding;
 pub mod e19_memory;
 pub mod e1_callstream;
 pub mod e20_dpor;

@@ -21,6 +21,7 @@
 //! | E15 | DepSet vs BTreeSet hot paths | [`experiments::e15_depset`] |
 //! | E16 | chaos: throughput vs fault rate | [`experiments::e16_chaos`] |
 //! | E17 | model checking: DPOR reduction, schedule-complete verdicts | [`experiments::e17_mc`] |
+//! | E18 | sharded-engine scaling: steps/s vs cores | [`experiments::e18_sharding`] |
 //! | E19 | memory vs commit horizon (fossil collection) | [`experiments::e19_memory`] |
 //! | E20 | full DPOR + symmetry ladder, Simulation-layer exhaustion | [`experiments::e20_dpor`] |
 //!
@@ -43,7 +44,7 @@ pub use table::{fmt_ms, fmt_pct, tables_to_json, Table};
 /// All experiment ids known to the `tables` binary, in order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Produce the table for one experiment id.
@@ -69,6 +70,7 @@ pub fn table_for(id: &str) -> Table {
         "e15" => experiments::e15_depset::table(),
         "e16" => experiments::e16_chaos::table(),
         "e17" => experiments::e17_mc::table(),
+        "e18" => experiments::e18_sharding::table(),
         "e19" => experiments::e19_memory::table(),
         "e20" => experiments::e20_dpor::table(),
         other => panic!("unknown experiment id {other:?} (known: {EXPERIMENT_IDS:?})"),

@@ -9,6 +9,20 @@
 //! produced; embedding runtimes act on those effects (restore checkpoints,
 //! commit output, drop ghost messages).
 //!
+//! ## Sharded storage
+//!
+//! Records are partitioned by **owner process** into [`crate::shard`]
+//! shards; the engine keeps per-id directories mapping every AID and
+//! interval to its owning shard. The sequential transitions below are
+//! oblivious to the partitioning — they run the same statements in the same
+//! order whatever the shard count, so a 1-shard and an N-shard engine are
+//! bit-identical in every observable (the differential suite in
+//! `tests/sharded_differential.rs` holds them side by side). In sequential
+//! mode the only trace of sharding is [`Engine::tracking_stats`], which
+//! counts dependence-tracking updates that crossed an ownership boundary.
+//! [`Engine::run_phase`] additionally executes per-shard op scripts on real
+//! worker threads with batched cross-shard queues — see the method docs.
+//!
 //! ## Fidelity notes
 //!
 //! * **DOM membership for inherited dependencies.** Equation 4 only shows
@@ -35,7 +49,7 @@
 //!   `tests/theorems.rs`. (Mutual speculative *denies* can still
 //!   livelock; the test suite documents that as a finding.)
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::aid::{Aid, AidState, AidView};
 use crate::depset::DepSet;
@@ -43,6 +57,10 @@ use crate::effect::Effect;
 use crate::error::{Error, Result};
 use crate::ids::{AidId, IntervalId, ProcessId};
 use crate::interval::{Checkpoint, Interval, IntervalStatus, IntervalView};
+use crate::shard::{
+    run_shard_script, CrossShardMsg, DrainOrder, EngineShard, Loc, OpAid, PhaseReport, Proc,
+    ResolvedOp, ShardOp, SnapAid, TrackingStats, WorkerCtx, NO_SHARD,
+};
 use crate::tag::{ReceiveOutcome, Tag};
 
 /// Result of [`Engine::guess`].
@@ -126,21 +144,6 @@ pub struct FossilSweep {
     pub aid_horizon: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Proc {
-    /// Live intervals, chronological. Rollback truncates a suffix; fossil
-    /// collection truncates a definite prefix.
-    history: Vec<IntervalId>,
-    /// Total intervals ever discarded from this process (for stats/tests).
-    discarded: u64,
-    /// Definite intervals reclaimed from the front of `history` by fossil
-    /// collection. Added to `history.len()` wherever a position in the
-    /// *full* live history is needed (interval `seq` numbers), so a
-    /// collecting engine assigns exactly the values an uncollected twin
-    /// would.
-    collected: u64,
-}
-
 /// Internal cascade work items.
 #[derive(Debug, Clone, Copy)]
 enum Task {
@@ -174,11 +177,16 @@ enum Task {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
-    /// Live AIDs: id `aid_base + i` lives at index `i`. Ids below
-    /// `aid_base` were reclaimed by fossil collection (ids are never
-    /// reused; "recycling" reclaims storage, not numbers — in-flight tags
-    /// would otherwise alias).
-    aids: Vec<Aid>,
+    /// Per-owner-process record stores. A 1-shard engine (the default) is
+    /// the unsharded engine of earlier revisions with one level of
+    /// directory indirection.
+    shards: Vec<EngineShard>,
+    /// AID directory: id `aid_base + i` lives on shard `aid_dir[i].shard`
+    /// at per-shard ordinal `aid_dir[i].ord`. Ids below `aid_base` were
+    /// reclaimed by fossil collection (ids are never reused; "recycling"
+    /// reclaims storage, not numbers — in-flight tags would otherwise
+    /// alias).
+    aid_dir: Vec<Loc>,
     aid_base: u64,
     /// Reclaimed AIDs that were *denied*: a late `guess` or inbound tag
     /// naming one must still answer `AlreadyFalse`/ghost exactly as an
@@ -186,22 +194,34 @@ pub struct Engine {
     /// affirmed. Affirm-heavy workloads keep this near-empty; it is the
     /// only per-fossil state retained.
     fossil_denied: BTreeSet<AidId>,
-    /// Live intervals: id `interval_base + i` lives at index `i`.
-    intervals: Vec<Interval>,
+    /// Interval directory, like `aid_dir`. Sentinel entries
+    /// ([`Loc::SENTINEL`]) mark phase-lease slots whose guess never
+    /// created an interval (answered `AlreadyFalse`, or deferred and
+    /// allocated past the leases at the drain); they answer
+    /// [`Error::UnknownInterval`] forever.
+    itv_dir: Vec<Loc>,
     interval_base: u64,
-    procs: BTreeMap<ProcessId, Proc>,
+    /// `pid.0 → shard index`. Pids are dense, so this doubles as the
+    /// process registry.
+    proc_shard: Vec<u32>,
     next_pid: u32,
     stats: EngineStats,
+    tracking: TrackingStats,
+    /// Whether any interval-directory sentinel holes exist (phase leases
+    /// are upper bounds; see `itv_dir`). [`Engine::interval_count`] counts
+    /// holes, so it is only comparable between engines driven through the
+    /// same mode.
+    itv_holes: bool,
     check_invariants: bool,
 }
 
 /// Where an id lands relative to the commit horizon.
 enum Slot {
-    /// Alive: index into the live store.
-    Live(usize),
+    /// Alive in some shard's store (address via the directory).
+    Live,
     /// At or below the horizon: reclaimed by fossil collection.
     Fossil,
-    /// Never allocated by this engine.
+    /// Never allocated by this engine (or a phase-lease hole).
     Unknown,
 }
 
@@ -212,21 +232,49 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Create an empty engine. Invariant checking (Lemma 5.1 symmetry and
-    /// the Theorem 5.1 prefix-subset property after every transition) is on
-    /// in debug builds and off in release builds by default.
+    /// Create an empty single-shard engine. Invariant checking (Lemma 5.1
+    /// symmetry and the Theorem 5.1 prefix-subset property after every
+    /// transition) is on in debug builds and off in release builds by
+    /// default.
     pub fn new() -> Self {
+        Engine::with_shards(1)
+    }
+
+    /// Create an empty engine with `n` shards (clamped to at least 1).
+    ///
+    /// Processes are assigned to shards round-robin by
+    /// [`register_process`](Engine::register_process) (or explicitly by
+    /// [`register_process_on`](Engine::register_process_on)); each shard
+    /// owns the AID and interval records of the processes it hosts. Shard
+    /// count does not change any observable behaviour of the sequential
+    /// API — only [`tracking_stats`](Engine::tracking_stats) and the
+    /// [`run_phase`](Engine::run_phase) parallelism depend on it.
+    pub fn with_shards(n: usize) -> Self {
+        let n = n.max(1);
         Engine {
-            aids: Vec::new(),
+            shards: (0..n).map(|_| EngineShard::new()).collect(),
+            aid_dir: Vec::new(),
             aid_base: 0,
             fossil_denied: BTreeSet::new(),
-            intervals: Vec::new(),
+            itv_dir: Vec::new(),
             interval_base: 0,
-            procs: BTreeMap::new(),
+            proc_shard: Vec::new(),
             next_pid: 0,
             stats: EngineStats::default(),
+            tracking: TrackingStats::default(),
+            itv_holes: false,
             check_invariants: cfg!(debug_assertions),
         }
+    }
+
+    /// Number of shards the stores are partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cross-shard tracking-traffic counters (see [`TrackingStats`]).
+    pub fn tracking_stats(&self) -> TrackingStats {
+        self.tracking
     }
 
     // ------------------------------------------------------------------
@@ -236,8 +284,8 @@ impl Engine {
     fn aid_slot(&self, x: AidId) -> Slot {
         if x.0 < self.aid_base {
             Slot::Fossil
-        } else if ((x.0 - self.aid_base) as usize) < self.aids.len() {
-            Slot::Live((x.0 - self.aid_base) as usize)
+        } else if ((x.0 - self.aid_base) as usize) < self.aid_dir.len() {
+            Slot::Live
         } else {
             Slot::Unknown
         }
@@ -246,8 +294,12 @@ impl Engine {
     fn itv_slot(&self, a: IntervalId) -> Slot {
         if a.0 < self.interval_base {
             Slot::Fossil
-        } else if ((a.0 - self.interval_base) as usize) < self.intervals.len() {
-            Slot::Live((a.0 - self.interval_base) as usize)
+        } else if ((a.0 - self.interval_base) as usize) < self.itv_dir.len() {
+            if self.itv_dir[(a.0 - self.interval_base) as usize].shard == NO_SHARD {
+                Slot::Unknown
+            } else {
+                Slot::Live
+            }
         } else {
             Slot::Unknown
         }
@@ -257,22 +309,41 @@ impl Engine {
     /// ever hold references to live AIDs (IDO members are undecided, DOM
     /// owners likewise).
     fn aid_ref(&self, x: AidId) -> &Aid {
-        &self.aids[(x.0 - self.aid_base) as usize]
+        let loc = self.aid_dir[(x.0 - self.aid_base) as usize];
+        let sh = &self.shards[loc.shard as usize];
+        &sh.aids[(loc.ord - sh.aid_collected) as usize]
     }
 
     fn aid_mut(&mut self, x: AidId) -> &mut Aid {
-        &mut self.aids[(x.0 - self.aid_base) as usize]
+        let loc = self.aid_dir[(x.0 - self.aid_base) as usize];
+        let sh = &mut self.shards[loc.shard as usize];
+        &mut sh.aids[(loc.ord - sh.aid_collected) as usize]
     }
 
     /// Live interval record. Panics on fossils/unknowns: internal callers
     /// only reach intervals above the horizon (DOM members are
     /// speculative, histories are truncated at collection time).
     fn itv_ref(&self, a: IntervalId) -> &Interval {
-        &self.intervals[(a.0 - self.interval_base) as usize]
+        let loc = self.itv_dir[(a.0 - self.interval_base) as usize];
+        let sh = &self.shards[loc.shard as usize];
+        &sh.intervals[(loc.ord - sh.itv_collected) as usize]
     }
 
     fn itv_mut(&mut self, a: IntervalId) -> &mut Interval {
-        &mut self.intervals[(a.0 - self.interval_base) as usize]
+        let loc = self.itv_dir[(a.0 - self.interval_base) as usize];
+        let sh = &mut self.shards[loc.shard as usize];
+        &mut sh.intervals[(loc.ord - sh.itv_collected) as usize]
+    }
+
+    /// The process record for `pid`, on whichever shard hosts it.
+    fn proc_ref(&self, pid: ProcessId) -> Option<&Proc> {
+        let si = *self.proc_shard.get(pid.0 as usize)?;
+        self.shards[si as usize].procs.get(&pid)
+    }
+
+    fn proc_mut(&mut self, pid: ProcessId) -> Option<&mut Proc> {
+        let si = *self.proc_shard.get(pid.0 as usize)?;
+        self.shards[si as usize].procs.get_mut(&pid)
     }
 
     /// Decision state of a reclaimed AID — exactly what an uncollected
@@ -293,11 +364,30 @@ impl Engine {
         self.check_invariants = on;
     }
 
-    /// Register a new process and return its id.
+    /// Register a new process and return its id. Processes are assigned to
+    /// shards round-robin; a single-shard engine hosts everything on shard
+    /// 0.
     pub fn register_process(&mut self) -> ProcessId {
+        let shard = (self.next_pid as usize) % self.shards.len();
+        self.register_process_on(shard)
+    }
+
+    /// Register a new process on a specific shard (for embeddings and
+    /// benchmarks that want explicit placement).
+    ///
+    /// # Panics
+    ///
+    /// If `shard >= self.shard_count()`.
+    pub fn register_process_on(&mut self, shard: usize) -> ProcessId {
+        assert!(
+            shard < self.shards.len(),
+            "shard {shard} out of range (engine has {})",
+            self.shards.len()
+        );
         let pid = ProcessId(self.next_pid);
         self.next_pid += 1;
-        self.procs.insert(
+        self.proc_shard.push(shard as u32);
+        self.shards[shard].procs.insert(
             pid,
             Proc {
                 history: Vec::new(),
@@ -312,35 +402,49 @@ impl Engine {
     ///
     /// `creator` is recorded for traces only; *any* process may subsequently
     /// apply primitives to the AID (§4: "Any process in the system can apply
-    /// HOPE primitives to any assumption identifier").
+    /// HOPE primitives to any assumption identifier"). The record is owned
+    /// by the creator's shard (shard 0 for an unregistered creator).
     pub fn aid_init(&mut self, creator: ProcessId) -> AidId {
-        let id = AidId(self.aid_base + self.aids.len() as u64);
-        self.aids.push(Aid::new(id, creator));
+        let id = AidId(self.aid_base + self.aid_dir.len() as u64);
+        let si = self
+            .proc_shard
+            .get(creator.0 as usize)
+            .copied()
+            .unwrap_or(0) as usize;
+        let sh = &mut self.shards[si];
+        let ord = sh.aid_collected + sh.aids.len() as u64;
+        self.aid_dir.push(Loc {
+            shard: si as u32,
+            ord,
+        });
+        sh.aids.push(Aid::new(id, creator));
         id
     }
 
     /// Number of AIDs created so far, including reclaimed fossils.
     pub fn aid_count(&self) -> usize {
-        (self.aid_base as usize) + self.aids.len()
+        (self.aid_base as usize) + self.aid_dir.len()
     }
 
-    /// Number of intervals created so far (live, definite, rolled back and
-    /// reclaimed fossils).
+    /// Number of interval ids allocated so far (live, definite, rolled back
+    /// and reclaimed fossils — plus, after [`run_phase`](Engine::run_phase),
+    /// any unused phase-lease holes). Comparable between engines only when
+    /// both were driven through the same mode.
     pub fn interval_count(&self) -> usize {
-        (self.interval_base as usize) + self.intervals.len()
+        (self.interval_base as usize) + self.itv_dir.len()
     }
 
     /// Number of AIDs currently held in live storage (above the commit
     /// horizon). This — not [`aid_count`](Engine::aid_count) — is what
     /// bounds memory on a long run with fossil collection.
     pub fn live_aid_count(&self) -> usize {
-        self.aids.len()
+        self.shards.iter().map(|s| s.aids.len()).sum()
     }
 
     /// Number of intervals currently held in live storage (above the
     /// commit horizon).
     pub fn live_interval_count(&self) -> usize {
-        self.intervals.len()
+        self.shards.iter().map(|s| s.intervals.len()).sum()
     }
 
     /// The interval commit horizon: every interval with a smaller id is
@@ -376,10 +480,16 @@ impl Engine {
     /// never finalize anything on their own, so some environment-level
     /// agent must eventually issue definite decisions.
     pub fn open_aids(&self) -> Vec<AidId> {
-        // Fossils are decided by construction, so iterating live storage
-        // answers exactly what a full scan of an uncollected engine would.
-        self.aids
+        // Fossils are decided by construction, so iterating the live
+        // directory (in id order, as the unsharded engine scanned its
+        // store) answers exactly what a full scan of an uncollected engine
+        // would.
+        self.aid_dir
             .iter()
+            .map(|loc| {
+                let sh = &self.shards[loc.shard as usize];
+                &sh.aids[(loc.ord - sh.aid_collected) as usize]
+            })
             .filter(|a| a.state == AidState::Undecided && !a.consumed)
             .map(|a| a.id)
             .collect()
@@ -395,8 +505,8 @@ impl Engine {
     ///   [`aid_state`](Engine::aid_state), which answers for fossils too).
     pub fn aid(&self, x: AidId) -> Result<AidView<'_>> {
         match self.aid_slot(x) {
-            Slot::Live(i) => Ok(AidView {
-                inner: &self.aids[i],
+            Slot::Live => Ok(AidView {
+                inner: self.aid_ref(x),
             }),
             Slot::Fossil => Err(Error::FossilAid(x)),
             Slot::Unknown => Err(Error::UnknownAid(x)),
@@ -413,7 +523,7 @@ impl Engine {
     /// [`Error::UnknownAid`] if the AID was not created by this engine.
     pub fn aid_state(&self, x: AidId) -> Result<AidState> {
         match self.aid_slot(x) {
-            Slot::Live(i) => Ok(self.aids[i].state),
+            Slot::Live => Ok(self.aid_ref(x).state),
             Slot::Fossil => Ok(self.fossil_aid_state(x)),
             Slot::Unknown => Err(Error::UnknownAid(x)),
         }
@@ -428,8 +538,8 @@ impl Engine {
     ///   [`collect_fossils`](Engine::collect_fossils).
     pub fn interval(&self, a: IntervalId) -> Result<IntervalView<'_>> {
         match self.itv_slot(a) {
-            Slot::Live(i) => Ok(IntervalView {
-                inner: &self.intervals[i],
+            Slot::Live => Ok(IntervalView {
+                inner: self.itv_ref(a),
             }),
             Slot::Fossil => Err(Error::FossilInterval(a)),
             Slot::Unknown => Err(Error::UnknownInterval(a)),
@@ -445,8 +555,7 @@ impl Engine {
     ///
     /// [`Error::UnknownProcess`] if `pid` was never registered.
     pub fn history(&self, pid: ProcessId) -> Result<&[IntervalId]> {
-        self.procs
-            .get(&pid)
+        self.proc_ref(pid)
             .map(|p| p.history.as_slice())
             .ok_or(Error::UnknownProcess(pid))
     }
@@ -465,7 +574,7 @@ impl Engine {
     ///
     /// [`Error::UnknownProcess`] if `pid` was never registered.
     pub fn speculative_frontier(&self, pid: ProcessId) -> Result<Option<Checkpoint>> {
-        let proc = self.procs.get(&pid).ok_or(Error::UnknownProcess(pid))?;
+        let proc = self.proc_ref(pid).ok_or(Error::UnknownProcess(pid))?;
         Ok(proc
             .history
             .iter()
@@ -481,7 +590,7 @@ impl Engine {
     ///
     /// [`Error::UnknownProcess`] if `pid` was never registered.
     pub fn current_interval(&self, pid: ProcessId) -> Result<Option<IntervalId>> {
-        let proc = self.procs.get(&pid).ok_or(Error::UnknownProcess(pid))?;
+        let proc = self.proc_ref(pid).ok_or(Error::UnknownProcess(pid))?;
         Ok(proc
             .history
             .last()
@@ -546,7 +655,7 @@ impl Engine {
         if aids.is_empty() {
             return Err(Error::EmptyGuess);
         }
-        if !self.procs.contains_key(&pid) {
+        if self.proc_ref(pid).is_none() {
             return Err(Error::UnknownProcess(pid));
         }
         for &x in aids {
@@ -558,7 +667,7 @@ impl Engine {
         // live record would: denied fossils fail the guess, affirmed ones
         // contribute no dependence.
         if let Some(&denied) = aids.iter().find(|&&x| match self.aid_slot(x) {
-            Slot::Live(i) => self.aids[i].state == AidState::Denied,
+            Slot::Live => self.aid_ref(x).state == AidState::Denied,
             Slot::Fossil => self.fossil_aid_state(x) == AidState::Denied,
             Slot::Unknown => unreachable!("validated above"),
         }) {
@@ -576,7 +685,7 @@ impl Engine {
         let mut guessed: DepSet<AidId> = DepSet::new();
         for &x in aids {
             let aid = match self.aid_slot(x) {
-                Slot::Live(i) => &self.aids[i],
+                Slot::Live => self.aid_ref(x),
                 // Fossils are decided: no dependence, like any decided AID.
                 Slot::Fossil => continue,
                 Slot::Unknown => unreachable!("validated above"),
@@ -605,15 +714,26 @@ impl Engine {
         };
         ido.union_with(&guessed);
 
-        let id = IntervalId(self.interval_base + self.intervals.len() as u64);
+        let id = IntervalId(self.interval_base + self.itv_dir.len() as u64);
+        let home = self.proc_shard[pid.0 as usize];
+        let count_crossings = self.shards.len() > 1;
         for x in &ido {
+            // In a distributed deployment a DOM registration on a foreign
+            // shard is one tracking message; count it (satellite of the
+            // sharding work — excluded from determinism fingerprints).
+            if count_crossings && self.aid_dir[(x.0 - self.aid_base) as usize].shard != home {
+                self.tracking.cross_shard_messages += 1;
+            }
             self.aid_mut(x).dom.insert(id);
         }
         let ido_empty = ido.is_empty();
-        let proc = self.procs.get_mut(&pid).expect("validated above");
+        let proc = self.proc_mut(pid).expect("validated above");
         let seq = proc.collected as usize + proc.history.len();
         proc.history.push(id);
-        self.intervals.push(Interval {
+        let sh = &mut self.shards[home as usize];
+        let ord = sh.itv_collected + sh.intervals.len() as u64;
+        self.itv_dir.push(Loc { shard: home, ord });
+        sh.intervals.push(Interval {
             id,
             pid,
             ps,
@@ -657,7 +777,7 @@ impl Engine {
         tag: &Tag,
         ps: Checkpoint,
     ) -> Result<(ReceiveOutcome, Vec<Effect>)> {
-        if !self.procs.contains_key(&pid) {
+        if self.proc_ref(pid).is_none() {
             return Err(Error::UnknownProcess(pid));
         }
         for x in tag.iter() {
@@ -668,7 +788,7 @@ impl Engine {
         // In-flight tags can outlive a collection sweep; the fossil record
         // keeps ghost filtering exact for them.
         if let Some(denied) = tag.iter().find(|&x| match self.aid_slot(x) {
-            Slot::Live(i) => self.aids[i].state == AidState::Denied,
+            Slot::Live => self.aid_ref(x).state == AidState::Denied,
             Slot::Fossil => self.fossil_aid_state(x) == AidState::Denied,
             Slot::Unknown => unreachable!("validated above"),
         }) {
@@ -678,7 +798,7 @@ impl Engine {
         let undecided: Vec<AidId> = tag
             .iter()
             .filter(|&x| match self.aid_slot(x) {
-                Slot::Live(i) => self.aids[i].state == AidState::Undecided,
+                Slot::Live => self.aid_ref(x).state == AidState::Undecided,
                 // Fossils are decided (and not denied, per the check above).
                 _ => false,
             })
@@ -806,7 +926,7 @@ impl Engine {
     ///   (its `IDO` is non-empty) or was rolled back.
     pub fn finalize(&mut self, a: IntervalId) -> Result<Vec<Effect>> {
         let itv = match self.itv_slot(a) {
-            Slot::Live(i) => &self.intervals[i],
+            Slot::Live => self.itv_ref(a),
             Slot::Fossil => return Err(Error::FossilInterval(a)),
             Slot::Unknown => return Err(Error::UnknownInterval(a)),
         };
@@ -865,60 +985,487 @@ impl Engine {
     pub fn collect_fossils(&mut self) -> FossilSweep {
         // Interval horizon: min over processes of the first speculative
         // interval's id; a fully definite process imposes no bound.
-        let total = self.interval_base + self.intervals.len() as u64;
+        let total = self.interval_base + self.itv_dir.len() as u64;
         let mut horizon = total;
-        for proc in self.procs.values() {
-            let frontier = proc
-                .history
-                .iter()
-                .copied()
-                .find(|&a| self.itv_ref(a).status == IntervalStatus::Speculative)
-                .map_or(total, |a| a.0);
-            horizon = horizon.min(frontier);
-        }
-        let n_itv = (horizon - self.interval_base) as usize;
-        if n_itv > 0 {
-            for proc in self.procs.values_mut() {
-                // History ids are strictly increasing, so the collectable
-                // entries form a prefix.
-                let keep = proc
+        for sh in &self.shards {
+            for proc in sh.procs.values() {
+                let frontier = proc
                     .history
                     .iter()
-                    .position(|&a| a.0 >= horizon)
-                    .unwrap_or(proc.history.len());
-                proc.history.drain(..keep);
-                proc.collected += keep as u64;
+                    .copied()
+                    .find(|&a| self.itv_ref(a).status == IntervalStatus::Speculative)
+                    .map_or(total, |a| a.0);
+                horizon = horizon.min(frontier);
             }
-            debug_assert!(self.intervals[..n_itv]
-                .iter()
-                .all(|i| i.status != IntervalStatus::Speculative));
-            self.intervals.drain(..n_itv);
+        }
+        let n_itv = (horizon - self.interval_base) as usize;
+        let mut reclaimed_itvs = 0u64;
+        if n_itv > 0 {
+            for sh in &mut self.shards {
+                for proc in sh.procs.values_mut() {
+                    // History ids are strictly increasing, so the
+                    // collectable entries form a prefix.
+                    let keep = proc
+                        .history
+                        .iter()
+                        .position(|&a| a.0 >= horizon)
+                        .unwrap_or(proc.history.len());
+                    proc.history.drain(..keep);
+                    proc.collected += keep as u64;
+                }
+            }
+            // Per-shard record counts in the directory prefix (sentinel
+            // holes have no record to drop). Each shard's store is sorted
+            // by id, so its members of the prefix are a store prefix.
+            let mut per = vec![0usize; self.shards.len()];
+            for loc in &self.itv_dir[..n_itv] {
+                if loc.shard != NO_SHARD {
+                    per[loc.shard as usize] += 1;
+                }
+            }
+            for (si, &n) in per.iter().enumerate() {
+                if n > 0 {
+                    let sh = &mut self.shards[si];
+                    debug_assert!(sh.intervals[..n]
+                        .iter()
+                        .all(|i| i.status != IntervalStatus::Speculative));
+                    sh.intervals.drain(..n);
+                    sh.itv_collected += n as u64;
+                    reclaimed_itvs += n as u64;
+                }
+            }
+            self.itv_dir.drain(..n_itv);
             self.interval_base = horizon;
-            self.stats.fossil_intervals += n_itv as u64;
+            self.stats.fossil_intervals += reclaimed_itvs;
         }
 
         // AID horizon: the leading run of definitively decided AIDs.
-        let mut n_aid = 0;
-        for a in &self.aids {
+        let mut n_aid = 0usize;
+        let mut newly_denied: Vec<AidId> = Vec::new();
+        for loc in &self.aid_dir {
+            let sh = &self.shards[loc.shard as usize];
+            let a = &sh.aids[(loc.ord - sh.aid_collected) as usize];
             if a.state == AidState::Undecided {
                 break;
             }
             if a.state == AidState::Denied {
-                self.fossil_denied.insert(a.id);
+                newly_denied.push(a.id);
             }
             n_aid += 1;
         }
+        self.fossil_denied.extend(newly_denied);
         if n_aid > 0 {
-            self.aids.drain(..n_aid);
+            let mut per = vec![0usize; self.shards.len()];
+            for loc in &self.aid_dir[..n_aid] {
+                per[loc.shard as usize] += 1;
+            }
+            for (si, &n) in per.iter().enumerate() {
+                if n > 0 {
+                    let sh = &mut self.shards[si];
+                    sh.aids.drain(..n);
+                    sh.aid_collected += n as u64;
+                }
+            }
+            self.aid_dir.drain(..n_aid);
             self.aid_base += n_aid as u64;
             self.stats.fossil_aids += n_aid as u64;
         }
         self.post_check();
         FossilSweep {
-            intervals: n_itv as u64,
+            intervals: reclaimed_itvs,
             aids: n_aid as u64,
             interval_horizon: self.interval_base,
             aid_horizon: self.aid_base,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // phase execution — per-shard worker threads, batched cross-shard
+    // queues, quiescent-point drain
+    // ------------------------------------------------------------------
+
+    /// Execute one **phase**: per-shard op scripts on (up to) `workers`
+    /// scoped worker threads, each owning its shard exclusively, with all
+    /// cross-shard tracking traffic batched into per-shard-pair FIFO
+    /// queues and drained — in deterministic `order` — at the quiescent
+    /// point that ends the phase.
+    ///
+    /// During a phase **no assumption changes state**: every
+    /// `affirm`/`deny`/`free_of` defers to the drain (where the full
+    /// sequential cascade machinery replays it), so workers can trust a
+    /// pre-phase decision snapshot and run `aid_init` and `guess` entirely
+    /// shard-locally. The one guess step that touches foreign shards —
+    /// registering the new interval in a remote AID's `DOM` — is emitted as
+    /// a queue message instead of taking the remote shard's store inline
+    /// (the §7 promise). A guess naming a speculatively-affirmed AID also
+    /// defers (Equations 10–14 need the affirmer's interval), as does every
+    /// later op of a process once one of its ops deferred, preserving
+    /// per-process program order.
+    ///
+    /// Id allocation is deterministic: each shard gets a contiguous lease
+    /// of AID and interval ids (shard 0's block first), so the records a
+    /// worker creates are independent of worker count and thread timing —
+    /// the whole phase is bit-identical for any `workers`, and committed
+    /// outcomes for single-decider workloads are invariant under `order`
+    /// (property-tested in `tests/sharded_differential.rs`).
+    ///
+    /// `scripts[i]` runs on shard `i` and may only name processes hosted
+    /// there. [`OpAid::Id`] must reference pre-phase AIDs;
+    /// [`OpAid::New`]`(k)` references the `k`-th `AidInit` of the *same*
+    /// script. Validation happens before any state changes, so an `Err`
+    /// leaves the engine untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownProcess`] for an op naming an unregistered process.
+    /// * [`Error::UnknownAid`] for an [`OpAid::Id`] not allocated before
+    ///   the phase.
+    /// * [`Error::EmptyGuess`] for a guess naming no AIDs.
+    ///
+    /// # Panics
+    ///
+    /// On structural misuse (driver bugs, not data-dependent conditions):
+    /// `scripts.len() != self.shard_count()`, `order.len() !=
+    /// self.shard_count()`, an op submitted to a shard that does not host
+    /// its process, or an [`OpAid::New`]`(k)` preceding its `AidInit`.
+    pub fn run_phase(
+        &mut self,
+        scripts: Vec<Vec<ShardOp>>,
+        workers: usize,
+        order: &DrainOrder,
+    ) -> Result<PhaseReport> {
+        let nshards = self.shards.len();
+        assert_eq!(
+            scripts.len(),
+            nshards,
+            "run_phase needs one script per shard"
+        );
+        assert_eq!(order.len(), nshards, "drain order must cover every shard");
+
+        // --- validate and size the id leases (no state changes yet) ---
+        let pre_next_aid = self.aid_base + self.aid_dir.len() as u64;
+        let mut aid_lease = vec![0u64; nshards]; // exact: AidInit count
+        let mut itv_lease = vec![0u64; nshards]; // upper bound: Guess count
+        let mut total_ops = 0u64;
+        for (si, script) in scripts.iter().enumerate() {
+            let mut inits = 0u64;
+            for op in script {
+                total_ops += 1;
+                let pid = op.pid();
+                match self.proc_shard.get(pid.0 as usize) {
+                    None => return Err(Error::UnknownProcess(pid)),
+                    Some(&owner) => assert_eq!(
+                        owner as usize, si,
+                        "op for {pid} submitted to shard {si}, which does not host it"
+                    ),
+                }
+                match op {
+                    ShardOp::AidInit { .. } => inits += 1,
+                    ShardOp::Guess { aids, .. } => {
+                        if aids.is_empty() {
+                            return Err(Error::EmptyGuess);
+                        }
+                        for &a in aids {
+                            Self::check_opaid(a, inits, pre_next_aid)?;
+                        }
+                        itv_lease[si] += 1;
+                    }
+                    ShardOp::Affirm { aid, .. }
+                    | ShardOp::Deny { aid, .. }
+                    | ShardOp::FreeOf { aid, .. } => Self::check_opaid(*aid, inits, pre_next_aid)?,
+                }
+            }
+            aid_lease[si] = inits;
+        }
+
+        // --- id leases: contiguous ascending blocks, shard 0 first ---
+        // AID leases are exact, so the directory entries written here are
+        // final; interval leases are upper bounds, filled (or left as
+        // sentinel holes) after the workers join.
+        let mut aid_lease_start = vec![0u64; nshards];
+        let mut next_aid = pre_next_aid;
+        for si in 0..nshards {
+            aid_lease_start[si] = next_aid;
+            let ord0 = self.shards[si].aid_collected + self.shards[si].aids.len() as u64;
+            for k in 0..aid_lease[si] {
+                self.aid_dir.push(Loc {
+                    shard: si as u32,
+                    ord: ord0 + k,
+                });
+            }
+            next_aid += aid_lease[si];
+        }
+        let mut itv_lease_start = vec![0u64; nshards];
+        let mut itv_start_ord = vec![0u64; nshards];
+        let mut next_itv = self.interval_base + self.itv_dir.len() as u64;
+        for si in 0..nshards {
+            itv_lease_start[si] = next_itv;
+            itv_start_ord[si] =
+                self.shards[si].itv_collected + self.shards[si].intervals.len() as u64;
+            for _ in 0..itv_lease[si] {
+                self.itv_dir.push(Loc::SENTINEL);
+            }
+            next_itv += itv_lease[si];
+        }
+
+        // --- pre-phase decision snapshot (valid all phase: decisions
+        // defer, so no AID changes state while workers run) ---
+        let snapshot: Vec<SnapAid> = self.aid_dir[..(pre_next_aid - self.aid_base) as usize]
+            .iter()
+            .map(|loc| {
+                let sh = &self.shards[loc.shard as usize];
+                let a = &sh.aids[(loc.ord - sh.aid_collected) as usize];
+                SnapAid {
+                    state: a.state,
+                    spec_affirmed: a.spec_affirmed_by.is_some(),
+                }
+            })
+            .collect();
+
+        self.tracking.phases += 1;
+
+        // --- execute: each worker owns a disjoint set of shards ---
+        let aid_base = self.aid_base;
+        let mut outs: Vec<Option<crate::shard::WorkerOut>> = (0..nshards).map(|_| None).collect();
+        {
+            let Engine {
+                shards,
+                aid_dir,
+                fossil_denied,
+                ..
+            } = self;
+            let aid_dir: &[Loc] = aid_dir;
+            let fossil_denied: &BTreeSet<AidId> = fossil_denied;
+            let snapshot: &[SnapAid] = &snapshot;
+            let scripts: &[Vec<ShardOp>] = &scripts;
+            let aid_lease_start: &[u64] = &aid_lease_start;
+            let itv_lease_start: &[u64] = &itv_lease_start;
+            let make_ctx = move |si: usize| WorkerCtx {
+                shard_idx: si,
+                nshards,
+                aid_base,
+                aid_dir,
+                snapshot,
+                snapshot_end: pre_next_aid,
+                fossil_denied,
+                aid_lease_start: aid_lease_start[si],
+                itv_lease_start: itv_lease_start[si],
+            };
+            let w = workers.max(1).min(nshards.max(1));
+            if w <= 1 {
+                // Same code path as the threaded branch, minus the spawn:
+                // worker-count 1 and worker-count N produce byte-identical
+                // WorkerOuts because each shard's execution is a function
+                // of (shard state, snapshot, script) only.
+                for (si, shard) in shards.iter_mut().enumerate() {
+                    outs[si] = Some(run_shard_script(shard, &make_ctx(si), &scripts[si]));
+                }
+            } else {
+                let mut buckets: Vec<Vec<(usize, &mut EngineShard)>> =
+                    (0..w).map(|_| Vec::new()).collect();
+                for (si, shard) in shards.iter_mut().enumerate() {
+                    buckets[si % w].push((si, shard));
+                }
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = buckets
+                        .into_iter()
+                        .map(|bucket| {
+                            scope.spawn(move || {
+                                bucket
+                                    .into_iter()
+                                    .map(|(si, shard)| {
+                                        (si, run_shard_script(shard, &make_ctx(si), &scripts[si]))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        for (si, out) in h.join().expect("phase worker panicked") {
+                            outs[si] = Some(out);
+                        }
+                    }
+                });
+            }
+        }
+
+        // --- post-join bookkeeping, in shard-index order ---
+        let mut effects: Vec<Effect> = Vec::new();
+        let mut busy_ns = vec![0u64; nshards];
+        let mut deferred_total = 0u64;
+        let mut queues: Vec<Vec<Vec<CrossShardMsg>>> = Vec::with_capacity(nshards);
+        for (si, out) in outs.into_iter().enumerate() {
+            let out = out.expect("every shard ran");
+            debug_assert_eq!(out.created_aids, aid_lease[si]);
+            for (k, &id) in out.created_itvs.iter().enumerate() {
+                self.itv_dir[(id.0 - self.interval_base) as usize] = Loc {
+                    shard: si as u32,
+                    ord: itv_start_ord[si] + k as u64,
+                };
+            }
+            if (out.created_itvs.len() as u64) < itv_lease[si] {
+                self.itv_holes = true;
+            }
+            self.stats.guesses += out.guesses;
+            self.stats.failed_guesses += out.failed_guesses;
+            self.stats.finalized += out.finalized;
+            deferred_total += out.deferred;
+            busy_ns[si] = out.busy_ns;
+            effects.extend(out.effects);
+            queues.push(out.queues);
+        }
+        self.tracking.deferred_ops += deferred_total;
+
+        // --- quiescent-point drain: deterministic (order, then source
+        // shard, then FIFO) application of the batched traffic.
+        // Lemma 5.1 symmetry is intentionally broken mid-drain (DomInserts
+        // still queued), so invariant checking pauses until the end.
+        let t_drain = std::time::Instant::now();
+        let saved_checks = self.check_invariants;
+        self.check_invariants = false;
+        let mut cross_msgs = 0u64;
+        let mut flushes = 0u64;
+        let mut max_depth = 0u64;
+        for &dst in order.dsts() {
+            for src_queues in queues.iter_mut() {
+                let batch = std::mem::take(&mut src_queues[dst]);
+                if batch.is_empty() {
+                    continue;
+                }
+                flushes += 1;
+                max_depth = max_depth.max(batch.len() as u64);
+                for msg in batch {
+                    match msg {
+                        CrossShardMsg::DomInsert { aid, interval } => {
+                            cross_msgs += 1;
+                            self.apply_dom_insert(aid, interval, &mut effects);
+                        }
+                        CrossShardMsg::Deferred(op) => self.apply_deferred(op, &mut effects),
+                    }
+                }
+            }
+        }
+        self.check_invariants = saved_checks;
+        self.post_check();
+        let drain_ns = t_drain.elapsed().as_nanos() as u64;
+
+        self.tracking.cross_shard_messages += cross_msgs;
+        self.tracking.batch_flushes += flushes;
+        self.tracking.max_queue_depth = self.tracking.max_queue_depth.max(max_depth);
+        Ok(PhaseReport {
+            effects,
+            ops: total_ops,
+            deferred_ops: deferred_total,
+            cross_shard_messages: cross_msgs,
+            batch_flushes: flushes,
+            max_queue_depth: max_depth,
+            busy_ns,
+            drain_ns,
+        })
+    }
+
+    /// Validate one phase-script AID reference (see
+    /// [`run_phase`](Engine::run_phase) for the rules).
+    fn check_opaid(a: OpAid, inits_so_far: u64, pre_next_aid: u64) -> Result<()> {
+        match a {
+            OpAid::New(k) => {
+                assert!(
+                    (k as u64) < inits_so_far,
+                    "OpAid::New({k}) precedes its AidInit in the shard script"
+                );
+                Ok(())
+            }
+            OpAid::Id(x) => {
+                if x.0 >= pre_next_aid {
+                    Err(Error::UnknownAid(x))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Drain-time handler for a batched cross-shard DOM registration:
+    /// worker-created interval `b` holds `x` in its IDO; complete the
+    /// Lemma 5.1 symmetry against `x`'s *current* state, which earlier
+    /// drain steps may have changed since the worker ran.
+    fn apply_dom_insert(&mut self, x: AidId, b: IntervalId, effects: &mut Vec<Effect>) {
+        // The target interval may already have rolled back during this
+        // drain (do_rollback's DOM withdrawal of an unregistered edge was
+        // a no-op; the stale insert must simply not happen).
+        if !matches!(self.itv_slot(b), Slot::Live)
+            || self.itv_ref(b).status != IntervalStatus::Speculative
+        {
+            return;
+        }
+        let mut wl = VecDeque::new();
+        let state = match self.aid_slot(x) {
+            Slot::Live => self.aid_ref(x).state,
+            // Unreachable today (collection never runs mid-drain), but a
+            // fossil is just a decided AID.
+            Slot::Fossil => self.fossil_aid_state(x),
+            Slot::Unknown => unreachable!("validated before the phase ran"),
+        };
+        match state {
+            AidState::Undecided => {
+                let spec_by = self.aid_ref(x).spec_affirmed_by;
+                match spec_by {
+                    Some(af) => {
+                        // A drain-step affirm dissolved x (Eq. 10–14); the
+                        // late dependent swaps x for the affirmer's IDO.
+                        let mut a_ido = self.itv_ref(af).ido.clone();
+                        a_ido.remove(&x);
+                        for y in &a_ido {
+                            self.aid_mut(y).dom.insert(b);
+                        }
+                        let itv = self.itv_mut(b);
+                        itv.ido.remove(&x);
+                        itv.ido.union_with(&a_ido);
+                        if itv.ido.is_empty() {
+                            wl.push_back(Task::Finalize(b));
+                        }
+                    }
+                    None => {
+                        // The common case: complete the symmetry.
+                        self.aid_mut(x).dom.insert(b);
+                    }
+                }
+            }
+            AidState::Affirmed => {
+                // Decided affirmatively by an earlier drain step: the
+                // dependence is already discharged.
+                let itv = self.itv_mut(b);
+                itv.ido.remove(&x);
+                if itv.ido.is_empty() {
+                    wl.push_back(Task::Finalize(b));
+                }
+            }
+            AidState::Denied => {
+                // Decided negatively: b is built on a false assumption.
+                wl.push_back(Task::Rollback(b));
+            }
+        }
+        self.drain(&mut wl, effects);
+    }
+
+    /// Drain-time replay of a deferred op through the full sequential
+    /// engine. Pre-phase validation makes every error unreachable except
+    /// [`Error::AidConsumed`], which means an earlier drain step (another
+    /// decider, or a cascade) settled the AID first — the op loses the
+    /// one-shot race, exactly as it would have under any sequential
+    /// interleaving.
+    fn apply_deferred(&mut self, op: ResolvedOp, effects: &mut Vec<Effect>) {
+        let res = match op {
+            ResolvedOp::Guess { pid, aids, ps } => self
+                .guess(pid, &aids, ps)
+                .map(|(_outcome, fx)| effects.extend(fx)),
+            ResolvedOp::Affirm { pid, aid } => self.affirm(pid, aid).map(|fx| effects.extend(fx)),
+            ResolvedOp::Deny { pid, aid } => self.deny(pid, aid).map(|fx| effects.extend(fx)),
+            ResolvedOp::FreeOf { pid, aid } => self.free_of(pid, aid).map(|fx| effects.extend(fx)),
+        };
+        match res {
+            Ok(()) | Err(Error::AidConsumed(_)) => {}
+            Err(e) => unreachable!("deferred op failed after pre-phase validation: {e}"),
         }
     }
 
@@ -928,11 +1475,11 @@ impl Engine {
 
     /// Validate ids and enforce the one-shot rule, marking `x` consumed.
     fn consume(&mut self, pid: ProcessId, x: AidId) -> Result<()> {
-        if !self.procs.contains_key(&pid) {
+        if self.proc_ref(pid).is_none() {
             return Err(Error::UnknownProcess(pid));
         }
         let aid = match self.aid_slot(x) {
-            Slot::Live(i) => &mut self.aids[i],
+            Slot::Live => self.aid_mut(x),
             // Fossils were decided, hence consumed: a second decider gets
             // the same error an uncollected engine would produce.
             Slot::Fossil => return Err(Error::AidConsumed(x)),
@@ -1028,7 +1575,15 @@ impl Engine {
         aid.spec_affirmed_by = None;
         aid.consumed = true;
         let dom = std::mem::take(&mut aid.dom);
+        let x_home = self.aid_dir[(x.0 - self.aid_base) as usize].shard;
+        let count_crossings = self.shards.len() > 1;
         for b in &dom {
+            // Discharging a dependent hosted elsewhere is one cascade
+            // notification across the ownership boundary.
+            if count_crossings && self.itv_dir[(b.0 - self.interval_base) as usize].shard != x_home
+            {
+                self.tracking.cross_shard_messages += 1;
+            }
             let itv = self.itv_mut(b);
             itv.ido.remove(&x);
             if itv.ido.is_empty() {
@@ -1047,7 +1602,13 @@ impl Engine {
         aid.spec_denied_by = None;
         aid.consumed = true;
         let dom = std::mem::take(&mut aid.dom);
+        let x_home = self.aid_dir[(x.0 - self.aid_base) as usize].shard;
+        let count_crossings = self.shards.len() > 1;
         for b in &dom {
+            if count_crossings && self.itv_dir[(b.0 - self.interval_base) as usize].shard != x_home
+            {
+                self.tracking.cross_shard_messages += 1;
+            }
             wl.push_back(Task::Rollback(b));
         }
     }
@@ -1110,7 +1671,7 @@ impl Engine {
             IntervalStatus::Speculative => {}
         }
         let pid = self.itv_ref(a).pid;
-        let proc = self.procs.get_mut(&pid).expect("interval has valid pid");
+        let proc = self.proc_mut(pid).expect("interval has valid pid");
         let pos = match proc.history.iter().position(|&i| i == a) {
             Some(p) => p,
             None => return, // already truncated by an earlier event
@@ -1120,6 +1681,8 @@ impl Engine {
         self.stats.rolled_back_intervals += discarded.len() as u64;
         self.stats.rollback_events += 1;
         let checkpoint = self.itv_ref(a).ps;
+        let home = self.proc_shard[pid.0 as usize];
+        let count_crossings = self.shards.len() > 1;
 
         // Unwind latest-first, as an implementation would.
         for &c in discarded.iter().rev() {
@@ -1132,6 +1695,11 @@ impl Engine {
             // Withdraw from every DOM set (keeps Lemma 5.1 symmetric).
             let ido = self.itv_ref(c).ido.clone();
             for x in &ido {
+                // Withdrawing from a DOM hosted elsewhere is one tracking
+                // message across the ownership boundary.
+                if count_crossings && self.aid_dir[(x.0 - self.aid_base) as usize].shard != home {
+                    self.tracking.cross_shard_messages += 1;
+                }
                 self.aid_mut(x).dom.remove(&c);
             }
             // Speculative affirms become conservative definite denies
@@ -1192,87 +1760,95 @@ impl Engine {
     /// engine bug, not caller misuse).
     pub fn verify_invariants(&self) -> std::result::Result<(), String> {
         // 1 + 3: interval-side checks.
-        for itv in &self.intervals {
-            match itv.status {
-                IntervalStatus::Speculative => {
-                    if itv.ido.is_empty() {
-                        return Err(format!("{} speculative with empty IDO", itv.id));
-                    }
-                    for x in &itv.ido {
-                        if !self.aid_ref(x).dom.contains(&itv.id) {
-                            return Err(format!(
-                                "Lemma 5.1: {} ∈ {}.IDO but {} ∉ {}.DOM",
-                                x, itv.id, itv.id, x
-                            ));
+        for sh in &self.shards {
+            for itv in &sh.intervals {
+                match itv.status {
+                    IntervalStatus::Speculative => {
+                        if itv.ido.is_empty() {
+                            return Err(format!("{} speculative with empty IDO", itv.id));
+                        }
+                        for x in &itv.ido {
+                            if !self.aid_ref(x).dom.contains(&itv.id) {
+                                return Err(format!(
+                                    "Lemma 5.1: {} ∈ {}.IDO but {} ∉ {}.DOM",
+                                    x, itv.id, itv.id, x
+                                ));
+                            }
                         }
                     }
-                }
-                IntervalStatus::Definite | IntervalStatus::RolledBack => {
-                    for aid in &self.aids {
-                        if aid.dom.contains(&itv.id) {
-                            return Err(format!(
-                                "{} is {:?} but present in {}.DOM",
-                                itv.id, itv.status, aid.id
-                            ));
+                    IntervalStatus::Definite | IntervalStatus::RolledBack => {
+                        for ash in &self.shards {
+                            for aid in &ash.aids {
+                                if aid.dom.contains(&itv.id) {
+                                    return Err(format!(
+                                        "{} is {:?} but present in {}.DOM",
+                                        itv.id, itv.status, aid.id
+                                    ));
+                                }
+                            }
                         }
                     }
                 }
             }
         }
         // 1: AID-side symmetry.
-        for aid in &self.aids {
-            for a in &aid.dom {
-                let itv = self.itv_ref(a);
-                if !itv.ido.contains(&aid.id) {
+        for sh in &self.shards {
+            for aid in &sh.aids {
+                for a in &aid.dom {
+                    let itv = self.itv_ref(a);
+                    if !itv.ido.contains(&aid.id) {
+                        return Err(format!(
+                            "Lemma 5.1: {} ∈ {}.DOM but {} ∉ {}.IDO",
+                            a, aid.id, aid.id, a
+                        ));
+                    }
+                    if itv.status != IntervalStatus::Speculative {
+                        return Err(format!("{} in {}.DOM is not speculative", a, aid.id));
+                    }
+                }
+                if aid.state == AidState::Denied && !aid.dom.is_empty() {
+                    return Err(format!("denied {} has non-empty DOM", aid.id));
+                }
+                if aid.state == AidState::Affirmed && !aid.dom.is_empty() {
+                    return Err(format!("affirmed {} has non-empty DOM", aid.id));
+                }
+                if aid.spec_affirmed_by.is_some() && !aid.dom.is_empty() {
                     return Err(format!(
-                        "Lemma 5.1: {} ∈ {}.DOM but {} ∉ {}.IDO",
-                        a, aid.id, aid.id, a
+                        "speculatively affirmed {} has direct dependents (Eq. 10–14 \
+                         dissolve dependence permanently)",
+                        aid.id
                     ));
                 }
-                if itv.status != IntervalStatus::Speculative {
-                    return Err(format!("{} in {}.DOM is not speculative", a, aid.id));
-                }
-            }
-            if aid.state == AidState::Denied && !aid.dom.is_empty() {
-                return Err(format!("denied {} has non-empty DOM", aid.id));
-            }
-            if aid.state == AidState::Affirmed && !aid.dom.is_empty() {
-                return Err(format!("affirmed {} has non-empty DOM", aid.id));
-            }
-            if aid.spec_affirmed_by.is_some() && !aid.dom.is_empty() {
-                return Err(format!(
-                    "speculatively affirmed {} has direct dependents (Eq. 10–14 \
-                     dissolve dependence permanently)",
-                    aid.id
-                ));
             }
         }
         // 2 + 3: per-process history checks.
-        for (pid, proc) in &self.procs {
-            let mut seen_speculative = false;
-            let mut prev: Option<&Interval> = None;
-            for &a in &proc.history {
-                let itv = self.itv_ref(a);
-                if itv.status == IntervalStatus::RolledBack {
-                    return Err(format!("rolled-back {} still in {}'s history", a, pid));
-                }
-                if itv.status == IntervalStatus::Speculative {
-                    seen_speculative = true;
-                } else if seen_speculative {
-                    return Err(format!(
-                        "definite {} follows a speculative interval in {}'s history",
-                        a, pid
-                    ));
-                }
-                if let Some(p) = prev {
-                    if !p.ido.is_subset(&itv.ido) {
+        for sh in &self.shards {
+            for (pid, proc) in &sh.procs {
+                let mut seen_speculative = false;
+                let mut prev: Option<&Interval> = None;
+                for &a in &proc.history {
+                    let itv = self.itv_ref(a);
+                    if itv.status == IntervalStatus::RolledBack {
+                        return Err(format!("rolled-back {} still in {}'s history", a, pid));
+                    }
+                    if itv.status == IntervalStatus::Speculative {
+                        seen_speculative = true;
+                    } else if seen_speculative {
                         return Err(format!(
-                            "prefix-subset: {}.IDO ⊄ {}.IDO in {}'s history",
-                            p.id, itv.id, pid
+                            "definite {} follows a speculative interval in {}'s history",
+                            a, pid
                         ));
                     }
+                    if let Some(p) = prev {
+                        if !p.ido.is_subset(&itv.ido) {
+                            return Err(format!(
+                                "prefix-subset: {}.IDO ⊄ {}.IDO in {}'s history",
+                                p.id, itv.id, pid
+                            ));
+                        }
+                    }
+                    prev = Some(itv);
                 }
-                prev = Some(itv);
             }
         }
         Ok(())

@@ -74,6 +74,7 @@ mod engine;
 mod error;
 mod ids;
 mod interval;
+mod shard;
 mod tag;
 
 pub mod depset;
@@ -90,4 +91,5 @@ pub use error::{Error, Result};
 pub use ids::{AidId, IntervalId, ProcessId};
 pub use interval::{Checkpoint, IntervalStatus, IntervalView};
 pub use observer::{Action, DecideKind, NullObserver, RuntimeObserver};
+pub use shard::{DrainOrder, OpAid, PhaseReport, ShardOp, TrackingStats};
 pub use tag::{ReceiveOutcome, Tag};

@@ -1,0 +1,650 @@
+//! Per-process sharding of the engine stores, and the batched phase executor.
+//!
+//! The engine's records are partitioned by **owner process**: each
+//! [`EngineShard`] holds the AID records, interval records and interval
+//! histories of the processes it hosts. The coordinator ([`Engine`]) keeps a
+//! directory mapping every id to its owning shard, so the sequential
+//! transitions of §5 run unchanged over the partitioned stores — a one-shard
+//! engine and an N-shard engine execute the *same statements in the same
+//! order* and are bit-identical in every observable.
+//!
+//! On top of the partitioned stores, [`Engine::run_phase`] executes per-shard
+//! op scripts on scoped worker threads. During a phase no assumption changes
+//! state (decisions are deferred), so each worker runs `aid_init` and the
+//! shard-local part of `guess` against its own shard without taking any other
+//! shard's data — cross-shard dependency registration (a DOM edge whose AID
+//! lives on another shard) and every deferred primitive are batched into
+//! per-shard-pair FIFO queues and drained at the quiescent point that ends
+//! the phase. That is the paper's §7 promise made concrete: tracking traffic
+//! never blocks the optimistic computation inline.
+//!
+//! [`Engine`]: crate::Engine
+//! [`Engine::run_phase`]: crate::Engine::run_phase
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::aid::{Aid, AidState};
+use crate::depset::DepSet;
+use crate::effect::Effect;
+use crate::ids::{AidId, IntervalId, ProcessId};
+use crate::interval::{Checkpoint, Interval, IntervalStatus};
+
+/// Shard index marking a directory hole (an interval lease slot that was
+/// never filled because the guess answered `AlreadyFalse`).
+pub(crate) const NO_SHARD: u32 = u32::MAX;
+
+/// Directory entry: which shard owns a record, and the record's absolute
+/// per-shard ordinal (its live index is `ord - collected`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Loc {
+    pub(crate) shard: u32,
+    pub(crate) ord: u64,
+}
+
+impl Loc {
+    pub(crate) const SENTINEL: Loc = Loc {
+        shard: NO_SHARD,
+        ord: 0,
+    };
+}
+
+/// Per-process interval bookkeeping (the paper's per-process history).
+#[derive(Debug, Clone)]
+pub(crate) struct Proc {
+    /// Live intervals, chronological. Rollback truncates a suffix; fossil
+    /// collection truncates a definite prefix.
+    pub(crate) history: Vec<IntervalId>,
+    /// Total intervals ever discarded from this process (for stats/tests).
+    pub(crate) discarded: u64,
+    /// Definite intervals reclaimed from the front of `history` by fossil
+    /// collection. Added to `history.len()` wherever a position in the
+    /// *full* live history is needed (interval `seq` numbers), so a
+    /// collecting engine assigns exactly the values an uncollected twin
+    /// would.
+    pub(crate) collected: u64,
+}
+
+/// One shard of the engine: the records of the processes it hosts.
+///
+/// `aids` and `intervals` are always sorted by id — sequential transitions
+/// append in global id order, and phase leases hand each shard a contiguous
+/// ascending block above every pre-phase id — so a worker thread holding
+/// `&mut EngineShard` can address its own records by binary search without
+/// the coordinator's directory.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineShard {
+    pub(crate) aids: Vec<Aid>,
+    /// AID records reclaimed from the front of `aids` by fossil collection.
+    pub(crate) aid_collected: u64,
+    pub(crate) intervals: Vec<Interval>,
+    /// Interval records reclaimed from the front of `intervals`.
+    pub(crate) itv_collected: u64,
+    pub(crate) procs: BTreeMap<ProcessId, Proc>,
+}
+
+impl EngineShard {
+    pub(crate) fn new() -> Self {
+        EngineShard {
+            aids: Vec::new(),
+            aid_collected: 0,
+            intervals: Vec::new(),
+            itv_collected: 0,
+            procs: BTreeMap::new(),
+        }
+    }
+
+    /// Shard-local AID lookup by id (worker-side addressing).
+    pub(crate) fn aid_local(&self, x: AidId) -> Option<&Aid> {
+        self.aids
+            .binary_search_by_key(&x, |a| a.id)
+            .ok()
+            .map(|i| &self.aids[i])
+    }
+
+    pub(crate) fn aid_local_mut(&mut self, x: AidId) -> Option<&mut Aid> {
+        self.aids
+            .binary_search_by_key(&x, |a| a.id)
+            .ok()
+            .map(move |i| &mut self.aids[i])
+    }
+
+    /// Shard-local interval lookup by id (worker-side addressing).
+    pub(crate) fn itv_local(&self, a: IntervalId) -> Option<&Interval> {
+        self.intervals
+            .binary_search_by_key(&a, |i| i.id)
+            .ok()
+            .map(|i| &self.intervals[i])
+    }
+}
+
+/// Cross-shard tracking-traffic counters.
+///
+/// Under a multi-shard engine these record how often dependence bookkeeping
+/// crossed an ownership boundary: in sequential (eager) mode each boundary
+/// touch counts as one message that a distributed engine would have sent; in
+/// phase mode ([`Engine::run_phase`](crate::Engine::run_phase)) they count
+/// the actual batched queue traffic. A single-shard engine leaves every
+/// counter at zero.
+///
+/// Like the DepSet cow/spill deltas, these are *excluded* from the runtime's
+/// determinism fingerprint: the same program on a 1-shard and a 4-shard
+/// engine commits identical outputs but necessarily differs in boundary
+/// crossings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TrackingStats {
+    /// Dependence-tracking updates that crossed a shard-ownership boundary
+    /// (DOM registrations, finalize/rollback cascade touches).
+    pub cross_shard_messages: u64,
+    /// Queue drains performed at phase quiescent points (one per non-empty
+    /// shard-pair queue).
+    pub batch_flushes: u64,
+    /// Largest batch any single cross-shard queue accumulated before a
+    /// drain.
+    pub max_queue_depth: u64,
+    /// Phases executed by [`Engine::run_phase`](crate::Engine::run_phase).
+    pub phases: u64,
+    /// Ops a phase worker could not prove shard-local and deferred to the
+    /// quiescent drain (all decisions defer; a guess defers only when it
+    /// involves a speculatively-affirmed assumption or follows a deferred
+    /// op of the same process).
+    pub deferred_ops: u64,
+}
+
+/// Reference to an AID from inside a phase script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpAid {
+    /// The `k`-th AID created by **this shard's script** in this phase
+    /// (0-based, counting its `AidInit` ops in order).
+    New(usize),
+    /// An AID that existed before the phase started. Phase scripts may name
+    /// any pre-phase AID, owned by any shard; same-phase AIDs of *other*
+    /// shards are not addressable (batch boundaries are phase boundaries).
+    Id(AidId),
+}
+
+/// One operation of a per-shard phase script.
+///
+/// Every op names the process executing it; the process must be hosted by
+/// the shard the script is submitted for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardOp {
+    /// `aid_init`: create a fresh AID owned by `pid`'s shard.
+    AidInit {
+        /// Creating process.
+        pid: ProcessId,
+    },
+    /// `guess` on one or more AIDs with checkpoint `ps`.
+    Guess {
+        /// Guessing process.
+        pid: ProcessId,
+        /// The named assumptions.
+        aids: Vec<OpAid>,
+        /// Checkpoint token recorded in the new interval.
+        ps: Checkpoint,
+    },
+    /// `affirm` (always deferred to the quiescent drain).
+    Affirm {
+        /// Affirming process.
+        pid: ProcessId,
+        /// The assumption.
+        aid: OpAid,
+    },
+    /// `deny` (always deferred to the quiescent drain).
+    Deny {
+        /// Denying process.
+        pid: ProcessId,
+        /// The assumption.
+        aid: OpAid,
+    },
+    /// `free_of` (always deferred to the quiescent drain).
+    FreeOf {
+        /// Asserting process.
+        pid: ProcessId,
+        /// The assumption.
+        aid: OpAid,
+    },
+}
+
+impl ShardOp {
+    /// The process executing this op.
+    pub fn pid(&self) -> ProcessId {
+        match *self {
+            ShardOp::AidInit { pid }
+            | ShardOp::Guess { pid, .. }
+            | ShardOp::Affirm { pid, .. }
+            | ShardOp::Deny { pid, .. }
+            | ShardOp::FreeOf { pid, .. } => pid,
+        }
+    }
+}
+
+/// The order in which destination shards drain their inbound queues at a
+/// phase's quiescent point.
+///
+/// The default ([`DrainOrder::identity`]) drains destinations `0, 1, …` in
+/// order; any permutation is legal, and for single-decider workloads the
+/// committed outcome is invariant under the choice (the commit-equivalence
+/// `hope-mc` machine-checks) — property-tested in
+/// `tests/sharded_differential.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainOrder {
+    dsts: Vec<usize>,
+}
+
+impl DrainOrder {
+    /// The identity order over `n` shards: destination 0 first.
+    pub fn identity(n: usize) -> Self {
+        DrainOrder {
+            dsts: (0..n).collect(),
+        }
+    }
+
+    /// A custom destination permutation. Returns `None` if `dsts` is not a
+    /// permutation of `0..dsts.len()`.
+    pub fn from_permutation(dsts: Vec<usize>) -> Option<Self> {
+        let mut seen = vec![false; dsts.len()];
+        for &d in &dsts {
+            if d >= dsts.len() || seen[d] {
+                return None;
+            }
+            seen[d] = true;
+        }
+        Some(DrainOrder { dsts })
+    }
+
+    /// Number of shards this order covers.
+    pub fn len(&self) -> usize {
+        self.dsts.len()
+    }
+
+    /// `true` if the order covers zero shards.
+    pub fn is_empty(&self) -> bool {
+        self.dsts.is_empty()
+    }
+
+    pub(crate) fn dsts(&self) -> &[usize] {
+        &self.dsts
+    }
+}
+
+/// What one [`Engine::run_phase`](crate::Engine::run_phase) call did.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct PhaseReport {
+    /// Effects produced, worker-inline effects first (grouped by shard
+    /// index, each shard's in script order), then quiescent-drain effects
+    /// in drain order.
+    pub effects: Vec<Effect>,
+    /// Ops executed across all scripts.
+    pub ops: u64,
+    /// Ops deferred to the quiescent drain.
+    pub deferred_ops: u64,
+    /// Cross-shard messages batched through the queues (excluding
+    /// deferred ops, which stay on their own shard's queue).
+    pub cross_shard_messages: u64,
+    /// Non-empty shard-pair queues drained.
+    pub batch_flushes: u64,
+    /// Deepest queue at drain time.
+    pub max_queue_depth: u64,
+    /// Host nanoseconds each shard's script took inside its worker —
+    /// indexed by shard. Timing only; never part of any fingerprint.
+    pub busy_ns: Vec<u64>,
+    /// Host nanoseconds the quiescent drain took.
+    pub drain_ns: u64,
+}
+
+/// A shard-script op with every `OpAid` resolved, carried on a queue to the
+/// quiescent drain and replayed through the full sequential engine there.
+#[derive(Debug, Clone)]
+pub(crate) enum ResolvedOp {
+    Guess {
+        pid: ProcessId,
+        aids: Vec<AidId>,
+        ps: Checkpoint,
+    },
+    Affirm {
+        pid: ProcessId,
+        aid: AidId,
+    },
+    Deny {
+        pid: ProcessId,
+        aid: AidId,
+    },
+    FreeOf {
+        pid: ProcessId,
+        aid: AidId,
+    },
+}
+
+/// One message on a shard-pair queue.
+#[derive(Debug, Clone)]
+pub(crate) enum CrossShardMsg {
+    /// Complete Lemma 5.1 symmetry for a worker-created interval whose IDO
+    /// contains an AID owned by another shard: insert `interval` into
+    /// `aid.DOM` (the interval's IDO already holds the AID).
+    DomInsert { aid: AidId, interval: IntervalId },
+    /// Replay a deferred op through the full engine at the drain.
+    Deferred(ResolvedOp),
+}
+
+/// Pre-phase decision snapshot of one AID (indexed by `id - aid_base`).
+/// Valid for the whole phase: no assumption changes state while workers
+/// run, because every decision defers to the drain.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SnapAid {
+    pub(crate) state: AidState,
+    pub(crate) spec_affirmed: bool,
+}
+
+/// Read-only phase context shared by every worker.
+pub(crate) struct WorkerCtx<'a> {
+    /// This worker's shard index.
+    pub(crate) shard_idx: usize,
+    pub(crate) nshards: usize,
+    pub(crate) aid_base: u64,
+    /// Full AID directory — pre-phase entries plus the exact leases for
+    /// every shard's phase-created AIDs (AID leases are exact: `AidInit`
+    /// always allocates).
+    pub(crate) aid_dir: &'a [Loc],
+    /// Pre-phase AID decision states, indexed by `id - aid_base`.
+    pub(crate) snapshot: &'a [SnapAid],
+    /// First id *not* covered by the snapshot (pre-phase `next_aid`).
+    pub(crate) snapshot_end: u64,
+    /// Reclaimed-but-denied AIDs (ids below `aid_base` absent from this set
+    /// were affirmed).
+    pub(crate) fossil_denied: &'a BTreeSet<AidId>,
+    /// First AID id of this shard's lease block.
+    pub(crate) aid_lease_start: u64,
+    /// First interval id of this shard's lease block.
+    pub(crate) itv_lease_start: u64,
+}
+
+/// What one worker produced for one shard.
+pub(crate) struct WorkerOut {
+    /// AIDs created, in order (ids are `aid_lease_start + k`).
+    pub(crate) created_aids: u64,
+    /// Intervals created, in order (ids ascend from `itv_lease_start`).
+    pub(crate) created_itvs: Vec<IntervalId>,
+    /// Outbound messages, indexed by destination shard. Deferred ops ride
+    /// the self-queue (`dst == shard_idx`).
+    pub(crate) queues: Vec<Vec<CrossShardMsg>>,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) guesses: u64,
+    pub(crate) failed_guesses: u64,
+    pub(crate) finalized: u64,
+    pub(crate) deferred: u64,
+    pub(crate) busy_ns: u64,
+}
+
+/// How a named AID looks to a worker mid-phase.
+enum AidLook {
+    /// Undecided, not speculatively affirmed: guessing it adds dependence.
+    Open,
+    /// Definitively affirmed (live or fossil): contributes no dependence.
+    Affirmed,
+    /// Definitively denied (live or fossil): the guess is `AlreadyFalse`.
+    Denied,
+    /// Speculatively affirmed — resolving dependence needs the affirmer's
+    /// interval, which may live anywhere: defer the op.
+    SpecAffirmed,
+}
+
+/// Execute one shard's script against its own shard only.
+///
+/// Anything not provably shard-local defers to the quiescent drain: all
+/// decisions, any guess touching a speculatively-affirmed AID, and every
+/// later op of a process once one of its ops deferred (per-process program
+/// order is preserved). The caller (the coordinator) pre-validates scripts,
+/// so this function cannot fail.
+pub(crate) fn run_shard_script(
+    shard: &mut EngineShard,
+    ctx: &WorkerCtx<'_>,
+    script: &[ShardOp],
+) -> WorkerOut {
+    let t0 = std::time::Instant::now();
+    let mut out = WorkerOut {
+        created_aids: 0,
+        created_itvs: Vec::new(),
+        queues: (0..ctx.nshards).map(|_| Vec::new()).collect(),
+        effects: Vec::new(),
+        guesses: 0,
+        failed_guesses: 0,
+        finalized: 0,
+        deferred: 0,
+        busy_ns: 0,
+    };
+    // Processes with a deferred op: all their later ops defer too.
+    let mut deferred_pids: BTreeSet<ProcessId> = BTreeSet::new();
+
+    let look = |shard: &EngineShard, x: AidId| -> AidLook {
+        if x.0 < ctx.aid_base {
+            return if ctx.fossil_denied.contains(&x) {
+                AidLook::Denied
+            } else {
+                AidLook::Affirmed
+            };
+        }
+        let loc = ctx.aid_dir[(x.0 - ctx.aid_base) as usize];
+        if loc.shard as usize == ctx.shard_idx {
+            // Own record — live, whether pre-phase or phase-created.
+            let a = shard.aid_local(x).expect("own AID is in shard storage");
+            match a.state {
+                AidState::Undecided if a.spec_affirmed_by.is_some() => AidLook::SpecAffirmed,
+                AidState::Undecided => AidLook::Open,
+                AidState::Affirmed => AidLook::Affirmed,
+                AidState::Denied => AidLook::Denied,
+            }
+        } else {
+            // Remote: pre-phase by validation, so the snapshot answers.
+            debug_assert!(x.0 < ctx.snapshot_end, "remote AID created this phase");
+            let s = ctx.snapshot[(x.0 - ctx.aid_base) as usize];
+            match s.state {
+                AidState::Undecided if s.spec_affirmed => AidLook::SpecAffirmed,
+                AidState::Undecided => AidLook::Open,
+                AidState::Affirmed => AidLook::Affirmed,
+                AidState::Denied => AidLook::Denied,
+            }
+        }
+    };
+
+    for op in script {
+        if let ShardOp::AidInit { pid } = *op {
+            // Always shard-local: the id was leased before the phase, the
+            // record lives here, and nothing else can observe it mid-phase.
+            let id = AidId(ctx.aid_lease_start + out.created_aids);
+            shard.aids.push(Aid::new(id, pid));
+            out.created_aids += 1;
+            continue;
+        }
+        let pid = op.pid();
+        if deferred_pids.contains(&pid) {
+            defer(&mut out, ctx, op, shard);
+            continue;
+        }
+        match op {
+            ShardOp::AidInit { .. } => unreachable!("handled above"),
+            ShardOp::Guess { pid, aids, ps } => {
+                let resolved: Vec<AidId> = aids.iter().map(|a| resolve(ctx, *a)).collect();
+                // Mirror of `Engine::guess`, first pass: any definitively
+                // denied AID fails the guess before dependence is built.
+                if resolved
+                    .iter()
+                    .any(|&x| matches!(look(shard, x), AidLook::Denied))
+                {
+                    out.failed_guesses += 1;
+                    continue;
+                }
+                // A speculatively affirmed AID dissolves into its
+                // affirmer's IDO (Equations 10–14) — the affirmer's
+                // interval may live on any shard, so the op defers.
+                if resolved
+                    .iter()
+                    .any(|&x| matches!(look(shard, x), AidLook::SpecAffirmed))
+                {
+                    deferred_pids.insert(*pid);
+                    defer(&mut out, ctx, op, shard);
+                    continue;
+                }
+                let mut guessed: DepSet<AidId> = DepSet::new();
+                for &x in &resolved {
+                    if matches!(look(shard, x), AidLook::Open) {
+                        guessed.insert(x);
+                    }
+                }
+                // Inherit the parent's IDO (Eq. 4–5). The process's whole
+                // history is on this shard.
+                let proc = shard.procs.get(pid).expect("validated: pid on shard");
+                let mut ido = match proc.history.last().copied() {
+                    Some(a)
+                        if shard
+                            .itv_local(a)
+                            .expect("history interval on shard")
+                            .status
+                            == IntervalStatus::Speculative =>
+                    {
+                        shard.itv_local(a).expect("just looked up").ido.clone()
+                    }
+                    _ => DepSet::new(),
+                };
+                ido.union_with(&guessed);
+
+                let id = IntervalId(ctx.itv_lease_start + out.created_itvs.len() as u64);
+                // DOM registration: local AIDs directly, remote AIDs via
+                // the batched queue (the one inline step `guess` would
+                // otherwise take another shard's lock for).
+                for x in &ido {
+                    let dst = ctx.aid_dir[(x.0 - ctx.aid_base) as usize].shard as usize;
+                    if dst == ctx.shard_idx {
+                        shard
+                            .aid_local_mut(x)
+                            .expect("local IDO member is live")
+                            .dom
+                            .insert(id);
+                    } else {
+                        out.queues[dst].push(CrossShardMsg::DomInsert {
+                            aid: x,
+                            interval: id,
+                        });
+                    }
+                }
+                let ido_empty = ido.is_empty();
+                let proc = shard.procs.get_mut(pid).expect("validated above");
+                let seq = proc.collected as usize + proc.history.len();
+                proc.history.push(id);
+                shard.intervals.push(Interval {
+                    id,
+                    pid: *pid,
+                    ps: *ps,
+                    ido,
+                    ihd: DepSet::new(),
+                    iha: DepSet::new(),
+                    guessed,
+                    status: IntervalStatus::Speculative,
+                    seq,
+                });
+                out.created_itvs.push(id);
+                out.effects.push(Effect::IntervalStarted {
+                    interval: id,
+                    process: *pid,
+                });
+                out.guesses += 1;
+                if ido_empty {
+                    // Definite from birth (every named AID already
+                    // affirmed, process definite). The new interval has
+                    // empty IHA/IHD, so the finalize cascade is exactly
+                    // this status flip.
+                    let itv = shard.intervals.last_mut().expect("just pushed");
+                    itv.status = IntervalStatus::Definite;
+                    out.finalized += 1;
+                    out.effects.push(Effect::Finalized {
+                        interval: id,
+                        process: *pid,
+                    });
+                }
+            }
+            ShardOp::Affirm { pid, .. }
+            | ShardOp::Deny { pid, .. }
+            | ShardOp::FreeOf { pid, .. } => {
+                // Decisions can cascade across arbitrary shards
+                // (finalize walks DOM sets, deny rolls back histories):
+                // always deferred to the quiescent drain, where the full
+                // sequential engine replays them.
+                deferred_pids.insert(*pid);
+                defer(&mut out, ctx, op, shard);
+            }
+        }
+    }
+    out.busy_ns = t0.elapsed().as_nanos() as u64;
+    out
+}
+
+fn resolve(ctx: &WorkerCtx<'_>, a: OpAid) -> AidId {
+    match a {
+        OpAid::New(k) => AidId(ctx.aid_lease_start + k as u64),
+        OpAid::Id(x) => x,
+    }
+}
+
+fn defer(out: &mut WorkerOut, ctx: &WorkerCtx<'_>, op: &ShardOp, _shard: &EngineShard) {
+    let resolved = match op {
+        ShardOp::AidInit { .. } => unreachable!("aid_init never defers"),
+        ShardOp::Guess { pid, aids, ps } => ResolvedOp::Guess {
+            pid: *pid,
+            aids: aids.iter().map(|a| resolve(ctx, *a)).collect(),
+            ps: *ps,
+        },
+        ShardOp::Affirm { pid, aid } => ResolvedOp::Affirm {
+            pid: *pid,
+            aid: resolve(ctx, *aid),
+        },
+        ShardOp::Deny { pid, aid } => ResolvedOp::Deny {
+            pid: *pid,
+            aid: resolve(ctx, *aid),
+        },
+        ShardOp::FreeOf { pid, aid } => ResolvedOp::FreeOf {
+            pid: *pid,
+            aid: resolve(ctx, *aid),
+        },
+    };
+    out.deferred += 1;
+    out.queues[ctx.shard_idx].push(CrossShardMsg::Deferred(resolved));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_order_validates_permutations() {
+        assert!(DrainOrder::from_permutation(vec![2, 0, 1]).is_some());
+        assert!(DrainOrder::from_permutation(vec![0, 0, 1]).is_none());
+        assert!(DrainOrder::from_permutation(vec![0, 3]).is_none());
+        let id = DrainOrder::identity(3);
+        assert_eq!(id.dsts(), &[0, 1, 2]);
+        assert_eq!(id.len(), 3);
+        assert!(!id.is_empty());
+        assert!(DrainOrder::identity(0).is_empty());
+    }
+
+    #[test]
+    fn shard_op_pid_accessor() {
+        let p = ProcessId(4);
+        assert_eq!(ShardOp::AidInit { pid: p }.pid(), p);
+        assert_eq!(
+            ShardOp::Deny {
+                pid: p,
+                aid: OpAid::New(0)
+            }
+            .pid(),
+            p
+        );
+    }
+
+    #[test]
+    fn loc_sentinel_is_distinct() {
+        assert_eq!(Loc::SENTINEL.shard, NO_SHARD);
+        assert_ne!(Loc::SENTINEL, Loc { shard: 0, ord: 0 });
+    }
+}

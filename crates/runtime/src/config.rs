@@ -78,6 +78,15 @@ pub struct SimConfig {
     /// AIDs that were concurrently decided. Off by default: it keeps a
     /// vector clock per process and inspects every action.
     pub detect_races: bool,
+    /// Number of storage shards the semantics engine is built with
+    /// ([`hope_core::Engine::with_shards`]). Sharding is transparent to
+    /// every committed observable — the sharded-vs-unsharded differential
+    /// suite asserts [`RunReport::fingerprint`](crate::RunReport) equality
+    /// across shard counts — and only changes which shard's store each
+    /// process's records live in, plus the cross-shard traffic counters
+    /// reported (and fingerprint-masked) in
+    /// [`RunStats::tracking`](crate::RunStats). Default 1.
+    pub engine_shards: usize,
     /// The fault schedule, if any (see [`FaultPlan`]). `None` gives the
     /// perfect substrate: exactly-once delivery, no kills. Fault verdicts
     /// draw from a dedicated RNG stream seeded by the *plan's* seed, so
@@ -138,6 +147,7 @@ impl Default for SimConfig {
             trace: false,
             commit_at_quiescence: false,
             detect_races: false,
+            engine_shards: 1,
             faults: None,
             ack_timeout: VirtualDuration::from_millis(50),
             ack_backoff_cap: VirtualDuration::from_millis(400),
@@ -215,6 +225,13 @@ impl SimConfig {
         self
     }
 
+    /// Replace the engine shard count (see [`SimConfig::engine_shards`]).
+    /// Clamped to at least 1.
+    pub fn with_engine_shards(mut self, n: usize) -> Self {
+        self.engine_shards = n.max(1);
+        self
+    }
+
     /// Replace the reliable-send retransmission timeout.
     pub fn with_ack_timeout(mut self, d: VirtualDuration) -> Self {
         self.ack_timeout = d;
@@ -242,6 +259,7 @@ mod tests {
         assert!(c.max_events > 0);
         assert!(c.max_journal_entries > 0);
         assert!(!c.fossil_collection);
+        assert_eq!(c.engine_shards, 1);
         assert!(c.faults.is_none());
         assert!(c.ack_timeout < c.ack_backoff_cap);
     }
@@ -275,8 +293,11 @@ mod tests {
             .with_fossil_collection(true)
             .with_ack_timeout(VirtualDuration::from_millis(20))
             .with_ack_backoff_cap(VirtualDuration::from_millis(80))
+            .with_engine_shards(4)
             .with_faults(plan.clone());
         assert_eq!(c.max_events, 123);
+        assert_eq!(c.engine_shards, 4);
+        assert_eq!(SimConfig::default().with_engine_shards(0).engine_shards, 1);
         assert_eq!(c.max_virtual_time, VirtualTime::from_nanos(999));
         assert_eq!(c.max_journal_entries, 77);
         assert!(c.fossil_collection);

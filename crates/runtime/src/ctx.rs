@@ -19,7 +19,7 @@ use std::sync::Arc;
 use crossbeam_channel::{Receiver, Sender};
 use hope_core::{Action, AidId, Checkpoint, DecideKind, Error, ProcessId, ReceiveOutcome};
 use hope_sim::{VirtualDuration, VirtualTime};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::journal::Entry;
 use crate::message::{Message, MsgKind};
@@ -94,18 +94,29 @@ impl Ctx {
     /// [`send_reliable`](Ctx::send_reliable) at the cost of a brief
     /// speculative window per send.
     pub fn faults_enabled(&self) -> bool {
-        self.shared.lock().config.faults.is_some()
+        self.lock().config.faults.is_some()
     }
 
     // ------------------------------------------------------------------
     // replay machinery
     // ------------------------------------------------------------------
 
+    /// Take the `Shared` lock, counting the acquisition. Every lock taken
+    /// on behalf of a process body goes through here so that
+    /// `RunStats::ctx_lock_acquisitions` measures the body-side contention
+    /// a real multi-core runtime would see; the regression suite pins the
+    /// one-lock-per-primitive invariant against this counter.
+    fn lock(&self) -> MutexGuard<'_, Shared> {
+        let mut sh = self.shared.lock();
+        sh.stats.ctx_lock_acquisitions += 1;
+        sh
+    }
+
     fn replay_next(&mut self) -> Option<Entry> {
         if self.cursor >= self.replay_len {
             return None;
         }
-        let sh = self.shared.lock();
+        let sh = self.lock();
         let e = sh.procs[self.idx]
             .journal
             .get(self.cursor)
@@ -116,8 +127,8 @@ impl Ctx {
         Some(e)
     }
 
-    /// Replay the next journal entry, or — on the live path — enforce the
-    /// journal budget before the caller appends a new one. A body stuck in
+    /// Acquire the lock for a **live** (non-replay) primitive, enforcing the
+    /// journal budget before the caller appends a new entry. A body stuck in
     /// an unbounded retry loop (e.g. [`Ctx::send_reliable`] to a peer
     /// partitioned away forever) would otherwise grow its journal without
     /// bound; crossing [`SimConfig::max_journal_entries`](crate::SimConfig)
@@ -125,11 +136,12 @@ impl Ctx {
     /// [`CrashReason::JournalOverflow`]. Entries reclaimed by fossil
     /// collection don't count, so checkpointing bodies never trip the
     /// limit merely by running long.
-    fn live_entry(&mut self) -> Hope<Option<Entry>> {
-        if let Some(e) = self.replay_next() {
-            return Ok(Some(e));
-        }
-        let mut sh = self.shared.lock();
+    ///
+    /// Returns the guard *still held*: the caller performs its whole
+    /// primitive under this single acquisition instead of re-locking, which
+    /// is what keeps the hot path at one `Shared` round-trip per primitive.
+    fn live(&self) -> Hope<MutexGuard<'_, Shared>> {
+        let mut sh = self.lock();
         let limit = sh.config.max_journal_entries;
         if sh.procs[self.idx].journal.live_len() >= limit && sh.config.fossil_collection {
             // Last-ditch sweep before declaring overflow: the limit bounds
@@ -144,7 +156,7 @@ impl Ctx {
             sh.procs[self.idx].crash = Some(CrashReason::JournalOverflow { limit });
             return Err(Signal::Shutdown);
         }
-        Ok(None)
+        Ok(sh)
     }
 
     fn diverged(&self, expected: &str, got: &Entry) -> ! {
@@ -160,13 +172,13 @@ impl Ctx {
 
     fn park(&mut self, state: ProcState) -> Hope<()> {
         {
-            let mut sh = self.shared.lock();
+            let mut sh = self.lock();
             sh.procs[self.idx].state = state;
         }
         let _ = self.yield_tx.send(());
         match self.resume_rx.recv() {
             Ok(ResumeSignal::Go) => {
-                let sh = self.shared.lock();
+                let sh = self.lock();
                 if sh.procs[self.idx].rollback_pending {
                     Err(Signal::Rollback)
                 } else {
@@ -187,13 +199,13 @@ impl Ctx {
     ///
     /// Returns a [`Signal`] only on shutdown (never blocks otherwise).
     pub fn aid_init(&mut self) -> Hope<AidId> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::AidInit(aid) => return Ok(aid),
                 other => self.diverged("aid_init", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let aid = sh.engine.aid_init(self.pid);
         let pos = sh.procs[self.idx].journal.len();
         sh.procs[self.idx].journal.push(Entry::AidInit(aid));
@@ -215,13 +227,13 @@ impl Ctx {
     /// [`Signal::Rollback`]/[`Signal::Shutdown`] propagated from the
     /// runtime.
     pub fn guess(&mut self, aid: AidId) -> Hope<bool> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Guess { aid: a, value } if a == aid => return Ok(value),
                 other => self.diverged("guess", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let pos = sh.procs[self.idx].journal.len() as u64;
         let (outcome, fx) = sh
             .engine
@@ -264,13 +276,13 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn try_affirm(&mut self, aid: AidId) -> Hope<bool> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Affirm { aid: a, applied } if a == aid => return Ok(applied),
                 other => self.diverged("affirm", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let result = sh.engine.affirm(self.pid, aid);
         let pid = self.pid;
         let applied = !matches!(result, Err(Error::AidConsumed(_)));
@@ -346,7 +358,7 @@ impl Ctx {
     }
 
     fn primitive(&mut self, aid: AidId, prim: Prim) -> Hope<()> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match (&e, prim) {
                 (Entry::Deny(a), Prim::Deny) | (Entry::FreeOf(a), Prim::FreeOf) if *a == aid => {
                     return Ok(());
@@ -354,7 +366,7 @@ impl Ctx {
                 _ => self.diverged(prim.name(), &e),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let result = match prim {
             Prim::Deny => sh.engine.deny(self.pid, aid),
             Prim::FreeOf => sh.engine.free_of(self.pid, aid),
@@ -420,13 +432,13 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn is_speculative(&mut self) -> Hope<bool> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Flag(v) => return Ok(v),
                 other => self.diverged("is_speculative", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let v = sh
             .engine
             .is_speculative(self.pid)
@@ -463,7 +475,7 @@ impl Ctx {
     /// [`Signal`]s propagated from the runtime.
     pub fn restore(&mut self) -> Hope<Option<Value>> {
         if self.cursor < self.replay_len {
-            let mut sh = self.shared.lock();
+            let mut sh = self.lock();
             let base = sh.procs[self.idx].journal.base();
             let e = sh.procs[self.idx]
                 .journal
@@ -491,7 +503,7 @@ impl Ctx {
                 }
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         sh.procs[self.idx].restorable = true;
         sh.procs[self.idx].journal.push(Entry::Restore);
         Ok(None)
@@ -518,13 +530,13 @@ impl Ctx {
     /// gives it an entry point.
     pub fn checkpoint(&mut self, state: impl Into<Value>) -> Hope<()> {
         let state = state.into();
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Snapshot(_) => return Ok(()),
                 other => self.diverged("checkpoint", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         assert!(
             sh.procs[self.idx].restorable,
             "{}: Ctx::checkpoint requires the body to call Ctx::restore first \
@@ -547,14 +559,14 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn compute(&mut self, d: VirtualDuration) -> Hope<()> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Compute(_) => return Ok(()),
                 other => self.diverged("compute", &other),
             }
         }
         {
-            let mut sh = self.shared.lock();
+            let mut sh = self.live()?;
             sh.procs[self.idx].journal.push(Entry::Compute(d));
             let at = sh.now + d;
             sh.schedule_wake(self.idx, at);
@@ -568,13 +580,13 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn now(&mut self) -> Hope<VirtualTime> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Now(t) => return Ok(t),
                 other => self.diverged("now", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let t = sh.now;
         sh.procs[self.idx].journal.push(Entry::Now(t));
         Ok(t)
@@ -586,13 +598,13 @@ impl Ctx {
     ///
     /// [`Signal`]s propagated from the runtime.
     pub fn random_u64(&mut self) -> Hope<u64> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Rand(v) => return Ok(v),
                 other => self.diverged("rand", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let v = sh.procs[self.idx].rng.next_u64();
         sh.procs[self.idx].journal.push(Entry::Rand(v));
         Ok(v)
@@ -617,13 +629,13 @@ impl Ctx {
     /// [`Signal`]s propagated from the runtime.
     pub fn output(&mut self, line: impl Into<String>) -> Hope<()> {
         let line = line.into();
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Output => return Ok(()),
                 other => self.diverged("output", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         sh.output(self.idx, line);
         sh.procs[self.idx].journal.push(Entry::Output);
         Ok(())
@@ -699,13 +711,13 @@ impl Ctx {
     /// rolled back into the loop reuse the recorded number — which is what
     /// makes receiver-side deduplication sound.
     fn next_reliable_seq(&mut self) -> Hope<u64> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::ReliableSeq(s) => return Ok(s),
                 other => self.diverged("reliable_seq", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let seq = sh.procs[self.idx].next_reliable;
         sh.procs[self.idx].next_reliable += 1;
         sh.procs[self.idx].journal.push(Entry::ReliableSeq(seq));
@@ -723,13 +735,13 @@ impl Ctx {
         attempt: u32,
         payload: Value,
     ) -> Hope<u64> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Send { msg_id } => return Ok(msg_id),
                 other => self.diverged("send", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         if attempt > 1 {
             sh.stats.faults.retries += 1;
         }
@@ -791,15 +803,17 @@ impl Ctx {
     }
 
     fn try_recv_where(&mut self, pred: &dyn Fn(&Message) -> bool) -> Hope<Option<Message>> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Recv(m) => return Ok(Some(*m)),
                 Entry::Flag(false) => return Ok(None),
                 other => self.diverged("try_recv", &other),
             }
         }
+        // One lock for the whole scan: ghost drops stay under the same
+        // guard instead of re-acquiring per mailbox entry.
+        let mut sh = self.live()?;
         loop {
-            let mut sh = self.shared.lock();
             let first = sh.procs[self.idx]
                 .mailbox
                 .iter()
@@ -900,13 +914,13 @@ impl Ctx {
         kind_of: impl FnOnce(u64) -> MsgKind,
         payload: Value,
     ) -> Hope<u64> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Send { msg_id } => return Ok(msg_id),
                 other => self.diverged("send", &other),
             }
         }
-        let mut sh = self.shared.lock();
+        let mut sh = self.live()?;
         let id = sh.send_message_with(self.idx, to, kind_of, payload);
         let pid = self.pid;
         sh.trace(|| format!("{pid}: send m{id} -> {to}"));
@@ -916,14 +930,16 @@ impl Ctx {
     }
 
     fn recv_where(&mut self, pred: &dyn Fn(&Message) -> bool) -> Hope<Message> {
-        if let Some(e) = self.live_entry()? {
+        if let Some(e) = self.replay_next() {
             match e {
                 Entry::Recv(m) => return Ok(*m),
                 other => self.diverged("recv", &other),
             }
         }
+        // One lock per wake-up: the guard is held across ghost drops and
+        // released only to park when nothing deliverable is queued.
+        let mut sh = self.live()?;
         loop {
-            let mut sh = self.shared.lock();
             let chosen = sh.procs[self.idx]
                 .mailbox
                 .iter()
@@ -998,6 +1014,7 @@ impl Ctx {
                 None => {
                     drop(sh);
                     self.park(ProcState::BlockedRecv)?;
+                    sh = self.lock();
                 }
             }
         }

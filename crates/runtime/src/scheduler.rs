@@ -402,6 +402,7 @@ impl Simulation {
         }
         let mut stats = sh.stats;
         stats.engine = sh.engine.stats();
+        stats.tracking = sh.engine.tracking_stats();
         stats.memory.live_intervals = sh.engine.live_interval_count() as u64;
         stats.memory.live_aids = sh.engine.live_aid_count() as u64;
         stats.memory.interval_horizon = sh.engine.interval_horizon();

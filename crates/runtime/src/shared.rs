@@ -166,7 +166,7 @@ impl Shared {
         let net_rng = SimRng::new(config.seed).fork(u64::MAX);
         let fault_seed = config.faults.as_ref().map_or(config.seed, |p| p.seed());
         let fault_rng = SimRng::new(fault_seed).fork(0xFA17);
-        let mut engine = Engine::new();
+        let mut engine = Engine::with_shards(config.engine_shards.max(1));
         engine.set_invariant_checking(config.check_engine_invariants);
         let race_detector = config.detect_races.then(RaceDetector::new);
         Shared {

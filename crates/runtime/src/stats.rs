@@ -10,7 +10,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use hope_analysis::dynamic::RaceReport;
-use hope_core::{EngineStats, ProcessId};
+use hope_core::{EngineStats, ProcessId, TrackingStats};
 use hope_sim::VirtualTime;
 
 /// One committed output line.
@@ -59,6 +59,20 @@ pub struct RunStats {
     pub outputs_discarded: u64,
     /// Engine counters (guesses, affirms, denies, finalizations, …).
     pub engine: EngineStats,
+    /// Cross-shard tracking-traffic counters from the sharded engine
+    /// (boundary crossings, batch flushes, queue depth; all zero on a
+    /// 1-shard engine). Contention diagnostics only: they vary with
+    /// [`SimConfig::engine_shards`](crate::SimConfig) while every
+    /// committed observable stays identical, so — like the DepSet
+    /// cow/spill deltas — they are excluded from
+    /// [`RunReport::fingerprint`].
+    pub tracking: TrackingStats,
+    /// `Shared`-state lock acquisitions made by process-side [`Ctx`]
+    /// (crate::Ctx) calls over the whole run. The Ctx hot path takes the
+    /// lock once per primitive (not once per sub-step); the regression
+    /// suite pins that with this counter. Diagnostics only, excluded from
+    /// [`RunReport::fingerprint`] alongside the other contention counters.
+    pub ctx_lock_acquisitions: u64,
     /// Fault-injection counters (all zero without a
     /// [`FaultPlan`](hope_sim::FaultPlan)).
     pub faults: FaultStats,
@@ -317,6 +331,12 @@ impl RunReport {
         let mut stats = self.stats;
         stats.memory.depset_cow_copies = 0;
         stats.memory.depset_spills = 0;
+        // Contention counters vary with the shard count (and lock strategy)
+        // while committed observables must not: the sharded-vs-unsharded
+        // differential asserts fingerprint equality across engine_shards,
+        // so these are masked exactly like the DepSet deltas above.
+        stats.tracking = TrackingStats::default();
+        stats.ctx_lock_acquisitions = 0;
         let mut h = std::collections::hash_map::DefaultHasher::new();
         format!(
             "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",

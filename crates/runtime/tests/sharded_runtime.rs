@@ -1,0 +1,316 @@
+//! Sharded-vs-unsharded differential at the *runtime* layer.
+//!
+//! The core crate's `sharded_differential` suite proves the engine itself
+//! is bit-identical across shard counts; this suite proves the property
+//! survives everything the runtime stacks on top — journaling, rollback
+//! re-execution, output commit, fault injection, race detection, and the
+//! chaos oracle. Every test runs the same scenario with
+//! `engine_shards` ∈ {1, 2, 4} and demands the full
+//! [`RunReport::fingerprint`] (which already masks the shard-dependent
+//! contention counters) be identical, so sharding can never change a
+//! committed observable.
+//!
+//! It also pins the Ctx hot-path lock discipline: one `Shared` lock
+//! acquisition per live primitive, measured by the
+//! `ctx_lock_acquisitions` counter.
+
+use hope_core::AidId;
+use hope_runtime::{
+    chaos_sweep, committed_outputs, Ctx, FaultPlan, ProcessId, RunReport, SimConfig, Simulation,
+    Value, VirtualDuration,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+// ---------------------------------------------------------------------
+// scenario corpus
+// ---------------------------------------------------------------------
+
+/// Worker/verifier pipeline: four workers each advertise a fresh AID to a
+/// verifier, guess it, and speculate; the verifier affirms or denies each.
+/// Denied workers roll back and re-execute down the rejected branch, so
+/// the scenario exercises cross-process dependence registration, rollback
+/// cascades, and output commit — with the verifier and workers landing on
+/// different shards whenever `engine_shards > 1`.
+fn pipeline(cfg: SimConfig) -> Simulation {
+    const WORKERS: u32 = 4;
+    let mut sim = Simulation::new(cfg);
+    sim.spawn("verifier", move |ctx: &mut Ctx| {
+        for _ in 0..WORKERS {
+            let m = ctx.recv()?;
+            let aid = AidId::from_index(m.payload.as_int().expect("aid advert") as u64);
+            if ctx.chance(0.6)? {
+                ctx.affirm(aid)?;
+                ctx.output(format!("verdict ok {aid}"))?;
+            } else {
+                ctx.deny(aid)?;
+                ctx.output(format!("verdict no {aid}"))?;
+            }
+        }
+        Ok(())
+    });
+    for w in 0..WORKERS {
+        sim.spawn(format!("worker{w}"), move |ctx: &mut Ctx| {
+            let verifier = ProcessId(0);
+            let aid = ctx.aid_init()?;
+            if ctx.guess(aid)? {
+                // Advertise from inside the guessed branch: the message tag
+                // carries the AID, so the verifier's implicit guess creates
+                // a dependence edge that crosses shards when the verifier
+                // and worker live on different ones.
+                ctx.send(verifier, Value::Int(aid.index() as i64))?;
+                ctx.compute(VirtualDuration::from_micros(200 + 50 * w as u64))?;
+                ctx.output(format!("worker{w} speculated on {aid}"))?;
+            } else {
+                ctx.output(format!("worker{w} rejected"))?;
+            }
+            Ok(())
+        });
+    }
+    sim
+}
+
+/// Reliable delivery: HOPE-built retransmission (guess/ack-affirm/timeout-
+/// deny) under whatever fault plan the config installs.
+fn reliable(cfg: SimConfig) -> Simulation {
+    let mut sim = Simulation::new(cfg);
+    let receiver = ProcessId(1);
+    sim.spawn("sender", move |ctx: &mut Ctx| {
+        for i in 0..3 {
+            ctx.send_reliable(receiver, Value::Int(i))?;
+        }
+        Ok(())
+    });
+    sim.spawn("receiver", |ctx: &mut Ctx| {
+        for _ in 0..3 {
+            let m = ctx.recv()?;
+            ctx.output(format!("got {:?}", m.payload.as_int()))?;
+        }
+        Ok(())
+    });
+    sim
+}
+
+/// Seeded random scripts over the whole primitive surface, with AIDs
+/// shared across processes through message payloads (shape of the chaos
+/// suite, compacted). No meaning — just maximal interleaving pressure.
+fn chaos(cfg: SimConfig, n_procs: u32) -> Simulation {
+    let mut sim = Simulation::new(cfg);
+    for i in 0..n_procs {
+        sim.spawn(format!("chaos{i}"), move |ctx: &mut Ctx| {
+            let me = ctx.pid();
+            let mut known: Vec<AidId> = Vec::new();
+            for step in 0..12u64 {
+                while let Some(m) = ctx.try_recv()? {
+                    if let Some(v) = m.payload.as_int() {
+                        if v >= 0 {
+                            known.push(AidId::from_index(v as u64));
+                        }
+                    }
+                }
+                match ctx.random_u64()? % 8 {
+                    0..=2 => {
+                        let aid = ctx.aid_init()?;
+                        let target = ProcessId((ctx.random_u64()? % n_procs as u64) as u32);
+                        if target != me {
+                            ctx.send(target, Value::Int(aid.index() as i64))?;
+                        }
+                        if ctx.guess(aid)? {
+                            known.push(aid);
+                            ctx.output(format!("{me} guessed {aid} at {step}"))?;
+                        }
+                    }
+                    3..=4 => {
+                        if !known.is_empty() {
+                            let aid = known[(ctx.random_u64()? % known.len() as u64) as usize];
+                            if ctx.chance(0.7)? {
+                                ctx.affirm(aid)?;
+                            } else {
+                                ctx.deny(aid)?;
+                            }
+                        }
+                    }
+                    5 => {
+                        let target = ProcessId((ctx.random_u64()? % n_procs as u64) as u32);
+                        ctx.send(target, Value::Int(-1))?;
+                    }
+                    _ => {
+                        let micros = 50 + ctx.random_u64()? % 300;
+                        ctx.compute(VirtualDuration::from_micros(micros))?;
+                    }
+                }
+            }
+            ctx.output(format!("{me} done"))?;
+            Ok(())
+        });
+    }
+    sim
+}
+
+// ---------------------------------------------------------------------
+// twin-run fingerprint differential
+// ---------------------------------------------------------------------
+
+/// Run `scenario` once per shard count and assert every committed
+/// observable — the whole fingerprint, the committed output map, the race
+/// reports — is identical to the 1-shard reference run.
+fn assert_twins(
+    label: &str,
+    scenario: impl Fn(SimConfig) -> Simulation,
+    cfg: impl Fn() -> SimConfig,
+) {
+    let reference: RunReport = scenario(cfg().with_engine_shards(1)).run();
+    for shards in SHARD_COUNTS.into_iter().skip(1) {
+        let twin = scenario(cfg().with_engine_shards(shards)).run();
+        assert_eq!(
+            reference.fingerprint(),
+            twin.fingerprint(),
+            "{label}: fingerprint diverged at {shards} shards"
+        );
+        assert_eq!(
+            committed_outputs(&reference),
+            committed_outputs(&twin),
+            "{label}: committed outputs diverged at {shards} shards"
+        );
+        assert_eq!(
+            format!("{:?}", reference.races()),
+            format!("{:?}", twin.races()),
+            "{label}: race reports diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_bit_identical_across_shard_counts() {
+    for seed in 0..10 {
+        assert_twins("pipeline", pipeline, || {
+            SimConfig::with_seed(seed).commit_at_quiescence()
+        });
+    }
+}
+
+#[test]
+fn reliable_under_faults_is_bit_identical_across_shard_counts() {
+    for seed in 0..6 {
+        assert_twins("reliable", reliable, || {
+            SimConfig::with_seed(seed)
+                .with_faults(FaultPlan::new(seed).drop_rate(0.3).dupe_rate(0.1))
+        });
+    }
+}
+
+#[test]
+fn chaos_is_bit_identical_across_shard_counts() {
+    for seed in 0..8 {
+        assert_twins(
+            "chaos",
+            |cfg| chaos(cfg, 4),
+            || SimConfig::with_seed(seed).commit_at_quiescence(),
+        );
+    }
+}
+
+#[test]
+fn race_detection_is_bit_identical_across_shard_counts() {
+    for seed in 0..6 {
+        assert_twins(
+            "races",
+            |cfg| chaos(cfg, 3),
+            || SimConfig::with_seed(seed).detect_races(true),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// chaos oracle with sharding enabled
+// ---------------------------------------------------------------------
+
+/// The full chaos oracle (fault-plan equivalence + per-plan replayability)
+/// holds with the sharded engine underneath, and the sharded sweep commits
+/// exactly what the unsharded sweep commits.
+#[test]
+fn chaos_sweep_agrees_between_sharded_and_unsharded() {
+    let plans = || (0..5).map(|s| FaultPlan::new(s).drop_rate(0.25).dupe_rate(0.15));
+    let single = chaos_sweep(SimConfig::with_seed(11), plans(), reliable);
+    let sharded = chaos_sweep(
+        SimConfig::with_seed(11).with_engine_shards(4),
+        plans(),
+        reliable,
+    );
+    single.assert_ok();
+    sharded.assert_ok();
+    assert_eq!(single.baseline, sharded.baseline);
+}
+
+// ---------------------------------------------------------------------
+// tracking counters
+// ---------------------------------------------------------------------
+
+/// With one shard there is no boundary to cross; with four, the pipeline's
+/// cross-process dependence edges must be counted as cross-shard traffic.
+/// Either way the counters stay out of the fingerprint (asserted above).
+#[test]
+fn tracking_counters_reflect_shard_boundaries() {
+    let cfg = || SimConfig::with_seed(3).commit_at_quiescence();
+    let single = pipeline(cfg().with_engine_shards(1)).run();
+    assert_eq!(single.stats().tracking.cross_shard_messages, 0);
+    let sharded = pipeline(cfg().with_engine_shards(4)).run();
+    assert!(
+        sharded.stats().tracking.cross_shard_messages > 0,
+        "verifier deciding worker-hosted AIDs must cross shards: {:?}",
+        sharded.stats().tracking
+    );
+}
+
+// ---------------------------------------------------------------------
+// Ctx hot-path lock discipline (pinned)
+// ---------------------------------------------------------------------
+
+/// Every live primitive takes the `Shared` lock exactly once. The body
+/// below issues 4 × 50 = 200 non-blocking primitives and nothing else; the
+/// pre-audit hot path (budget check and primitive each locking separately)
+/// would report ≥ 400 acquisitions, so the 220 ceiling pins the fix.
+#[test]
+fn ctx_takes_one_lock_per_live_primitive() {
+    let mut sim = Simulation::new(SimConfig::with_seed(1));
+    sim.spawn("counter", |ctx: &mut Ctx| {
+        for _ in 0..50 {
+            let aid = ctx.aid_init()?;
+            ctx.guess(aid)?;
+            ctx.affirm(aid)?;
+            ctx.output("line")?;
+        }
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.errors().is_empty(), "{:?}", report.errors());
+    let locks = report.stats().ctx_lock_acquisitions;
+    assert!(
+        (200..=220).contains(&locks),
+        "expected one Shared lock per live primitive (200 primitives, \
+         small scheduler slack), measured {locks}"
+    );
+}
+
+/// The lock counter is diagnostics, not semantics: it must not perturb the
+/// determinism fingerprint (twin runs of the same seed already share a
+/// count, but the fingerprint must also ignore it entirely, like the
+/// DepSet cow/spill deltas).
+#[test]
+fn lock_counter_is_excluded_from_fingerprint() {
+    let run = || {
+        let mut sim = Simulation::new(SimConfig::with_seed(5));
+        sim.spawn("p", |ctx: &mut Ctx| {
+            let aid = ctx.aid_init()?;
+            ctx.guess(aid)?;
+            ctx.affirm(aid)?;
+            ctx.output("done")?;
+            Ok(())
+        });
+        sim.run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert!(a.stats().ctx_lock_acquisitions > 0);
+}

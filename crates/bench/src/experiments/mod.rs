@@ -18,6 +18,7 @@ pub mod e18_sharding;
 pub mod e19_memory;
 pub mod e1_callstream;
 pub mod e20_dpor;
+pub mod e21_governor;
 pub mod e2_chain;
 pub mod e3_arithmetic;
 pub mod e4_accuracy;

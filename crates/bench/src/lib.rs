@@ -24,6 +24,7 @@
 //! | E18 | sharded-engine scaling: steps/s vs cores | [`experiments::e18_sharding`] |
 //! | E19 | memory vs commit horizon (fossil collection) | [`experiments::e19_memory`] |
 //! | E20 | full DPOR + symmetry ladder, Simulation-layer exhaustion | [`experiments::e20_dpor`] |
+//! | E21 | deny-storm admission control: governor off vs on | [`experiments::e21_governor`] |
 //!
 //! (E9, the theorem suite, runs under `cargo test` — see `tests/theorems.rs`
 //! at the workspace root.)
@@ -44,7 +45,7 @@ pub use table::{fmt_ms, fmt_pct, tables_to_json, Table};
 /// All experiment ids known to the `tables` binary, in order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18", "e19", "e20",
+    "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Produce the table for one experiment id.
@@ -73,6 +74,7 @@ pub fn table_for(id: &str) -> Table {
         "e18" => experiments::e18_sharding::table(),
         "e19" => experiments::e19_memory::table(),
         "e20" => experiments::e20_dpor::table(),
+        "e21" => experiments::e21_governor::table(),
         other => panic!("unknown experiment id {other:?} (known: {EXPERIMENT_IDS:?})"),
     }
 }

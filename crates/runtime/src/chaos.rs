@@ -291,9 +291,98 @@ pub fn schedule_sweep(
     }
 }
 
+/// The governor transparency oracle: prove that the optimism governor
+/// reshapes *when* speculation is spent, never *what* commits.
+///
+/// `base` must carry a governor
+/// ([`SimConfig::with_governor`](crate::SimConfig)); for the fault-free
+/// configuration and then for each plan in `plans`, the scenario runs once
+/// with the governor stripped and once with it installed, and the two runs'
+/// [`committed_outputs`] must be bit-identical. Governor-on runs also get
+/// the same-seed replayability check as [`chaos_sweep`]. The returned
+/// [`ChaosOutcome`]'s `baseline` is the fault-free governor-off output and
+/// its `faults` aggregate the governor-on runs' counters (so callers can
+/// assert the sweep actually exercised holds and conversions via
+/// [`RunStats::governor`](crate::RunStats)).
+///
+/// # Panics
+///
+/// Panics if `base` has no governor configured — sweeping without one
+/// would vacuously compare identical configs.
+pub fn governor_sweep(
+    base: SimConfig,
+    plans: impl IntoIterator<Item = FaultPlan>,
+    scenario: impl Fn(SimConfig) -> Simulation,
+) -> ChaosOutcome {
+    assert!(
+        base.governor.is_some(),
+        "governor_sweep needs SimConfig::with_governor on the base config"
+    );
+    let mut off = base.clone();
+    off.governor = None;
+
+    let mut failures = Vec::new();
+    let mut faults = FaultStats::default();
+    let baseline = committed_outputs(&scenario(off.clone()).run());
+    let mut plan_count = 0;
+    // Configuration 0 is fault-free; each plan then repeats the off/on
+    // comparison under that fault load.
+    let configs = std::iter::once(None).chain(plans.into_iter().map(Some));
+    for plan in configs {
+        let seed = plan.as_ref().map_or(base.seed, FaultPlan::seed);
+        let (cfg_off, cfg_on) = match plan {
+            Some(p) => {
+                plan_count += 1;
+                (
+                    off.clone().with_faults(p.clone()),
+                    base.clone().with_faults(p),
+                )
+            }
+            None => (off.clone(), base.clone()),
+        };
+        let report_off = scenario(cfg_off).run();
+        let report_on = scenario(cfg_on.clone()).run();
+        faults.merge(&report_on.stats().faults);
+        if report_off.hit_limits() || report_on.hit_limits() {
+            failures.push(ChaosFailure {
+                seed,
+                detail: "run hit simulation limits".to_string(),
+            });
+            continue;
+        }
+        let want = committed_outputs(&report_off);
+        let got = committed_outputs(&report_on);
+        if got != want {
+            failures.push(ChaosFailure {
+                seed,
+                detail: format!(
+                    "governor changed committed output:\n  \
+                     governor off: {want:?}\n  governor on:  {got:?}"
+                ),
+            });
+        }
+        let replay = scenario(cfg_on).run();
+        if replay.fingerprint() != report_on.fingerprint() {
+            failures.push(ChaosFailure {
+                seed,
+                detail: "same-seed governed replay produced a different \
+                         RunReport fingerprint — determinism violated"
+                    .to_string(),
+            });
+        }
+    }
+    ChaosOutcome {
+        plans: plan_count,
+        failures,
+        faults,
+        baseline,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::governor::GovernorConfig;
     use crate::value::Value;
     use hope_sim::VirtualDuration;
 
@@ -340,6 +429,31 @@ mod tests {
                 .len(),
             4
         );
+    }
+
+    #[test]
+    fn governor_sweep_holds_under_heavy_drops() {
+        // An aggressive governor (throttle from the first sample) against
+        // drop-heavy plans: committed outputs must match governor-off runs
+        // on every configuration.
+        let gov = GovernorConfig::default()
+            .with_window(4)
+            .with_min_samples(1)
+            .with_thresholds(100, 2000);
+        let outcome = governor_sweep(
+            SimConfig::with_seed(3).with_governor(gov),
+            (0..4).map(|s| FaultPlan::new(s).drop_rate(0.4)),
+            echo_scenario,
+        );
+        outcome.assert_ok();
+        assert_eq!(outcome.plans, 4);
+        assert!(outcome.faults.reliable_sends > 0, "{:?}", outcome.faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_governor")]
+    fn governor_sweep_requires_a_governor() {
+        governor_sweep(SimConfig::with_seed(3), std::iter::empty(), echo_scenario);
     }
 
     #[test]

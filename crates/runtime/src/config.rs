@@ -2,6 +2,8 @@
 
 use hope_sim::{FaultPlan, Topology, VirtualDuration, VirtualTime};
 
+use crate::governor::GovernorConfig;
+
 /// Configuration for a [`Simulation`](crate::Simulation).
 ///
 /// The defaults model the paper's prototype environment loosely: a LAN
@@ -102,6 +104,14 @@ pub struct SimConfig {
     /// [`Ctx::send_reliable`](crate::Ctx) retries (the k-th retry waits
     /// `min(ack_timeout << (k-1), ack_backoff_cap)`).
     pub ack_backoff_cap: VirtualDuration,
+    /// The optimism governor, if any (see [`crate::governor`]): a per-site
+    /// admission controller that throttles or fully de-speculates guess
+    /// sites whose recent deny rate × damage estimate crosses the
+    /// configured pressure thresholds. `None` (the default) admits every
+    /// guess immediately — the ungoverned semantics. Transparent to
+    /// committed outputs by construction; the
+    /// [`governor_sweep`](crate::chaos::governor_sweep) oracle asserts it.
+    pub governor: Option<GovernorConfig>,
 }
 
 impl SimConfig {
@@ -151,6 +161,7 @@ impl Default for SimConfig {
             faults: None,
             ack_timeout: VirtualDuration::from_millis(50),
             ack_backoff_cap: VirtualDuration::from_millis(400),
+            governor: None,
         }
     }
 }
@@ -243,6 +254,12 @@ impl SimConfig {
         self.ack_backoff_cap = d;
         self
     }
+
+    /// Install the optimism governor (see [`SimConfig::governor`]).
+    pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = Some(governor);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +279,7 @@ mod tests {
         assert_eq!(c.engine_shards, 1);
         assert!(c.faults.is_none());
         assert!(c.ack_timeout < c.ack_backoff_cap);
+        assert!(c.governor.is_none());
     }
 
     #[test]
@@ -294,7 +312,8 @@ mod tests {
             .with_ack_timeout(VirtualDuration::from_millis(20))
             .with_ack_backoff_cap(VirtualDuration::from_millis(80))
             .with_engine_shards(4)
-            .with_faults(plan.clone());
+            .with_faults(plan.clone())
+            .with_governor(GovernorConfig::default().with_window(32));
         assert_eq!(c.max_events, 123);
         assert_eq!(c.engine_shards, 4);
         assert_eq!(SimConfig::default().with_engine_shards(0).engine_shards, 1);
@@ -304,5 +323,6 @@ mod tests {
         assert_eq!(c.ack_timeout, VirtualDuration::from_millis(20));
         assert_eq!(c.ack_backoff_cap, VirtualDuration::from_millis(80));
         assert_eq!(c.faults, Some(plan));
+        assert_eq!(c.governor.as_ref().map(|g| g.window), Some(32));
     }
 }

@@ -17,10 +17,13 @@
 use std::sync::Arc;
 
 use crossbeam_channel::{Receiver, Sender};
-use hope_core::{Action, AidId, Checkpoint, DecideKind, Error, ProcessId, ReceiveOutcome};
+use hope_core::{
+    Action, AidId, AidState, Checkpoint, DecideKind, Error, ProcessId, ReceiveOutcome,
+};
 use hope_sim::{VirtualDuration, VirtualTime};
 use parking_lot::{Mutex, MutexGuard};
 
+use crate::governor::{Admission, DEFAULT_GUESS_SITE, RELIABLE_SEND_SITE};
 use crate::journal::Entry;
 use crate::message::{Message, MsgKind};
 use crate::scheduler::ResumeSignal;
@@ -227,6 +230,26 @@ impl Ctx {
     /// [`Signal::Rollback`]/[`Signal::Shutdown`] propagated from the
     /// runtime.
     pub fn guess(&mut self, aid: AidId) -> Hope<bool> {
+        self.guess_inner(aid, DEFAULT_GUESS_SITE)
+    }
+
+    /// [`Ctx::guess`] with an explicit **guess site** id for the optimism
+    /// governor (see [`crate::governor`]): sites are the granularity at
+    /// which the governor tracks deny pressure and throttles or
+    /// de-speculates. The analyzer's statement indices
+    /// ([`hope_analysis::cost::site_priors`]) are the intended vocabulary,
+    /// letting its static damage ranks seed the per-site damage estimates.
+    /// Without a governor configured, behaves exactly like [`Ctx::guess`].
+    ///
+    /// # Errors
+    ///
+    /// [`Signal::Rollback`]/[`Signal::Shutdown`] propagated from the
+    /// runtime.
+    pub fn guess_at(&mut self, aid: AidId, site: u32) -> Hope<bool> {
+        self.guess_inner(aid, site)
+    }
+
+    fn guess_inner(&mut self, aid: AidId, site: u32) -> Hope<bool> {
         if let Some(e) = self.replay_next() {
             match e {
                 Entry::Guess { aid: a, value } if a == aid => return Ok(value),
@@ -234,6 +257,48 @@ impl Ctx {
             }
         }
         let mut sh = self.live()?;
+        if sh.config.governor.is_some() {
+            match sh.govern_admit(self.idx, aid, site) {
+                Admission::Admit => {}
+                Admission::Hold(d) => {
+                    // Throttled: spend the optimism a little later. The
+                    // hold is an ordinary epoch-guarded wake, so it is a
+                    // realizable event for replay and model checking; if
+                    // the assumption is denied while we hold, the guess
+                    // below answers `false` without any rollback.
+                    let pid = self.pid;
+                    sh.trace(|| format!("{pid}: governor holds guess({aid})"));
+                    let at = sh.now + d;
+                    sh.schedule_wake(self.idx, at);
+                    drop(sh);
+                    self.park(ProcState::Holding)?;
+                    sh = self.live()?;
+                }
+                Admission::Wait => {
+                    // Conservative: full degradation to non-speculative
+                    // execution. Park until the assumption is decided —
+                    // the decision handler wakes registered waiters — then
+                    // fall through to a guess that answers definitively
+                    // and commits the same branch optimism would have.
+                    let pid = self.pid;
+                    sh.trace(|| format!("{pid}: governor converts guess({aid}) to a wait"));
+                    loop {
+                        if sh.engine.aid_state(aid).ok() != Some(AidState::Undecided) {
+                            break;
+                        }
+                        if let Some(gov) = sh.governor.as_mut() {
+                            gov.waiting.insert(aid, self.idx);
+                        }
+                        drop(sh);
+                        self.park(ProcState::Holding)?;
+                        sh = self.live()?;
+                        if let Some(gov) = sh.governor.as_mut() {
+                            gov.waiting.remove(&aid);
+                        }
+                    }
+                }
+            }
+        }
         let pos = sh.procs[self.idx].journal.len() as u64;
         let (outcome, fx) = sh
             .engine
@@ -698,7 +763,7 @@ impl Ctx {
             attempt += 1;
             let aid = self.aid_init()?;
             self.send_reliable_attempt(to, seq, aid, attempt, payload.clone())?;
-            if self.guess(aid)? {
+            if self.guess_inner(aid, RELIABLE_SEND_SITE)? {
                 return Ok(seq);
             }
             // Denied (timeout, or a fault kill): re-execution replayed the
@@ -744,10 +809,11 @@ impl Ctx {
         let mut sh = self.live()?;
         if attempt > 1 {
             sh.stats.faults.retries += 1;
+        } else {
+            sh.stats.faults.reliable_sends += 1;
         }
         let id = sh.send_message_with(self.idx, to, |_| MsgKind::Reliable { seq, aid }, payload);
-        let shift = (attempt - 1).min(16);
-        let deadline = (sh.config.ack_timeout * (1u64 << shift)).min(sh.config.ack_backoff_cap);
+        let deadline = backoff_deadline(sh.config.ack_timeout, sh.config.ack_backoff_cap, attempt);
         let at = sh.now + deadline;
         sh.pending_system += 1;
         sh.queue.push(at, EventKind::AckTimeout { aid });
@@ -1021,6 +1087,19 @@ impl Ctx {
     }
 }
 
+/// The retransmission deadline for reliable-send `attempt` (1-based):
+/// `min(ack_timeout << (attempt-1), ack_backoff_cap)`, with the shift
+/// clamped and the multiply saturating so a large configured timeout can
+/// never overflow past the cap instead of clamping to it.
+fn backoff_deadline(
+    timeout: VirtualDuration,
+    cap: VirtualDuration,
+    attempt: u32,
+) -> VirtualDuration {
+    let shift = (attempt - 1).min(16);
+    timeout.saturating_mul(1u64 << shift).min(cap)
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Prim {
     Deny,
@@ -1040,5 +1119,41 @@ impl Prim {
             Prim::Deny => DecideKind::Deny,
             Prim::FreeOf => DecideKind::FreeOf,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let timeout = VirtualDuration::from_millis(50);
+        let cap = VirtualDuration::from_millis(400);
+        assert_eq!(backoff_deadline(timeout, cap, 1), timeout);
+        assert_eq!(
+            backoff_deadline(timeout, cap, 2),
+            VirtualDuration::from_millis(100)
+        );
+        // Attempt 4 lands exactly on the cap boundary; everything after
+        // stays pinned there.
+        assert_eq!(backoff_deadline(timeout, cap, 4), cap);
+        assert_eq!(backoff_deadline(timeout, cap, 5), cap);
+        assert_eq!(backoff_deadline(timeout, cap, 64), cap);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // A timeout near the representable maximum: the shifted multiply
+        // must saturate (not wrap past the cap) so the min() still applies.
+        let huge = VirtualDuration::from_nanos(u64::MAX / 2);
+        let cap = VirtualDuration::from_millis(400);
+        for attempt in 1..=40 {
+            assert_eq!(backoff_deadline(huge, cap, attempt), cap);
+        }
+        // And with an uncapped configuration the result pins to the
+        // saturated maximum rather than wrapping around to a tiny value.
+        let no_cap = VirtualDuration::from_nanos(u64::MAX);
+        assert_eq!(backoff_deadline(huge, no_cap, 17), no_cap);
     }
 }

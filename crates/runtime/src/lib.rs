@@ -61,6 +61,7 @@
 pub mod chaos;
 mod config;
 mod ctx;
+pub mod governor;
 mod journal;
 pub mod mc;
 mod message;
@@ -71,9 +72,13 @@ mod signal;
 mod stats;
 mod value;
 
-pub use chaos::{chaos_sweep, committed_outputs, ChaosFailure, ChaosOutcome};
+pub use chaos::{chaos_sweep, committed_outputs, governor_sweep, ChaosFailure, ChaosOutcome};
 pub use config::SimConfig;
 pub use ctx::Ctx;
+pub use governor::{
+    GovernorConfig, GovernorMode, GovernorStats, ModeTransition, DEFAULT_GUESS_SITE,
+    RELIABLE_SEND_SITE,
+};
 pub use mc::{check_scenario, SimCompleteness, SimMcConfig, SimMcReport, SimOutcome};
 pub use message::{Message, MsgKind};
 pub use scheduler::Simulation;

@@ -507,6 +507,70 @@ mod tests {
         }
     }
 
+    /// The optimism governor must be invisible to every model-checked
+    /// verdict: its holds and conservative waits ride ordinary
+    /// epoch-guarded wakes (realizable events), so while the *schedule
+    /// tree* legitimately changes shape (held guesses add wake events),
+    /// the **outcome set** — committed outputs, errors, crashes,
+    /// unfinished processes — must be identical to the ungoverned run, and
+    /// the search must still exhaust. This is the model-checked half of
+    /// the transparency claim (`chaos::governor_sweep` is the fault-space
+    /// half).
+    #[test]
+    fn governor_preserves_outcome_set() {
+        // Three guess rounds with the middle one denied: real deny
+        // pressure, so the aggressive governor (throttle from the first
+        // observed outcome, conservative after the deny) exercises holds
+        // *and* converted waits across the explored schedules.
+        let scenario = |gov: Option<crate::governor::GovernorConfig>| {
+            move || {
+                let mut cfg = SimConfig::with_seed(5);
+                cfg.governor = gov.clone();
+                let mut sim = Simulation::new(cfg);
+                let verifier = ProcessId(1);
+                sim.spawn("guesser", move |ctx| {
+                    for round in 0..3 {
+                        let aid = ctx.aid_init()?;
+                        ctx.send(verifier, Value::Int(aid.index() as i64))?;
+                        if ctx.guess(aid)? {
+                            ctx.output(format!("round {round}: yes"))?;
+                        } else {
+                            ctx.output(format!("round {round}: no"))?;
+                        }
+                    }
+                    Ok(())
+                });
+                sim.spawn("verifier", |ctx| {
+                    for round in 0..3 {
+                        let m = ctx.recv()?;
+                        let aid = hope_core::AidId::from_index(m.payload.expect_int() as u64);
+                        if round == 1 {
+                            ctx.deny(aid)?;
+                        } else {
+                            ctx.affirm(aid)?;
+                        }
+                    }
+                    Ok(())
+                });
+                sim
+            }
+        };
+        let plain = check_scenario(&SimMcConfig::default(), scenario(None));
+        let gov = crate::governor::GovernorConfig::default()
+            .with_window(4)
+            .with_min_samples(1)
+            .with_thresholds(0, 900)
+            .with_hold(ms(1));
+        let governed = check_scenario(&SimMcConfig::default(), scenario(Some(gov)));
+        assert!(plain.completeness.is_exhausted(), "{plain:?}");
+        assert!(governed.completeness.is_exhausted(), "{governed:?}");
+        assert_eq!(
+            plain.outcomes, governed.outcomes,
+            "the governor may reshape schedules, never outcomes"
+        );
+        assert!(plain.agreed() && governed.agreed());
+    }
+
     /// The budget path: a scenario with more schedules than allowed
     /// reports `BudgetExceeded`, a nonzero frontier, and a fraction < 1.
     #[test]

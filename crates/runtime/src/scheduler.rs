@@ -418,6 +418,13 @@ impl Simulation {
             hope_core::depset::cow_copies_total().saturating_sub(depset_base.0);
         stats.memory.depset_spills =
             hope_core::depset::spills_total().saturating_sub(depset_base.1);
+        let gov_transitions = match sh.governor.as_mut() {
+            Some(g) => {
+                stats.governor = g.stats;
+                std::mem::take(&mut g.transitions)
+            }
+            None => Vec::new(),
+        };
         RunReport {
             end_time: sh.now,
             events,
@@ -434,6 +441,7 @@ impl Simulation {
                 .take()
                 .map(|d| d.into_races())
                 .unwrap_or_default(),
+            gov_transitions,
         }
     }
 }
@@ -478,6 +486,18 @@ fn process_wrapper(
                 match resume_rx.recv() {
                     Ok(ResumeSignal::Go) => {}
                     Ok(ResumeSignal::Shutdown) | Err(_) => return,
+                }
+                // A deeper rollback may have struck while we were holding
+                // for the restoration charge: its truncation invalidates
+                // the replay length captured above, and the extra rollback
+                // deserves its own replay count and restoration charge.
+                // Start the restart over from the (now shorter) journal.
+                let rolled_again = {
+                    let sh = shared.lock();
+                    sh.procs[idx].rollback_pending
+                };
+                if rolled_again {
+                    continue;
                 }
             }
             let mut ctx = Ctx::new(

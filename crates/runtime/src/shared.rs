@@ -12,6 +12,7 @@ use hope_core::{Action, AidId, AidState, Effect, Engine, IntervalId, ProcessId, 
 use hope_sim::{EventQueue, LinkVerdict, SimRng, VirtualDuration, VirtualTime};
 
 use crate::config::SimConfig;
+use crate::governor::Governor;
 use crate::journal::{Entry, Journal};
 use crate::message::{Mailbox, Message, MsgKind};
 use crate::oracle::SchedOracleSlot;
@@ -159,6 +160,10 @@ pub(crate) struct Shared {
     /// checking; see [`crate::mc`]). Empty in production runs, which then
     /// pay one `Option` check per event in [`Shared::next_event`].
     pub(crate) sched_oracle: SchedOracleSlot,
+    /// The optimism governor, present iff
+    /// [`SimConfig::with_governor`](crate::SimConfig) was set. Ungoverned
+    /// runs pay one `Option` check per guess.
+    pub(crate) governor: Option<Governor>,
 }
 
 impl Shared {
@@ -169,6 +174,7 @@ impl Shared {
         let mut engine = Engine::with_shards(config.engine_shards.max(1));
         engine.set_invariant_checking(config.check_engine_invariants);
         let race_detector = config.detect_races.then(RaceDetector::new);
+        let governor = config.governor.clone().map(Governor::new);
         Shared {
             engine,
             procs: Vec::new(),
@@ -192,6 +198,7 @@ impl Shared {
             fault_denied: BTreeSet::new(),
             pending_system: 0,
             sched_oracle: SchedOracleSlot(None),
+            governor,
         }
     }
 
@@ -633,6 +640,12 @@ impl Shared {
     /// caller must unwind with [`Signal::Rollback`](crate::Signal)).
     pub(crate) fn apply_effects(&mut self, self_idx: usize, effects: &[Effect]) -> bool {
         let mut self_rolled_back = false;
+        // Governed sites whose assumptions were denied in this batch, and
+        // the journal entries the batch's rollbacks discarded: the denies
+        // caused the cascade, so the damage is charged to them (the
+        // governor's online correction of the static priors).
+        let mut gov_denied: Vec<(ProcessId, u32)> = Vec::new();
+        let mut gov_damage: u64 = 0;
         for e in effects {
             match e {
                 Effect::Finalized { interval, process } => {
@@ -675,6 +688,14 @@ impl Shared {
                     let pos = checkpoint.0 as usize;
                     let suffix = self.procs[victim].journal.truncate(pos);
                     self.stats.truncated_entries += suffix.len() as u64;
+                    gov_damage += suffix.len() as u64;
+                    // A rolled-back waiter unwinds via rollback_pending; its
+                    // conservative-wait registration must not fire a stale
+                    // wake at it later (that would bump its epoch and cancel
+                    // whatever wake its re-execution is actually holding for).
+                    if let Some(gov) = self.governor.as_mut() {
+                        gov.waiting.retain(|_, p| *p != victim);
+                    }
                     for entry in suffix {
                         if let Entry::Recv(msg) = entry {
                             self.procs[victim].mailbox.insert(msg.mail_key(), *msg);
@@ -702,7 +723,33 @@ impl Shared {
                         self.schedule_wake(victim, now);
                     }
                 }
+                Effect::AidAffirmed { aid } | Effect::AidDenied { aid } => {
+                    let denied = matches!(e, Effect::AidDenied { .. });
+                    let now = self.now;
+                    let woken = match self.governor.as_mut() {
+                        Some(gov) => {
+                            if let Some(key) = gov.observe_decided(*aid, denied, now) {
+                                if denied {
+                                    gov_denied.push(key);
+                                }
+                            }
+                            gov.waiting.remove(aid)
+                        }
+                        None => None,
+                    };
+                    // Release a conservative waiter: its assumption is now
+                    // decided, so its next guess answers definitively.
+                    if let Some(p) = woken {
+                        self.schedule_wake(p, now);
+                    }
+                }
                 _ => {}
+            }
+        }
+        if !gov_denied.is_empty() {
+            let now = self.now;
+            if let Some(gov) = self.governor.as_mut() {
+                gov.charge_damage(&gov_denied, gov_damage, now);
             }
         }
         self_rolled_back

@@ -13,6 +13,8 @@ use hope_analysis::dynamic::RaceReport;
 use hope_core::{EngineStats, ProcessId, TrackingStats};
 use hope_sim::VirtualTime;
 
+use crate::governor::{GovernorStats, ModeTransition};
+
 /// One committed output line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutputLine {
@@ -76,6 +78,13 @@ pub struct RunStats {
     /// Fault-injection counters (all zero without a
     /// [`FaultPlan`](hope_sim::FaultPlan)).
     pub faults: FaultStats,
+    /// Optimism-governor counters (all zero without
+    /// [`SimConfig::with_governor`](crate::SimConfig::with_governor)).
+    /// Control-plane diagnostics only: the governor reshapes *when*
+    /// optimism is spent, not *what* commits, so — like
+    /// [`tracking`](RunStats::tracking) — these are excluded from
+    /// [`RunReport::fingerprint`].
+    pub governor: GovernorStats,
     /// End-of-run memory footprint: what fossil collection left live (see
     /// [`SimConfig::fossil_collection`](crate::SimConfig)).
     pub memory: MemoryStats,
@@ -146,6 +155,13 @@ pub struct FaultStats {
     pub acks: u64,
     /// Delivery acks the plan dropped on the reverse link.
     pub ack_drops: u64,
+    /// First-attempt reliable sends executed ([`Ctx::send_reliable`]
+    /// (crate::Ctx) calls, counting replays after rollback past the first
+    /// attempt). `retries / reliable_sends` is the loss/deny pressure
+    /// ratio the governor's deny-rate window measures per site. Counted
+    /// even without a fault plan, since reliable sends run the same path
+    /// on a perfect substrate.
+    pub reliable_sends: u64,
     /// Reliable-send retransmissions (attempts beyond the first).
     pub retries: u64,
     /// "Delivered" assumptions denied by a retransmission timeout.
@@ -172,6 +188,7 @@ impl FaultStats {
         self.lost_to_down += other.lost_to_down;
         self.acks += other.acks;
         self.ack_drops += other.ack_drops;
+        self.reliable_sends += other.reliable_sends;
         self.retries += other.retries;
         self.timeout_denies += other.timeout_denies;
         self.crash_denies += other.crash_denies;
@@ -234,6 +251,7 @@ pub struct RunReport {
     pub(crate) crashes: BTreeMap<ProcessId, CrashReason>,
     pub(crate) trace: Vec<String>,
     pub(crate) races: Vec<RaceReport>,
+    pub(crate) gov_transitions: Vec<ModeTransition>,
 }
 
 impl RunReport {
@@ -337,6 +355,11 @@ impl RunReport {
         // so these are masked exactly like the DepSet deltas above.
         stats.tracking = TrackingStats::default();
         stats.ctx_lock_acquisitions = 0;
+        // Governor counters are control-plane state: governor-on and
+        // governor-off runs must agree on every committed observable while
+        // these legitimately differ, and the transparency oracle compares
+        // runs across that config change. Masked like the tracking stats.
+        stats.governor = GovernorStats::default();
         let mut h = std::collections::hash_map::DefaultHasher::new();
         format!(
             "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
@@ -373,6 +396,16 @@ impl RunReport {
     /// issued under doomed speculation, and guesses racing a decide.
     pub fn races(&self) -> &[RaceReport] {
         &self.races
+    }
+
+    /// The optimism governor's mode-transition trace in virtual-time
+    /// order, if [`SimConfig::with_governor`](crate::SimConfig) was set
+    /// (empty otherwise). A pure function of `(seed, config)`: the
+    /// determinism suite pins it identical across reruns, engine shard
+    /// counts, and fossil collection. Like the trace, it is not part of
+    /// [`RunReport::fingerprint`].
+    pub fn governor_transitions(&self) -> &[ModeTransition] {
+        &self.gov_transitions
     }
 }
 
@@ -417,6 +450,7 @@ mod tests {
             crashes: BTreeMap::new(),
             trace: Vec::new(),
             races: Vec::new(),
+            gov_transitions: Vec::new(),
         };
         assert!(r.completed());
         assert_eq!(r.output_lines(), vec!["hello"]);
@@ -454,6 +488,7 @@ mod tests {
             crashes: BTreeMap::new(),
             trace: Vec::new(),
             races: Vec::new(),
+            gov_transitions: Vec::new(),
         };
         assert!(!r.completed());
         r.unfinished.clear();
@@ -485,6 +520,7 @@ mod tests {
             crashes: BTreeMap::new(),
             trace: Vec::new(),
             races: Vec::new(),
+            gov_transitions: Vec::new(),
         };
         let mut traced = base.clone();
         traced.trace.push("[0] noise".into());
@@ -516,12 +552,14 @@ mod tests {
         let mut a = FaultStats {
             drops: 1,
             retries: 2,
+            reliable_sends: 5,
             ..FaultStats::default()
         };
         let b = FaultStats {
             drops: 3,
             kills: 1,
             restarts: 1,
+            reliable_sends: 7,
             ..FaultStats::default()
         };
         a.merge(&b);
@@ -529,5 +567,6 @@ mod tests {
         assert_eq!(a.retries, 2);
         assert_eq!(a.kills, 1);
         assert_eq!(a.restarts, 1);
+        assert_eq!(a.reliable_sends, 12);
     }
 }

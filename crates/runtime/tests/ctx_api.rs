@@ -484,3 +484,45 @@ fn quiescence_oracle_applies_pending_speculative_denies() {
     );
     assert!(committed.stats().rollback_events >= 1);
 }
+
+/// A second deny can land while the victim is still parked charging
+/// [`SimConfig::rollback_overhead`] for the first: the deeper truncation
+/// invalidates the replay length captured for the first re-execution, so
+/// the wrapper must restart its restart. Regression for a crash
+/// ("replay cursor within journal") under storms of closely spaced
+/// denies with a nonzero restoration charge.
+#[test]
+fn second_rollback_during_restoration_hold_replays_cleanly() {
+    let mut sim = Simulation::new(
+        SimConfig::with_seed(5)
+            .with_topology(Topology::uniform(LatencyModel::Fixed(ms(2))))
+            .with_rollback_overhead(ms(10)),
+    );
+    let verifier = ProcessId(1);
+    sim.spawn("guesser", move |ctx| {
+        let outer = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(outer.index() as i64))?;
+        let a = ctx.guess(outer)?;
+        let inner = ctx.aid_init()?;
+        ctx.send(verifier, Value::Int(inner.index() as i64))?;
+        let b = ctx.guess(inner)?;
+        ctx.output(format!("outer={a} inner={b}"))?;
+        Ok(())
+    });
+    sim.spawn("verifier", move |ctx| {
+        let outer = AidId::from_index(ctx.recv()?.payload.expect_int() as u64);
+        let inner = AidId::from_index(ctx.recv()?.payload.expect_int() as u64);
+        // Deny the inner guess first; while the guesser holds for the
+        // 10ms restoration charge, deny the outer one 2ms later —
+        // truncating the journal below the first rollback's checkpoint.
+        ctx.deny(inner)?;
+        ctx.compute(ms(2))?;
+        ctx.deny(outer)?;
+        Ok(())
+    });
+    let report = sim.run();
+    assert!(report.errors().is_empty(), "{report}");
+    assert_eq!(report.output_lines(), vec!["outer=false inner=false"]);
+    assert!(report.stats().rollback_events >= 2, "{report}");
+    assert!(report.stats().replays >= 2, "{report}");
+}

@@ -120,6 +120,14 @@ impl VirtualDuration {
     pub fn saturating_sub(self, rhs: VirtualDuration) -> VirtualDuration {
         VirtualDuration(self.0.saturating_sub(rhs.0))
     }
+
+    /// Saturating scalar multiplication (what the `*` operator does too —
+    /// this form makes the saturation explicit at call sites computing
+    /// exponential backoffs from configured timeouts, where wrapping would
+    /// turn a huge deadline into a tiny one).
+    pub const fn saturating_mul(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_mul(rhs))
+    }
 }
 
 impl Add<VirtualDuration> for VirtualTime {
@@ -158,7 +166,7 @@ impl AddAssign for VirtualDuration {
 impl Mul<u64> for VirtualDuration {
     type Output = VirtualDuration;
     fn mul(self, rhs: u64) -> VirtualDuration {
-        VirtualDuration(self.0.saturating_mul(rhs))
+        self.saturating_mul(rhs)
     }
 }
 
@@ -248,6 +256,15 @@ mod tests {
         assert_eq!(
             VirtualDuration::from_millis(1).saturating_sub(VirtualDuration::from_secs(1)),
             VirtualDuration::ZERO
+        );
+        assert_eq!(
+            VirtualDuration::from_nanos(u64::MAX / 2).saturating_mul(4),
+            VirtualDuration::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            VirtualDuration::from_nanos(u64::MAX / 2) * 4,
+            VirtualDuration::from_nanos(u64::MAX),
+            "the operator saturates identically"
         );
     }
 

@@ -19,7 +19,10 @@
 
 use hope_recovery::{run_app_optimistic, run_stable_store};
 use hope_replication::{run_primary, Replica};
-use hope_runtime::{chaos_sweep, ChaosOutcome, FaultPlan, ProcessId, SimConfig, Simulation, Value};
+use hope_runtime::{
+    chaos_sweep, governor_sweep, ChaosOutcome, FaultPlan, GovernorConfig, ProcessId, SimConfig,
+    Simulation, Value,
+};
 use hope_sim::{LatencyModel, SimRng, Topology, VirtualDuration, VirtualTime};
 use proptest::prelude::*;
 
@@ -200,6 +203,18 @@ fn pipeline_sweep_70_plans() {
     let outcome = sweep(pipeline_scenario, 3, 0..70);
     assert!(outcome.faults.kills > 0, "{:?}", outcome.faults);
     assert!(outcome.faults.retries > 0, "{:?}", outcome.faults);
+    // The retry-pressure signal the governor consumes: every retry is a
+    // re-attempt of some first send, so `retries / reliable_sends` is a
+    // well-defined per-send pressure ratio. Under these mixed plans it
+    // must be strictly positive (faults force retransmissions) yet
+    // bounded — each send retries finitely under the backoff cap.
+    assert!(outcome.faults.reliable_sends > 0, "{:?}", outcome.faults);
+    let pressure = outcome.faults.retries as f64 / outcome.faults.reliable_sends as f64;
+    assert!(
+        pressure > 0.0 && pressure < 50.0,
+        "implausible retry pressure {pressure}: {:?}",
+        outcome.faults
+    );
 }
 
 #[test]
@@ -252,6 +267,54 @@ fn fossil_collection_sweep_70_plans() {
     assert!(
         mem.reclaimed_intervals > 0 && mem.reclaimed_journal_entries > 0,
         "collection never engaged: {mem:?}"
+    );
+}
+
+/// The governor transparency sweep: with the admission governor enabled —
+/// tuned aggressively enough that drops and kills push sites into
+/// Throttled and Conservative — committed outputs must stay bit-identical
+/// to the governor-off run under every one of 70 seeded plans mixing
+/// drops, duplication, delay spikes, temporary partitions and
+/// crash-restart kills ([`governor_sweep`] compares the paired runs per
+/// plan, fault-free config included). Degradation changes *when* guesses
+/// run, never *what* commits.
+#[test]
+fn governor_equivalence_sweep_70_plans() {
+    let gov = GovernorConfig::default()
+        .with_window(8)
+        .with_min_samples(2)
+        .with_thresholds(200, 1200)
+        .with_hold(ms(1));
+    let outcome = governor_sweep(
+        base_config(11).with_governor(gov),
+        (4000..4070).map(|s| plan_for_seed(s, 2)),
+        checkpointed_loop_scenario,
+    );
+    outcome.assert_ok();
+    assert_eq!(outcome.plans, 70);
+    assert!(
+        outcome.faults.drops > 0 && outcome.faults.kills > 0,
+        "the sweep must actually inject faults: {:?}",
+        outcome.faults
+    );
+    // The sweep proves nothing if the governor never leaves Optimistic:
+    // check a representative hostile plan actually throttled or converted.
+    let r = checkpointed_loop_scenario(
+        base_config(11)
+            .with_governor(
+                GovernorConfig::default()
+                    .with_window(8)
+                    .with_min_samples(2)
+                    .with_thresholds(200, 1200)
+                    .with_hold(ms(1)),
+            )
+            .with_faults(plan_for_seed(4003, 2)),
+    )
+    .run();
+    let g = r.stats().governor;
+    assert!(
+        g.held + g.converted > 0 && g.transitions > 0,
+        "governor never engaged under a hostile plan: {g:?}"
     );
 }
 
